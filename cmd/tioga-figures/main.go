@@ -1,0 +1,252 @@
+// Command tioga-figures regenerates every figure of the Tioga-2 paper
+// from the synthetic Louisiana weather data and writes PNG images (plus a
+// small text report) into an output directory.
+//
+// Usage:
+//
+//	tioga-figures [-out out] [-stations 400] [-perstation 132] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/raster"
+)
+
+func main() {
+	out := flag.String("out", "out", "output directory")
+	stations := flag.Int("stations", 400, "number of weather stations")
+	perStation := flag.Int("perstation", 132, "observations per station (monthly from 1985)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	if err := run(*out, *stations, *perStation, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tioga-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, stations, perStation int, seed int64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	report, err := os.Create(filepath.Join(out, "figures.txt"))
+	if err != nil {
+		return err
+	}
+	defer report.Close()
+
+	writeCanvas := func(env *core.Environment, canvas, file string) error {
+		v, err := env.Canvas(canvas)
+		if err != nil {
+			return err
+		}
+		img, stats, err := v.Render()
+		if err != nil {
+			return fmt.Errorf("render %s: %w", canvas, err)
+		}
+		fmt.Fprintf(report, "%s: canvas %q, %d tuples seen, %d culled, %d displays evaluated, %d drawables\n",
+			file, canvas, stats.TuplesSeen, stats.TuplesCulled, stats.DisplaysEvaled, stats.DrawablesDrawn)
+		return writePNG(img, filepath.Join(out, file))
+	}
+
+	fresh := func() (*core.Environment, error) {
+		return core.NewSeededEnvironment(stations, perStation, seed)
+	}
+
+	// Figure 1: program window + default table view.
+	env, err := fresh()
+	if err != nil {
+		return err
+	}
+	canvas, err := core.Figure1(env)
+	if err != nil {
+		return fmt.Errorf("figure 1: %w", err)
+	}
+	fmt.Fprintf(report, "figure1 program:\n%s\n", programListing(env))
+	prog, err := env.RenderProgram()
+	if err != nil {
+		return err
+	}
+	if err := writePNG(prog, filepath.Join(out, "figure1_program_window.png")); err != nil {
+		return err
+	}
+	if err := writeCanvas(env, canvas, "figure1_table.png"); err != nil {
+		return err
+	}
+
+	// Figure 4: station map.
+	env, err = fresh()
+	if err != nil {
+		return err
+	}
+	canvas, err = core.Figure4(env)
+	if err != nil {
+		return fmt.Errorf("figure 4: %w", err)
+	}
+	if err := writeCanvas(env, canvas, "figure4_map.png"); err != nil {
+		return err
+	}
+
+	// Figure 7: drill down at two elevations.
+	env, err = fresh()
+	if err != nil {
+		return err
+	}
+	canvas, err = core.Figure7(env)
+	if err != nil {
+		return fmt.Errorf("figure 7: %w", err)
+	}
+	v, _ := env.Canvas(canvas)
+	if err := writeCanvas(env, canvas, "figure7_high_elevation.png"); err != nil {
+		return err
+	}
+	if err := v.SetElevation(0, 1.2); err != nil {
+		return err
+	}
+	if err := v.PanTo(0, -90.1, 30.0); err != nil {
+		return err
+	}
+	if err := writeCanvas(env, canvas, "figure7_drilled_down.png"); err != nil {
+		return err
+	}
+	em, err := v.ElevationMap(0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(report, "figure7 elevation map:\n")
+	for _, e := range em {
+		fmt.Fprintf(report, "  order %d: %-28s range %s\n", e.Order, e.Label, e.Range)
+	}
+	// The full canvas window with chrome: the Altitude slider bar and the
+	// elevation map strip, as in the paper's screenshots.
+	chromeImg, _, err := v.RenderWithChrome()
+	if err != nil {
+		return err
+	}
+	if err := writePNG(chromeImg, filepath.Join(out, "figure7_canvas_window.png")); err != nil {
+		return err
+	}
+
+	// Figure 8: wormholes, traversal, rear view mirror.
+	env, err = fresh()
+	if err != nil {
+		return err
+	}
+	mapCanvas, _, nav, err := core.Figure8(env)
+	if err != nil {
+		return fmt.Errorf("figure 8: %w", err)
+	}
+	mv, _ := env.Canvas(mapCanvas)
+	if err := writeCanvas(env, mapCanvas, "figure8_overview.png"); err != nil {
+		return err
+	}
+	// Zoom onto the first rendered station and pass through.
+	if _, _, err := mv.Render(); err != nil {
+		return err
+	}
+	hits := mv.Hits()
+	if len(hits) > 0 {
+		row := hits[0].Ext.Rel.Row(hits[0].Row)
+		lon, _ := row.Attr("longitude").AsFloat()
+		lat, _ := row.Attr("latitude").AsFloat()
+		if err := mv.PanTo(0, lon, lat); err != nil {
+			return err
+		}
+		if err := mv.SetElevation(0, 0.4); err != nil {
+			return err
+		}
+		if err := writeCanvas(env, mapCanvas, "figure8_wormhole_revealed.png"); err != nil {
+			return err
+		}
+		passed, err := nav.Descend(0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(report, "figure8: wormhole traversal happened: %v\n", passed)
+		if passed {
+			cur, _ := nav.Current()
+			if err := writeCanvas(env, cur.Name, "figure8_destination.png"); err != nil {
+				return err
+			}
+			mirror, err := nav.RenderMirror(320, 240)
+			if err != nil {
+				return err
+			}
+			if mirror != nil {
+				if err := writePNG(mirror, filepath.Join(out, "figure8_rear_view_mirror.png")); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Figure 9: magnifying glass.
+	env, err = fresh()
+	if err != nil {
+		return err
+	}
+	canvas, _, err = core.Figure9(env)
+	if err != nil {
+		return fmt.Errorf("figure 9: %w", err)
+	}
+	if err := writeCanvas(env, canvas, "figure9_magnifier.png"); err != nil {
+		return err
+	}
+
+	// Figure 10: stitched viewers.
+	env, err = fresh()
+	if err != nil {
+		return err
+	}
+	canvas, err = core.Figure10(env)
+	if err != nil {
+		return fmt.Errorf("figure 10: %w", err)
+	}
+	if err := writeCanvas(env, canvas, "figure10_stitched.png"); err != nil {
+		return err
+	}
+
+	// Figure 11: replicated viewer.
+	env, err = fresh()
+	if err != nil {
+		return err
+	}
+	canvas, err = core.Figure11(env)
+	if err != nil {
+		return fmt.Errorf("figure 11: %w", err)
+	}
+	if err := writeCanvas(env, canvas, "figure11_replicated.png"); err != nil {
+		return err
+	}
+
+	fmt.Printf("wrote figures into %s/\n", out)
+	return nil
+}
+
+func writePNG(img *raster.Image, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := img.WritePNG(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func programListing(env *core.Environment) string {
+	s := ""
+	for _, b := range env.Program.Boxes() {
+		s += fmt.Sprintf("  [%d] %s %s\n", b.ID, b.Kind, b.Params)
+	}
+	for _, e := range env.Program.Edges() {
+		s += fmt.Sprintf("  edge %s\n", e)
+	}
+	return s
+}

@@ -1,0 +1,124 @@
+// Command tioga-render renders a saved Tioga-2 program headlessly: it
+// loads a database snapshot (written by the shell's savedb command),
+// loads a named program from it, attaches a viewer to the requested box
+// output, and writes the canvas as PNG, PPM, or ASCII.
+//
+// Usage:
+//
+//	tioga-render -db db.gob -program name [-box id] [-port 0]
+//	             [-o out.png] [-w 640] [-h 480]
+//	             [-x cx] [-y cy] [-elev e] [-ascii]
+//
+// Without -box, the input edge of the program's first viewer box (or the
+// output of its last sink) is rendered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dataflow"
+	"repro/internal/db"
+	"repro/internal/viewer"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database snapshot file (required)")
+	program := flag.String("program", "", "saved program name (required)")
+	boxID := flag.Int("box", 0, "box whose output to view (default: first viewer's input)")
+	port := flag.Int("port", 0, "output port of -box")
+	out := flag.String("o", "canvas.png", "output file (.png or .ppm)")
+	w := flag.Int("w", 640, "canvas width")
+	h := flag.Int("h", 480, "canvas height")
+	cx := flag.Float64("x", 0, "pan center x")
+	cy := flag.Float64("y", 0, "pan center y")
+	elev := flag.Float64("elev", 100, "elevation")
+	ascii := flag.Bool("ascii", false, "print ASCII to stdout instead of writing a file")
+	flag.Parse()
+
+	if err := run(*dbPath, *program, *boxID, *port, *out, *w, *h, *cx, *cy, *elev, *ascii); err != nil {
+		fmt.Fprintln(os.Stderr, "tioga-render:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, program string, boxID, port int, out string, w, h int, cx, cy, elev float64, ascii bool) error {
+	if dbPath == "" || program == "" {
+		return fmt.Errorf("-db and -program are required")
+	}
+	database := db.New()
+	if err := database.LoadFile(dbPath); err != nil {
+		return err
+	}
+	data, err := database.LoadProgram(program)
+	if err != nil {
+		return err
+	}
+	g, err := dataflow.Unmarshal(dataflow.NewRegistry(), data)
+	if err != nil {
+		return err
+	}
+	if errs := dataflow.Typecheck(g); len(errs) > 0 {
+		return fmt.Errorf("program does not typecheck: %v", errs[0])
+	}
+	ev := dataflow.NewEvaluator(g, database)
+
+	// Resolve the viewing target.
+	var src viewer.Source
+	if boxID != 0 {
+		src = viewer.BoxOutputSource{Eval: ev, BoxID: boxID, Port: port}
+	} else {
+		target := 0
+		for _, b := range g.Boxes() {
+			if b.Kind == "viewer" {
+				target = b.ID
+				break
+			}
+		}
+		if target == 0 {
+			sinks := g.Sinks()
+			if len(sinks) == 0 {
+				return fmt.Errorf("program has no sink to view")
+			}
+			src = viewer.BoxOutputSource{Eval: ev, BoxID: sinks[len(sinks)-1].ID, Port: 0}
+		} else {
+			src = viewer.BoxSource{Eval: ev, BoxID: target, Port: 0}
+		}
+	}
+
+	v := viewer.New(program, src, w, h)
+	if err := v.PanTo(0, cx, cy); err != nil {
+		return err
+	}
+	if err := v.SetElevation(0, elev); err != nil {
+		return err
+	}
+	img, stats, err := v.Render()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rendered: %d tuples seen, %d culled, %d displays, %d drawables\n",
+		stats.TuplesSeen, stats.TuplesCulled, stats.DisplaysEvaled, stats.DrawablesDrawn)
+
+	if ascii {
+		fmt.Print(img.ASCII(100))
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(out, ".ppm") {
+		if err := img.WritePPM(f); err != nil {
+			return err
+		}
+	} else {
+		if err := img.WritePNG(f); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testShell runs a script of commands against a small seeded environment
+// and returns all output.
+func testShell(t *testing.T, commands ...string) (*shell, string) {
+	t.Helper()
+	env, err := core.NewSeededEnvironment(80, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sh := newShell(env, &buf)
+	for _, c := range commands {
+		if quit := sh.Execute(c); quit {
+			break
+		}
+	}
+	return sh, buf.String()
+}
+
+func TestShellBuildAndShow(t *testing.T) {
+	_, out := testShell(t,
+		"add table name=Stations",
+		`add restrict pred='state = "LA"'`,
+		"connect 1.0 2.0",
+		"show",
+	)
+	if !strings.Contains(out, "box [1] table") || !strings.Contains(out, "box [2] restrict") {
+		t.Fatalf("add output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "edge 1.0->2.0") {
+		t.Fatalf("show missing edge:\n%s", out)
+	}
+}
+
+func TestShellErrorsAreReportedNotFatal(t *testing.T) {
+	_, out := testShell(t,
+		"connect 9.0 8.0",
+		"nonsense",
+		"add froboz",
+		"tables",
+	)
+	if strings.Count(out, "error:") != 3 {
+		t.Fatalf("expected 3 errors:\n%s", out)
+	}
+	if !strings.Contains(out, "Stations") {
+		t.Fatal("shell died after an error")
+	}
+}
+
+func TestShellViewerAndAscii(t *testing.T) {
+	_, out := testShell(t,
+		"add table name=Stations",
+		"viewer tbl 1.0 200 100",
+		"panto tbl 250 -30",
+		"elev tbl 60",
+		"ascii tbl 50",
+	)
+	if !strings.Contains(out, `canvas "tbl"`) {
+		t.Fatalf("viewer not attached:\n%s", out)
+	}
+	// ASCII output contains at least one non-space glyph row.
+	lines := strings.Split(out, "\n")
+	drew := false
+	for _, l := range lines {
+		if strings.ContainsAny(l, ".:-=+*#%@") && !strings.Contains(l, "error") {
+			drew = true
+		}
+	}
+	if !drew {
+		t.Fatalf("ascii canvas blank:\n%s", out)
+	}
+}
+
+func TestShellMenusAndApply(t *testing.T) {
+	_, out := testShell(t, "boxes", "apply R", "programs")
+	if !strings.Contains(out, "restrict") {
+		t.Fatalf("boxes menu:\n%s", out)
+	}
+	if !strings.Contains(out, "viewer") {
+		t.Fatalf("apply menu missing viewer:\n%s", out)
+	}
+	if _, out := testShell(t, "apply Q"); !strings.Contains(out, "error") {
+		t.Fatal("bad apply type accepted")
+	}
+}
+
+func TestShellEncapsulateInstantiate(t *testing.T) {
+	_, out := testShell(t,
+		"add table name=Stations",
+		`add restrict pred='state = "LA"'`,
+		"add project attrs=id,name",
+		"connect 1.0 2.0",
+		"connect 2.0 3.0",
+		"encapsulate mybox 2,3 hole=3",
+		"instantiate mybox project:attrs=id",
+		"show",
+	)
+	if !strings.Contains(out, `encapsulated "mybox"`) {
+		t.Fatalf("encapsulate failed:\n%s", out)
+	}
+	if !strings.Contains(out, "instantiated") {
+		t.Fatalf("instantiate failed:\n%s", out)
+	}
+}
+
+func TestShellSessionRoundTrip(t *testing.T) {
+	sh, _ := testShell(t,
+		"add table name=Stations",
+		"viewer v1 1.0 100 100",
+		"panto v1 111 -22",
+		"savesession s1",
+		"new",
+		"loadsession s1",
+	)
+	v, err := sh.env.Canvas("v1")
+	if err != nil {
+		t.Fatalf("session canvas lost: %v", err)
+	}
+	st, _ := v.State(0)
+	if st.Center.X != 111 || st.Center.Y != -22 {
+		t.Fatalf("restored state %+v", st)
+	}
+}
+
+func TestShellUndo(t *testing.T) {
+	sh, _ := testShell(t,
+		"add table name=Stations",
+		"add sample p=0.5",
+		"undo",
+	)
+	if got := len(sh.env.Program.Boxes()); got != 1 {
+		t.Fatalf("%d boxes after undo, want 1", got)
+	}
+}
+
+func TestShellRenderWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "o.png")
+	_, out := testShell(t,
+		"add table name=Stations",
+		"viewer v 1.0 100 80",
+		"panto v 250 -30",
+		"elev v 60",
+		"render v "+path,
+	)
+	if !strings.Contains(out, path) {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+func TestSplitQuoted(t *testing.T) {
+	got := splitQuoted(`add restrict pred='state = "LA"' p=1`)
+	if len(got) != 4 || got[2] != `pred='state = "LA"'` {
+		t.Fatalf("splitQuoted = %q", got)
+	}
+	if len(splitQuoted("   ")) != 0 {
+		t.Fatal("blank line")
+	}
+}
+
+func TestParseRef(t *testing.T) {
+	b, p, err := parseRef("12.3")
+	if err != nil || b != 12 || p != 3 {
+		t.Fatalf("parseRef = %d %d %v", b, p, err)
+	}
+	b, p, err = parseRef("7")
+	if err != nil || b != 7 || p != 0 {
+		t.Fatalf("bare ref = %d %d %v", b, p, err)
+	}
+	if _, _, err := parseRef("x.y"); err == nil {
+		t.Fatal("bad ref accepted")
+	}
+}
+
+func TestShellFiguresAndNavigation(t *testing.T) {
+	sh, out := testShell(t,
+		"figures",
+		"elevmap Louisiana drill-down", // wrong arity: canvas names with spaces need care
+	)
+	if !strings.Contains(out, "figure8 -> canvases") {
+		t.Fatalf("figures output:\n%s", out)
+	}
+	// The navigator is armed after figures.
+	if sh.nav == nil {
+		t.Fatal("figures did not arm navigation")
+	}
+	// Descend above ground, then go back errors with no history.
+	_, out2 := testShell(t, "figures", "descend 1.5", "mirror", "back")
+	if !strings.Contains(out2, "on Station wormholes") {
+		t.Fatalf("descend output:\n%s", out2)
+	}
+	if !strings.Contains(out2, "no travel history") {
+		t.Fatalf("mirror without travel:\n%s", out2)
+	}
+	if !strings.Contains(out2, "error: viewer: no wormhole to go back through") {
+		t.Fatalf("back without travel:\n%s", out2)
+	}
+}
+
+func TestShellElevmapHitsUpdate(t *testing.T) {
+	_, out := testShell(t,
+		"add table name=Stations",
+		"add setdisplay name=display spec='circle r=0.2 fill' active=true",
+		"add setlocation attrs=longitude,latitude",
+		"connect 1.0 2.0",
+		"connect 2.0 3.0",
+		"viewer map 3.0 200 200",
+		"panto map -100 37",
+		"elev map 30",
+		"render map "+t.TempDir()+"/m.png",
+		"elevmap map",
+		"hits map",
+	)
+	if !strings.Contains(out, "layer 0") {
+		t.Fatalf("elevmap output:\n%s", out)
+	}
+	if !strings.Contains(out, "tuple row") {
+		t.Fatalf("hits output:\n%s", out)
+	}
+}
+
+func TestShellMagnifyAndProgpng(t *testing.T) {
+	dir := t.TempDir()
+	_, out := testShell(t,
+		"add table name=Stations",
+		"add setdisplay name=display spec='circle r=0.2 fill' active=true",
+		"add setlocation attrs=longitude,latitude",
+		"connect 1.0 2.0",
+		"connect 2.0 3.0",
+		"viewer map 3.0 200 200",
+		"magnify map 100 100 180 180 4",
+		"progpng "+dir+"/p.png",
+	)
+	if !strings.Contains(out, "magnifier at") {
+		t.Fatalf("magnify output:\n%s", out)
+	}
+	if !strings.Contains(out, "program window ->") {
+		t.Fatalf("progpng output:\n%s", out)
+	}
+}
+
+func TestShellParamsAndDisconnect(t *testing.T) {
+	sh, _ := testShell(t,
+		"add table name=Stations",
+		`add restrict pred='state = "LA"'`,
+		"connect 1.0 2.0",
+		`params 2 pred='state = "TX"'`,
+		"disconnect 2.0",
+		"delete 2",
+	)
+	if got := len(sh.env.Program.Boxes()); got != 1 {
+		t.Fatalf("%d boxes after delete", got)
+	}
+}
+
+func TestShellHelpCoversCommands(t *testing.T) {
+	_, out := testShell(t, "help")
+	for _, word := range []string{"encapsulate", "viewer", "descend", "update", "savesession", "magnify"} {
+		if !strings.Contains(out, word) {
+			t.Errorf("help missing %q", word)
+		}
+	}
+}
+
+func TestShellApplySel(t *testing.T) {
+	_, out := testShell(t,
+		"add table name=Stations",
+		"add table name=LouisianaMap",
+		"add overlay",
+		"connect 1.0 3.0",
+		"connect 2.0 3.1",
+		`applysel 3.0 restrict 0 0 pred='state = "LA"'`,
+		"show",
+	)
+	if strings.Contains(out, "error") {
+		t.Fatalf("applysel failed:\n%s", out)
+	}
+	if !strings.Contains(out, "liftc") {
+		t.Fatalf("no lift box in program:\n%s", out)
+	}
+}

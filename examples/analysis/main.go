@@ -1,0 +1,139 @@
+// Analysis: the multi-visualization features of Section 7 on the
+// temperature/precipitation data — a magnifying glass with an alternative
+// display attribute (Figure 9), stitched and slaved viewers (Figure 10),
+// a replicated viewer (Figure 11) — plus the Section 7.4 salary-by-
+// department tabular replication on the Sales relation, and a lifted
+// Restrict applied to a composite (the Section 2 operator overloading).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	tioga "repro"
+)
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must1[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func writePNG(img *tioga.Image, path string) {
+	f := must1(os.Create(path))
+	defer f.Close()
+	must(img.WritePNG(f))
+	fmt.Println("wrote", path)
+}
+
+func main() {
+	env := must1(tioga.NewSeededEnvironment(200, 132, 42))
+
+	// --- Figure 9: magnifying glass ------------------------------------
+	canvas, mag, err := tioga.Figure9(env)
+	must(err)
+	outer := must1(env.Canvas(canvas))
+	img, _, err := outer.Render()
+	must(err)
+	writePNG(img, "analysis_magnifier.png")
+	// The lens is slaved: panning the outer view drags it.
+	must(outer.Pan(0, 20, 0))
+	innerState := must1(mag.Inner.State(0))
+	fmt.Printf("lens follows the canvas: lens center x = %.0f\n", innerState.Center.X)
+
+	// --- Figure 10: stitch + slave -------------------------------------
+	canvas, err = tioga.Figure10(env)
+	must(err)
+	v := must1(env.Canvas(canvas))
+	img, _, err = v.Render()
+	must(err)
+	writePNG(img, "analysis_stitched.png")
+	// Changing the date range under temperature drags precipitation.
+	must(v.Pan(0, 24, 0)) // two years later
+	st1 := must1(v.State(1))
+	fmt.Printf("precipitation panel followed to t = %.0f months\n", st1.Center.X)
+
+	// --- Figure 11: replicate ------------------------------------------
+	canvas, err = tioga.Figure11(env)
+	must(err)
+	v = must1(env.Canvas(canvas))
+	img, _, err = v.Render()
+	must(err)
+	writePNG(img, "analysis_replicated.png")
+
+	// --- Section 7.4: tabular replication of Sales ---------------------
+	// "replication is tabular, with predicates salary <= 5000 and
+	// salary > 5000 in the horizontal dimension and the enumerated type
+	// department in the vertical dimension."
+	sales := must1(env.AddTable("Sales"))
+	disp := must1(env.AddBox("setdisplay", tioga.Params{
+		"name": "display", "spec": "circle r=40 color=green fill", "active": "true",
+	}))
+	loc := must1(env.AddBox("setlocation", tioga.Params{"attrs": "salary,units"}))
+	rep := must1(env.AddBox("replicate", tioga.Params{
+		"preds": "salary <= 5000.0; salary > 5000.0",
+		"attr":  "department",
+	}))
+	must(env.Connect(sales.ID, 0, disp.ID, 0))
+	must(env.Connect(disp.ID, 0, loc.ID, 0))
+	must(env.Connect(loc.ID, 0, rep.ID, 0))
+
+	sv := must1(env.AddViewer("Sales by salary x department", rep.ID, 0, 800, 800))
+	d := must1(env.Demand("Sales by salary x department"))
+	g := d.(*tioga.Group)
+	fmt.Printf("replicated into %d panels (tabular, %d columns)\n", len(g.Members), g.Cols)
+	// Each panel has its own position: pan the low-salary column (even
+	// panels) and the high-salary column (odd panels) to their data.
+	for m := range g.Members {
+		center := 3500.0
+		if m%2 == 1 {
+			center = 7500
+		}
+		must(sv.PanTo(m, center, 250))
+		must(sv.SetElevation(m, 300))
+	}
+	img, stats, err := sv.Render()
+	must(err)
+	fmt.Printf("sales grid: %d tuples over %d panels\n", stats.DisplaysEvaled, len(g.Members))
+	writePNG(img, "analysis_sales_grid.png")
+
+	// --- Section 2: a Restrict lifted onto a composite ------------------
+	// Overlay stations on the map, then point a Restrict at the station
+	// layer only; the composite is reassembled transparently.
+	stTbl := must1(env.AddTable("Stations"))
+	stDisp := must1(env.AddBox("setdisplay", tioga.Params{
+		"name": "display", "spec": "circle r=0.05 color=red", "active": "true",
+	}))
+	stLoc := must1(env.AddBox("setlocation", tioga.Params{"attrs": "longitude,latitude"}))
+	mapTbl := must1(env.AddTable("LouisianaMap"))
+	mapDisp := must1(env.AddBox("setdisplay", tioga.Params{
+		"name": "display", "spec": "line dxattr=dx dyattr=dy color=gray", "active": "true",
+	}))
+	mapLoc := must1(env.AddBox("setlocation", tioga.Params{"attrs": "x,y"}))
+	ov := must1(env.AddBox("overlay", nil))
+	must(env.Connect(stTbl.ID, 0, stDisp.ID, 0))
+	must(env.Connect(stDisp.ID, 0, stLoc.ID, 0))
+	must(env.Connect(mapTbl.ID, 0, mapDisp.ID, 0))
+	must(env.Connect(mapDisp.ID, 0, mapLoc.ID, 0))
+	must(env.Connect(mapLoc.ID, 0, ov.ID, 0))
+	must(env.Connect(stLoc.ID, 0, ov.ID, 1))
+
+	lift := must1(env.AddBox("liftc",
+		tioga.LiftParams("restrict", tioga.Params{"pred": "state = 'LA'"}, 0, 1)))
+	must(env.Connect(ov.ID, 0, lift.ID, 0))
+	lv := must1(env.AddViewer("Lifted restrict", lift.ID, 0, 640, 480))
+	must(lv.PanTo(0, -91.5, 31))
+	must(lv.SetElevation(0, 2.5))
+	img, stats, err = lv.Render()
+	must(err)
+	fmt.Printf("lifted restrict: composite reassembled, %d tuples visible\n", stats.DisplaysEvaled)
+	writePNG(img, "analysis_lifted.png")
+}

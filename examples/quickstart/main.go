@@ -1,0 +1,113 @@
+// Quickstart: the smallest useful Tioga-2 session. It seeds the synthetic
+// weather database, builds the paper's introductory program (Add Table ->
+// Restrict -> Project -> Viewer, Figure 1), renders the default table
+// view, makes an incremental change (the whole point of the system:
+// "there is no distinction between constructing a program, modifying an
+// existing program, and using an existing program"), and performs a
+// Section 8 update through the canvas.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	tioga "repro"
+)
+
+func main() {
+	// A database with Stations, Observations, LouisianaMap, and Sales.
+	env, err := tioga.NewSeededEnvironment(200, 24, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the Figure 1 program through the operation catalog.
+	table, err := env.AddTable("Stations")
+	if err != nil {
+		log.Fatal(err)
+	}
+	restrict, err := env.AddBox("restrict", tioga.Params{"pred": "state = 'LA'"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	project, err := env.AddBox("project", tioga.Params{"attrs": "name,state,longitude,latitude,altitude"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(env.Connect(table.ID, 0, restrict.ID, 0))
+	must(env.Connect(restrict.ID, 0, project.ID, 0))
+
+	// Every box output is viewable; attach a canvas to the end.
+	v, err := env.AddViewer("Louisiana stations", project.ID, 0, 640, 480)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(v.PanTo(0, 200, -110))
+	must(v.SetElevation(0, 125))
+
+	img, stats, err := v.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rendered the default table view: %d tuples -> %d drawables\n",
+		stats.DisplaysEvaled, stats.DrawablesDrawn)
+	writePNG(img, "quickstart_table.png")
+
+	// Incremental change: edit the Restrict predicate. Only the affected
+	// suffix of the program re-fires on the next render.
+	must(env.SetParams(restrict.ID, tioga.Params{"pred": "state = 'TX'"}))
+	img, stats, err = v.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after editing the predicate: %d tuples\n", stats.DisplaysEvaled)
+	writePNG(img, "quickstart_texas.png")
+
+	// Undo brings Louisiana back.
+	must(env.Undo())
+	if _, _, err := v.Render(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Section 8 update: click the first rendered row and fix its
+	// altitude. The canvas refreshes automatically.
+	hits := v.Hits()
+	if len(hits) == 0 {
+		log.Fatal("nothing rendered")
+	}
+	h := hits[0]
+	cx := (h.Screen.Min.X + h.Screen.Max.X) / 2
+	cy := (h.Screen.Min.Y + h.Screen.Max.Y) / 2
+	if err := env.UpdateAt("Louisiana stations", cx, cy, "altitude", "99.9"); err != nil {
+		log.Fatal(err)
+	}
+	base, row := h.Ext.Rel.BaseRow(h.Row)
+	fmt.Printf("updated %s row %d: altitude is now %s\n",
+		base.Name(), row, base.Row(row).Attr("altitude"))
+
+	// And the terminal-monitor view, for good measure.
+	img, _, err = v.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(img.ASCII(100))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writePNG(img *tioga.Image, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := img.WritePNG(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", path)
+}

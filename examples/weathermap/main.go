@@ -1,0 +1,137 @@
+// Weathermap: the agricultural specialist's scenario from the paper
+// (Sections 4-6). Starting from the raw Stations relation it builds, step
+// by step, the drill-down visualization of Figure 7: the Louisiana border
+// map overlaid with station markers whose labels appear only at low
+// elevations, with altitude as a slider dimension. Along the way it
+// exercises Combine Displays, Set Range, Overlay, Shuffle, the elevation
+// map, and slider culling, writing a PNG after each interesting state.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	tioga "repro"
+)
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must1[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func writePNG(img *tioga.Image, path string) {
+	f := must1(os.Create(path))
+	defer f.Close()
+	must(img.WritePNG(f))
+	fmt.Println("wrote", path)
+}
+
+func main() {
+	env := must1(tioga.NewSeededEnvironment(400, 24, 7))
+
+	// --- the map layer: a 2-D relation of border line segments --------
+	mapTable := must1(env.AddTable("LouisianaMap"))
+	mapDisp := must1(env.AddBox("setdisplay", tioga.Params{
+		"name": "display", "spec": "line dxattr=dx dyattr=dy color=gray width=2", "active": "true",
+	}))
+	mapLoc := must1(env.AddBox("setlocation", tioga.Params{"attrs": "x,y"}))
+	must(env.Connect(mapTable.ID, 0, mapDisp.ID, 0))
+	must(env.Connect(mapDisp.ID, 0, mapLoc.ID, 0))
+
+	// --- the station layers -------------------------------------------
+	// Shared prefix: Stations restricted to Louisiana.
+	stations := must1(env.AddTable("Stations"))
+	la := must1(env.AddBox("restrict", tioga.Params{"pred": "state = 'LA'"}))
+	must(env.Connect(stations.ID, 0, la.ID, 0))
+
+	// Variant 1: plain circles, visible at any elevation.
+	circ := must1(env.AddBox("setdisplay", tioga.Params{
+		"name": "display", "spec": "circle r=0.05 color=blue", "active": "true",
+	}))
+	circLoc := must1(env.AddBox("setlocation", tioga.Params{"attrs": "longitude,latitude,altitude"}))
+	circRange := must1(env.AddBox("setrange", tioga.Params{"lo": "0", "hi": "1000"}))
+	must(env.Connect(la.ID, 0, circ.ID, 0))
+	must(env.Connect(circ.ID, 0, circLoc.ID, 0))
+	must(env.Connect(circLoc.ID, 0, circRange.ID, 0))
+
+	// Variant 2: circle combined with the station name (Combine
+	// Displays), visible only below elevation 3.
+	stations2 := must1(env.AddTable("Stations"))
+	la2 := must1(env.AddBox("restrict", tioga.Params{"pred": "state = 'LA'"}))
+	must(env.Connect(stations2.ID, 0, la2.ID, 0))
+	base := must1(env.AddBox("setdisplay", tioga.Params{
+		"name": "display", "spec": "circle r=0.05 color=blue", "active": "true",
+	}))
+	label := must1(env.AddBox("setdisplay", tioga.Params{
+		"name": "label", "spec": "text attr=name size=0.012 dx=-0.2 dy=-0.2",
+	}))
+	combined := must1(env.AddBox("combinedisplays", tioga.Params{
+		"a": "display", "b": "label", "name": "marker", "active": "true",
+	}))
+	labelLoc := must1(env.AddBox("setlocation", tioga.Params{"attrs": "longitude,latitude,altitude"}))
+	labelRange := must1(env.AddBox("setrange", tioga.Params{"lo": "0", "hi": "3"}))
+	must(env.Connect(la2.ID, 0, base.ID, 0))
+	must(env.Connect(base.ID, 0, label.ID, 0))
+	must(env.Connect(label.ID, 0, combined.ID, 0))
+	must(env.Connect(combined.ID, 0, labelLoc.ID, 0))
+	must(env.Connect(labelLoc.ID, 0, labelRange.ID, 0))
+
+	// --- overlay the three layers --------------------------------------
+	ov1 := must1(env.AddBox("overlay", nil))
+	must(env.Connect(mapLoc.ID, 0, ov1.ID, 0))
+	must(env.Connect(circRange.ID, 0, ov1.ID, 1))
+	ov2 := must1(env.AddBox("overlay", nil))
+	must(env.Connect(ov1.ID, 0, ov2.ID, 0))
+	must(env.Connect(labelRange.ID, 0, ov2.ID, 1))
+
+	v := must1(env.AddViewer("Louisiana", ov2.ID, 0, 640, 480))
+	must(v.PanTo(0, -91.5, 31.0))
+
+	// High elevation: map + circles only.
+	must(v.SetElevation(0, 6))
+	img, stats, err := v.Render()
+	must(err)
+	fmt.Printf("elevation 6: %d tuples displayed (labels hidden by Set Range)\n", stats.DisplaysEvaled)
+	writePNG(img, "weathermap_overview.png")
+
+	// The elevation map shows the three layers, their ranges, and the
+	// drawing order — the user manipulates it directly.
+	em := must1(v.ElevationMap(0))
+	fmt.Println("elevation map:")
+	for i, e := range em {
+		fmt.Printf("  layer %d (drawn %d): %-22s %s\n", i, e.Order, e.Label, e.Range)
+	}
+
+	// Drill down: below elevation 3 the labeled markers appear.
+	must(v.PanTo(0, -90.6, 30.2))
+	must(v.SetElevation(0, 1.4))
+	img, stats, err = v.Render()
+	must(err)
+	fmt.Printf("elevation 1.4: %d tuples displayed (labels revealed)\n", stats.DisplaysEvaled)
+	writePNG(img, "weathermap_drilldown.png")
+
+	// The altitude slider filters stations: only low-lying ones.
+	must(v.SetSlider(0, 0, 0, 50))
+	img, stats, err = v.Render()
+	must(err)
+	fmt.Printf("altitude slider [0,50]: %d tuples displayed\n", stats.DisplaysEvaled)
+	writePNG(img, "weathermap_lowland.png")
+
+	// Shuffle the map layer to the top of the drawing order through the
+	// elevation map (viewer-local direct manipulation).
+	must(v.ShuffleLayer(0, 0, len(em)))
+	em = must1(v.ElevationMap(0))
+	fmt.Println("after shuffle:")
+	for i, e := range em {
+		fmt.Printf("  layer %d (drawn %d): %s\n", i, e.Order, e.Label)
+	}
+}

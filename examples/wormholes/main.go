@@ -1,0 +1,113 @@
+// Wormholes: the drill-down-to-another-space scenario of Figure 8. The
+// user browses the Louisiana station map; zooming into a station reveals
+// a wormhole (overlay + Set Range make it appear only at low elevations);
+// descending to zero elevation passes through onto the temperature
+// time-series canvas; the rear view mirror shows the underside of the map
+// canvas — the "way home" markers — and GoBack retraces the traversal.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	tioga "repro"
+)
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writePNG(img *tioga.Image, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	must(img.WritePNG(f))
+	fmt.Println("wrote", path)
+}
+
+func main() {
+	env, err := tioga.NewSeededEnvironment(400, 132, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure8 builds both canvases: the station map with wormholes (and
+	// underside way-back markers) and the temperature destination.
+	mapCanvas, destCanvas, nav, err := tioga.Figure8(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("canvases: %v\n", env.CanvasNames())
+
+	mv, err := env.Canvas(mapCanvas)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Overview: wormholes hidden above elevation 0.5.
+	img, _, err := mv.Render()
+	must(err)
+	writePNG(img, "wormholes_overview.png")
+	for _, h := range mv.Hits() {
+		if h.Wormhole != nil {
+			log.Fatal("wormhole visible at overview elevation — Set Range broken")
+		}
+	}
+
+	// Zoom onto the first station.
+	hits := mv.Hits()
+	row := hits[0].Ext.Rel.Row(hits[0].Row)
+	lon, _ := row.Attr("longitude").AsFloat()
+	lat, _ := row.Attr("latitude").AsFloat()
+	name := row.Attr("name")
+	fmt.Printf("zooming into station %s at (%.2f, %.2f)\n", name, lon, lat)
+	must(mv.PanTo(0, lon, lat))
+	must(mv.SetElevation(0, 0.4))
+	img, _, err = mv.Render()
+	must(err)
+	writePNG(img, "wormholes_revealed.png")
+
+	// Count visible wormholes.
+	worms := 0
+	for _, h := range mv.Hits() {
+		if h.Wormhole != nil {
+			worms++
+		}
+	}
+	fmt.Printf("%d wormhole(s) visible; descending to zero elevation...\n", worms)
+
+	// Pass through.
+	passed, err := nav.Descend(0)
+	must(err)
+	if !passed {
+		log.Fatal("no traversal happened")
+	}
+	cur, _ := nav.Current()
+	fmt.Printf("traversed! now on %q (expected %q)\n", cur.Name, destCanvas)
+	img, _, err = cur.Viewer.Render()
+	must(err)
+	writePNG(img, "wormholes_destination.png")
+
+	// The rear view mirror: the underside of the canvas we came through.
+	mirror, err := nav.RenderMirror(320, 240)
+	must(err)
+	writePNG(mirror, "wormholes_mirror.png")
+	me, _ := nav.MirrorElevation()
+	fmt.Printf("mirror elevation %.2f (negative: looking at the underside)\n", me)
+
+	// Descend on the new canvas: the previous canvas recedes.
+	must(cur.Viewer.SetElevation(0, 10))
+	me2, _ := nav.MirrorElevation()
+	fmt.Printf("after descending further, mirror elevation %.2f\n", me2)
+
+	// Find the way home.
+	must(nav.GoBack())
+	cur, _ = nav.Current()
+	fmt.Printf("went back through the wormhole; on %q with %d traversals in history\n",
+		cur.Name, len(nav.History()))
+}

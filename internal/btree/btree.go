@@ -1,0 +1,300 @@
+// Package btree implements an in-memory B-tree keyed by substrate values.
+// The rel package builds secondary indexes on it (Restrict with an
+// equality or range predicate on an indexed attribute scans the tree
+// instead of the heap), and ordered iteration backs sorted default
+// displays.
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// degree is the minimum branching factor: every node except the root holds
+// between degree-1 and 2*degree-1 keys.
+const degree = 16
+
+// Item is a key with its payload: the row ids of tuples carrying the key.
+type Item struct {
+	Key  types.Value
+	Rows []int
+}
+
+type node struct {
+	items    []Item
+	children []*node // nil for leaves
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// Tree is a B-tree multimap from value keys to row ids. Keys must be
+// mutually comparable (same kind, or mixed int/float). The zero Tree is
+// empty and ready to use.
+type Tree struct {
+	root *node
+	size int // number of distinct keys
+}
+
+// Len returns the number of distinct keys in the tree.
+func (t *Tree) Len() int { return t.size }
+
+func compareKeys(a, b types.Value) int {
+	c, err := a.Compare(b)
+	if err != nil {
+		// Index keys come from a single typed column, so this cannot
+		// happen unless the caller mixed kinds; fail loudly.
+		panic(fmt.Sprintf("btree: incomparable keys %s and %s", a.Kind(), b.Kind()))
+	}
+	return c
+}
+
+// search finds the position of key in items: (index, found).
+func search(items []Item, key types.Value) (int, bool) {
+	lo, hi := 0, len(items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch c := compareKeys(key, items[mid].Key); {
+		case c == 0:
+			return mid, true
+		case c < 0:
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return lo, false
+}
+
+// Insert adds row under key. Multiple rows may share a key.
+func (t *Tree) Insert(key types.Value, row int) {
+	if t.root == nil {
+		t.root = &node{items: []Item{{Key: key, Rows: []int{row}}}}
+		t.size = 1
+		return
+	}
+	if len(t.root.items) == 2*degree-1 {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	if t.root.insertNonFull(key, row) {
+		t.size++
+	}
+}
+
+// splitChild splits the full child at index i, lifting its median key.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := degree - 1
+	median := child.items[mid]
+
+	right := &node{items: append([]Item(nil), child.items[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+
+	n.items = append(n.items, Item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// insertNonFull inserts into a node known not to be full, reporting whether
+// a new distinct key was created.
+func (n *node) insertNonFull(key types.Value, row int) bool {
+	i, found := search(n.items, key)
+	if found {
+		n.items[i].Rows = append(n.items[i].Rows, row)
+		return false
+	}
+	if n.leaf() {
+		n.items = append(n.items, Item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = Item{Key: key, Rows: []int{row}}
+		return true
+	}
+	if len(n.children[i].items) == 2*degree-1 {
+		n.splitChild(i)
+		switch c := compareKeys(key, n.items[i].Key); {
+		case c == 0:
+			n.items[i].Rows = append(n.items[i].Rows, row)
+			return false
+		case c > 0:
+			i++
+		}
+	}
+	return n.children[i].insertNonFull(key, row)
+}
+
+// Get returns the rows stored under key, or nil.
+func (t *Tree) Get(key types.Value) []int {
+	n := t.root
+	for n != nil {
+		i, found := search(n.items, key)
+		if found {
+			return n.items[i].Rows
+		}
+		if n.leaf() {
+			return nil
+		}
+		n = n.children[i]
+	}
+	return nil
+}
+
+// Delete removes one occurrence of row under key, reporting whether it was
+// present. When the last row of a key is removed the key stays as an empty
+// item (tombstone); relations rebuild indexes on bulk deletes, so full
+// B-tree deletion machinery is not needed and tombstones are skipped during
+// iteration.
+func (t *Tree) Delete(key types.Value, row int) bool {
+	n := t.root
+	for n != nil {
+		i, found := search(n.items, key)
+		if found {
+			rows := n.items[i].Rows
+			for j, r := range rows {
+				if r == row {
+					n.items[i].Rows = append(rows[:j], rows[j+1:]...)
+					if len(n.items[i].Rows) == 0 {
+						t.size--
+					}
+					return true
+				}
+			}
+			return false
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+	return false
+}
+
+// Ascend calls fn for every non-empty key in ascending order until fn
+// returns false.
+func (t *Tree) Ascend(fn func(Item) bool) {
+	t.ascendRange(t.root, nil, nil, fn)
+}
+
+// AscendRange calls fn for keys in [lo, hi] (either bound may be nil for
+// unbounded) in ascending order until fn returns false. This is the
+// range-scan entry point for indexed Restrict.
+func (t *Tree) AscendRange(lo, hi *types.Value, fn func(Item) bool) {
+	t.ascendRange(t.root, lo, hi, fn)
+}
+
+func (t *Tree) ascendRange(n *node, lo, hi *types.Value, fn func(Item) bool) bool {
+	if n == nil {
+		return true
+	}
+	for i, it := range n.items {
+		if lo != nil && compareKeys(it.Key, *lo) < 0 {
+			continue
+		}
+		if !n.leaf() {
+			if !t.ascendRange(n.children[i], lo, hi, fn) {
+				return false
+			}
+		}
+		if hi != nil && compareKeys(it.Key, *hi) > 0 {
+			return false
+		}
+		if len(it.Rows) > 0 && !fn(it) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return t.ascendRange(n.children[len(n.children)-1], lo, hi, fn)
+	}
+	return true
+}
+
+// Min returns the smallest non-empty key, or (zero, false) when empty.
+func (t *Tree) Min() (Item, bool) {
+	var out Item
+	found := false
+	t.Ascend(func(it Item) bool {
+		out = it
+		found = true
+		return false
+	})
+	return out, found
+}
+
+// Max returns the largest non-empty key, or (zero, false) when empty.
+func (t *Tree) Max() (Item, bool) {
+	var out Item
+	found := false
+	t.Ascend(func(it Item) bool {
+		out = it
+		found = true
+		return true
+	})
+	return out, found
+}
+
+// checkInvariants validates B-tree structural invariants, used by tests and
+// property-based checks.
+func (t *Tree) checkInvariants() error {
+	if t.root == nil {
+		return nil
+	}
+	var prev *types.Value
+	var walk func(n *node, depth int) (int, error)
+	walk = func(n *node, depth int) (int, error) {
+		if n != t.root && len(n.items) < degree-1 {
+			return 0, fmt.Errorf("btree: underfull non-root node with %d items", len(n.items))
+		}
+		if len(n.items) > 2*degree-1 {
+			return 0, fmt.Errorf("btree: overfull node with %d items", len(n.items))
+		}
+		if n.leaf() {
+			for i := range n.items {
+				if prev != nil && compareKeys(n.items[i].Key, *prev) <= 0 {
+					return 0, fmt.Errorf("btree: keys out of order")
+				}
+				k := n.items[i].Key
+				prev = &k
+			}
+			return depth, nil
+		}
+		if len(n.children) != len(n.items)+1 {
+			return 0, fmt.Errorf("btree: node with %d items has %d children", len(n.items), len(n.children))
+		}
+		leafDepth := -1
+		for i := range n.items {
+			d, err := walk(n.children[i], depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if leafDepth == -1 {
+				leafDepth = d
+			} else if d != leafDepth {
+				return 0, fmt.Errorf("btree: leaves at different depths")
+			}
+			if prev != nil && compareKeys(n.items[i].Key, *prev) <= 0 {
+				return 0, fmt.Errorf("btree: keys out of order at internal node")
+			}
+			k := n.items[i].Key
+			prev = &k
+		}
+		d, err := walk(n.children[len(n.children)-1], depth+1)
+		if err != nil {
+			return 0, err
+		}
+		if leafDepth != -1 && d != leafDepth {
+			return 0, fmt.Errorf("btree: leaves at different depths")
+		}
+		return d, nil
+	}
+	_, err := walk(t.root, 0)
+	return err
+}

@@ -1,0 +1,247 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Error("empty tree has keys")
+	}
+	if got := tr.Get(types.NewInt(1)); got != nil {
+		t.Errorf("Get on empty = %v", got)
+	}
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Error("Max on empty")
+	}
+	tr.Ascend(func(Item) bool { t.Error("Ascend visited on empty"); return true })
+}
+
+func TestInsertGet(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 1000; i++ {
+		tr.Insert(types.NewInt(int64(i%100)), i)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	rows := tr.Get(types.NewInt(7))
+	if len(rows) != 10 {
+		t.Fatalf("key 7 has %d rows, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r%100 != 7 {
+			t.Fatalf("wrong row %d under key 7", r)
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(500)
+	for row, k := range perm {
+		tr.Insert(types.NewInt(int64(k)), row)
+	}
+	var keys []int64
+	tr.Ascend(func(it Item) bool {
+		keys = append(keys, it.Key.Int())
+		return true
+	})
+	if len(keys) != 500 {
+		t.Fatalf("visited %d keys", len(keys))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("Ascend out of order")
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 100; i++ {
+		tr.Insert(types.NewInt(int64(i)), i)
+	}
+	count := 0
+	tr.Ascend(func(Item) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("visited %d after early stop", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 200; i++ {
+		tr.Insert(types.NewInt(int64(i)), i)
+	}
+	lo, hi := types.NewInt(50), types.NewInt(59)
+	var got []int64
+	tr.AscendRange(&lo, &hi, func(it Item) bool {
+		got = append(got, it.Key.Int())
+		return true
+	})
+	if len(got) != 10 || got[0] != 50 || got[9] != 59 {
+		t.Fatalf("range scan = %v", got)
+	}
+	// Unbounded below.
+	got = nil
+	tr.AscendRange(nil, &lo, func(it Item) bool {
+		got = append(got, it.Key.Int())
+		return true
+	})
+	if len(got) != 51 {
+		t.Fatalf("<=50 scan returned %d keys", len(got))
+	}
+	// Unbounded above.
+	got = nil
+	tr.AscendRange(&hi, nil, func(it Item) bool {
+		got = append(got, it.Key.Int())
+		return true
+	})
+	if len(got) != 141 {
+		t.Fatalf(">=59 scan returned %d keys", len(got))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var tr Tree
+	for _, k := range []int64{42, 7, 99, 13} {
+		tr.Insert(types.NewInt(k), int(k))
+	}
+	mn, ok := tr.Min()
+	if !ok || mn.Key.Int() != 7 {
+		t.Errorf("Min = %v %v", mn, ok)
+	}
+	mx, ok := tr.Max()
+	if !ok || mx.Key.Int() != 99 {
+		t.Errorf("Max = %v %v", mx, ok)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree
+	tr.Insert(types.NewInt(1), 10)
+	tr.Insert(types.NewInt(1), 11)
+	tr.Insert(types.NewInt(2), 20)
+	if !tr.Delete(types.NewInt(1), 10) {
+		t.Fatal("delete existing failed")
+	}
+	if tr.Delete(types.NewInt(1), 10) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete(types.NewInt(9), 0) {
+		t.Fatal("delete missing key succeeded")
+	}
+	if got := tr.Get(types.NewInt(1)); len(got) != 1 || got[0] != 11 {
+		t.Fatalf("after delete Get = %v", got)
+	}
+	if !tr.Delete(types.NewInt(1), 11) {
+		t.Fatal("delete last row failed")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after emptying key = %d", tr.Len())
+	}
+	// Emptied keys do not appear in scans.
+	count := 0
+	tr.Ascend(func(Item) bool { count++; return true })
+	if count != 1 {
+		t.Fatalf("scan visited %d keys, want 1", count)
+	}
+}
+
+func TestTextKeys(t *testing.T) {
+	var tr Tree
+	words := []string{"pear", "apple", "mango", "fig", "banana"}
+	for i, w := range words {
+		tr.Insert(types.NewText(w), i)
+	}
+	var got []string
+	tr.Ascend(func(it Item) bool {
+		got = append(got, it.Key.Text())
+		return true
+	})
+	want := append([]string(nil), words...)
+	sort.Strings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("text order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIncomparableKeysPanic(t *testing.T) {
+	var tr Tree
+	tr.Insert(types.NewInt(1), 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed-kind insert did not panic")
+		}
+	}()
+	tr.Insert(types.NewText("x"), 1)
+}
+
+// Property: after random inserts and deletes, the tree's contents match a
+// reference map and invariants hold.
+func TestTreeMatchesModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var tr Tree
+		model := make(map[int64][]int)
+		for row, op := range ops {
+			k := int64(op % 50)
+			if op%3 == 0 && len(model[k]) > 0 {
+				r := model[k][0]
+				model[k] = model[k][1:]
+				if !tr.Delete(types.NewInt(k), r) {
+					return false
+				}
+			} else {
+				tr.Insert(types.NewInt(k), row)
+				model[k] = append(model[k], row)
+			}
+		}
+		if tr.checkInvariants() != nil {
+			return false
+		}
+		for k, rows := range model {
+			got := tr.Get(types.NewInt(k))
+			if len(got) != len(rows) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeTreeInvariants(t *testing.T) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		tr.Insert(types.NewInt(int64(rng.Intn(5000))), i)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() > 5000 {
+		t.Fatalf("Len = %d > distinct key bound", tr.Len())
+	}
+}

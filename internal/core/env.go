@@ -1,0 +1,416 @@
+// Package core is the Tioga-2 environment itself — the paper's primary
+// contribution. It ties the substrates together into the user interface
+// model of Section 3: a program window (the boxes-and-arrows graph), a
+// canvas window per viewer, the menu bar (operation, table, and box
+// menus), and the undo button. Every operation of Figures 2, 3, 5, and 6
+// and Sections 6-8 is exposed as an undoable method, so the interactive
+// shell, the examples, and the figure reproductions all drive the same
+// semantics — direct manipulation is an input encoding of these
+// operations (principle 4: every operation has a clear, well-specified
+// semantics).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/db"
+	"repro/internal/display"
+	"repro/internal/viewer"
+)
+
+// Environment is one Tioga-2 session: a database, the current program,
+// its evaluator, and the canvas universe.
+type Environment struct {
+	DB       *db.Database
+	Registry *dataflow.Registry
+	Program  *dataflow.Graph
+	Eval     *dataflow.Evaluator
+	Space    *viewer.Space
+	Nav      *viewer.Navigator
+
+	// Warnings accumulates advisory messages (for example the dimension
+	// mismatch warning of Section 6.1); the shell surfaces and clears
+	// them.
+	Warnings []string
+
+	canvases map[string]*viewer.Viewer
+	undoOps  []undoEntry
+}
+
+type undoEntry struct {
+	name string
+	fn   func() error
+}
+
+// NewEnvironment creates a session over a database.
+func NewEnvironment(database *db.Database) *Environment {
+	reg := dataflow.NewRegistry()
+	g := dataflow.NewGraph(reg)
+	env := &Environment{
+		DB:       database,
+		Registry: reg,
+		Program:  g,
+		Eval:     dataflow.NewEvaluator(g, database),
+		Space:    viewer.NewSpace(),
+		canvases: make(map[string]*viewer.Viewer),
+	}
+	// Updates to base tables must show up on canvases immediately: touch
+	// every table box reading the changed table so the next demand
+	// re-fires the affected program suffix.
+	database.Watch(func(table string) {
+		for _, b := range env.Program.Boxes() {
+			if b.Kind == "table" && b.Params.Str("name", "") == table {
+				env.Program.Touch(b.ID)
+			}
+		}
+	})
+	return env
+}
+
+// pushUndo records how to reverse the operation just performed.
+func (env *Environment) pushUndo(name string, fn func() error) {
+	env.undoOps = append(env.undoOps, undoEntry{name: name, fn: fn})
+}
+
+// snapshotUndo records a whole-program snapshot as the undo action.
+func (env *Environment) snapshotUndo(name string) error {
+	data, err := dataflow.Marshal(env.Program)
+	if err != nil {
+		return err
+	}
+	env.pushUndo(name, func() error {
+		if err := dataflow.Restore(env.Program, data); err != nil {
+			return err
+		}
+		env.Eval.InvalidateAll()
+		return nil
+	})
+	return nil
+}
+
+// Undo reverses the last operation (the undo button of Section 3).
+func (env *Environment) Undo() error {
+	if len(env.undoOps) == 0 {
+		return fmt.Errorf("core: nothing to undo")
+	}
+	e := env.undoOps[len(env.undoOps)-1]
+	env.undoOps = env.undoOps[:len(env.undoOps)-1]
+	if err := e.fn(); err != nil {
+		return fmt.Errorf("core: undo %s: %w", e.name, err)
+	}
+	return nil
+}
+
+// UndoDepth returns the number of undoable operations.
+func (env *Environment) UndoDepth() int { return len(env.undoOps) }
+
+// warnf appends an advisory message.
+func (env *Environment) warnf(format string, args ...interface{}) {
+	env.Warnings = append(env.Warnings, fmt.Sprintf(format, args...))
+}
+
+// TakeWarnings returns and clears pending warnings.
+func (env *Environment) TakeWarnings() []string {
+	w := env.Warnings
+	env.Warnings = nil
+	return w
+}
+
+// --- program operations (Figure 2) -------------------------------------
+
+// NewProgram erases the program canvas.
+func (env *Environment) NewProgram() error {
+	if err := env.snapshotUndo("new program"); err != nil {
+		return err
+	}
+	env.Program.Clear()
+	env.Eval.InvalidateAll()
+	return nil
+}
+
+// SaveProgram stores the current program in the database under name.
+func (env *Environment) SaveProgram(name string) error {
+	data, err := dataflow.Marshal(env.Program)
+	if err != nil {
+		return err
+	}
+	return env.DB.SaveProgram(name, data)
+}
+
+// AddProgram merges a saved program into the current program canvas,
+// returning the old-to-new box ID mapping.
+func (env *Environment) AddProgram(name string) (map[int]int, error) {
+	data, err := env.DB.LoadProgram(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.snapshotUndo("add program"); err != nil {
+		return nil, err
+	}
+	return dataflow.Merge(env.Program, data)
+}
+
+// LoadProgram is New Program followed by Add Program (Figure 2).
+func (env *Environment) LoadProgram(name string) (map[int]int, error) {
+	data, err := env.DB.LoadProgram(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.snapshotUndo("load program"); err != nil {
+		return nil, err
+	}
+	env.Program.Clear()
+	env.Eval.InvalidateAll()
+	return dataflow.Merge(env.Program, data)
+}
+
+// AddBox adds a box of the given kind to the program.
+func (env *Environment) AddBox(kind string, params dataflow.Params) (*dataflow.Box, error) {
+	if err := env.snapshotUndo("add " + kind); err != nil {
+		return nil, err
+	}
+	return env.Program.AddBox(kind, params)
+}
+
+// Connect wires an output to an input, with type checking.
+func (env *Environment) Connect(from, fromPort, to, toPort int) error {
+	if err := env.snapshotUndo("connect"); err != nil {
+		return err
+	}
+	return env.Program.Connect(from, fromPort, to, toPort)
+}
+
+// Disconnect removes the edge into an input.
+func (env *Environment) Disconnect(to, toPort int) error {
+	if err := env.snapshotUndo("disconnect"); err != nil {
+		return err
+	}
+	return env.Program.Disconnect(to, toPort)
+}
+
+// DeleteBox removes a box under the Section 4.1 legality rules.
+func (env *Environment) DeleteBox(id int) error {
+	if err := env.snapshotUndo("delete box"); err != nil {
+		return err
+	}
+	return env.Program.DeleteBox(id)
+}
+
+// ReplaceBox swaps a box for another kind with compatible types.
+func (env *Environment) ReplaceBox(id int, kind string, params dataflow.Params) (*dataflow.Box, error) {
+	if err := env.snapshotUndo("replace box"); err != nil {
+		return nil, err
+	}
+	return env.Program.ReplaceBox(id, kind, params)
+}
+
+// SetParams changes a box's parameters (for example editing a Restrict
+// predicate); the change propagates to all canvases on next render.
+func (env *Environment) SetParams(id int, params dataflow.Params) error {
+	if err := env.snapshotUndo("set params"); err != nil {
+		return err
+	}
+	return env.Program.SetParams(id, params)
+}
+
+// InsertT puts a T box on the edge feeding (to, toPort) and returns it.
+func (env *Environment) InsertT(to, toPort int) (*dataflow.Box, error) {
+	if err := env.snapshotUndo("insert T"); err != nil {
+		return nil, err
+	}
+	return env.Program.InsertT(to, toPort)
+}
+
+// ApplyBox returns the menu of box kinds whose inputs match the selected
+// output edges (Section 4.1).
+func (env *Environment) ApplyBox(selected []dataflow.PortType) []string {
+	return env.Program.MatchingKinds(selected)
+}
+
+// Encapsulate captures a region of the program (with optional holes) as a
+// new named box definition stored in the database.
+func (env *Environment) Encapsulate(name string, region []int, holes [][]int) (*dataflow.EncapDef, error) {
+	def, err := dataflow.Encapsulate(env.Program, name, region, holes)
+	if err != nil {
+		return nil, err
+	}
+	data, err := dataflow.MarshalDef(def)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.DB.SaveDef(name, data); err != nil {
+		return nil, err
+	}
+	return def, nil
+}
+
+// AddEncapsulated expands a saved encapsulated box into the program,
+// plugging fillers into its holes.
+func (env *Environment) AddEncapsulated(name string, fillers []dataflow.Filler) (*dataflow.Instance, error) {
+	data, err := env.DB.LoadDef(name)
+	if err != nil {
+		return nil, err
+	}
+	def, err := dataflow.UnmarshalDef(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.snapshotUndo("add encapsulated " + name); err != nil {
+		return nil, err
+	}
+	return dataflow.Instantiate(env.Program, def, fillers)
+}
+
+// --- database operations (Figure 3), as conveniences --------------------
+
+// AddTable adds the source box for a named relation (Add Table).
+func (env *Environment) AddTable(name string) (*dataflow.Box, error) {
+	if _, err := env.DB.Table(name); err != nil {
+		return nil, err
+	}
+	return env.AddBox("table", dataflow.Params{"name": name})
+}
+
+// Tables returns the menu of all tables available.
+func (env *Environment) Tables() []string { return env.DB.TableNames() }
+
+// BoxKinds returns the menu of all boxes available.
+func (env *Environment) BoxKinds() []string { return env.Registry.Names() }
+
+// ApplyToSelection applies an R -> R operation to the output edge
+// (from, fromPort), lifting it when the edge carries a composite or group
+// (Section 2): "Tioga-2 asks the user for the composite within the group,
+// and the relation within that composite, to which the Restrict applies"
+// — member and layer are that answer. For a plain R edge the box is
+// inserted directly and the selection is ignored. The new box is returned
+// unconnected downstream; wire its output as usual.
+func (env *Environment) ApplyToSelection(from, fromPort int, kind string, params dataflow.Params, member, layer int) (*dataflow.Box, error) {
+	fb, err := env.Program.Box(from)
+	if err != nil {
+		return nil, err
+	}
+	if fromPort < 0 || fromPort >= len(fb.Out) {
+		return nil, fmt.Errorf("core: box %d has no output %d", from, fromPort)
+	}
+	var b *dataflow.Box
+	switch fb.Out[fromPort].Display {
+	case display.RKind:
+		b, err = env.AddBox(kind, params)
+	case display.CKind:
+		b, err = env.AddBox("liftc", dataflow.LiftParams(kind, params, member, layer))
+	case display.GKind:
+		b, err = env.AddBox("liftg", dataflow.LiftParams(kind, params, member, layer))
+	default:
+		return nil, fmt.Errorf("core: output %d of box %d is not displayable", fromPort, from)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Program.Connect(from, fromPort, b.ID, 0); err != nil {
+		_ = env.Program.DeleteBox(b.ID)
+		return nil, err
+	}
+	return b, nil
+}
+
+// --- viewers and canvases ------------------------------------------------
+
+// AddViewer attaches a viewer box to output (from, fromPort), registers a
+// canvas window of the given pixel size under canvasName, and returns the
+// viewer. A viewer may be installed on any edge in the diagram — this is
+// the debugging story of Section 10.
+func (env *Environment) AddViewer(canvasName string, from, fromPort, w, h int) (*viewer.Viewer, error) {
+	snapshot, err := dataflow.Marshal(env.Program)
+	if err != nil {
+		return nil, err
+	}
+	vb, err := env.Program.AddBox("viewer", nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Program.Connect(from, fromPort, vb.ID, 0); err != nil {
+		_ = env.Program.DeleteBox(vb.ID)
+		return nil, err
+	}
+	v := viewer.New(canvasName, viewer.BoxSource{Eval: env.Eval, BoxID: vb.ID, Port: 0}, w, h)
+	if _, err := env.Space.Add(canvasName, v); err != nil {
+		_ = env.Program.Disconnect(vb.ID, 0)
+		_ = env.Program.DeleteBox(vb.ID)
+		return nil, err
+	}
+	env.canvases[canvasName] = v
+	// One operation, one undo entry: remove the canvas and restore the
+	// pre-viewer program together.
+	env.pushUndo("add viewer "+canvasName, func() error {
+		delete(env.canvases, canvasName)
+		if err := env.Space.Remove(canvasName); err != nil {
+			return err
+		}
+		if err := dataflow.Restore(env.Program, snapshot); err != nil {
+			return err
+		}
+		env.Eval.InvalidateAll()
+		return nil
+	})
+	if env.Nav == nil {
+		nav, err := viewer.NewNavigator(env.Space, canvasName)
+		if err != nil {
+			return nil, err
+		}
+		env.Nav = nav
+	}
+	return v, nil
+}
+
+// Canvas returns a registered canvas viewer.
+func (env *Environment) Canvas(name string) (*viewer.Viewer, error) {
+	v, ok := env.canvases[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no canvas %q", name)
+	}
+	return v, nil
+}
+
+// CanvasNames returns all canvas names.
+func (env *Environment) CanvasNames() []string { return env.Space.Names() }
+
+// Demand evaluates the displayable feeding a canvas without rendering,
+// for inspection.
+func (env *Environment) Demand(canvasName string) (display.Displayable, error) {
+	v, err := env.Canvas(canvasName)
+	if err != nil {
+		return nil, err
+	}
+	return v.Source.Get()
+}
+
+// --- updates (Section 8) ---------------------------------------------------
+
+// UpdateAt resolves a click at screen position (x, y) on a canvas to the
+// tuple drawn there, traces it to its base table row, runs the per-type
+// update function for the named column against the user's input, and
+// installs the result — the full Section 8 path. The canvas must have
+// been rendered since its last change so hit records exist.
+func (env *Environment) UpdateAt(canvasName string, x, y float64, col, input string) error {
+	v, err := env.Canvas(canvasName)
+	if err != nil {
+		return err
+	}
+	hit, ok := v.HitAt(x, y)
+	if !ok {
+		return fmt.Errorf("core: nothing at (%g, %g) on %s", x, y, canvasName)
+	}
+	base, row := hit.Ext.Rel.BaseRow(hit.Row)
+	if base.Name() == "" {
+		return fmt.Errorf("core: the object at (%g, %g) derives from %s, which has no base table to update", x, y, base)
+	}
+	if err := env.DB.UpdateField(base.Name(), row, col, input); err != nil {
+		return err
+	}
+	env.pushUndo("update", func() error {
+		_, err := env.DB.UndoLast()
+		return err
+	})
+	return nil
+}

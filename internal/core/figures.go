@@ -1,0 +1,525 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/db"
+	"repro/internal/geom"
+	"repro/internal/viewer"
+	"repro/internal/workload"
+)
+
+// This file reproduces every figure of the paper end-to-end: each builder
+// seeds the synthetic weather database, constructs the figure's program
+// through the operation catalog, and registers the canvases. Tests assert
+// structural properties of the results; cmd/tioga-figures renders them to
+// image files; bench_test.go times them.
+
+// SeedDatabase loads the Louisiana weather example data: Stations,
+// Observations, LouisianaMap, and Sales. stations and perStation scale
+// the data volume (figures use the defaults; benches sweep them).
+func SeedDatabase(stations, perStation int, seed int64) (*db.Database, error) {
+	d := db.New()
+	st := workload.Stations(stations, seed)
+	if err := d.CreateTable(st); err != nil {
+		return nil, err
+	}
+	obs, err := workload.Observations(st, perStation, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.CreateTable(obs); err != nil {
+		return nil, err
+	}
+	if err := d.CreateTable(workload.LouisianaMap()); err != nil {
+		return nil, err
+	}
+	if err := d.CreateTable(workload.Sales(200, seed+2)); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// NewSeededEnvironment is SeedDatabase plus a fresh environment over it.
+func NewSeededEnvironment(stations, perStation int, seed int64) (*Environment, error) {
+	d, err := SeedDatabase(stations, perStation, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewEnvironment(d), nil
+}
+
+// must wires a chain of boxes: the single output of each box feeds the
+// single input of the next.
+func chain(env *Environment, boxes ...*dataflow.Box) error {
+	for i := 0; i+1 < len(boxes); i++ {
+		if err := env.Program.Connect(boxes[i].ID, 0, boxes[i+1].ID, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addChain adds boxes of the given (kind, params) specs and wires them in
+// sequence, returning them.
+func addChain(env *Environment, specs ...[2]interface{}) ([]*dataflow.Box, error) {
+	boxes := make([]*dataflow.Box, 0, len(specs))
+	for _, s := range specs {
+		kind := s[0].(string)
+		var params dataflow.Params
+		if s[1] != nil {
+			params = s[1].(dataflow.Params)
+		}
+		b, err := env.Program.AddBox(kind, params)
+		if err != nil {
+			return nil, fmt.Errorf("core: add %s: %w", kind, err)
+		}
+		boxes = append(boxes, b)
+	}
+	if err := chain(env, boxes...); err != nil {
+		return nil, err
+	}
+	return boxes, nil
+}
+
+// Figure1 builds the program of Figure 1: Stations restricted to
+// Louisiana, projected to the fields of interest, feeding a viewer with
+// the default two-dimensional table display of Section 5.2. Returns the
+// environment and the canvas name.
+func Figure1(env *Environment) (string, error) {
+	boxes, err := addChain(env,
+		[2]interface{}{"table", dataflow.Params{"name": "Stations"}},
+		[2]interface{}{"restrict", dataflow.Params{"pred": "state = 'LA'"}},
+		[2]interface{}{"project", dataflow.Params{"attrs": "name,state,longitude,latitude,altitude"}},
+	)
+	if err != nil {
+		return "", err
+	}
+	last := boxes[len(boxes)-1]
+	v, err := env.AddViewer("Louisiana stations", last.ID, 0, 640, 480)
+	if err != nil {
+		return "", err
+	}
+	// Frame the top of the default table: columns span 5*80 units, rows
+	// stack downward 10 units apart and anchor at x = 0, so the cull
+	// margin must cover a full row's width.
+	v.CullMargin = 420
+	if err := v.PanTo(0, 200, -110); err != nil {
+		return "", err
+	}
+	if err := v.SetElevation(0, 125); err != nil {
+		return "", err
+	}
+	return "Louisiana stations", nil
+}
+
+// louisianaStationBoxes builds the shared prefix of Figures 4-8: Stations
+// restricted to Louisiana with (longitude, latitude) as the canvas
+// dimensions and altitude as a slider.
+func louisianaStationBoxes(env *Environment, displaySpec string) (*dataflow.Box, error) {
+	boxes, err := addChain(env,
+		[2]interface{}{"table", dataflow.Params{"name": "Stations"}},
+		[2]interface{}{"restrict", dataflow.Params{"pred": "state = 'LA'"}},
+		[2]interface{}{"setdisplay", dataflow.Params{"name": "display", "spec": displaySpec, "active": "true"}},
+		[2]interface{}{"setlocation", dataflow.Params{"attrs": "longitude,latitude,altitude"}},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return boxes[len(boxes)-1], nil
+}
+
+// mapViewDefaults positions a viewer over Louisiana.
+func mapViewDefaults(v *viewer.Viewer) error {
+	if err := v.PanTo(0, -91.5, 31.0); err != nil {
+		return err
+	}
+	return v.SetElevation(0, 2.2)
+}
+
+// Figure4 builds the weather-station map of Figure 4: a circle and the
+// station's name at its (longitude, latitude), with an Altitude slider.
+// The circle and name displays are built separately and merged with
+// Combine Displays, exactly the construction the paper describes.
+func Figure4(env *Environment) (string, error) {
+	last, err := louisianaStationBoxes(env, "circle r=0.05 color=blue")
+	if err != nil {
+		return "", err
+	}
+	boxes, err := addChain(env,
+		[2]interface{}{"setdisplay", dataflow.Params{"name": "label", "spec": "text attr=name size=0.013 dx=-0.2 dy=-0.2"}},
+		[2]interface{}{"combinedisplays", dataflow.Params{"a": "display", "b": "label", "name": "marker", "active": "true"}},
+	)
+	if err != nil {
+		return "", err
+	}
+	if err := env.Program.Connect(last.ID, 0, boxes[0].ID, 0); err != nil {
+		return "", err
+	}
+	v, err := env.AddViewer("Station map", boxes[len(boxes)-1].ID, 0, 640, 480)
+	if err != nil {
+		return "", err
+	}
+	if err := mapViewDefaults(v); err != nil {
+		return "", err
+	}
+	return "Station map", nil
+}
+
+// Figure7 builds the drill-down composite of Figure 7: the Louisiana
+// border map overlaid with two station displays whose elevation ranges
+// are set so that names appear only at low elevations. Returns the canvas
+// name.
+func Figure7(env *Environment) (string, error) {
+	// Layer 1: the state map, a 2-dimensional relation of lines; it is
+	// invariant in the Altitude dimension of the composite (Section 6.1's
+	// dimension-mismatch discussion).
+	mapBoxes, err := addChain(env,
+		[2]interface{}{"table", dataflow.Params{"name": "LouisianaMap"}},
+		[2]interface{}{"setdisplay", dataflow.Params{"name": "display", "spec": "line dxattr=dx dyattr=dy color=gray", "active": "true"}},
+		[2]interface{}{"setlocation", dataflow.Params{"attrs": "x,y"}},
+	)
+	if err != nil {
+		return "", err
+	}
+
+	// Layer 2: plain circles, visible at any elevation up to 1000.
+	circles, err := louisianaStationBoxes(env, "circle r=0.05 color=blue")
+	if err != nil {
+		return "", err
+	}
+	circlesRanged, err := env.Program.AddBox("setrange", dataflow.Params{"lo": "0", "hi": "1000"})
+	if err != nil {
+		return "", err
+	}
+	if err := env.Program.Connect(circles.ID, 0, circlesRanged.ID, 0); err != nil {
+		return "", err
+	}
+
+	// Layer 3: circle + name, visible only below elevation 3 so labels
+	// disappear where they would be illegible.
+	labeled, err := louisianaStationBoxes(env,
+		"circle r=0.05 color=blue + text attr=name size=0.013 dx=-0.2 dy=-0.2")
+	if err != nil {
+		return "", err
+	}
+	labeledRanged, err := env.Program.AddBox("setrange", dataflow.Params{"lo": "0", "hi": "3"})
+	if err != nil {
+		return "", err
+	}
+	if err := env.Program.Connect(labeled.ID, 0, labeledRanged.ID, 0); err != nil {
+		return "", err
+	}
+
+	// Overlay map <- circles <- labels. Overlaying the 3-dimensional
+	// stations onto the 2-dimensional map raises the Section 6.1 warning;
+	// the map is treated as invariant in Altitude.
+	ov1, err := env.Program.AddBox("overlay", nil)
+	if err != nil {
+		return "", err
+	}
+	if err := env.Program.Connect(mapBoxes[len(mapBoxes)-1].ID, 0, ov1.ID, 0); err != nil {
+		return "", err
+	}
+	if err := env.Program.Connect(circlesRanged.ID, 0, ov1.ID, 1); err != nil {
+		return "", err
+	}
+	env.warnf("overlay: mixing 2-dimensional %q with 3-dimensional stations; the map is invariant in Altitude", "LouisianaMap")
+
+	ov2, err := env.Program.AddBox("overlay", nil)
+	if err != nil {
+		return "", err
+	}
+	if err := env.Program.Connect(ov1.ID, 0, ov2.ID, 0); err != nil {
+		return "", err
+	}
+	if err := env.Program.Connect(labeledRanged.ID, 0, ov2.ID, 1); err != nil {
+		return "", err
+	}
+
+	v, err := env.AddViewer("Louisiana drill-down", ov2.ID, 0, 640, 480)
+	if err != nil {
+		return "", err
+	}
+	if err := mapViewDefaults(v); err != nil {
+		return "", err
+	}
+	if err := v.SetElevation(0, 10); err != nil { // start high: names hidden
+		return "", err
+	}
+	return "Louisiana drill-down", nil
+}
+
+// timeSeriesBoxes builds the temperature-vs-time canvas shared by Figures
+// 8-11: observations with a month-scaled time axis t, located at
+// (t, temperature) with station_id as a slider dimension.
+func timeSeriesBoxes(env *Environment, pred string, spec string, yattr string) (*dataflow.Box, error) {
+	specs := [][2]interface{}{
+		{"table", dataflow.Params{"name": "Observations"}},
+	}
+	if pred != "" {
+		specs = append(specs, [2]interface{}{"restrict", dataflow.Params{"pred": pred}})
+	}
+	specs = append(specs,
+		[2]interface{}{"addattr", dataflow.Params{"name": "t", "def": "(obs_date - date(1985,1,1)) / 30"}},
+		[2]interface{}{"setdisplay", dataflow.Params{"name": "display", "spec": spec, "active": "true"}},
+		[2]interface{}{"setlocation", dataflow.Params{"attrs": "t," + yattr + ",station_id"}},
+	)
+	boxes, err := addChain(env, specs...)
+	if err != nil {
+		return nil, err
+	}
+	return boxes[len(boxes)-1], nil
+}
+
+// Figure8 builds the wormhole scenario of Figure 8: the station map where
+// zooming into a station reveals a wormhole leading to the temperature
+// time-series canvas, plus the underside markers that the rear view
+// mirror shows after traversal. It returns the map canvas name, the
+// destination canvas name, and a navigator positioned on the map.
+func Figure8(env *Environment) (mapCanvas, destCanvas string, nav *viewer.Navigator, err error) {
+	// Destination: temperature vs time for all stations.
+	tsLast, err := timeSeriesBoxes(env, "", "circle r=0.8 color=red", "temperature")
+	if err != nil {
+		return "", "", nil, err
+	}
+	if _, err := env.AddViewer("Temperatures", tsLast.ID, 0, 640, 480); err != nil {
+		return "", "", nil, err
+	}
+	tv, _ := env.Canvas("Temperatures")
+	if err := tv.PanTo(0, 66, 12); err != nil {
+		return "", "", nil, err
+	}
+	if err := tv.SetElevation(0, 40); err != nil {
+		return "", "", nil, err
+	}
+
+	// Source canvas: circles at high elevation; circle + wormhole at low
+	// elevation (the wormhole "appears" as the user zooms in — achieved
+	// by overlay and Set Range, per the paper).
+	plain, err := louisianaStationBoxes(env, "circle r=0.05 color=blue")
+	if err != nil {
+		return "", "", nil, err
+	}
+	plainRanged, err := env.Program.AddBox("setrange", dataflow.Params{"lo": "0.5", "hi": "1000"})
+	if err != nil {
+		return "", "", nil, err
+	}
+	if err := env.Program.Connect(plain.ID, 0, plainRanged.ID, 0); err != nil {
+		return "", "", nil, err
+	}
+
+	withHole, err := louisianaStationBoxes(env,
+		"circle r=0.05 color=blue + wormhole w=0.5 h=0.4 dest='Temperatures' elev=40 dx=-0.25 dy=-0.2 sliders='id'")
+	if err != nil {
+		return "", "", nil, err
+	}
+	holeRanged, err := env.Program.AddBox("setrange", dataflow.Params{"lo": "0", "hi": "0.5"})
+	if err != nil {
+		return "", "", nil, err
+	}
+	if err := env.Program.Connect(withHole.ID, 0, holeRanged.ID, 0); err != nil {
+		return "", "", nil, err
+	}
+
+	// Underside: markers visible only from below (negative elevations),
+	// what the rear view mirror shows after passing through (Section 6.3).
+	underside, err := louisianaStationBoxes(env,
+		"circle r=0.1 color=red + value s='WAY-BACK' size=0.013 dy=-0.25")
+	if err != nil {
+		return "", "", nil, err
+	}
+	undersideRanged, err := env.Program.AddBox("setrange", dataflow.Params{"lo": "-1000", "hi": "-0.001"})
+	if err != nil {
+		return "", "", nil, err
+	}
+	if err := env.Program.Connect(underside.ID, 0, undersideRanged.ID, 0); err != nil {
+		return "", "", nil, err
+	}
+
+	ov1, err := env.Program.AddBox("overlay", nil)
+	if err != nil {
+		return "", "", nil, err
+	}
+	if err := env.Program.Connect(plainRanged.ID, 0, ov1.ID, 0); err != nil {
+		return "", "", nil, err
+	}
+	if err := env.Program.Connect(holeRanged.ID, 0, ov1.ID, 1); err != nil {
+		return "", "", nil, err
+	}
+	ov2, err := env.Program.AddBox("overlay", nil)
+	if err != nil {
+		return "", "", nil, err
+	}
+	if err := env.Program.Connect(ov1.ID, 0, ov2.ID, 0); err != nil {
+		return "", "", nil, err
+	}
+	if err := env.Program.Connect(undersideRanged.ID, 0, ov2.ID, 1); err != nil {
+		return "", "", nil, err
+	}
+
+	mv, err := env.AddViewer("Station wormholes", ov2.ID, 0, 640, 480)
+	if err != nil {
+		return "", "", nil, err
+	}
+	if err := mapViewDefaults(mv); err != nil {
+		return "", "", nil, err
+	}
+
+	nav, err = viewer.NewNavigator(env.Space, "Station wormholes")
+	if err != nil {
+		return "", "", nil, err
+	}
+	return "Station wormholes", "Temperatures", nav, nil
+}
+
+// Figure9 builds the magnifying glass of Figure 9: a temperature-vs-time
+// viewer whose magnifying glass shows the alternative precipitation
+// display (made active in the lens by a Swap Attributes box). The inner
+// viewer is slaved to the outer so they move in unison. Returns the outer
+// canvas name and the magnifier.
+func Figure9(env *Environment) (string, *viewer.Magnifier, error) {
+	// Shared chain for station 0 with both displays; the precipitation
+	// marker positions itself via a data-driven offset.
+	last, err := timeSeriesBoxes(env, "station_id = 0",
+		"circle r=0.8 color=red", "temperature")
+	if err != nil {
+		return "", nil, err
+	}
+	alt, err := env.Program.AddBox("setdisplay", dataflow.Params{
+		"name": "precip",
+		"spec": "circle r=0.8 color=blue dyexpr='precipitation * 4 - temperature'",
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	if err := env.Program.Connect(last.ID, 0, alt.ID, 0); err != nil {
+		return "", nil, err
+	}
+
+	// T box: one branch to the main viewer, one through Swap Attributes
+	// to the lens.
+	t, err := env.Program.AddBox("t", dataflow.Params{"type": "R"})
+	if err != nil {
+		return "", nil, err
+	}
+	if err := env.Program.Connect(alt.ID, 0, t.ID, 0); err != nil {
+		return "", nil, err
+	}
+
+	outer, err := env.AddViewer("Temperature (station 0)", t.ID, 0, 640, 480)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := outer.PanTo(0, 66, 14); err != nil {
+		return "", nil, err
+	}
+	if err := outer.SetElevation(0, 30); err != nil {
+		return "", nil, err
+	}
+
+	swap, err := env.Program.AddBox("swapattr", dataflow.Params{"a": "display", "b": "precip"})
+	if err != nil {
+		return "", nil, err
+	}
+	if err := env.Program.Connect(t.ID, 1, swap.ID, 0); err != nil {
+		return "", nil, err
+	}
+	inner, err := env.AddViewer("Precipitation lens", swap.ID, 0, 200, 150)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := inner.PanTo(0, 66, 14); err != nil {
+		return "", nil, err
+	}
+	if err := inner.SetElevation(0, 30); err != nil {
+		return "", nil, err
+	}
+
+	mag := outer.AddMagnifier(inner, geom.R(400, 40, 600, 190))
+	if err := viewer.Slave(outer, 0, inner, 0); err != nil {
+		return "", nil, err
+	}
+	return "Temperature (station 0)", mag, nil
+}
+
+// Figure10 builds the stitched viewers of Figure 10: temperature vs time
+// stitched above precipitation vs time, with the precipitation display
+// slaved to the temperature display so date ranges stay aligned. Returns
+// the canvas name.
+func Figure10(env *Environment) (string, error) {
+	temp, err := timeSeriesBoxes(env, "station_id = 0", "circle r=0.8 color=red", "temperature")
+	if err != nil {
+		return "", err
+	}
+	precip, err := timeSeriesBoxes(env, "station_id = 0", "circle r=0.6 color=blue", "precipitation")
+	if err != nil {
+		return "", err
+	}
+	st, err := env.Program.AddBox("stitch", dataflow.Params{"n": "2", "layout": "vertical", "label": "temp+precip"})
+	if err != nil {
+		return "", err
+	}
+	if err := env.Program.Connect(temp.ID, 0, st.ID, 0); err != nil {
+		return "", err
+	}
+	if err := env.Program.Connect(precip.ID, 0, st.ID, 1); err != nil {
+		return "", err
+	}
+	v, err := env.AddViewer("Temp and precip", st.ID, 0, 640, 640)
+	if err != nil {
+		return "", err
+	}
+	if err := v.PanTo(0, 66, 14); err != nil {
+		return "", err
+	}
+	if err := v.SetElevation(0, 30); err != nil {
+		return "", err
+	}
+	if err := v.PanTo(1, 66, 5); err != nil {
+		return "", err
+	}
+	if err := v.SetElevation(1, 30); err != nil {
+		return "", err
+	}
+	// Slave precipitation (member 1) to temperature (member 0): panning
+	// the date range in one moves the other.
+	if err := viewer.Slave(v, 0, v, 1); err != nil {
+		return "", err
+	}
+	return "Temp and precip", nil
+}
+
+// Figure11 builds the replicated viewer of Figure 11: the station-0 time
+// series partitioned into records before and after 1990, stitched
+// side-by-side. Returns the canvas name.
+func Figure11(env *Environment) (string, error) {
+	last, err := timeSeriesBoxes(env, "station_id = 0", "circle r=0.8 color=red", "temperature")
+	if err != nil {
+		return "", err
+	}
+	rep, err := env.Program.AddBox("replicate", dataflow.Params{
+		"preds":  "year(obs_date) < 1990; year(obs_date) >= 1990",
+		"layout": "horizontal",
+	})
+	if err != nil {
+		return "", err
+	}
+	if err := env.Program.Connect(last.ID, 0, rep.ID, 0); err != nil {
+		return "", err
+	}
+	v, err := env.AddViewer("Before and after 1990", rep.ID, 0, 800, 400)
+	if err != nil {
+		return "", err
+	}
+	for m := 0; m < 2; m++ {
+		if err := v.PanTo(m, 66, 14); err != nil {
+			return "", err
+		}
+		if err := v.SetElevation(m, 40); err != nil {
+			return "", err
+		}
+	}
+	return "Before and after 1990", nil
+}

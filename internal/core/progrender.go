@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataflow"
+	"repro/internal/draw"
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// The program window (Section 3): a rendering of the boxes-and-arrows
+// diagram itself, as in the top half of the paper's Figure 1. Boxes are
+// laid out in dataflow layers (sources left, sinks right), labeled with
+// their kind and key parameter, and connected by arrows.
+
+const (
+	progBoxW   = 120
+	progBoxH   = 34
+	progGapX   = 50
+	progGapY   = 18
+	progMargin = 16
+)
+
+// RenderProgram draws the current program window. The image is sized to
+// the layout.
+func (env *Environment) RenderProgram() (*raster.Image, error) {
+	g := env.Program
+	boxes := g.Boxes()
+	if len(boxes) == 0 {
+		img := raster.NewImage(240, 60)
+		raster.NewPen(img).Text(geom.Pt(progMargin, 26), "(empty program)", 1, draw.Gray)
+		return img, nil
+	}
+
+	// Layer assignment: longest path from any source.
+	layerOf := make(map[int]int, len(boxes))
+	var layer func(id int) int
+	layer = func(id int) int {
+		if l, ok := layerOf[id]; ok {
+			return l
+		}
+		layerOf[id] = 0 // cycle guard (graphs are acyclic by construction)
+		max := 0
+		b, err := g.Box(id)
+		if err == nil {
+			for port := range b.In {
+				if e, ok := g.InputEdge(id, port); ok {
+					if l := layer(e.From) + 1; l > max {
+						max = l
+					}
+				}
+			}
+		}
+		layerOf[id] = max
+		return max
+	}
+	maxLayer := 0
+	for _, b := range boxes {
+		if l := layer(b.ID); l > maxLayer {
+			maxLayer = l
+		}
+	}
+
+	// Rows within each layer, ordered by ID for stability.
+	cols := make([][]int, maxLayer+1)
+	for _, b := range boxes {
+		l := layerOf[b.ID]
+		cols[l] = append(cols[l], b.ID)
+	}
+	rows := 0
+	for _, c := range cols {
+		sort.Ints(c)
+		if len(c) > rows {
+			rows = len(c)
+		}
+	}
+
+	w := progMargin*2 + (maxLayer+1)*progBoxW + maxLayer*progGapX
+	h := progMargin*2 + rows*progBoxH + (rows-1)*progGapY
+	if h < progBoxH+2*progMargin {
+		h = progBoxH + 2*progMargin
+	}
+	img := raster.NewImage(w, h)
+	pen := raster.NewPen(img)
+
+	// Box positions.
+	pos := make(map[int]geom.Rect, len(boxes))
+	for l, col := range cols {
+		x0 := float64(progMargin + l*(progBoxW+progGapX))
+		for r, id := range col {
+			y0 := float64(progMargin + r*(progBoxH+progGapY))
+			pos[id] = geom.R(x0, y0, x0+progBoxW, y0+progBoxH)
+		}
+	}
+
+	// Edges first (under the boxes), with arrowheads.
+	for _, e := range g.Edges() {
+		from, okF := pos[e.From]
+		to, okT := pos[e.To]
+		if !okF || !okT {
+			continue
+		}
+		fb, _ := g.Box(e.From)
+		tb, _ := g.Box(e.To)
+		// Spread multiple ports vertically along the box edge.
+		fy := portY(from, e.FromPort, len(fb.Out))
+		ty := portY(to, e.ToPort, len(tb.In))
+		a := geom.Pt(from.Max.X, fy)
+		c := geom.Pt(to.Min.X, ty)
+		pen.Line(a, c, draw.Black, 1)
+		// Arrowhead.
+		pen.Line(c, geom.Pt(c.X-6, c.Y-3), draw.Black, 1)
+		pen.Line(c, geom.Pt(c.X-6, c.Y+3), draw.Black, 1)
+	}
+
+	// Boxes with labels: kind on the first line, key parameter on the
+	// second.
+	for _, b := range boxes {
+		r := pos[b.ID]
+		pen.Rect(r, draw.Black, draw.Style{LineWidth: 1})
+		title := fmt.Sprintf("%d %s", b.ID, b.Kind)
+		pen.Text(geom.Pt(r.Min.X+4, r.Min.Y+4), clipText(title, 18), 1, draw.Black)
+		if detail := keyParam(b); detail != "" {
+			pen.Text(geom.Pt(r.Min.X+4, r.Min.Y+18), clipText(detail, 18), 1, draw.Gray)
+		}
+	}
+	return img, nil
+}
+
+// portY spreads port anchors along a box's vertical edge.
+func portY(r geom.Rect, port, count int) float64 {
+	if count <= 1 {
+		return r.Center().Y
+	}
+	step := r.H() / float64(count+1)
+	return r.Min.Y + step*float64(port+1)
+}
+
+// keyParam picks the most informative parameter for a box's second line.
+func keyParam(b *dataflow.Box) string {
+	for _, k := range []string{"name", "pred", "attrs", "attr", "spec", "p", "preds", "kind", "value", "n"} {
+		if v, ok := b.Params[k]; ok && v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+func clipText(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "~"
+}

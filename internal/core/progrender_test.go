@@ -1,0 +1,27 @@
+package core
+
+import "testing"
+import "repro/internal/draw"
+
+func TestRenderProgramWindow(t *testing.T) {
+	env := seededEnv(t)
+	if _, err := Figure1(env); err != nil {
+		t.Fatal(err)
+	}
+	img, err := env.RenderProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.CountNonBackground(draw.White) < 200 {
+		t.Fatal("program window mostly blank")
+	}
+	// Empty program renders a placeholder.
+	env2 := seededEnv(t)
+	img2, err := env2.RenderProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img2.CountNonBackground(draw.White) == 0 {
+		t.Fatal("empty placeholder blank")
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/dataflow"
+	"repro/internal/geom"
+	"repro/internal/viewer"
+)
+
+// Session persistence: Save Program stores the boxes-and-arrows diagram;
+// a session additionally remembers the canvas windows — which box each
+// viewer watches, its pixel size, and the user's position (pan,
+// elevation, sliders) in every group member. Sessions are stored in the
+// database next to programs, so "using an existing program" resumes
+// exactly where the user left off.
+//
+// Not persisted (rebuilt by the user): magnifying glasses, slaving
+// links, viewer-local elevation-map overrides, and navigator travel
+// history. These are transient view state in the paper's model as well —
+// the durable artifact is the program plus the canvas positions.
+
+type stateJSON struct {
+	CX        float64      `json:"cx"`
+	CY        float64      `json:"cy"`
+	Elevation float64      `json:"elevation"`
+	Sliders   [][2]float64 `json:"sliders,omitempty"` // lo, hi; infinities encoded as ±1e308
+}
+
+type canvasJSON struct {
+	Name   string      `json:"name"`
+	BoxID  int         `json:"box"`
+	Port   int         `json:"port"`
+	W      int         `json:"w"`
+	H      int         `json:"h"`
+	States []stateJSON `json:"states,omitempty"`
+	Margin float64     `json:"cullMargin,omitempty"`
+}
+
+type sessionJSON struct {
+	Program  json.RawMessage `json:"program"`
+	Canvases []canvasJSON    `json:"canvases,omitempty"`
+}
+
+const sessionPrefix = "session/"
+
+const infSentinel = 1e308
+
+func encodeSlider(r geom.Range) [2]float64 {
+	lo, hi := r.Lo, r.Hi
+	if math.IsInf(lo, -1) {
+		lo = -infSentinel
+	}
+	if math.IsInf(hi, 1) {
+		hi = infSentinel
+	}
+	return [2]float64{lo, hi}
+}
+
+func decodeSlider(p [2]float64) geom.Range {
+	lo, hi := p[0], p[1]
+	if lo <= -infSentinel {
+		lo = math.Inf(-1)
+	}
+	if hi >= infSentinel {
+		hi = math.Inf(1)
+	}
+	return geom.Range{Lo: lo, Hi: hi}
+}
+
+// SaveSession stores the current program plus every canvas window and
+// its view state under the given name.
+func (env *Environment) SaveSession(name string) error {
+	prog, err := dataflow.Marshal(env.Program)
+	if err != nil {
+		return err
+	}
+	sj := sessionJSON{Program: prog}
+	for _, canvasName := range env.CanvasNames() {
+		v := env.canvases[canvasName]
+		if v == nil {
+			continue
+		}
+		src, ok := v.Source.(viewer.BoxSource)
+		if !ok {
+			// Direct-source viewers are not part of the program; skip.
+			continue
+		}
+		cj := canvasJSON{
+			Name:   canvasName,
+			BoxID:  src.BoxID,
+			Port:   src.Port,
+			W:      v.W,
+			H:      v.H,
+			Margin: v.CullMargin,
+		}
+		for _, st := range v.States() {
+			sjState := stateJSON{CX: st.Center.X, CY: st.Center.Y, Elevation: st.Elevation}
+			for _, sl := range st.Sliders {
+				sjState.Sliders = append(sjState.Sliders, encodeSlider(sl))
+			}
+			cj.States = append(cj.States, sjState)
+		}
+		sj.Canvases = append(sj.Canvases, cj)
+	}
+	data, err := json.MarshalIndent(sj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return env.DB.SaveProgram(sessionPrefix+name, data)
+}
+
+// LoadSession replaces the current program and canvases with a saved
+// session's. Existing canvases are removed first.
+func (env *Environment) LoadSession(name string) error {
+	data, err := env.DB.LoadProgram(sessionPrefix + name)
+	if err != nil {
+		return err
+	}
+	var sj sessionJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return fmt.Errorf("core: bad session data: %w", err)
+	}
+	if err := dataflow.Restore(env.Program, sj.Program); err != nil {
+		return err
+	}
+	env.Eval.InvalidateAll()
+
+	// Tear down current canvases.
+	for _, cn := range env.CanvasNames() {
+		if err := env.Space.Remove(cn); err != nil {
+			return err
+		}
+		delete(env.canvases, cn)
+	}
+	env.Nav = nil
+
+	for _, cj := range sj.Canvases {
+		v := viewer.New(cj.Name, viewer.BoxSource{Eval: env.Eval, BoxID: cj.BoxID, Port: cj.Port}, cj.W, cj.H)
+		if cj.Margin > 0 {
+			v.CullMargin = cj.Margin
+		}
+		var states []viewer.ViewState
+		for _, stj := range cj.States {
+			st := viewer.ViewState{
+				Center:    geom.Pt(stj.CX, stj.CY),
+				Elevation: stj.Elevation,
+			}
+			for _, sl := range stj.Sliders {
+				st.Sliders = append(st.Sliders, decodeSlider(sl))
+			}
+			states = append(states, st)
+		}
+		v.SetStates(states)
+		if _, err := env.Space.Add(cj.Name, v); err != nil {
+			return err
+		}
+		env.canvases[cj.Name] = v
+		if env.Nav == nil {
+			nav, err := viewer.NewNavigator(env.Space, cj.Name)
+			if err != nil {
+				return err
+			}
+			env.Nav = nav
+		}
+	}
+	return nil
+}
+
+// SessionNames lists saved sessions.
+func (env *Environment) SessionNames() []string {
+	var out []string
+	for _, n := range env.DB.ProgramNames() {
+		if len(n) > len(sessionPrefix) && n[:len(sessionPrefix)] == sessionPrefix {
+			out = append(out, n[len(sessionPrefix):])
+		}
+	}
+	return out
+}

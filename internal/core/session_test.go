@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSessionSaveLoadRoundTrip(t *testing.T) {
+	env := seededEnv(t)
+	canvas, err := Figure4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := env.Canvas(canvas)
+	if err := v.PanTo(0, -90.25, 30.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElevation(0, 1.75); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetSlider(0, 0, 10, 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SaveSession("work"); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.SessionNames(); len(got) != 1 || got[0] != "work" {
+		t.Fatalf("SessionNames = %v", got)
+	}
+
+	// Wreck the session: clear the program and move the viewer.
+	if err := env.NewProgram(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := env.LoadSession("work"); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := env.Canvas(canvas)
+	if err != nil {
+		t.Fatalf("canvas lost: %v", err)
+	}
+	st, err := v2.State(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Center.X != -90.25 || st.Center.Y != 30.5 || st.Elevation != 1.75 {
+		t.Fatalf("restored state %+v", st)
+	}
+	if st.Sliders[0].Lo != 10 || st.Sliders[0].Hi != 250 {
+		t.Fatalf("restored slider %v", st.Sliders[0])
+	}
+	// The restored session renders identically.
+	_, stats, err := v2.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DisplaysEvaled == 0 {
+		t.Fatal("restored session renders nothing")
+	}
+	if env.Nav == nil {
+		t.Error("navigator not restored")
+	}
+}
+
+func TestSessionInfiniteSliders(t *testing.T) {
+	env := seededEnv(t)
+	canvas, err := Figure4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := env.Canvas(canvas)
+	// Default sliders are unbounded; they must survive the round trip.
+	if _, err := v.State(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SaveSession("inf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.LoadSession("inf"); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := env.Canvas(canvas)
+	st, _ := v2.State(0)
+	if !math.IsInf(st.Sliders[0].Lo, -1) || !math.IsInf(st.Sliders[0].Hi, 1) {
+		t.Fatalf("unbounded slider became %v", st.Sliders[0])
+	}
+}
+
+func TestLoadMissingSession(t *testing.T) {
+	env := seededEnv(t)
+	if err := env.LoadSession("ghost"); err == nil {
+		t.Error("missing session accepted")
+	}
+}

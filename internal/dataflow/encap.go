@@ -1,0 +1,287 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PortRef addresses one port of one box.
+type PortRef struct {
+	Box  int
+	Port int
+}
+
+// BoxSpec is the template for one box inside an encapsulated definition.
+// A spec with Hole >= 0 is a placeholder to be plugged at instantiation.
+type BoxSpec struct {
+	Kind   string
+	Label  string
+	Params Params
+	Hole   int // -1 for ordinary boxes
+}
+
+// HoleSpec records the port signature a filler box must satisfy: the
+// types of the edges cut by the hole's boundary.
+type HoleSpec struct {
+	In  []PortType // edges flowing from the retained region into the hole
+	Out []PortType // edges flowing from the hole back into the region
+}
+
+// EncapDef is an encapsulated box definition (Section 4.1's Encapsulate):
+// a reusable sub-program whose boundary-cut edges became inputs and
+// outputs. Definitions with holes are parameterized — "something akin to
+// a macro or (more accurately) a higher-order function". Instantiation is
+// macro expansion: the definition's boxes are copied into the host
+// program and the boundary ports are exposed for wiring.
+type EncapDef struct {
+	Name    string
+	Boxes   []BoxSpec // local box indices 0..n-1
+	Edges   []Edge    // From/To are local box indices
+	Inputs  []PortRef // exposed inputs, in cut-edge order
+	Outputs []PortRef // exposed outputs, in cut-edge order
+	Holes   []HoleSpec
+}
+
+// Encapsulate builds a definition from a region of an existing program.
+// region lists the box IDs inside the user's closed curve; holes lists,
+// for each hole, the box IDs inside that inner closed area (hole boxes
+// must be inside the region). Edges cut by the outer curve become the
+// definition's inputs and outputs; edges cut by a hole boundary become
+// the hole's port signature; edges wholly inside a hole are discarded.
+func Encapsulate(g *Graph, name string, region []int, holes [][]int) (*EncapDef, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dataflow: encapsulate: empty name")
+	}
+	inRegion := make(map[int]bool)
+	for _, id := range region {
+		if _, err := g.Box(id); err != nil {
+			return nil, err
+		}
+		inRegion[id] = true
+	}
+	if len(inRegion) == 0 {
+		return nil, fmt.Errorf("dataflow: encapsulate: empty region")
+	}
+	holeOf := make(map[int]int) // boxID -> hole index
+	for hi, hboxes := range holes {
+		if len(hboxes) == 0 {
+			return nil, fmt.Errorf("dataflow: encapsulate: hole %d is empty", hi)
+		}
+		for _, id := range hboxes {
+			if !inRegion[id] {
+				return nil, fmt.Errorf("dataflow: encapsulate: hole box %d is outside the region", id)
+			}
+			if prev, dup := holeOf[id]; dup {
+				return nil, fmt.Errorf("dataflow: encapsulate: box %d is in holes %d and %d", id, prev, hi)
+			}
+			holeOf[id] = hi
+		}
+	}
+
+	def := &EncapDef{Name: name, Holes: make([]HoleSpec, len(holes))}
+
+	// Retained boxes get local indices in ID order; each hole gets one
+	// placeholder box after them.
+	var retained []int
+	for id := range inRegion {
+		if _, isHole := holeOf[id]; !isHole {
+			retained = append(retained, id)
+		}
+	}
+	sort.Ints(retained)
+	local := make(map[int]int)
+	for i, id := range retained {
+		b, _ := g.Box(id)
+		local[id] = i
+		def.Boxes = append(def.Boxes, BoxSpec{Kind: b.Kind, Label: b.Label, Params: b.Params.Clone(), Hole: -1})
+	}
+	holeLocal := make([]int, len(holes))
+	for hi := range holes {
+		holeLocal[hi] = len(def.Boxes)
+		def.Boxes = append(def.Boxes, BoxSpec{Kind: "", Label: fmt.Sprintf("hole%d", hi), Hole: hi})
+	}
+	// Hole placeholders accumulate ports as cut edges are discovered; the
+	// local port index is the running count.
+	holeIn := make([]int, len(holes))
+	holeOut := make([]int, len(holes))
+
+	edges := g.Edges() // deterministic order
+	for _, e := range edges {
+		fromIn, toIn := inRegion[e.From], inRegion[e.To]
+		fromHole, fromIsHole := holeOf[e.From]
+		toHole, toIsHole := holeOf[e.To]
+		fb, _ := g.Box(e.From)
+		tb, _ := g.Box(e.To)
+
+		switch {
+		case !fromIn && !toIn:
+			// Entirely outside; irrelevant.
+
+		case fromIn && toIn && !fromIsHole && !toIsHole:
+			// Internal edge of the definition.
+			def.Edges = append(def.Edges, Edge{
+				From: local[e.From], FromPort: e.FromPort,
+				To: local[e.To], ToPort: e.ToPort,
+			})
+
+		case fromIn && toIn && fromIsHole && toIsHole:
+			if fromHole == toHole {
+				// Wholly inside one hole: discarded with the hole's
+				// contents.
+				continue
+			}
+			// Hole-to-hole edge: output port of one placeholder feeding
+			// an input port of another.
+			def.Holes[fromHole].Out = append(def.Holes[fromHole].Out, tb.In[e.ToPort])
+			def.Holes[toHole].In = append(def.Holes[toHole].In, tb.In[e.ToPort])
+			def.Edges = append(def.Edges, Edge{
+				From: holeLocal[fromHole], FromPort: holeOut[fromHole],
+				To: holeLocal[toHole], ToPort: holeIn[toHole],
+			})
+			holeOut[fromHole]++
+			holeIn[toHole]++
+
+		case fromIn && toIn && toIsHole:
+			// Region box feeding a hole: the hole gains an input typed by
+			// the source output.
+			def.Holes[toHole].In = append(def.Holes[toHole].In, fb.Out[e.FromPort])
+			def.Edges = append(def.Edges, Edge{
+				From: local[e.From], FromPort: e.FromPort,
+				To: holeLocal[toHole], ToPort: holeIn[toHole],
+			})
+			holeIn[toHole]++
+
+		case fromIn && toIn && fromIsHole:
+			// Hole feeding a region box: the hole gains an output typed
+			// by the destination input.
+			def.Holes[fromHole].Out = append(def.Holes[fromHole].Out, tb.In[e.ToPort])
+			def.Edges = append(def.Edges, Edge{
+				From: holeLocal[fromHole], FromPort: holeOut[fromHole],
+				To: local[e.To], ToPort: e.ToPort,
+			})
+			holeOut[fromHole]++
+
+		case !fromIn && toIn:
+			// Cut by the outer curve inbound: an input of the new box.
+			if toIsHole {
+				def.Holes[toHole].In = append(def.Holes[toHole].In, fb.Out[e.FromPort])
+				def.Inputs = append(def.Inputs, PortRef{Box: holeLocal[toHole], Port: holeIn[toHole]})
+				holeIn[toHole]++
+			} else {
+				def.Inputs = append(def.Inputs, PortRef{Box: local[e.To], Port: e.ToPort})
+			}
+
+		case fromIn && !toIn:
+			// Cut outbound: an output of the new box.
+			if fromIsHole {
+				def.Holes[fromHole].Out = append(def.Holes[fromHole].Out, tb.In[e.ToPort])
+				def.Outputs = append(def.Outputs, PortRef{Box: holeLocal[fromHole], Port: holeOut[fromHole]})
+				holeOut[fromHole]++
+			} else {
+				def.Outputs = append(def.Outputs, PortRef{Box: local[e.From], Port: e.FromPort})
+			}
+		}
+	}
+	return def, nil
+}
+
+// Filler plugs one hole at instantiation: a box kind with parameters
+// whose ports must be compatible with the hole's signature.
+type Filler struct {
+	Kind   string
+	Params Params
+}
+
+// Instance maps an expanded definition back to host-graph box IDs so the
+// caller can wire the exposed boundary ports.
+type Instance struct {
+	BoxIDs  []int     // local index -> host box ID
+	Inputs  []PortRef // host box IDs with input port indices, in def order
+	Outputs []PortRef // host box IDs with output port indices
+}
+
+// Instantiate expands a definition into g, plugging each hole with the
+// corresponding filler. Filler port types must satisfy the hole signature
+// (inputs must accept what the region feeds; outputs must be acceptable
+// where the region expects them).
+func Instantiate(g *Graph, def *EncapDef, fillers []Filler) (*Instance, error) {
+	if got, want := len(fillers), len(def.Holes); got != want {
+		return nil, fmt.Errorf("dataflow: %s has %d hole(s), got %d filler(s)", def.Name, want, got)
+	}
+
+	inst := &Instance{BoxIDs: make([]int, len(def.Boxes))}
+	var added []int
+	rollback := func() {
+		// Remove in reverse ID order; freshly added boxes may have edges
+		// among themselves, so strip edges first.
+		for _, id := range added {
+			for _, e := range g.OutputEdges(id) {
+				_ = g.Disconnect(e.To, e.ToPort)
+			}
+			for port := range g.edges[id] {
+				_ = g.Disconnect(id, port)
+			}
+		}
+		for i := len(added) - 1; i >= 0; i-- {
+			_ = g.DeleteBox(added[i])
+		}
+	}
+
+	for i, spec := range def.Boxes {
+		var kind string
+		var params Params
+		if spec.Hole >= 0 {
+			f := fillers[spec.Hole]
+			kind, params = f.Kind, f.Params
+		} else {
+			kind, params = spec.Kind, spec.Params
+		}
+		b, err := g.AddBox(kind, params)
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("dataflow: instantiate %s: box %d: %w", def.Name, i, err)
+		}
+		added = append(added, b.ID)
+		if spec.Hole >= 0 {
+			// Validate the filler's shape against the hole signature.
+			h := def.Holes[spec.Hole]
+			if len(b.In) < len(h.In) || len(b.Out) < len(h.Out) {
+				rollback()
+				return nil, fmt.Errorf("dataflow: filler %q for hole %d of %s has %d/%d ports, need at least %d/%d",
+					kind, spec.Hole, def.Name, len(b.In), len(b.Out), len(h.In), len(h.Out))
+			}
+			for pi, want := range h.In {
+				if !Compatible(want, b.In[pi]) {
+					rollback()
+					return nil, fmt.Errorf("dataflow: filler %q input %d cannot accept %s", kind, pi, want)
+				}
+			}
+			for pi, want := range h.Out {
+				if !Compatible(b.Out[pi], want) {
+					rollback()
+					return nil, fmt.Errorf("dataflow: filler %q output %d (%s) incompatible with hole expectation %s",
+						kind, pi, b.Out[pi], want)
+				}
+			}
+			b.Label = spec.Label + ":" + kind
+		} else if spec.Label != "" {
+			b.Label = spec.Label
+		}
+		inst.BoxIDs[i] = b.ID
+	}
+
+	for _, e := range def.Edges {
+		if err := g.Connect(inst.BoxIDs[e.From], e.FromPort, inst.BoxIDs[e.To], e.ToPort); err != nil {
+			rollback()
+			return nil, fmt.Errorf("dataflow: instantiate %s: %w", def.Name, err)
+		}
+	}
+
+	for _, p := range def.Inputs {
+		inst.Inputs = append(inst.Inputs, PortRef{Box: inst.BoxIDs[p.Box], Port: p.Port})
+	}
+	for _, p := range def.Outputs {
+		inst.Outputs = append(inst.Outputs, PortRef{Box: inst.BoxIDs[p.Box], Port: p.Port})
+	}
+	return inst, nil
+}

@@ -1,0 +1,115 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/display"
+)
+
+// The lifting machinery of Section 2: "Tioga-2 extends such operations to
+// work on 'higher' types. ... Given a group G input to Restrict, Tioga-2
+// asks the user for the composite within the group, and the relation
+// within that composite, to which the Restrict applies. After applying
+// the Restrict to the selected relation, Tioga-2 reassembles the
+// composite and the group in the obvious way."
+//
+// liftc and liftg wrap any R -> R box kind: the wrapped kind's name goes
+// in 'kind', the selection in 'member'/'layer', and the wrapped kind's
+// own parameters are nested under the "op." prefix. The ops layer builds
+// these boxes when the user points an R operation at a composite or
+// group, so "the user need not be aware explicitly of how Restrict is
+// overloaded".
+
+func registerLiftBoxes(r *Registry) {
+	r.MustRegister(liftKind("liftc", CType,
+		"Apply an R->R operation 'kind' to relation 'layer' of a composite, reassembling the composite (Section 2 lifting)."))
+	r.MustRegister(liftKind("liftg", GType,
+		"Apply an R->R operation 'kind' to relation ('member', 'layer') of a group, reassembling the group (Section 2 lifting)."))
+}
+
+func liftKind(name string, pt PortType, doc string) *Kind {
+	return &Kind{
+		Name:          name,
+		Doc:           doc,
+		ExampleParams: Params{"kind": "restrict", "op.pred": "true"},
+		Ports:         fixedPorts([]PortType{pt}, []PortType{pt}),
+		Fire: func(fc *FireContext, p Params, in []Value) ([]Value, error) {
+			innerName, err := p.Need("kind")
+			if err != nil {
+				return nil, err
+			}
+			if fc.Registry == nil {
+				return nil, fmt.Errorf("lift: no registry in fire context")
+			}
+			inner, err := fc.Registry.Kind(innerName)
+			if err != nil {
+				return nil, err
+			}
+			innerParams := innerOpParams(p)
+			iin, iout, err := inner.Ports(innerParams)
+			if err != nil {
+				return nil, err
+			}
+			if len(iin) != 1 || len(iout) != 1 || !iin[0].Equal(RType) || !iout[0].Equal(RType) {
+				return nil, fmt.Errorf("lift: %s is not an R->R operation", innerName)
+			}
+			member, err := p.Int("member", 0)
+			if err != nil {
+				return nil, err
+			}
+			layer, err := p.Int("layer", 0)
+			if err != nil {
+				return nil, err
+			}
+			d, ok := in[0].(display.Displayable)
+			if !ok {
+				return nil, fmt.Errorf("lift: input is not displayable (%T)", in[0])
+			}
+			sel := display.Selection{Member: member, Layer: layer}
+			ext, err := display.SelectRelation(d, sel)
+			if err != nil {
+				return nil, err
+			}
+			out, err := inner.Fire(fc, innerParams, []Value{ext})
+			if err != nil {
+				return nil, fmt.Errorf("lift %s: %w", innerName, err)
+			}
+			repl, ok := out[0].(*display.Extended)
+			if !ok {
+				return nil, fmt.Errorf("lift %s: inner operation produced %T", innerName, out[0])
+			}
+			reassembled, err := display.ReplaceRelation(d, sel, repl)
+			if err != nil {
+				return nil, err
+			}
+			return []Value{reassembled}, nil
+		},
+	}
+}
+
+// innerOpParams strips the "op." prefix to build the wrapped kind's
+// parameter map.
+func innerOpParams(p Params) Params {
+	out := Params{}
+	for k, v := range p {
+		if rest, ok := strings.CutPrefix(k, "op."); ok {
+			out[rest] = v
+		}
+	}
+	return out
+}
+
+// LiftParams builds the parameter map for a lift box wrapping kind with
+// the given inner parameters and selection.
+func LiftParams(kind string, inner Params, member, layer int) Params {
+	out := Params{
+		"kind":   kind,
+		"member": fmt.Sprintf("%d", member),
+		"layer":  fmt.Sprintf("%d", layer),
+	}
+	for k, v := range inner {
+		out["op."+k] = v
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Params is a box's serializable configuration: string keys and values.
+// Everything a box needs beyond its inputs — predicates, probabilities,
+// attribute lists, display specifications — lives here so Save Program
+// can store programs in the database and reload them byte-for-byte.
+type Params map[string]string
+
+// Clone copies the parameter map.
+func (p Params) Clone() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Str returns the named parameter, or def if absent.
+func (p Params) Str(key, def string) string {
+	if v, ok := p[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Need returns the named parameter or an error if absent or empty.
+func (p Params) Need(key string) (string, error) {
+	v, ok := p[key]
+	if !ok || v == "" {
+		return "", fmt.Errorf("missing required parameter %q", key)
+	}
+	return v, nil
+}
+
+// Float returns the named parameter parsed as float64, or def if absent.
+func (p Params) Float(key string, def float64) (float64, error) {
+	v, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q = %q is not a number", key, v)
+	}
+	return f, nil
+}
+
+// Int returns the named parameter parsed as int, or def if absent.
+func (p Params) Int(key string, def int) (int, error) {
+	v, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q = %q is not an integer", key, v)
+	}
+	return i, nil
+}
+
+// Bool returns the named parameter parsed as bool, or def if absent.
+func (p Params) Bool(key string, def bool) (bool, error) {
+	v, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("parameter %q = %q is not a bool", key, v)
+	}
+	return b, nil
+}
+
+// List returns the named parameter split on commas with whitespace
+// trimmed; absent or empty yields nil.
+func (p Params) List(key string) []string {
+	v, ok := p[key]
+	if !ok || v == "" {
+		return nil
+	}
+	parts := strings.Split(v, ",")
+	out := make([]string, 0, len(parts))
+	for _, s := range parts {
+		if t := strings.TrimSpace(s); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Floats returns the named parameter as a comma-separated float list.
+func (p Params) Floats(key string) ([]float64, error) {
+	var out []float64
+	for _, s := range p.List(key) {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %q: %q is not a number", key, s)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// String renders parameters deterministically for labels and diffs.
+func (p Params) String() string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + p[k]
+	}
+	return strings.Join(parts, " ")
+}

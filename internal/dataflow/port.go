@@ -1,0 +1,111 @@
+// Package dataflow implements the boxes-and-arrows programs of Tioga-2
+// (Section 2): typed boxes connected by edges, with lazy demand-driven
+// evaluation ("execution is lazy, evaluating only what is required to
+// produce the demanded visualization"), multi-output boxes for control
+// flow, T boxes, the Delete/Replace Box legality rules of Section 4.1, and
+// Encapsulate with holes — the graphical analogs of procedures and macros.
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/display"
+	"repro/internal/types"
+)
+
+// PortType is the type of a box input or output: either a displayable
+// kind (R, C, G) or a scalar runtime-parameter type.
+type PortType struct {
+	Display display.Kind
+	Scalar  types.Kind // meaningful only when Display == ScalarKind
+}
+
+// Displayable port types.
+var (
+	RType = PortType{Display: display.RKind}
+	CType = PortType{Display: display.CKind}
+	GType = PortType{Display: display.GKind}
+)
+
+// ScalarType returns the port type for a scalar of kind k.
+func ScalarType(k types.Kind) PortType {
+	return PortType{Display: display.ScalarKind, Scalar: k}
+}
+
+// String implements fmt.Stringer.
+func (t PortType) String() string {
+	if t.Display == display.ScalarKind {
+		return "scalar:" + t.Scalar.String()
+	}
+	return t.Display.String()
+}
+
+// Compatible reports whether a value of type out may flow into a port of
+// type in. Displayable types promote upward through the equivalences
+// R = Composite(R) and C = Group(C): R feeds C or G ports, C feeds G
+// ports. Scalars must match exactly.
+func Compatible(out, in PortType) bool {
+	if out.Display == display.ScalarKind || in.Display == display.ScalarKind {
+		return out.Display == display.ScalarKind && in.Display == display.ScalarKind &&
+			out.Scalar == in.Scalar
+	}
+	return out.Display <= in.Display
+}
+
+// Equal reports exact port type equality, the requirement for Replace Box
+// and for splicing around a deleted box.
+func (t PortType) Equal(u PortType) bool { return t == u }
+
+// Value is what flows along an edge: a displayable or a scalar.
+type Value interface{}
+
+// ValueType returns the port type of a runtime value.
+func ValueType(v Value) (PortType, error) {
+	switch v := v.(type) {
+	case *display.Extended:
+		return RType, nil
+	case *display.Composite:
+		return CType, nil
+	case *display.Group:
+		return GType, nil
+	case types.Value:
+		return ScalarType(v.Kind()), nil
+	case nil:
+		return PortType{}, fmt.Errorf("dataflow: nil value on edge")
+	}
+	return PortType{}, fmt.Errorf("dataflow: unknown value type %T", v)
+}
+
+// PromoteValue coerces a displayable value upward to satisfy a port of
+// type want (R->C, C->G, R->G). Scalars pass through unchanged.
+func PromoteValue(v Value, want PortType) (Value, error) {
+	got, err := ValueType(v)
+	if err != nil {
+		return nil, err
+	}
+	if !Compatible(got, want) {
+		return nil, fmt.Errorf("dataflow: cannot promote %s value to %s port", got, want)
+	}
+	if want.Display == display.ScalarKind {
+		return v, nil
+	}
+	switch want.Display {
+	case display.RKind:
+		return v, nil
+	case display.CKind:
+		if e, ok := v.(*display.Extended); ok {
+			return display.FromR(e), nil
+		}
+		return v, nil
+	case display.GKind:
+		switch d := v.(type) {
+		case *display.Extended:
+			return display.FromC(display.FromR(d)), nil
+		case *display.Composite:
+			return display.FromC(d), nil
+		default:
+			return v, nil
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,469 @@
+// Package db is the database of the Tioga-2 environment: the catalog of
+// base tables (the "menu of all tables available"), saved programs and
+// encapsulated box definitions (Save Program / Encapsulate store their
+// results in the database, Section 4.1), and the update path of Section 8
+// — tuple-level updates applied through per-type update functions, with an
+// undo log. It stands in for POSTGRES: Tioga-2 uses the DBMS as a store of
+// relations and functions, and every semantic above that level lives in
+// the other packages.
+package db
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/rel"
+	"repro/internal/types"
+)
+
+// Database holds tables, saved programs, and encapsulation definitions.
+// It is safe for concurrent readers; writes take the lock.
+type Database struct {
+	mu       sync.RWMutex
+	tables   map[string]*rel.Relation
+	programs map[string][]byte // serialized dataflow programs
+	defs     map[string][]byte // serialized encapsulated box definitions
+	updates  *types.UpdateRegistry
+	undo     []undoRecord
+	watchers []func(table string)
+}
+
+// undoRecord remembers one applied tuple update so it can be reversed.
+type undoRecord struct {
+	table string
+	row   int
+	col   string
+	old   types.Value
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{
+		tables:   make(map[string]*rel.Relation),
+		programs: make(map[string][]byte),
+		defs:     make(map[string][]byte),
+		updates:  types.NewUpdateRegistry(),
+	}
+}
+
+// Updates returns the per-type update function registry (Section 8).
+func (d *Database) Updates() *types.UpdateRegistry { return d.updates }
+
+// CreateTable registers a base relation under its name.
+func (d *Database) CreateTable(r *rel.Relation) error {
+	if r.Name() == "" {
+		return fmt.Errorf("db: cannot register an anonymous relation")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.tables[r.Name()]; dup {
+		return fmt.Errorf("db: table %q already exists", r.Name())
+	}
+	d.tables[r.Name()] = r
+	return nil
+}
+
+// DropTable removes a base relation.
+func (d *Database) DropTable(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.tables[name]; !ok {
+		return fmt.Errorf("db: no table %q", name)
+	}
+	delete(d.tables, name)
+	return nil
+}
+
+// Table implements dataflow.TableSource.
+func (d *Database) Table(name string) (*rel.Relation, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: no table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames implements dataflow.TableSource: the menu of all tables.
+func (d *Database) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Watch registers a callback fired after any update to a table, used by
+// canvases to re-demand their programs (the refresh that makes an update
+// visible immediately).
+func (d *Database) Watch(fn func(table string)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.watchers = append(d.watchers, fn)
+}
+
+// UpdateTuple installs a new value for one column of one tuple of a base
+// table — the SQL update the generic update procedure performs after its
+// dialog (Section 8). The previous value is pushed on the undo log.
+func (d *Database) UpdateTuple(table string, row int, col string, v types.Value) error {
+	d.mu.Lock()
+	t, ok := d.tables[table]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("db: no table %q", table)
+	}
+	if row < 0 || row >= t.Len() {
+		d.mu.Unlock()
+		return fmt.Errorf("db: %s: row %d out of range", table, row)
+	}
+	ci := t.Schema().Index(col)
+	if ci < 0 {
+		d.mu.Unlock()
+		return fmt.Errorf("db: %s: no stored column %q", table, col)
+	}
+	old := t.Tuple(row)[ci]
+	if err := t.Update(row, col, v); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.undo = append(d.undo, undoRecord{table: table, row: row, col: col, old: old})
+	var watchers []func(string)
+	watchers = append(watchers, d.watchers...)
+	d.mu.Unlock()
+
+	for _, w := range watchers {
+		w(table)
+	}
+	return nil
+}
+
+// UpdateField runs the per-type update function for the addressed field
+// against the user's textual input, then installs the result: the whole
+// Section 8 update path for one field.
+func (d *Database) UpdateField(table string, row int, col string, input string) error {
+	t, err := d.Table(table)
+	if err != nil {
+		return err
+	}
+	ci := t.Schema().Index(col)
+	if ci < 0 {
+		return fmt.Errorf("db: %s: no stored column %q", table, col)
+	}
+	kind := t.Schema().Col(ci).Kind
+	current := t.Tuple(row)[ci]
+	if current.IsNull() {
+		current = types.Zero(kind)
+	}
+	nv, err := d.updates.ForKind(kind)(current, input)
+	if err != nil {
+		return fmt.Errorf("db: update %s.%s: %w", table, col, err)
+	}
+	return d.UpdateTuple(table, row, col, nv)
+}
+
+// UndoLast reverses the most recent tuple update, reporting whether there
+// was anything to undo.
+func (d *Database) UndoLast() (bool, error) {
+	d.mu.Lock()
+	if len(d.undo) == 0 {
+		d.mu.Unlock()
+		return false, nil
+	}
+	rec := d.undo[len(d.undo)-1]
+	d.undo = d.undo[:len(d.undo)-1]
+	t, ok := d.tables[rec.table]
+	if !ok {
+		d.mu.Unlock()
+		return false, fmt.Errorf("db: undo references dropped table %q", rec.table)
+	}
+	err := t.Update(rec.row, rec.col, rec.old)
+	var watchers []func(string)
+	watchers = append(watchers, d.watchers...)
+	d.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	for _, w := range watchers {
+		w(rec.table)
+	}
+	return true, nil
+}
+
+// UndoDepth returns the number of undoable updates.
+func (d *Database) UndoDepth() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.undo)
+}
+
+// SaveProgram stores a serialized program under a name (Save Program).
+func (d *Database) SaveProgram(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("db: program needs a name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.programs[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// LoadProgram fetches a saved program.
+func (d *Database) LoadProgram(name string) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p, ok := d.programs[name]
+	if !ok {
+		return nil, fmt.Errorf("db: no program %q", name)
+	}
+	return append([]byte(nil), p...), nil
+}
+
+// ProgramNames lists saved programs.
+func (d *Database) ProgramNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.programs))
+	for n := range d.programs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SaveDef stores a serialized encapsulated box definition.
+func (d *Database) SaveDef(name string, data []byte) error {
+	if name == "" {
+		return fmt.Errorf("db: definition needs a name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.defs[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// LoadDef fetches a saved encapsulated box definition.
+func (d *Database) LoadDef(name string) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p, ok := d.defs[name]
+	if !ok {
+		return nil, fmt.Errorf("db: no encapsulated box %q", name)
+	}
+	return append([]byte(nil), p...), nil
+}
+
+// DefNames lists saved encapsulated box definitions.
+func (d *Database) DefNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.defs))
+	for n := range d.defs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- persistence -----------------------------------------------------
+
+// snapshot is the gob wire format of a whole database.
+type snapshot struct {
+	Tables   map[string]tableSnapshot
+	Programs map[string][]byte
+	Defs     map[string][]byte
+}
+
+type tableSnapshot struct {
+	Name     string
+	Columns  []columnSnapshot
+	Tuples   [][]scalarSnapshot
+	Computed []computedSnapshot
+	Indexes  []string
+}
+
+type columnSnapshot struct {
+	Name string
+	Kind int
+}
+
+// scalarSnapshot flattens a types.Value for gob.
+type scalarSnapshot struct {
+	Kind int
+	I    int64
+	F    float64
+	S    string
+}
+
+type computedSnapshot struct {
+	Name string
+	Expr string
+}
+
+func toScalar(v types.Value) scalarSnapshot {
+	s := scalarSnapshot{Kind: int(v.Kind())}
+	switch v.Kind() {
+	case types.Int:
+		s.I = v.Int()
+	case types.Float:
+		s.F = v.Float()
+	case types.Text:
+		s.S = v.Text()
+	case types.Bool:
+		if v.Bool() {
+			s.I = 1
+		}
+	case types.Date:
+		s.I = v.DateDays()
+	}
+	return s
+}
+
+func fromScalar(s scalarSnapshot) types.Value {
+	switch types.Kind(s.Kind) {
+	case types.Int:
+		return types.NewInt(s.I)
+	case types.Float:
+		return types.NewFloat(s.F)
+	case types.Text:
+		return types.NewText(s.S)
+	case types.Bool:
+		return types.NewBool(s.I != 0)
+	case types.Date:
+		return types.NewDate(s.I)
+	}
+	return types.Null
+}
+
+// Save writes the whole database (tables, programs, definitions) to w.
+func (d *Database) Save(w io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	snap := snapshot{
+		Tables:   make(map[string]tableSnapshot, len(d.tables)),
+		Programs: d.programs,
+		Defs:     d.defs,
+	}
+	for name, t := range d.tables {
+		ts := tableSnapshot{Name: name}
+		for _, c := range t.Schema().Columns() {
+			ts.Columns = append(ts.Columns, columnSnapshot{Name: c.Name, Kind: int(c.Kind)})
+		}
+		for i := 0; i < t.Len(); i++ {
+			tup := t.Tuple(i)
+			row := make([]scalarSnapshot, len(tup))
+			for j, v := range tup {
+				row[j] = toScalar(v)
+			}
+			ts.Tuples = append(ts.Tuples, row)
+		}
+		for _, c := range t.Computed() {
+			ts.Computed = append(ts.Computed, computedSnapshot{Name: c.Name, Expr: c.Expr.String()})
+		}
+		for _, col := range t.Schema().Columns() {
+			if _, ok := t.Index(col.Name); ok {
+				ts.Indexes = append(ts.Indexes, col.Name)
+			}
+		}
+		snap.Tables[name] = ts
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load reads a database snapshot from r, replacing current contents.
+func (d *Database) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("db: load: %w", err)
+	}
+	tables := make(map[string]*rel.Relation, len(snap.Tables))
+	for name, ts := range snap.Tables {
+		cols := make([]rel.Column, len(ts.Columns))
+		for i, c := range ts.Columns {
+			cols[i] = rel.Column{Name: c.Name, Kind: types.Kind(c.Kind)}
+		}
+		schema, err := rel.NewSchema(cols...)
+		if err != nil {
+			return fmt.Errorf("db: load table %q: %w", name, err)
+		}
+		t := rel.New(name, schema)
+		for _, row := range ts.Tuples {
+			tup := make([]types.Value, len(row))
+			for j, s := range row {
+				tup[j] = fromScalar(s)
+			}
+			if err := t.Append(tup); err != nil {
+				return fmt.Errorf("db: load table %q: %w", name, err)
+			}
+		}
+		if err := restoreComputed(t, ts.Computed); err != nil {
+			return fmt.Errorf("db: load table %q: %w", name, err)
+		}
+		for _, col := range ts.Indexes {
+			if err := t.CreateIndex(col); err != nil {
+				return fmt.Errorf("db: load table %q: %w", name, err)
+			}
+		}
+		tables[name] = t
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tables = tables
+	d.programs = snap.Programs
+	if d.programs == nil {
+		d.programs = make(map[string][]byte)
+	}
+	d.defs = snap.Defs
+	if d.defs == nil {
+		d.defs = make(map[string][]byte)
+	}
+	d.undo = nil
+	return nil
+}
+
+// SaveFile / LoadFile are Save/Load against a path.
+func (d *Database) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a snapshot file.
+func (d *Database) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.Load(f)
+}
+
+// restoreComputed re-parses and re-attaches computed attribute
+// definitions in their original order.
+func restoreComputed(t *rel.Relation, cs []computedSnapshot) error {
+	for _, c := range cs {
+		n, err := expr.Parse(c.Expr)
+		if err != nil {
+			return fmt.Errorf("computed attribute %q: %w", c.Name, err)
+		}
+		if err := t.AddComputed(c.Name, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,286 @@
+package db
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/rel"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+func seeded(t testing.TB) *Database {
+	t.Helper()
+	d := New()
+	st := workload.Stations(30, 5)
+	if err := d.CreateTable(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CreateTable(workload.LouisianaMap()); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCatalog(t *testing.T) {
+	d := seeded(t)
+	names := d.TableNames()
+	if len(names) != 2 || names[0] != "LouisianaMap" || names[1] != "Stations" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	if _, err := d.Table("Stations"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Table("Nope"); err == nil {
+		t.Error("missing table accepted")
+	}
+	// Duplicates and anonymous tables rejected.
+	if err := d.CreateTable(workload.Stations(5, 1)); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	anon := rel.New("", rel.MustSchema(rel.Column{Name: "a", Kind: types.Int}))
+	if err := d.CreateTable(anon); err == nil {
+		t.Error("anonymous table accepted")
+	}
+	if err := d.DropTable("LouisianaMap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DropTable("LouisianaMap"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestUpdateTupleAndUndo(t *testing.T) {
+	d := seeded(t)
+	st, _ := d.Table("Stations")
+	old := st.Tuple(3)[st.Schema().Index("altitude")]
+
+	notified := 0
+	d.Watch(func(table string) {
+		if table == "Stations" {
+			notified++
+		}
+	})
+
+	if err := d.UpdateTuple("Stations", 3, "altitude", types.NewFloat(777)); err != nil {
+		t.Fatal(err)
+	}
+	if notified != 1 {
+		t.Errorf("watchers notified %d times", notified)
+	}
+	if got := st.Tuple(3)[st.Schema().Index("altitude")]; got.Float() != 777 {
+		t.Fatalf("update did not land: %s", got)
+	}
+	if d.UndoDepth() != 1 {
+		t.Fatalf("undo depth %d", d.UndoDepth())
+	}
+	ok, err := d.UndoLast()
+	if err != nil || !ok {
+		t.Fatalf("undo: %v %v", ok, err)
+	}
+	if got := st.Tuple(3)[st.Schema().Index("altitude")]; !got.Equal(old) {
+		t.Fatalf("undo did not restore: %s want %s", got, old)
+	}
+	if notified != 2 {
+		t.Errorf("undo did not notify (%d)", notified)
+	}
+	ok, err = d.UndoLast()
+	if err != nil || ok {
+		t.Fatal("undo on empty log should be a no-op")
+	}
+
+	// Validation.
+	if err := d.UpdateTuple("Nope", 0, "x", types.NewInt(1)); err == nil {
+		t.Error("missing table accepted")
+	}
+	if err := d.UpdateTuple("Stations", 999, "altitude", types.NewFloat(1)); err == nil {
+		t.Error("bad row accepted")
+	}
+	if err := d.UpdateTuple("Stations", 0, "nosuch", types.NewFloat(1)); err == nil {
+		t.Error("bad column accepted")
+	}
+}
+
+func TestUpdateField(t *testing.T) {
+	d := seeded(t)
+	if err := d.UpdateField("Stations", 0, "altitude", "55.5"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := d.Table("Stations")
+	if got := st.Tuple(0)[st.Schema().Index("altitude")]; got.Float() != 55.5 {
+		t.Fatalf("field update = %s", got)
+	}
+	if err := d.UpdateField("Stations", 0, "altitude", "not a number"); err == nil {
+		t.Error("unparsable input accepted")
+	}
+	// Custom update function with a different look and feel (Section 8).
+	if err := d.Updates().SetForKind(types.Float, func(cur types.Value, in string) (types.Value, error) {
+		v, err := types.Parse(types.Float, in)
+		if err != nil {
+			return types.Null, err
+		}
+		if v.Float() < 0 {
+			return types.NewFloat(0), nil
+		}
+		return v, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.UpdateField("Stations", 0, "altitude", "-5"); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Tuple(0)[st.Schema().Index("altitude")]; got.Float() != 0 {
+		t.Fatalf("custom update function ignored: %s", got)
+	}
+}
+
+func TestProgramStore(t *testing.T) {
+	d := New()
+	if err := d.SaveProgram("p1", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveProgram("", []byte("{}")); err == nil {
+		t.Error("unnamed program accepted")
+	}
+	data, err := d.LoadProgram("p1")
+	if err != nil || string(data) != "{}" {
+		t.Fatalf("load: %q %v", data, err)
+	}
+	if _, err := d.LoadProgram("p2"); err == nil {
+		t.Error("missing program accepted")
+	}
+	if got := d.ProgramNames(); len(got) != 1 || got[0] != "p1" {
+		t.Errorf("ProgramNames = %v", got)
+	}
+	// Stored bytes are copies.
+	data[0] = 'X'
+	again, _ := d.LoadProgram("p1")
+	if string(again) != "{}" {
+		t.Error("program store aliases caller bytes")
+	}
+}
+
+func TestDefStore(t *testing.T) {
+	d := New()
+	if err := d.SaveDef("box1", []byte("def")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveDef("", nil); err == nil {
+		t.Error("unnamed def accepted")
+	}
+	if got, err := d.LoadDef("box1"); err != nil || string(got) != "def" {
+		t.Fatal("def round trip")
+	}
+	if _, err := d.LoadDef("missing"); err == nil {
+		t.Error("missing def accepted")
+	}
+	if got := d.DefNames(); len(got) != 1 {
+		t.Errorf("DefNames = %v", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := seeded(t)
+	st, _ := d.Table("Stations")
+	if err := st.AddComputed("alt2", expr.MustParse("altitude * 2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateIndex("state"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveProgram("prog", []byte(`{"boxes":null,"edges":null}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveDef("defn", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New()
+	if err := d2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := d2.Table("Stations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("tuples %d vs %d", st2.Len(), st.Len())
+	}
+	for i := 0; i < st.Len(); i++ {
+		for j := range st.Tuple(i) {
+			if !st2.Tuple(i)[j].Equal(st.Tuple(i)[j]) {
+				t.Fatalf("tuple %d col %d differs", i, j)
+			}
+		}
+	}
+	// Computed attributes restored.
+	if !st2.HasAttr("alt2") {
+		t.Fatal("computed attribute lost")
+	}
+	a, _ := st.Row(0).Attr("alt2").AsFloat()
+	b, _ := st2.Row(0).Attr("alt2").AsFloat()
+	if a != b {
+		t.Fatal("computed attribute value differs after load")
+	}
+	// Indexes rebuilt.
+	if _, ok := st2.Index("state"); !ok {
+		t.Fatal("index lost")
+	}
+	// Programs and defs restored.
+	if _, err := d2.LoadProgram("prog"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.LoadDef("defn"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	d := seeded(t)
+	path := filepath.Join(t.TempDir(), "db.gob")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New()
+	if err := d2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.TableNames()) != 2 {
+		t.Fatalf("tables after file load: %v", d2.TableNames())
+	}
+	if err := d2.LoadFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadBadData(t *testing.T) {
+	d := New()
+	if err := d.Load(bytes.NewBufferString("junk")); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestConcurrentReadsDuringUpdates(t *testing.T) {
+	d := seeded(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = d.UpdateTuple("Stations", i%10, "altitude", types.NewFloat(float64(i)))
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := d.Table("Stations"); err != nil {
+			t.Error(err)
+		}
+		_ = d.TableNames()
+	}
+	<-done
+}

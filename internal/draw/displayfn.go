@@ -1,0 +1,178 @@
+package draw
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/geom"
+	"repro/internal/types"
+)
+
+// Func computes a tuple's display list from its attributes — the display
+// attribute as a method of the base tuple (Section 5.1). Display functions
+// are composed with CombineFuncs (the Combine Displays operation) and
+// evaluated per visible tuple only, after culling.
+type Func func(env expr.Env) (List, error)
+
+// ConstFunc returns a display function producing a fixed list regardless
+// of the tuple, e.g. the plain circle marker of Figure 4.
+func ConstFunc(l List) Func {
+	return func(expr.Env) (List, error) { return l, nil }
+}
+
+// TextAttr returns a display function rendering the named attribute's
+// value as text at the given offset — the station-name labels of Figure 4.
+func TextAttr(attr string, offset geom.Point, size float64, color Color) Func {
+	return func(env expr.Env) (List, error) {
+		v, ok := env.AttrValue(attr)
+		if !ok {
+			return nil, fmt.Errorf("draw: text display: no attribute %q", attr)
+		}
+		if v.IsNull() {
+			return nil, nil
+		}
+		return List{Text{Offset: offset, S: v.String(), Size: size, Color: color}}, nil
+	}
+}
+
+// TextExpr renders an arbitrary expression's value as text.
+func TextExpr(e expr.Node, offset geom.Point, size float64, color Color) Func {
+	return func(env expr.Env) (List, error) {
+		v, err := expr.Eval(e, env)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			return nil, nil
+		}
+		return List{Text{Offset: offset, S: v.String(), Size: size, Color: color}}, nil
+	}
+}
+
+// CircleMarker returns a display function producing a circle whose radius
+// may be data-driven (radiusExpr may be nil for a constant radius).
+func CircleMarker(radius float64, radiusExpr expr.Node, color Color, style Style) Func {
+	return func(env expr.Env) (List, error) {
+		r := radius
+		if radiusExpr != nil {
+			v, err := expr.Eval(radiusExpr, env)
+			if err != nil {
+				return nil, err
+			}
+			if f, ok := v.AsFloat(); ok {
+				r = f
+			}
+		}
+		return List{Circle{R: r, Color: color, Style: style}}, nil
+	}
+}
+
+// LineSegment returns a display function drawing a segment whose endpoints
+// come from four numeric attributes relative to the tuple location — the
+// representation used for the Louisiana border-line relation of Figure 7.
+func LineSegment(dxAttr, dyAttr string, color Color, style Style) Func {
+	return func(env expr.Env) (List, error) {
+		dx, okx := env.AttrValue(dxAttr)
+		dy, oky := env.AttrValue(dyAttr)
+		if !okx || !oky {
+			return nil, fmt.Errorf("draw: line display: missing attribute %q or %q", dxAttr, dyAttr)
+		}
+		fx, okx := dx.AsFloat()
+		fy, oky := dy.AsFloat()
+		if !okx || !oky {
+			return nil, nil
+		}
+		return List{Line{Delta: geom.Pt(fx, fy), Color: color, Style: style}}, nil
+	}
+}
+
+// Wormhole returns a display function producing a viewer drawable whose
+// destination location is computed from tuple attributes, so zooming into
+// station s lands the user on s's slice of the destination canvas
+// (Figure 8). sliderExprs, when given, pin the destination's slider
+// dimensions to per-tuple values (slider i pinned to sliderExprs[i]).
+func Wormhole(w, h float64, destCanvas string, destElevation float64, destXAttr, destYAttr string, sliderExprs []expr.Node, border Color) Func {
+	return func(env expr.Env) (List, error) {
+		var loc geom.Point
+		if destXAttr != "" {
+			v, ok := env.AttrValue(destXAttr)
+			if !ok {
+				return nil, fmt.Errorf("draw: wormhole: no attribute %q", destXAttr)
+			}
+			if f, fok := v.AsFloat(); fok {
+				loc.X = f
+			}
+		}
+		if destYAttr != "" {
+			v, ok := env.AttrValue(destYAttr)
+			if !ok {
+				return nil, fmt.Errorf("draw: wormhole: no attribute %q", destYAttr)
+			}
+			if f, fok := v.AsFloat(); fok {
+				loc.Y = f
+			}
+		}
+		var sliders []geom.Range
+		for _, se := range sliderExprs {
+			v, err := expr.Eval(se, env)
+			if err != nil {
+				return nil, fmt.Errorf("draw: wormhole slider: %w", err)
+			}
+			if f, ok := v.AsFloat(); ok {
+				sliders = append(sliders, geom.Range{Lo: f, Hi: f})
+			} else {
+				return nil, fmt.Errorf("draw: wormhole slider expression produced non-numeric %s", v.Kind())
+			}
+		}
+		return List{Viewer{
+			W: w, H: h,
+			DestCanvas:    destCanvas,
+			DestElevation: destElevation,
+			DestLocation:  loc,
+			DestSliders:   sliders,
+			Border:        border,
+		}}, nil
+	}
+}
+
+// CombineFuncs implements Combine Displays at the function level: the
+// result evaluates a then b and overlays b at the given offset.
+func CombineFuncs(a, b Func, offset geom.Point) Func {
+	return func(env expr.Env) (List, error) {
+		la, err := a(env)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := b(env)
+		if err != nil {
+			return nil, err
+		}
+		return Combine(la, lb, offset), nil
+	}
+}
+
+// DefaultValueDisplay is the default display for one atomic value: its
+// textual rendering (Section 5.2 — "the major relational DBMS vendors all
+// have so-called terminal monitors" producing ASCII displays).
+func DefaultValueDisplay(v types.Value, offset geom.Point, color Color) List {
+	return List{Text{Offset: offset, S: v.String(), Size: 1, Color: color}}
+}
+
+// DefaultTupleDisplay builds the default display for a whole tuple: "the
+// default display for a relation renders each field in the tuple, side by
+// side, using the default display for each column type" (Section 5.2).
+// attrs is the ordered attribute list; columnWidth is the horizontal
+// allotment per field in canvas units.
+func DefaultTupleDisplay(attrs []string, columnWidth float64, color Color) Func {
+	return func(env expr.Env) (List, error) {
+		var out List
+		for i, a := range attrs {
+			v, ok := env.AttrValue(a)
+			if !ok {
+				return nil, fmt.Errorf("draw: default display: no attribute %q", a)
+			}
+			out = append(out, DefaultValueDisplay(v, geom.Pt(float64(i)*columnWidth, 0), color)...)
+		}
+		return out, nil
+	}
+}

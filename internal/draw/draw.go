@@ -1,0 +1,333 @@
+// Package draw defines the primitive drawable objects of Tioga-2 (Section
+// 5.1): point, line, rectangle, circle, polygon, text, and viewer. "Each
+// primitive drawable has an offset, a color, and a style. The offset gives
+// a position relative to the location attributes of the tuple." A display
+// attribute is a list of drawables; the list order is the drawing order.
+// Viewer drawables implement wormholes (Section 6.2).
+package draw
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Color is an 8-bit RGBA color.
+type Color struct {
+	R, G, B, A uint8
+}
+
+// Named colors used by defaults and examples.
+var (
+	Black   = Color{0, 0, 0, 255}
+	White   = Color{255, 255, 255, 255}
+	Red     = Color{200, 30, 30, 255}
+	Green   = Color{30, 150, 60, 255}
+	Blue    = Color{40, 70, 200, 255}
+	Gray    = Color{128, 128, 128, 255}
+	Yellow  = Color{220, 190, 30, 255}
+	Cyan    = Color{30, 170, 190, 255}
+	Magenta = Color{180, 50, 170, 255}
+)
+
+var colorNames = map[string]Color{
+	"black": Black, "white": White, "red": Red, "green": Green,
+	"blue": Blue, "gray": Gray, "grey": Gray, "yellow": Yellow,
+	"cyan": Cyan, "magenta": Magenta,
+}
+
+// ParseColor resolves a color name or "#rrggbb" literal.
+func ParseColor(s string) (Color, error) {
+	if c, ok := colorNames[strings.ToLower(s)]; ok {
+		return c, nil
+	}
+	var r, g, b uint8
+	if n, err := fmt.Sscanf(strings.ToLower(s), "#%02x%02x%02x", &r, &g, &b); err == nil && n == 3 {
+		return Color{r, g, b, 255}, nil
+	}
+	return Color{}, fmt.Errorf("draw: unknown color %q", s)
+}
+
+// String renders the color as #rrggbb (named colors keep their hex form;
+// round-tripping through ParseColor is lossless).
+func (c Color) String() string {
+	return fmt.Sprintf("#%02x%02x%02x", c.R, c.G, c.B)
+}
+
+// Style carries the per-drawable rendering style.
+type Style struct {
+	Fill      bool    // filled shape vs outline
+	LineWidth float64 // stroke width in canvas units (min one pixel on screen)
+}
+
+// DefaultStyle is a thin outline.
+var DefaultStyle = Style{Fill: false, LineWidth: 1}
+
+// FillStyle is a filled shape.
+var FillStyle = Style{Fill: true, LineWidth: 1}
+
+// Font metrics for the embedded 5x7 bitmap font the rasterizer draws with.
+// Text bounds must be computable here (for culling and Combine placement)
+// without reaching into the rasterizer.
+const (
+	GlyphW = 6 // 5 pixel glyph + 1 pixel advance
+	GlyphH = 8 // 7 pixel glyph + 1 pixel leading
+)
+
+// Drawable is one primitive screen object. All coordinates inside a
+// drawable are offsets relative to the tuple's location attributes; the
+// viewer resolves them to canvas coordinates at render time.
+type Drawable interface {
+	// Bounds returns the drawable's extent in offset space (relative to
+	// the tuple location), used for culling and for Combine placement.
+	Bounds() geom.Rect
+	// WithOffset returns a copy shifted by d in offset space; Combine
+	// Displays uses it to place one display relative to another.
+	WithOffset(d geom.Point) Drawable
+	// String renders a debug/spec form.
+	String() string
+}
+
+// Point is a single pixel marker.
+type Point struct {
+	Offset geom.Point
+	Color  Color
+}
+
+// Bounds implements Drawable.
+func (p Point) Bounds() geom.Rect {
+	return geom.R(p.Offset.X, p.Offset.Y, p.Offset.X+1e-9, p.Offset.Y+1e-9)
+}
+
+// WithOffset implements Drawable.
+func (p Point) WithOffset(d geom.Point) Drawable {
+	p.Offset = p.Offset.Add(d)
+	return p
+}
+
+// String implements Drawable.
+func (p Point) String() string { return fmt.Sprintf("point@%s %s", p.Offset, p.Color) }
+
+// Line is a segment from Offset to Offset+Delta.
+type Line struct {
+	Offset geom.Point
+	Delta  geom.Point
+	Color  Color
+	Style  Style
+}
+
+// Bounds implements Drawable.
+func (l Line) Bounds() geom.Rect {
+	end := l.Offset.Add(l.Delta)
+	return geom.R(l.Offset.X, l.Offset.Y, end.X, end.Y)
+}
+
+// WithOffset implements Drawable.
+func (l Line) WithOffset(d geom.Point) Drawable {
+	l.Offset = l.Offset.Add(d)
+	return l
+}
+
+// String implements Drawable.
+func (l Line) String() string {
+	return fmt.Sprintf("line@%s+%s %s", l.Offset, l.Delta, l.Color)
+}
+
+// Rect is an axis-aligned rectangle of size W x H anchored at Offset
+// (lower-left corner).
+type Rect struct {
+	Offset geom.Point
+	W, H   float64
+	Color  Color
+	Style  Style
+}
+
+// Bounds implements Drawable.
+func (r Rect) Bounds() geom.Rect {
+	return geom.R(r.Offset.X, r.Offset.Y, r.Offset.X+r.W, r.Offset.Y+r.H)
+}
+
+// WithOffset implements Drawable.
+func (r Rect) WithOffset(d geom.Point) Drawable {
+	r.Offset = r.Offset.Add(d)
+	return r
+}
+
+// String implements Drawable.
+func (r Rect) String() string {
+	return fmt.Sprintf("rect@%s %gx%g %s", r.Offset, r.W, r.H, r.Color)
+}
+
+// Circle is a circle of radius R centered at Offset.
+type Circle struct {
+	Offset geom.Point
+	R      float64
+	Color  Color
+	Style  Style
+}
+
+// Bounds implements Drawable.
+func (c Circle) Bounds() geom.Rect {
+	return geom.R(c.Offset.X-c.R, c.Offset.Y-c.R, c.Offset.X+c.R, c.Offset.Y+c.R)
+}
+
+// WithOffset implements Drawable.
+func (c Circle) WithOffset(d geom.Point) Drawable {
+	c.Offset = c.Offset.Add(d)
+	return c
+}
+
+// String implements Drawable.
+func (c Circle) String() string {
+	return fmt.Sprintf("circle@%s r=%g %s", c.Offset, c.R, c.Color)
+}
+
+// Polygon is a closed polygon; Vertices are relative to Offset.
+type Polygon struct {
+	Offset   geom.Point
+	Vertices []geom.Point
+	Color    Color
+	Style    Style
+}
+
+// Bounds implements Drawable.
+func (p Polygon) Bounds() geom.Rect {
+	if len(p.Vertices) == 0 {
+		return geom.Rect{}
+	}
+	minX, minY := p.Vertices[0].X, p.Vertices[0].Y
+	maxX, maxY := minX, minY
+	for _, v := range p.Vertices[1:] {
+		if v.X < minX {
+			minX = v.X
+		}
+		if v.X > maxX {
+			maxX = v.X
+		}
+		if v.Y < minY {
+			minY = v.Y
+		}
+		if v.Y > maxY {
+			maxY = v.Y
+		}
+	}
+	return geom.R(minX, minY, maxX, maxY).Translate(p.Offset)
+}
+
+// WithOffset implements Drawable.
+func (p Polygon) WithOffset(d geom.Point) Drawable {
+	p.Offset = p.Offset.Add(d)
+	return p
+}
+
+// String implements Drawable.
+func (p Polygon) String() string {
+	return fmt.Sprintf("polygon@%s %d vertices %s", p.Offset, len(p.Vertices), p.Color)
+}
+
+// Text is a string drawn at Offset with a size factor (1 = the native
+// bitmap font size; the viewer scales text with elevation only through
+// Size, keeping labels legible as the paper's Figure 7 requires).
+type Text struct {
+	Offset geom.Point
+	S      string
+	Size   float64 // multiplier over the native glyph size, in canvas units per pixel
+	Color  Color
+}
+
+// Bounds implements Drawable.
+func (t Text) Bounds() geom.Rect {
+	size := t.Size
+	if size <= 0 {
+		size = 1
+	}
+	w := float64(len(t.S)) * GlyphW * size
+	h := float64(GlyphH) * size
+	return geom.R(t.Offset.X, t.Offset.Y, t.Offset.X+w, t.Offset.Y+h)
+}
+
+// WithOffset implements Drawable.
+func (t Text) WithOffset(d geom.Point) Drawable {
+	t.Offset = t.Offset.Add(d)
+	return t
+}
+
+// String implements Drawable.
+func (t Text) String() string { return fmt.Sprintf("text@%s %q %s", t.Offset, t.S, t.Color) }
+
+// Viewer is the wormhole drawable (Section 6.2): "a viewer onto another
+// canvas". It requires "the size for the viewer, a destination canvas, the
+// elevation from which the canvas is viewed, and the initial location".
+type Viewer struct {
+	Offset        geom.Point
+	W, H          float64    // size of the wormhole window on this canvas
+	DestCanvas    string     // name of the destination canvas
+	DestElevation float64    // elevation from which the destination is viewed
+	DestLocation  geom.Point // initial location on the destination canvas
+	// DestSliders pins the destination's slider dimensions on traversal,
+	// so zooming into station s lands the user viewing s's data
+	// (Section 6.2: "the user is initially positioned viewing the data
+	// for station s"). Entry i applies to slider dimension i; nil leaves
+	// the slider untouched.
+	DestSliders []geom.Range
+	Border      Color
+}
+
+// Bounds implements Drawable.
+func (v Viewer) Bounds() geom.Rect {
+	return geom.R(v.Offset.X, v.Offset.Y, v.Offset.X+v.W, v.Offset.Y+v.H)
+}
+
+// WithOffset implements Drawable.
+func (v Viewer) WithOffset(d geom.Point) Drawable {
+	v.Offset = v.Offset.Add(d)
+	return v
+}
+
+// String implements Drawable.
+func (v Viewer) String() string {
+	return fmt.Sprintf("viewer@%s %gx%g -> %s@%g%s",
+		v.Offset, v.W, v.H, v.DestCanvas, v.DestElevation, v.DestLocation)
+}
+
+// List is a display attribute value: an ordered list of drawables, drawn
+// in list order.
+type List []Drawable
+
+// Bounds returns the union of all member bounds.
+func (l List) Bounds() geom.Rect {
+	var out geom.Rect
+	for _, d := range l {
+		out = out.Union(d.Bounds())
+	}
+	return out
+}
+
+// WithOffset shifts every member.
+func (l List) WithOffset(d geom.Point) List {
+	out := make(List, len(l))
+	for i, m := range l {
+		out[i] = m.WithOffset(d)
+	}
+	return out
+}
+
+// Combine implements the Combine Displays operation (Figure 5): append b
+// to a with b shifted by offset, producing a new display list. List order
+// preserves a-then-b drawing order.
+func Combine(a, b List, offset geom.Point) List {
+	out := make(List, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b.WithOffset(offset)...)
+	return out
+}
+
+// String renders the list for program inspection.
+func (l List) String() string {
+	parts := make([]string, len(l))
+	for i, d := range l {
+		parts[i] = d.String()
+	}
+	return "[" + strings.Join(parts, "; ") + "]"
+}

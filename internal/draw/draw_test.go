@@ -1,0 +1,309 @@
+package draw
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/geom"
+	"repro/internal/types"
+)
+
+func TestParseColor(t *testing.T) {
+	c, err := ParseColor("red")
+	if err != nil || c != Red {
+		t.Fatalf("red = %v, %v", c, err)
+	}
+	c, err = ParseColor("#0a141e")
+	if err != nil || c != (Color{10, 20, 30, 255}) {
+		t.Fatalf("hex = %v, %v", c, err)
+	}
+	if _, err := ParseColor("mauve-ish"); err == nil {
+		t.Error("unknown color accepted")
+	}
+	// Round trip via String.
+	back, err := ParseColor(Blue.String())
+	if err != nil || back != Blue {
+		t.Fatalf("round trip = %v, %v", back, err)
+	}
+}
+
+func TestDrawableBounds(t *testing.T) {
+	cases := []struct {
+		d    Drawable
+		want geom.Rect
+	}{
+		{Line{Offset: geom.Pt(1, 1), Delta: geom.Pt(3, -2)}, geom.R(1, -1, 4, 1)},
+		{Rect{Offset: geom.Pt(0, 0), W: 5, H: 2}, geom.R(0, 0, 5, 2)},
+		{Circle{Offset: geom.Pt(10, 10), R: 3}, geom.R(7, 7, 13, 13)},
+		{Polygon{Offset: geom.Pt(1, 1), Vertices: []geom.Point{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 1, Y: 3}}}, geom.R(1, 1, 3, 4)},
+		{Viewer{Offset: geom.Pt(2, 2), W: 4, H: 3}, geom.R(2, 2, 6, 5)},
+	}
+	for _, c := range cases {
+		if got := c.d.Bounds(); got != c.want {
+			t.Errorf("%s bounds = %v, want %v", c.d, got, c.want)
+		}
+	}
+	// Text bounds track length and size.
+	txt := Text{Offset: geom.Pt(0, 0), S: "abcd", Size: 2}
+	b := txt.Bounds()
+	if b.W() != 4*GlyphW*2 || b.H() != GlyphH*2 {
+		t.Errorf("text bounds = %v", b)
+	}
+}
+
+func TestWithOffset(t *testing.T) {
+	var d Drawable = Circle{Offset: geom.Pt(1, 1), R: 2}
+	moved := d.WithOffset(geom.Pt(10, 20))
+	if moved.Bounds() != geom.R(9, 19, 13, 23) {
+		t.Errorf("moved bounds = %v", moved.Bounds())
+	}
+	// Original unchanged (value semantics).
+	if d.Bounds() != geom.R(-1, -1, 3, 3) {
+		t.Error("WithOffset mutated the original")
+	}
+}
+
+func TestListCombine(t *testing.T) {
+	a := List{Circle{R: 1}}
+	b := List{Text{S: "x", Size: 1}}
+	out := Combine(a, b, geom.Pt(0, -5))
+	if len(out) != 2 {
+		t.Fatalf("combined %d drawables", len(out))
+	}
+	// b's member shifted.
+	if out[1].Bounds().Min.Y != -5 {
+		t.Errorf("offset not applied: %v", out[1].Bounds())
+	}
+	// inputs untouched.
+	if len(a) != 1 || len(b) != 1 {
+		t.Error("inputs mutated")
+	}
+}
+
+func TestListBounds(t *testing.T) {
+	l := List{
+		Circle{Offset: geom.Pt(0, 0), R: 1},
+		Circle{Offset: geom.Pt(10, 0), R: 1},
+	}
+	if got := l.Bounds(); got != geom.R(-1, -1, 11, 1) {
+		t.Errorf("list bounds = %v", got)
+	}
+	if (List{}).Bounds() != (geom.Rect{}) {
+		t.Error("empty list bounds")
+	}
+}
+
+var env = expr.MapEnv{
+	"name":  types.NewText("Baton Rouge"),
+	"lon":   types.NewFloat(-91.1),
+	"r":     types.NewFloat(3.5),
+	"nullv": types.Null,
+}
+
+func TestTextAttr(t *testing.T) {
+	f := TextAttr("name", geom.Pt(0, -2), 1, Black)
+	l, err := f(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := l[0].(Text)
+	if txt.S != "Baton Rouge" || txt.Offset != geom.Pt(0, -2) {
+		t.Errorf("text = %+v", txt)
+	}
+	// Null value renders nothing rather than "null".
+	f = TextAttr("nullv", geom.Point{}, 1, Black)
+	l, err = f(env)
+	if err != nil || len(l) != 0 {
+		t.Errorf("null attr -> %v, %v", l, err)
+	}
+	// Missing attribute is an error.
+	f = TextAttr("ghost", geom.Point{}, 1, Black)
+	if _, err := f(env); err == nil {
+		t.Error("missing attr accepted")
+	}
+}
+
+func TestCircleMarkerDataDriven(t *testing.T) {
+	f := CircleMarker(1, expr.MustParse("r * 2"), Red, FillStyle)
+	l, err := f(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := l[0].(Circle)
+	if c.R != 7 {
+		t.Errorf("radius = %g", c.R)
+	}
+}
+
+func TestWormholeFunc(t *testing.T) {
+	f := Wormhole(5, 4, "dest", 30, "lon", "", nil, Blue)
+	l, err := f(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wh := l[0].(Viewer)
+	if wh.DestCanvas != "dest" || wh.DestElevation != 30 {
+		t.Errorf("wormhole = %+v", wh)
+	}
+	if wh.DestLocation.X != -91.1 || wh.DestLocation.Y != 0 {
+		t.Errorf("dest location = %v", wh.DestLocation)
+	}
+	f = Wormhole(5, 4, "dest", 30, "ghost", "", nil, Blue)
+	if _, err := f(env); err == nil {
+		t.Error("missing xattr accepted")
+	}
+}
+
+func TestDefaultTupleDisplay(t *testing.T) {
+	f := DefaultTupleDisplay([]string{"name", "lon"}, 50, Black)
+	l, err := f(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 2 {
+		t.Fatalf("%d drawables", len(l))
+	}
+	second := l[1].(Text)
+	if second.Offset.X != 50 {
+		t.Errorf("column offset = %v", second.Offset)
+	}
+	if second.S != "-91.1" {
+		t.Errorf("value text = %q", second.S)
+	}
+	f = DefaultTupleDisplay([]string{"ghost"}, 50, Black)
+	if _, err := f(env); err == nil {
+		t.Error("missing attribute accepted")
+	}
+}
+
+func TestParseSpecPrimitives(t *testing.T) {
+	specs := []string{
+		"point color=red",
+		"circle r=2.5 color=blue fill",
+		"circle r=1 rexpr='r * 2'",
+		"rect w=4 h=3 dx=1 dy=1",
+		"line ddx=5 ddy=2 width=2",
+		"polygon pts=0,0;2,0;1,3 fill color=green",
+		"text attr=name size=2",
+		"label expr='name || str(lon)'",
+		"value s='fixed text'",
+		"wormhole w=5 h=4 dest=other elev=20 xattr=lon",
+		"circle r=1 + text attr=name dy=-3",
+		"circle r=1 dyexpr='r * 10'",
+	}
+	for _, spec := range specs {
+		f, err := ParseSpec(spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", spec, err)
+			continue
+		}
+		if _, err := f(env); err != nil {
+			t.Errorf("eval of %q: %v", spec, err)
+		}
+	}
+}
+
+func TestParseSpecCombination(t *testing.T) {
+	f, err := ParseSpec("circle r=1 + value s=lbl dy=-3 + point dx=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := f(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 3 {
+		t.Fatalf("combined spec produced %d drawables", len(l))
+	}
+}
+
+func TestParseSpecExprOffset(t *testing.T) {
+	f, err := ParseSpec("circle r=1 dyexpr='r * 2'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := f(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := l[0].(Circle)
+	if c.Offset.Y != 7 {
+		t.Errorf("dyexpr offset = %v", c.Offset)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"blob r=2",
+		"circle r=abc",
+		"text",                     // needs attr
+		"label",                    // needs expr
+		"label expr='(('",          // bad expr
+		"wormhole w=5 h=4 elev=20", // needs dest
+		"polygon pts=0,0;1,1",      // too few vertices
+		"polygon pts=a,b;c,d;e,f",  // bad vertices
+		"line dxattr=dx",           // needs dyattr
+		"circle r=2 color=notacolor",
+		"value s='unterminated",
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", spec)
+		}
+	}
+}
+
+func TestSpecQuotedValues(t *testing.T) {
+	f, err := ParseSpec("value s='two words here' size=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := f(env)
+	if txt := l[0].(Text); txt.S != "two words here" {
+		t.Errorf("quoted value = %q", txt.S)
+	}
+}
+
+func TestListString(t *testing.T) {
+	l := List{Circle{R: 1}, Text{S: "x"}}
+	s := l.String()
+	if !strings.Contains(s, "circle") || !strings.Contains(s, "text") {
+		t.Errorf("List.String = %q", s)
+	}
+}
+
+func TestBarPrimitive(t *testing.T) {
+	f, err := ParseSpec("bar w=0.5 hexpr='r * 2' color=blue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := f(env) // r = 3.5
+	if err != nil {
+		t.Fatal(err)
+	}
+	bar := l[0].(Rect)
+	if bar.H != 7 || bar.W != 0.5 || !bar.Style.Fill {
+		t.Fatalf("bar = %+v", bar)
+	}
+	// Negative heights hang below the baseline.
+	f, err = ParseSpec("bar w=1 hexpr='0 - r'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err = f(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bar = l[0].(Rect)
+	if bar.H != 3.5 || bar.Offset.Y != -3.5 {
+		t.Fatalf("negative bar = %+v", bar)
+	}
+	if _, err := ParseSpec("bar w=1"); err == nil {
+		t.Error("bar without hexpr accepted")
+	}
+	if _, err := ParseSpec("bar w=1 hexpr='(('"); err == nil {
+		t.Error("bad hexpr accepted")
+	}
+}

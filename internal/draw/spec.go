@@ -1,0 +1,437 @@
+package draw
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/geom"
+)
+
+// ParseSpec compiles a textual display specification into a display
+// function. Display attributes must be serializable with the program
+// (Save Program stores everything in the database), so the ops layer
+// records display definitions in this little language and rebuilds the
+// functions on load.
+//
+// Grammar: one or more primitive specs joined by "+" (list order = drawing
+// order). Each primitive is a word followed by key=value fields:
+//
+//	circle r=2.5 [rexpr='...'] [color=red] [fill] [dx=0 dy=0]
+//	point [color=black] [dx= dy=]
+//	rect w=4 h=3 [color=..] [fill] [dx= dy=]
+//	line dxattr=segdx dyattr=segdy [color=..] [width=1] | line dx=4 dy=2 ...
+//	polygon pts=x1,y1;x2,y2;... [color=..] [fill]
+//	text attr=name [size=1] [color=..] [dx= dy=]
+//	label expr='name || str(id)' [size=1] [color=..] [dx= dy=]
+//	value s='literal text' [size=1] [color=..] [dx= dy=]
+//	wormhole w=10 h=8 dest=CanvasName elev=40 [xattr=..] [yattr=..] [color=..]
+//
+// String values containing spaces are single-quoted.
+func ParseSpec(spec string) (Func, error) {
+	parts, err := splitTop(spec, '+')
+	if err != nil {
+		return nil, err
+	}
+	var out Func
+	for _, p := range parts {
+		f, err := parsePrimitive(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = f
+		} else {
+			out = CombineFuncs(out, f, geom.Point{})
+		}
+	}
+	if out == nil {
+		return nil, fmt.Errorf("draw: empty display spec")
+	}
+	return out, nil
+}
+
+// splitTop splits on sep outside single quotes.
+func splitTop(s string, sep byte) ([]string, error) {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			depth = !depth
+		case sep:
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth {
+		return nil, fmt.Errorf("draw: unterminated quote in spec %q", s)
+	}
+	out = append(out, s[start:])
+	return out, nil
+}
+
+// fields splits a primitive spec into word and key=value tokens honoring
+// quotes.
+func fields(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\'':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case (c == ' ' || c == '\t') && !inQuote:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+type specArgs struct {
+	word  string
+	kv    map[string]string
+	flags map[string]bool
+}
+
+func parseArgs(s string) (*specArgs, error) {
+	toks := fields(s)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("draw: empty primitive in spec")
+	}
+	a := &specArgs{word: toks[0], kv: map[string]string{}, flags: map[string]bool{}}
+	for _, t := range toks[1:] {
+		if eq := strings.IndexByte(t, '='); eq >= 0 {
+			v := t[eq+1:]
+			v = strings.Trim(v, "'")
+			a.kv[t[:eq]] = v
+		} else {
+			a.flags[t] = true
+		}
+	}
+	return a, nil
+}
+
+func (a *specArgs) float(key string, def float64) (float64, error) {
+	s, ok := a.kv[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("draw: %s: bad %s=%q", a.word, key, s)
+	}
+	return f, nil
+}
+
+func (a *specArgs) color(def Color) (Color, error) {
+	s, ok := a.kv["color"]
+	if !ok {
+		return def, nil
+	}
+	return ParseColor(s)
+}
+
+func (a *specArgs) style() (Style, error) {
+	w, err := a.float("width", 1)
+	if err != nil {
+		return Style{}, err
+	}
+	return Style{Fill: a.flags["fill"], LineWidth: w}, nil
+}
+
+func (a *specArgs) offset() (geom.Point, error) {
+	dx, err := a.float("dx", 0)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	dy, err := a.float("dy", 0)
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return geom.Pt(dx, dy), nil
+}
+
+func parsePrimitive(s string) (Func, error) {
+	a, err := parseArgs(s)
+	if err != nil {
+		return nil, err
+	}
+	color, err := a.color(Black)
+	if err != nil {
+		return nil, err
+	}
+	style, err := a.style()
+	if err != nil {
+		return nil, err
+	}
+	off, err := a.offset()
+	if err != nil {
+		return nil, err
+	}
+	f, err := parsePrimitiveBody(a, color, style, off)
+	if err != nil {
+		return nil, err
+	}
+	// Data-driven offsets: dxexpr=/dyexpr= shift the primitive by
+	// per-tuple expression values, e.g. placing a precipitation marker at
+	// its own height on a temperature canvas (Figure 9).
+	return applyExprOffset(a, f)
+}
+
+// applyExprOffset wraps f so its output is shifted by the values of the
+// dxexpr/dyexpr expressions, when given.
+func applyExprOffset(a *specArgs, f Func) (Func, error) {
+	dxSrc, hasDX := a.kv["dxexpr"]
+	dySrc, hasDY := a.kv["dyexpr"]
+	if !hasDX && !hasDY {
+		return f, nil
+	}
+	var dxe, dye expr.Node
+	var err error
+	if hasDX {
+		dxe, err = expr.Parse(dxSrc)
+		if err != nil {
+			return nil, fmt.Errorf("draw: %s dxexpr: %w", a.word, err)
+		}
+	}
+	if hasDY {
+		dye, err = expr.Parse(dySrc)
+		if err != nil {
+			return nil, fmt.Errorf("draw: %s dyexpr: %w", a.word, err)
+		}
+	}
+	evalF := func(e expr.Node, env expr.Env) (float64, error) {
+		if e == nil {
+			return 0, nil
+		}
+		v, err := expr.Eval(e, env)
+		if err != nil {
+			return 0, err
+		}
+		f, _ := v.AsFloat()
+		return f, nil
+	}
+	return func(env expr.Env) (List, error) {
+		l, err := f(env)
+		if err != nil {
+			return nil, err
+		}
+		dx, err := evalF(dxe, env)
+		if err != nil {
+			return nil, err
+		}
+		dy, err := evalF(dye, env)
+		if err != nil {
+			return nil, err
+		}
+		return l.WithOffset(geom.Pt(dx, dy)), nil
+	}, nil
+}
+
+func parsePrimitiveBody(a *specArgs, color Color, style Style, off geom.Point) (Func, error) {
+	switch a.word {
+	case "point":
+		return ConstFunc(List{Point{Offset: off, Color: color}}), nil
+
+	case "circle":
+		r, err := a.float("r", 2)
+		if err != nil {
+			return nil, err
+		}
+		var rexpr expr.Node
+		if src, ok := a.kv["rexpr"]; ok {
+			rexpr, err = expr.Parse(src)
+			if err != nil {
+				return nil, fmt.Errorf("draw: circle rexpr: %w", err)
+			}
+		}
+		f := CircleMarker(r, rexpr, color, style)
+		return offsetFunc(f, off), nil
+
+	case "rect":
+		w, err := a.float("w", 4)
+		if err != nil {
+			return nil, err
+		}
+		h, err := a.float("h", 4)
+		if err != nil {
+			return nil, err
+		}
+		return ConstFunc(List{Rect{Offset: off, W: w, H: h, Color: color, Style: style}}), nil
+
+	case "bar":
+		// A filled bar rising from the tuple's baseline with data-driven
+		// height: bar w=0.5 hexpr='precipitation * 4'. Negative heights
+		// hang below the baseline.
+		w, err := a.float("w", 1)
+		if err != nil {
+			return nil, err
+		}
+		hSrc, ok := a.kv["hexpr"]
+		if !ok {
+			return nil, fmt.Errorf("draw: bar needs hexpr=")
+		}
+		he, err := expr.Parse(hSrc)
+		if err != nil {
+			return nil, fmt.Errorf("draw: bar hexpr: %w", err)
+		}
+		return func(env expr.Env) (List, error) {
+			v, err := expr.Eval(he, env)
+			if err != nil {
+				return nil, err
+			}
+			h, ok := v.AsFloat()
+			if !ok {
+				return nil, nil
+			}
+			r := Rect{Offset: off, W: w, H: h, Color: color, Style: Style{Fill: true, LineWidth: style.LineWidth}}
+			if h < 0 {
+				r.Offset = r.Offset.Add(geom.Pt(0, h))
+				r.H = -h
+			}
+			return List{r}, nil
+		}, nil
+
+	case "line":
+		if dxa, ok := a.kv["dxattr"]; ok {
+			dya := a.kv["dyattr"]
+			if dya == "" {
+				return nil, fmt.Errorf("draw: line needs both dxattr and dyattr")
+			}
+			return offsetFunc(LineSegment(dxa, dya, color, style), off), nil
+		}
+		dx, err := a.float("ddx", 4)
+		if err != nil {
+			return nil, err
+		}
+		dy, err := a.float("ddy", 0)
+		if err != nil {
+			return nil, err
+		}
+		return ConstFunc(List{Line{Offset: off, Delta: geom.Pt(dx, dy), Color: color, Style: style}}), nil
+
+	case "polygon":
+		ptsSpec, ok := a.kv["pts"]
+		if !ok {
+			return nil, fmt.Errorf("draw: polygon needs pts=x,y;x,y;...")
+		}
+		var verts []geom.Point
+		for _, pair := range strings.Split(ptsSpec, ";") {
+			xy := strings.Split(pair, ",")
+			if len(xy) != 2 {
+				return nil, fmt.Errorf("draw: polygon: bad vertex %q", pair)
+			}
+			x, err1 := strconv.ParseFloat(strings.TrimSpace(xy[0]), 64)
+			y, err2 := strconv.ParseFloat(strings.TrimSpace(xy[1]), 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("draw: polygon: bad vertex %q", pair)
+			}
+			verts = append(verts, geom.Pt(x, y))
+		}
+		if len(verts) < 3 {
+			return nil, fmt.Errorf("draw: polygon needs at least 3 vertices")
+		}
+		return ConstFunc(List{Polygon{Offset: off, Vertices: verts, Color: color, Style: style}}), nil
+
+	case "text":
+		attr, ok := a.kv["attr"]
+		if !ok {
+			return nil, fmt.Errorf("draw: text needs attr=")
+		}
+		size, err := a.float("size", 1)
+		if err != nil {
+			return nil, err
+		}
+		return TextAttr(attr, off, size, color), nil
+
+	case "label":
+		src, ok := a.kv["expr"]
+		if !ok {
+			return nil, fmt.Errorf("draw: label needs expr=")
+		}
+		e, err := expr.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("draw: label expr: %w", err)
+		}
+		size, err := a.float("size", 1)
+		if err != nil {
+			return nil, err
+		}
+		return TextExpr(e, off, size, color), nil
+
+	case "value":
+		s, ok := a.kv["s"]
+		if !ok {
+			return nil, fmt.Errorf("draw: value needs s=")
+		}
+		size, err := a.float("size", 1)
+		if err != nil {
+			return nil, err
+		}
+		return ConstFunc(List{Text{Offset: off, S: s, Size: size, Color: color}}), nil
+
+	case "wormhole":
+		w, err := a.float("w", 10)
+		if err != nil {
+			return nil, err
+		}
+		h, err := a.float("h", 8)
+		if err != nil {
+			return nil, err
+		}
+		dest, ok := a.kv["dest"]
+		if !ok {
+			return nil, fmt.Errorf("draw: wormhole needs dest=")
+		}
+		elev, err := a.float("elev", 10)
+		if err != nil {
+			return nil, err
+		}
+		var sliderExprs []expr.Node
+		if src, ok := a.kv["sliders"]; ok {
+			for _, part := range strings.Split(src, ";") {
+				part = strings.TrimSpace(part)
+				if part == "" {
+					continue
+				}
+				se, err := expr.Parse(part)
+				if err != nil {
+					return nil, fmt.Errorf("draw: wormhole sliders: %w", err)
+				}
+				sliderExprs = append(sliderExprs, se)
+			}
+		}
+		f := Wormhole(w, h, dest, elev, a.kv["xattr"], a.kv["yattr"], sliderExprs, color)
+		return offsetFunc(f, off), nil
+	}
+	return nil, fmt.Errorf("draw: unknown display primitive %q", a.word)
+}
+
+// offsetFunc shifts every drawable a function produces.
+func offsetFunc(f Func, off geom.Point) Func {
+	if off == (geom.Point{}) {
+		return f
+	}
+	return func(env expr.Env) (List, error) {
+		l, err := f(env)
+		if err != nil {
+			return nil, err
+		}
+		return l.WithOffset(off), nil
+	}
+}

@@ -1,0 +1,448 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// builtin is a registered function callable from expressions. check
+// validates argument kinds statically; eval computes the result. The
+// builtin set plays the role of the "big programmer" registered functions
+// of the original Tioga that remain useful inside expressions.
+type builtin struct {
+	name  string
+	check func(args []types.Kind) (types.Kind, error)
+	eval  func(args []types.Value) (types.Value, error)
+}
+
+var builtins = map[string]builtin{}
+
+func register(b builtin) {
+	if _, dup := builtins[b.name]; dup {
+		panic("expr: duplicate builtin " + b.name)
+	}
+	builtins[b.name] = b
+}
+
+// LookupBuiltin returns the builtin with the given name.
+func LookupBuiltin(name string) (builtin, bool) {
+	b, ok := builtins[strings.ToLower(name)]
+	return b, ok
+}
+
+// Builtins returns the sorted names of all registered functions, for the
+// help menu.
+func Builtins() []string {
+	out := make([]string, 0, len(builtins))
+	for n := range builtins {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func wantArgs(name string, n int, args []types.Kind) error {
+	if len(args) != n {
+		return fmt.Errorf("%s expects %d argument(s), got %d", name, n, len(args))
+	}
+	return nil
+}
+
+func wantNumeric(name string, k types.Kind) error {
+	if k != types.Int && k != types.Float {
+		return fmt.Errorf("%s expects a numeric argument, got %s", name, k)
+	}
+	return nil
+}
+
+// anyNull reports whether any argument is null; builtins propagate null.
+func anyNull(args []types.Value) bool {
+	for _, a := range args {
+		if a.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func float1(name string, f func(float64) float64) builtin {
+	return builtin{
+		name: name,
+		check: func(args []types.Kind) (types.Kind, error) {
+			if err := wantArgs(name, 1, args); err != nil {
+				return types.Invalid, err
+			}
+			if err := wantNumeric(name, args[0]); err != nil {
+				return types.Invalid, err
+			}
+			return types.Float, nil
+		},
+		eval: func(args []types.Value) (types.Value, error) {
+			if anyNull(args) {
+				return types.Null, nil
+			}
+			x, ok := args[0].AsFloat()
+			if !ok {
+				return types.Null, fmt.Errorf("%s: non-numeric argument", name)
+			}
+			return types.NewFloat(f(x)), nil
+		},
+	}
+}
+
+func init() {
+	register(float1("sqrt", math.Sqrt))
+	register(float1("sin", math.Sin))
+	register(float1("cos", math.Cos))
+	register(float1("exp", math.Exp))
+	register(float1("ln", math.Log))
+	register(float1("log10", math.Log10))
+	register(float1("floor", math.Floor))
+	register(float1("ceil", math.Ceil))
+	register(float1("round", math.Round))
+
+	register(builtin{
+		name: "abs",
+		check: func(args []types.Kind) (types.Kind, error) {
+			if err := wantArgs("abs", 1, args); err != nil {
+				return types.Invalid, err
+			}
+			if err := wantNumeric("abs", args[0]); err != nil {
+				return types.Invalid, err
+			}
+			return args[0], nil
+		},
+		eval: func(args []types.Value) (types.Value, error) {
+			if anyNull(args) {
+				return types.Null, nil
+			}
+			switch args[0].Kind() {
+			case types.Int:
+				v := args[0].Int()
+				if v < 0 {
+					v = -v
+				}
+				return types.NewInt(v), nil
+			case types.Float:
+				return types.NewFloat(math.Abs(args[0].Float())), nil
+			}
+			return types.Null, fmt.Errorf("abs: bad argument kind %s", args[0].Kind())
+		},
+	})
+
+	minmax := func(name string, pickGreater bool) builtin {
+		return builtin{
+			name: name,
+			check: func(args []types.Kind) (types.Kind, error) {
+				if len(args) < 2 {
+					return types.Invalid, fmt.Errorf("%s expects at least 2 arguments", name)
+				}
+				out := args[0]
+				for _, a := range args {
+					if err := wantNumeric(name, a); err != nil {
+						return types.Invalid, err
+					}
+					if a == types.Float {
+						out = types.Float
+					}
+				}
+				return out, nil
+			},
+			eval: func(args []types.Value) (types.Value, error) {
+				if anyNull(args) {
+					return types.Null, nil
+				}
+				best := args[0]
+				anyFloat := false
+				for _, a := range args {
+					if a.Kind() == types.Float {
+						anyFloat = true
+					}
+				}
+				for _, a := range args[1:] {
+					c, err := a.Compare(best)
+					if err != nil {
+						return types.Null, err
+					}
+					if (pickGreater && c > 0) || (!pickGreater && c < 0) {
+						best = a
+					}
+				}
+				// Match the checked result kind: any float operand
+				// promotes the result to float.
+				if anyFloat && best.Kind() == types.Int {
+					f, _ := best.AsFloat()
+					return types.NewFloat(f), nil
+				}
+				return best, nil
+			},
+		}
+	}
+	register(minmax("min", false))
+	register(minmax("max", true))
+
+	register(builtin{
+		name: "pow",
+		check: func(args []types.Kind) (types.Kind, error) {
+			if err := wantArgs("pow", 2, args); err != nil {
+				return types.Invalid, err
+			}
+			for _, a := range args {
+				if err := wantNumeric("pow", a); err != nil {
+					return types.Invalid, err
+				}
+			}
+			return types.Float, nil
+		},
+		eval: func(args []types.Value) (types.Value, error) {
+			if anyNull(args) {
+				return types.Null, nil
+			}
+			a, _ := args[0].AsFloat()
+			b, _ := args[1].AsFloat()
+			return types.NewFloat(math.Pow(a, b)), nil
+		},
+	})
+
+	// if(cond, then, else): the expression-level conditional. Combined
+	// with multi-output boxes this covers the paper's "if condition then
+	// deliver data to box i else box j" motivating example at the value
+	// level.
+	register(builtin{
+		name: "if",
+		check: func(args []types.Kind) (types.Kind, error) {
+			if err := wantArgs("if", 3, args); err != nil {
+				return types.Invalid, err
+			}
+			if args[0] != types.Bool {
+				return types.Invalid, fmt.Errorf("if expects a bool condition, got %s", args[0])
+			}
+			if args[1] != args[2] {
+				if numK, ok := numericResult(args[1], args[2]); ok {
+					return numK, nil
+				}
+				return types.Invalid, fmt.Errorf("if branches must match: %s vs %s", args[1], args[2])
+			}
+			return args[1], nil
+		},
+		eval: func(args []types.Value) (types.Value, error) {
+			if args[0].IsNull() {
+				return types.Null, nil
+			}
+			if args[0].Bool() {
+				return args[1], nil
+			}
+			return args[2], nil
+		},
+	})
+
+	// String functions.
+	register(builtin{
+		name: "len",
+		check: func(args []types.Kind) (types.Kind, error) {
+			if err := wantArgs("len", 1, args); err != nil {
+				return types.Invalid, err
+			}
+			if args[0] != types.Text {
+				return types.Invalid, fmt.Errorf("len expects text, got %s", args[0])
+			}
+			return types.Int, nil
+		},
+		eval: func(args []types.Value) (types.Value, error) {
+			if anyNull(args) {
+				return types.Null, nil
+			}
+			return types.NewInt(int64(len(args[0].Text()))), nil
+		},
+	})
+
+	text1 := func(name string, f func(string) string) builtin {
+		return builtin{
+			name: name,
+			check: func(args []types.Kind) (types.Kind, error) {
+				if err := wantArgs(name, 1, args); err != nil {
+					return types.Invalid, err
+				}
+				if args[0] != types.Text {
+					return types.Invalid, fmt.Errorf("%s expects text, got %s", name, args[0])
+				}
+				return types.Text, nil
+			},
+			eval: func(args []types.Value) (types.Value, error) {
+				if anyNull(args) {
+					return types.Null, nil
+				}
+				return types.NewText(f(args[0].Text())), nil
+			},
+		}
+	}
+	register(text1("upper", strings.ToUpper))
+	register(text1("lower", strings.ToLower))
+	register(text1("trim", strings.TrimSpace))
+
+	register(builtin{
+		name: "substr",
+		check: func(args []types.Kind) (types.Kind, error) {
+			if err := wantArgs("substr", 3, args); err != nil {
+				return types.Invalid, err
+			}
+			if args[0] != types.Text || args[1] != types.Int || args[2] != types.Int {
+				return types.Invalid, fmt.Errorf("substr expects (text, int, int)")
+			}
+			return types.Text, nil
+		},
+		eval: func(args []types.Value) (types.Value, error) {
+			if anyNull(args) {
+				return types.Null, nil
+			}
+			s := args[0].Text()
+			start, n := int(args[1].Int()), int(args[2].Int())
+			if start < 0 {
+				start = 0
+			}
+			if start > len(s) {
+				start = len(s)
+			}
+			end := start + n
+			if n < 0 || end > len(s) {
+				end = len(s)
+			}
+			return types.NewText(s[start:end]), nil
+		},
+	})
+
+	register(builtin{
+		name: "contains",
+		check: func(args []types.Kind) (types.Kind, error) {
+			if err := wantArgs("contains", 2, args); err != nil {
+				return types.Invalid, err
+			}
+			if args[0] != types.Text || args[1] != types.Text {
+				return types.Invalid, fmt.Errorf("contains expects (text, text)")
+			}
+			return types.Bool, nil
+		},
+		eval: func(args []types.Value) (types.Value, error) {
+			if anyNull(args) {
+				return types.Null, nil
+			}
+			return types.NewBool(strings.Contains(args[0].Text(), args[1].Text())), nil
+		},
+	})
+
+	// str(x) renders any value as text, the glue for building text display
+	// attributes like the station labels in Figure 4.
+	register(builtin{
+		name: "str",
+		check: func(args []types.Kind) (types.Kind, error) {
+			if err := wantArgs("str", 1, args); err != nil {
+				return types.Invalid, err
+			}
+			return types.Text, nil
+		},
+		eval: func(args []types.Value) (types.Value, error) {
+			if anyNull(args) {
+				return types.Null, nil
+			}
+			return types.NewText(args[0].String()), nil
+		},
+	})
+
+	register(builtin{
+		name: "int",
+		check: func(args []types.Kind) (types.Kind, error) {
+			if err := wantArgs("int", 1, args); err != nil {
+				return types.Invalid, err
+			}
+			if err := wantNumeric("int", args[0]); err != nil {
+				return types.Invalid, err
+			}
+			return types.Int, nil
+		},
+		eval: func(args []types.Value) (types.Value, error) {
+			if anyNull(args) {
+				return types.Null, nil
+			}
+			f, _ := args[0].AsFloat()
+			return types.NewInt(int64(f)), nil
+		},
+	})
+
+	register(builtin{
+		name: "float",
+		check: func(args []types.Kind) (types.Kind, error) {
+			if err := wantArgs("float", 1, args); err != nil {
+				return types.Invalid, err
+			}
+			if !args[0].Numeric() {
+				return types.Invalid, fmt.Errorf("float expects a numeric argument, got %s", args[0])
+			}
+			return types.Float, nil
+		},
+		eval: func(args []types.Value) (types.Value, error) {
+			if anyNull(args) {
+				return types.Null, nil
+			}
+			f, _ := args[0].AsFloat()
+			return types.NewFloat(f), nil
+		},
+	})
+
+	// Date functions for the temperature-vs-time canvases of Figures 8-11.
+	register(builtin{
+		name: "date",
+		check: func(args []types.Kind) (types.Kind, error) {
+			if err := wantArgs("date", 3, args); err != nil {
+				return types.Invalid, err
+			}
+			for _, a := range args {
+				if a != types.Int {
+					return types.Invalid, fmt.Errorf("date expects (int, int, int)")
+				}
+			}
+			return types.Date, nil
+		},
+		eval: func(args []types.Value) (types.Value, error) {
+			if anyNull(args) {
+				return types.Null, nil
+			}
+			return types.DateYMD(int(args[0].Int()), int(args[1].Int()), int(args[2].Int())), nil
+		},
+	})
+
+	datePart := func(name string, part int) builtin {
+		return builtin{
+			name: name,
+			check: func(args []types.Kind) (types.Kind, error) {
+				if err := wantArgs(name, 1, args); err != nil {
+					return types.Invalid, err
+				}
+				if args[0] != types.Date {
+					return types.Invalid, fmt.Errorf("%s expects a date, got %s", name, args[0])
+				}
+				return types.Int, nil
+			},
+			eval: func(args []types.Value) (types.Value, error) {
+				if anyNull(args) {
+					return types.Null, nil
+				}
+				y, m, d := args[0].YMD()
+				switch part {
+				case 0:
+					return types.NewInt(int64(y)), nil
+				case 1:
+					return types.NewInt(int64(m)), nil
+				default:
+					return types.NewInt(int64(d)), nil
+				}
+			},
+		}
+	}
+	register(datePart("year", 0))
+	register(datePart("month", 1))
+	register(datePart("day", 2))
+}

@@ -1,0 +1,208 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Scope resolves attribute names to their types during checking. The rel
+// package implements it with a relation schema.
+type Scope interface {
+	// AttrKind returns the type of the named attribute and whether it
+	// exists.
+	AttrKind(name string) (types.Kind, bool)
+}
+
+// MapScope is a Scope backed by a plain map, convenient for tests and for
+// synthesized scopes (for example the join scope, which merges two
+// schemas).
+type MapScope map[string]types.Kind
+
+// AttrKind implements Scope.
+func (m MapScope) AttrKind(name string) (types.Kind, bool) {
+	k, ok := m[name]
+	return k, ok
+}
+
+// TypeError describes a static type mismatch in an expression. Tioga-2
+// surfaces these when the user wires a predicate or attribute definition
+// ("Any attempt to connect an output to an input of incompatible type is a
+// type error", Section 2 — the same discipline applies inside expressions).
+type TypeError struct {
+	Node Node
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("expr: type error in %s: %s", e.Node, e.Msg)
+}
+
+func typeErrorf(n Node, format string, args ...interface{}) error {
+	return &TypeError{Node: n, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Check infers the result type of an expression against a scope. Numeric
+// promotion follows SQL: int op int -> int (except /, which is float when
+// either side is float; int/int stays int), int op float -> float. Date
+// arithmetic: date ± int -> date, date - date -> int (days).
+func Check(n Node, scope Scope) (types.Kind, error) {
+	switch n := n.(type) {
+	case *Lit:
+		return n.Val.Kind(), nil
+
+	case *Ref:
+		k, ok := scope.AttrKind(n.Name)
+		if !ok {
+			return types.Invalid, typeErrorf(n, "unknown attribute %q", n.Name)
+		}
+		return k, nil
+
+	case *Unary:
+		k, err := Check(n.X, scope)
+		if err != nil {
+			return types.Invalid, err
+		}
+		switch n.Op {
+		case "-":
+			if k != types.Int && k != types.Float {
+				return types.Invalid, typeErrorf(n, "cannot negate %s", k)
+			}
+			return k, nil
+		case "not":
+			if k != types.Bool {
+				return types.Invalid, typeErrorf(n, "not requires bool, got %s", k)
+			}
+			return types.Bool, nil
+		}
+		return types.Invalid, typeErrorf(n, "unknown unary operator %q", n.Op)
+
+	case *Binary:
+		lk, err := Check(n.L, scope)
+		if err != nil {
+			return types.Invalid, err
+		}
+		rk, err := Check(n.R, scope)
+		if err != nil {
+			return types.Invalid, err
+		}
+		return checkBinary(n, lk, rk)
+
+	case *Call:
+		b, ok := LookupBuiltin(n.Name)
+		if !ok {
+			return types.Invalid, typeErrorf(n, "unknown function %q", n.Name)
+		}
+		argKinds := make([]types.Kind, len(n.Args))
+		for i, a := range n.Args {
+			k, err := Check(a, scope)
+			if err != nil {
+				return types.Invalid, err
+			}
+			argKinds[i] = k
+		}
+		out, err := b.check(argKinds)
+		if err != nil {
+			return types.Invalid, typeErrorf(n, "%v", err)
+		}
+		return out, nil
+	}
+	return types.Invalid, typeErrorf(n, "unknown node type %T", n)
+}
+
+func checkBinary(n *Binary, lk, rk types.Kind) (types.Kind, error) {
+	switch n.Op {
+	case "and", "or":
+		if lk != types.Bool || rk != types.Bool {
+			return types.Invalid, typeErrorf(n, "%s requires bool operands, got %s and %s", n.Op, lk, rk)
+		}
+		return types.Bool, nil
+
+	case "||":
+		if lk != types.Text || rk != types.Text {
+			return types.Invalid, typeErrorf(n, "|| requires text operands, got %s and %s", lk, rk)
+		}
+		return types.Text, nil
+
+	case "=", "!=":
+		if comparable(lk, rk) {
+			return types.Bool, nil
+		}
+		return types.Invalid, typeErrorf(n, "cannot compare %s with %s", lk, rk)
+
+	case "<", "<=", ">", ">=":
+		if comparable(lk, rk) && lk != types.Bool {
+			return types.Bool, nil
+		}
+		return types.Invalid, typeErrorf(n, "cannot order %s against %s", lk, rk)
+
+	case "+", "-":
+		// Date arithmetic.
+		if lk == types.Date && rk == types.Int {
+			return types.Date, nil
+		}
+		if n.Op == "+" && lk == types.Int && rk == types.Date {
+			return types.Date, nil
+		}
+		if n.Op == "-" && lk == types.Date && rk == types.Date {
+			return types.Int, nil
+		}
+		fallthrough
+	case "*":
+		k, ok := numericResult(lk, rk)
+		if !ok {
+			return types.Invalid, typeErrorf(n, "%s requires numeric operands, got %s and %s", n.Op, lk, rk)
+		}
+		return k, nil
+
+	case "/":
+		k, ok := numericResult(lk, rk)
+		if !ok {
+			return types.Invalid, typeErrorf(n, "/ requires numeric operands, got %s and %s", lk, rk)
+		}
+		return k, nil
+
+	case "%":
+		k, ok := numericResult(lk, rk)
+		if !ok {
+			return types.Invalid, typeErrorf(n, "%% requires numeric operands, got %s and %s", lk, rk)
+		}
+		return k, nil
+	}
+	return types.Invalid, typeErrorf(n, "unknown operator %q", n.Op)
+}
+
+// comparable reports whether the two kinds may be compared with = and
+// ordering operators.
+func comparable(a, b types.Kind) bool {
+	if a == b && a != types.Invalid {
+		return true
+	}
+	return (a == types.Int || a == types.Float) && (b == types.Int || b == types.Float)
+}
+
+// numericResult returns the promoted arithmetic result kind for int/float
+// operands.
+func numericResult(a, b types.Kind) (types.Kind, bool) {
+	switch {
+	case a == types.Int && b == types.Int:
+		return types.Int, true
+	case (a == types.Int || a == types.Float) && (b == types.Int || b == types.Float):
+		return types.Float, true
+	}
+	return types.Invalid, false
+}
+
+// CheckPredicate verifies that an expression is a well-typed boolean over
+// the scope, the requirement for Restrict, Join, and Replicate predicates.
+func CheckPredicate(n Node, scope Scope) error {
+	k, err := Check(n, scope)
+	if err != nil {
+		return err
+	}
+	if k != types.Bool {
+		return typeErrorf(n, "predicate must be bool, got %s", k)
+	}
+	return nil
+}

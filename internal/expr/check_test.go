@@ -1,0 +1,136 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func checkSrc(t *testing.T, src string) (types.Kind, error) {
+	t.Helper()
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Check(n, testScope)
+}
+
+func TestCheckKinds(t *testing.T) {
+	cases := []struct {
+		src  string
+		want types.Kind
+	}{
+		{"1 + 2", types.Int},
+		{"1 + 2.5", types.Float},
+		{"f * f", types.Float},
+		{"x / y", types.Int},
+		{"x / f", types.Float},
+		{"x % y", types.Int},
+		{"x < y", types.Bool},
+		{"x = y and b", types.Bool},
+		{"s || s", types.Text},
+		{"not b", types.Bool},
+		{"-f", types.Float},
+		{"d + 1", types.Date},
+		{"1 + d", types.Date},
+		{"d - 1", types.Date},
+		{"d - d", types.Int},
+		{"year(d)", types.Int},
+		{"if(b, 1, 2)", types.Int},
+		{"if(b, 1, 2.0)", types.Float},
+		{"str(x)", types.Text},
+		{"min(x, y)", types.Int},
+		{"min(x, f)", types.Float},
+		{"'lit'", types.Text},
+	}
+	for _, c := range cases {
+		got, err := checkSrc(t, c.src)
+		if err != nil {
+			t.Errorf("Check(%q): %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Check(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	bad := []string{
+		"nosuchattr",
+		"s + 1",
+		"b < b",         // bools are not ordered
+		"s = x",         // text vs int
+		"not x",         // not on non-bool
+		"x and y",       // and on ints
+		"s || x",        // concat non-text
+		"-s",            // negate text
+		"s % s",         // modulo on text
+		"d * 2",         // date multiplication
+		"d + d",         // date + date
+		"if(x, 1, 2)",   // non-bool condition
+		"if(b, 1, 's')", // mismatched branches... parser error actually
+		"if(b, 1, 'a')",
+		"abs(s)",
+		"len(x)",
+		"year(x)",
+		"substr(s, s, 1)",
+		"unknownfn(1)",
+		"min(1)",
+	}
+	for _, src := range bad {
+		n, err := Parse(src)
+		if err != nil {
+			continue // parse-level rejection also acceptable
+		}
+		if _, err := Check(n, testScope); err == nil {
+			t.Errorf("Check(%q) should fail", src)
+		}
+	}
+}
+
+func TestCheckPredicate(t *testing.T) {
+	if err := CheckPredicate(MustParse("x > 1 and b"), testScope); err != nil {
+		t.Errorf("valid predicate rejected: %v", err)
+	}
+	if err := CheckPredicate(MustParse("x + 1"), testScope); err == nil {
+		t.Error("non-bool predicate accepted")
+	}
+	if err := CheckPredicate(MustParse("nope = 1"), testScope); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestTypeErrorMessage(t *testing.T) {
+	_, err := checkSrc(t, "s + 1")
+	te, ok := err.(*TypeError)
+	if !ok {
+		t.Fatalf("got %T: %v", err, err)
+	}
+	if te.Node == nil {
+		t.Error("type error without node")
+	}
+}
+
+func TestCheckEvalAgree(t *testing.T) {
+	// Whatever Check says an expression produces, Eval must produce
+	// (or null). This is the soundness contract Restrict relies on.
+	srcs := []string{
+		"x + y", "x + f", "x / y", "s || 'q'", "x < f", "d + 30",
+		"d - d", "if(b, f, 1)", "min(x, y, 2)", "abs(-3)", "year(d)",
+	}
+	for _, src := range srcs {
+		n := MustParse(src)
+		k, err := Check(n, testScope)
+		if err != nil {
+			t.Fatalf("check %q: %v", src, err)
+		}
+		v, err := Eval(n, testEnv)
+		if err != nil {
+			t.Fatalf("eval %q: %v", src, err)
+		}
+		if !v.IsNull() && v.Kind() != k {
+			t.Errorf("%q: checked %s but evaluated %s", src, k, v.Kind())
+		}
+	}
+}

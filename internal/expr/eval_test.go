@@ -1,0 +1,315 @@
+package expr
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+var testScope = MapScope{
+	"x": types.Int, "y": types.Int, "f": types.Float,
+	"s": types.Text, "b": types.Bool, "d": types.Date,
+}
+
+var testEnv = MapEnv{
+	"x": types.NewInt(10), "y": types.NewInt(3), "f": types.NewFloat(2.5),
+	"s": types.NewText("abc"), "b": types.NewBool(true),
+	"d": types.DateYMD(1990, 6, 15),
+}
+
+func evalSrc(t *testing.T, src string) types.Value {
+	t.Helper()
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if _, err := Check(n, testScope); err != nil {
+		t.Fatalf("check %q: %v", src, err)
+	}
+	v, err := Eval(n, testEnv)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want types.Value
+	}{
+		{"x + y", types.NewInt(13)},
+		{"x - y", types.NewInt(7)},
+		{"x * y", types.NewInt(30)},
+		{"x / y", types.NewInt(3)}, // int division
+		{"x % y", types.NewInt(1)},
+		{"x + f", types.NewFloat(12.5)},
+		{"f * 2", types.NewFloat(5)},
+		{"x / 4.0", types.NewFloat(2.5)},
+		{"-x", types.NewInt(-10)},
+		{"-f", types.NewFloat(-2.5)},
+	}
+	for _, c := range cases {
+		if got := evalSrc(t, c.src); !got.Equal(c.want) {
+			t.Errorf("%q = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"x < 11", true}, {"x <= 10", true}, {"x > 10", false},
+		{"x >= 10", true}, {"x = 10", true}, {"x != 10", false},
+		{"f > 2", true}, {"x > f", true}, // mixed numeric
+		{"s = 'abc'", true}, {"s < 'b'", true},
+		{"b = true", true},
+		{"d < date(1991, 1, 1)", true},
+	}
+	for _, c := range cases {
+		got := evalSrc(t, c.src)
+		if got.Kind() != types.Bool || got.Bool() != c.want {
+			t.Errorf("%q = %s, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalBoolean(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"true and true", true}, {"true and false", false},
+		{"false or true", true}, {"false or false", false},
+		{"not false", true}, {"not b", false},
+		{"b and x > 5", true},
+	}
+	for _, c := range cases {
+		got := evalSrc(t, c.src)
+		if got.Bool() != c.want {
+			t.Errorf("%q = %s", c.src, got)
+		}
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// x / 0 would error, but short-circuiting skips it.
+	n := MustParse("false and (x / 0 = 1)")
+	v, err := Eval(n, testEnv)
+	if err != nil {
+		t.Fatalf("short-circuit and evaluated rhs: %v", err)
+	}
+	if v.Bool() {
+		t.Error("false and _ = true?")
+	}
+	n = MustParse("true or (x / 0 = 1)")
+	v, err = Eval(n, testEnv)
+	if err != nil {
+		t.Fatalf("short-circuit or evaluated rhs: %v", err)
+	}
+	if !v.Bool() {
+		t.Error("true or _ = false?")
+	}
+}
+
+func TestEvalStrings(t *testing.T) {
+	if got := evalSrc(t, "s || 'def'"); got.Text() != "abcdef" {
+		t.Errorf("concat = %s", got)
+	}
+	if got := evalSrc(t, "upper(s)"); got.Text() != "ABC" {
+		t.Errorf("upper = %s", got)
+	}
+	if got := evalSrc(t, "len(s)"); got.Int() != 3 {
+		t.Errorf("len = %s", got)
+	}
+	if got := evalSrc(t, "substr(s, 1, 2)"); got.Text() != "bc" {
+		t.Errorf("substr = %s", got)
+	}
+	if got := evalSrc(t, "substr(s, 1, -1)"); got.Text() != "bc" {
+		t.Errorf("substr neg len = %s", got)
+	}
+	if got := evalSrc(t, "contains(s, 'b')"); !got.Bool() {
+		t.Error("contains")
+	}
+	if got := evalSrc(t, "trim('  x ')"); got.Text() != "x" {
+		t.Errorf("trim = %s", got)
+	}
+	if got := evalSrc(t, "str(x)"); got.Text() != "10" {
+		t.Errorf("str = %s", got)
+	}
+}
+
+func TestEvalDates(t *testing.T) {
+	if got := evalSrc(t, "year(d)"); got.Int() != 1990 {
+		t.Errorf("year = %s", got)
+	}
+	if got := evalSrc(t, "month(d)"); got.Int() != 6 {
+		t.Errorf("month = %s", got)
+	}
+	if got := evalSrc(t, "day(d)"); got.Int() != 15 {
+		t.Errorf("day = %s", got)
+	}
+	if got := evalSrc(t, "d + 1"); got.String() != "1990-06-16" {
+		t.Errorf("date+int = %s", got)
+	}
+	if got := evalSrc(t, "d - 15"); got.String() != "1990-05-31" {
+		t.Errorf("date-int = %s", got)
+	}
+	if got := evalSrc(t, "d - date(1990, 6, 1)"); got.Int() != 14 {
+		t.Errorf("date-date = %s", got)
+	}
+}
+
+func TestEvalMathBuiltins(t *testing.T) {
+	if got := evalSrc(t, "abs(-5)"); got.Int() != 5 {
+		t.Errorf("abs int = %s", got)
+	}
+	if got := evalSrc(t, "abs(-2.5)"); got.Float() != 2.5 {
+		t.Errorf("abs float = %s", got)
+	}
+	if got := evalSrc(t, "sqrt(16.0)"); got.Float() != 4 {
+		t.Errorf("sqrt = %s", got)
+	}
+	if got := evalSrc(t, "min(3, 1, 2)"); got.Int() != 1 {
+		t.Errorf("min = %s", got)
+	}
+	if got := evalSrc(t, "max(3, 1, 2.5)"); got.Float() != 3 {
+		t.Errorf("max = %s", got)
+	}
+	if got := evalSrc(t, "floor(2.7)"); got.Float() != 2 {
+		t.Errorf("floor = %s", got)
+	}
+	if got := evalSrc(t, "pow(2, 10)"); got.Float() != 1024 {
+		t.Errorf("pow = %s", got)
+	}
+	if got := evalSrc(t, "int(2.9)"); got.Int() != 2 {
+		t.Errorf("int = %s", got)
+	}
+	if got := evalSrc(t, "float(x)"); got.Float() != 10 {
+		t.Errorf("float = %s", got)
+	}
+	if got := evalSrc(t, "if(x > 5, 'big', 'small')"); got.Text() != "big" {
+		t.Errorf("if = %s", got)
+	}
+}
+
+func TestEvalNullPropagation(t *testing.T) {
+	env := MapEnv{"x": types.Null, "y": types.NewInt(1)}
+	srcs := []string{"x + y", "x = y", "x < y", "-x", "abs(x)", "str(x)"}
+	for _, src := range srcs {
+		v, err := Eval(MustParse(src), env)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if !v.IsNull() {
+			t.Errorf("%q = %s, want null", src, v)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	cases := []string{"x / 0", "x % 0", "nosuch", "f(1)"}
+	for _, src := range cases {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Eval(n, testEnv); err == nil {
+			t.Errorf("%q should fail at eval", src)
+		}
+	}
+	// Error text mentions the failing node.
+	_, err := Eval(MustParse("x / 0"), testEnv)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestEvalPredicate(t *testing.T) {
+	ok, err := EvalPredicate(MustParse("x > 5"), testEnv)
+	if err != nil || !ok {
+		t.Fatalf("pred: %v %v", ok, err)
+	}
+	// Null collapses to false.
+	ok, err = EvalPredicate(MustParse("x > 5"), MapEnv{"x": types.Null})
+	if err != nil || ok {
+		t.Fatalf("null pred: %v %v", ok, err)
+	}
+	// Non-bool result is an error.
+	if _, err := EvalPredicate(MustParse("x + 1"), testEnv); err == nil {
+		t.Error("non-bool predicate accepted")
+	}
+}
+
+func TestEvalFloatModulo(t *testing.T) {
+	got := evalSrc(t, "7.5 % 2.0")
+	if math.Abs(got.Float()-1.5) > 1e-12 {
+		t.Errorf("float mod = %s", got)
+	}
+}
+
+// Property: for random int pairs, the evaluator agrees with Go arithmetic.
+func TestEvalArithmeticProperty(t *testing.T) {
+	n := MustParse("a * b + a - b")
+	f := func(a, b int16) bool {
+		env := MapEnv{"a": types.NewInt(int64(a)), "b": types.NewInt(int64(b))}
+		v, err := Eval(n, env)
+		if err != nil {
+			return false
+		}
+		want := int64(a)*int64(b) + int64(a) - int64(b)
+		return v.Int() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: comparison trichotomy through the evaluator.
+func TestEvalComparisonProperty(t *testing.T) {
+	lt, eq, gt := MustParse("a < b"), MustParse("a = b"), MustParse("a > b")
+	f := func(a, b int32) bool {
+		env := MapEnv{"a": types.NewInt(int64(a)), "b": types.NewInt(int64(b))}
+		vl, e1 := Eval(lt, env)
+		ve, e2 := Eval(eq, env)
+		vg, e3 := Eval(gt, env)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return false
+		}
+		count := 0
+		for _, v := range []types.Value{vl, ve, vg} {
+			if v.Bool() {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuiltinsListed(t *testing.T) {
+	names := Builtins()
+	if len(names) < 20 {
+		t.Fatalf("only %d builtins", len(names))
+	}
+	for _, want := range []string{"abs", "if", "year", "substr", "sqrt"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("builtin %q not listed", want)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/types"
+)
+
+// Parse compiles an expression string to its AST. The grammar, lowest to
+// highest precedence:
+//
+//	or
+//	and
+//	not
+//	comparison: = != < <= > >=   (non-associative)
+//	||                           (string concatenation)
+//	+ -
+//	* / %
+//	unary -
+//	primary: literal | ident | ident(args) | (expr)
+func Parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok.kind != tokEOF {
+		return nil, p.errorf(tok.pos, "unexpected %s after expression", tok)
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error, for tests and internal
+// constants.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos int, format string, args ...interface{}) error {
+	return &SyntaxError{Src: p.src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) acceptOp(text string) bool {
+	if t := p.peek(); t.kind == tokOp && t.text == text {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(word string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == word {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "or", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "and", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.acceptKeyword("not") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "not", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Node, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "!=", "=", "<", ">"} {
+		if t := p.peek(); t.kind == tokOp && t.text == op {
+			p.next()
+			right, err := p.parseConcat()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseConcat() (Node, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptOp("||") {
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "||", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "+", L: left, R: right}
+		case p.acceptOp("-"):
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = &Binary{Op: "-", L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptOp("*"):
+			op = "*"
+		case p.acceptOp("/"):
+			op = "/"
+		case p.acceptOp("%"):
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.acceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric literals for cleaner ASTs.
+		if lit, ok := x.(*Lit); ok {
+			switch lit.Val.Kind() {
+			case types.Int:
+				return &Lit{Val: types.NewInt(-lit.Val.Int())}, nil
+			case types.Float:
+				return &Lit{Val: types.NewFloat(-lit.Val.Float())}, nil
+			}
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf(t.pos, "bad integer literal %s", t)
+		}
+		return &Lit{Val: types.NewInt(i)}, nil
+	case tokFloat:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf(t.pos, "bad float literal %s", t)
+		}
+		return &Lit{Val: types.NewFloat(f)}, nil
+	case tokString:
+		return &Lit{Val: types.NewText(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "true":
+			return &Lit{Val: types.NewBool(true)}, nil
+		case "false":
+			return &Lit{Val: types.NewBool(false)}, nil
+		case "null":
+			return &Lit{Val: types.Null}, nil
+		}
+		return nil, p.errorf(t.pos, "unexpected keyword %s", t)
+	case tokIdent:
+		if p.acceptOp("(") {
+			return p.parseCall(t)
+		}
+		return &Ref{Name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			inner, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptOp(")") {
+				return nil, p.errorf(p.peek().pos, "expected ) to close group")
+			}
+			return inner, nil
+		}
+	}
+	return nil, p.errorf(t.pos, "unexpected %s", t)
+}
+
+func (p *parser) parseCall(name token) (Node, error) {
+	call := &Call{Name: name.text}
+	if p.acceptOp(")") {
+		return call, nil
+	}
+	for {
+		arg, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+		if p.acceptOp(",") {
+			continue
+		}
+		if p.acceptOp(")") {
+			return call, nil
+		}
+		return nil, p.errorf(p.peek().pos, "expected , or ) in call to %s", name.text)
+	}
+}

@@ -1,0 +1,256 @@
+// Package geom provides the small geometric vocabulary shared by the
+// Tioga-2 drawing, viewing, and rasterization layers: 2-D points and
+// rectangles in canvas coordinates, n-dimensional positions and ranges for
+// viewer panning/sliders, and the affine canvas-to-screen transform used by
+// viewers when projecting tuples onto a framebuffer.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location on a 2-D canvas. Canvas coordinates are world
+// coordinates: unbounded floats, y increasing upward (screen flipping is the
+// rasterizer's concern).
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns the vector sum p+q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p-q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s in both dimensions.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g,%g)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle on the canvas. Min is the lower-left
+// corner and Max the upper-right; a Rect with Min==Max is empty.
+type Rect struct {
+	Min, Max Point
+}
+
+// R constructs a Rect from two corner coordinates, normalizing so that
+// Min <= Max in both dimensions.
+func R(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Min: Point{x0, y0}, Max: Point{x1, y1}}
+}
+
+// W returns the rectangle's width.
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the rectangle's height.
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Empty reports whether the rectangle has zero (or negative) area.
+func (r Rect) Empty() bool { return r.Min.X >= r.Max.X || r.Min.Y >= r.Max.Y }
+
+// Contains reports whether p lies inside r (inclusive of Min, exclusive of
+// Max, the half-open convention used for culling).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// ContainsClosed reports whether p lies inside r inclusive of both corners.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Overlaps reports whether r and s share any area.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.Min.X < s.Max.X && s.Min.X < r.Max.X &&
+		r.Min.Y < s.Max.Y && s.Min.Y < r.Max.Y
+}
+
+// Intersect returns the largest rectangle contained in both r and s. If the
+// rectangles do not overlap the result is empty.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Min: Point{math.Max(r.Min.X, s.Min.X), math.Max(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Min(r.Max.X, s.Max.X), math.Min(r.Max.Y, s.Max.Y)},
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Union returns the smallest rectangle containing both r and s. An empty
+// rectangle is the identity.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Expand returns r grown by d on every side (shrunk if d is negative).
+func (r Rect) Expand(d float64) Rect {
+	out := Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Translate returns r shifted by the vector p.
+func (r Rect) Translate(p Point) Rect {
+	return Rect{Min: r.Min.Add(p), Max: r.Max.Add(p)}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s-%s]", r.Min, r.Max)
+}
+
+// Range is a closed interval [Lo, Hi] on one dimension, used for slider
+// positions and elevation ranges (Set Range, Section 6.1 of the paper).
+type Range struct {
+	Lo, Hi float64
+}
+
+// Rg constructs a Range, normalizing so Lo <= Hi.
+func Rg(lo, hi float64) Range {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Range{Lo: lo, Hi: hi}
+}
+
+// Contains reports whether v lies in the closed interval.
+func (g Range) Contains(v float64) bool { return v >= g.Lo && v <= g.Hi }
+
+// Overlaps reports whether g and h intersect.
+func (g Range) Overlaps(h Range) bool { return g.Lo <= h.Hi && h.Lo <= g.Hi }
+
+// Width returns Hi-Lo.
+func (g Range) Width() float64 { return g.Hi - g.Lo }
+
+// Clamp returns v limited to the interval.
+func (g Range) Clamp(v float64) float64 {
+	if v < g.Lo {
+		return g.Lo
+	}
+	if v > g.Hi {
+		return g.Hi
+	}
+	return v
+}
+
+// String implements fmt.Stringer.
+func (g Range) String() string { return fmt.Sprintf("[%g,%g]", g.Lo, g.Hi) }
+
+// Position is the location of a viewer in an n-dimensional visualization
+// space plus an elevation: the paper's "n+1-dimensional position" (Section
+// 2). Coords[0] and Coords[1] are the canvas x and y; any further
+// coordinates are slider dimensions. Elevation is the zoom axis: larger
+// elevations see more of the canvas.
+type Position struct {
+	Coords    []float64
+	Elevation float64
+}
+
+// NewPosition returns a Position of dimension n centered at the origin with
+// the given elevation.
+func NewPosition(n int, elevation float64) Position {
+	return Position{Coords: make([]float64, n), Elevation: elevation}
+}
+
+// Dim returns the number of panning dimensions.
+func (p Position) Dim() int { return len(p.Coords) }
+
+// Clone returns a deep copy so viewers can be cloned or slaved without
+// aliasing position state.
+func (p Position) Clone() Position {
+	c := make([]float64, len(p.Coords))
+	copy(c, p.Coords)
+	return Position{Coords: c, Elevation: p.Elevation}
+}
+
+// Pan shifts dimension d by delta. Panning an out-of-range dimension is a
+// no-op, which keeps lifted group operations safe.
+func (p *Position) Pan(d int, delta float64) {
+	if d >= 0 && d < len(p.Coords) {
+		p.Coords[d] += delta
+	}
+}
+
+// String implements fmt.Stringer.
+func (p Position) String() string {
+	return fmt.Sprintf("pos%v@%g", p.Coords, p.Elevation)
+}
+
+// Transform is the affine canvas-to-screen map used when a viewer renders:
+// screen = (canvas - Origin) * Scale + ScreenOffset, with y flipped because
+// screen y grows downward.
+type Transform struct {
+	Origin       Point   // canvas point mapped to ScreenOffset
+	Scale        float64 // pixels per canvas unit
+	ScreenOffset Point   // screen-space location of Origin
+	ScreenHeight float64 // for y-flip
+}
+
+// Apply maps a canvas point to screen pixels.
+func (t Transform) Apply(p Point) Point {
+	x := (p.X-t.Origin.X)*t.Scale + t.ScreenOffset.X
+	y := (p.Y-t.Origin.Y)*t.Scale + t.ScreenOffset.Y
+	return Point{x, t.ScreenHeight - y}
+}
+
+// ApplyRect maps a canvas rectangle to a screen rectangle (re-normalized
+// because the y-flip swaps corners).
+func (t Transform) ApplyRect(r Rect) Rect {
+	a, b := t.Apply(r.Min), t.Apply(r.Max)
+	return R(a.X, a.Y, b.X, b.Y)
+}
+
+// Invert maps a screen point back to canvas coordinates, used when a click
+// must be resolved to a tuple (updates, Section 8).
+func (t Transform) Invert(p Point) Point {
+	y := t.ScreenHeight - p.Y
+	return Point{
+		X: (p.X-t.ScreenOffset.X)/t.Scale + t.Origin.X,
+		Y: (y-t.ScreenOffset.Y)/t.Scale + t.Origin.Y,
+	}
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// AlmostEqual reports whether two floats differ by less than eps, for tests
+// and for slider hit-testing.
+func AlmostEqual(a, b, eps float64) bool { return math.Abs(a-b) < eps }

@@ -1,0 +1,194 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dist(Pt(0, 0)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := R(5, 7, 1, 2)
+	if r.Min != Pt(1, 2) || r.Max != Pt(5, 7) {
+		t.Fatalf("R did not normalize: %v", r)
+	}
+	if r.W() != 4 || r.H() != 5 {
+		t.Errorf("W/H = %g/%g", r.W(), r.H())
+	}
+	if r.Center() != Pt(3, 4.5) {
+		t.Errorf("Center = %v", r.Center())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(5, 5), true},
+		{Pt(0, 0), true},    // Min inclusive
+		{Pt(10, 10), false}, // Max exclusive
+		{Pt(-1, 5), false},
+		{Pt(5, 11), false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !r.ContainsClosed(Pt(10, 10)) {
+		t.Error("ContainsClosed should include Max")
+	}
+}
+
+func TestRectOverlapsIntersectUnion(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	c := R(20, 20, 30, 30)
+	if !a.Overlaps(b) || b.Overlaps(c) {
+		t.Fatal("overlap misclassified")
+	}
+	if got := a.Intersect(b); got != R(5, 5, 10, 10) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Intersect(c); !got.Empty() {
+		t.Errorf("disjoint Intersect = %v, want empty", got)
+	}
+	if got := a.Union(c); got != R(0, 0, 30, 30) {
+		t.Errorf("Union = %v", got)
+	}
+	var empty Rect
+	if got := empty.Union(a); got != a {
+		t.Errorf("empty Union identity failed: %v", got)
+	}
+}
+
+func TestRectExpandTranslate(t *testing.T) {
+	r := R(2, 2, 4, 4)
+	if got := r.Expand(1); got != R(1, 1, 5, 5) {
+		t.Errorf("Expand = %v", got)
+	}
+	if got := r.Expand(-2); !got.Empty() {
+		t.Errorf("over-shrunk Expand = %v, want empty", got)
+	}
+	if got := r.Translate(Pt(1, -1)); got != R(3, 1, 5, 3) {
+		t.Errorf("Translate = %v", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	g := Rg(5, 1)
+	if g.Lo != 1 || g.Hi != 5 {
+		t.Fatalf("Rg did not normalize: %v", g)
+	}
+	if !g.Contains(1) || !g.Contains(5) || g.Contains(5.01) {
+		t.Error("Contains is not a closed interval")
+	}
+	if !g.Overlaps(Rg(5, 9)) || g.Overlaps(Rg(6, 9)) {
+		t.Error("Overlaps misclassified")
+	}
+	if g.Clamp(0) != 1 || g.Clamp(9) != 5 || g.Clamp(3) != 3 {
+		t.Error("Clamp wrong")
+	}
+	if g.Width() != 4 {
+		t.Errorf("Width = %g", g.Width())
+	}
+}
+
+func TestPosition(t *testing.T) {
+	p := NewPosition(3, 50)
+	if p.Dim() != 3 || p.Elevation != 50 {
+		t.Fatalf("NewPosition = %v", p)
+	}
+	p.Pan(1, 2.5)
+	if p.Coords[1] != 2.5 {
+		t.Errorf("Pan failed: %v", p.Coords)
+	}
+	p.Pan(7, 1) // out of range: no-op
+	c := p.Clone()
+	c.Coords[0] = 99
+	if p.Coords[0] == 99 {
+		t.Error("Clone aliases coords")
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	tr := Transform{
+		Origin:       Pt(10, 20),
+		Scale:        4,
+		ScreenOffset: Pt(100, 50),
+		ScreenHeight: 480,
+	}
+	f := func(x, y float64) bool {
+		if math.Abs(x) > 1e6 || math.Abs(y) > 1e6 || math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		p := Pt(x, y)
+		back := tr.Invert(tr.Apply(p))
+		return AlmostEqual(back.X, p.X, 1e-6) && AlmostEqual(back.Y, p.Y, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformApplyRect(t *testing.T) {
+	tr := Transform{Origin: Pt(0, 0), Scale: 2, ScreenOffset: Pt(0, 0), ScreenHeight: 100}
+	r := tr.ApplyRect(R(0, 0, 10, 10))
+	// y flips: canvas (0..10) maps to screen (100 down to 80).
+	if r.Min.X != 0 || r.Max.X != 20 {
+		t.Errorf("x mapping wrong: %v", r)
+	}
+	if r.Min.Y != 80 || r.Max.Y != 100 {
+		t.Errorf("y flip wrong: %v", r)
+	}
+}
+
+func TestRectPropertyIntersectWithin(t *testing.T) {
+	f := func(x0, y0, x1, y1, u0, v0, u1, v1 float64) bool {
+		bound := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1000)
+		}
+		a := R(bound(x0), bound(y0), bound(x1), bound(y1))
+		b := R(bound(u0), bound(v0), bound(u1), bound(v1))
+		in := a.Intersect(b)
+		if in.Empty() {
+			return true
+		}
+		// Every corner of the intersection lies in both inputs (closed).
+		return a.ContainsClosed(in.Min) && a.ContainsClosed(in.Max) &&
+			b.ContainsClosed(in.Min) && b.ContainsClosed(in.Max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if Lerp(0, 10, 0.5) != 5 {
+		t.Error("Lerp midpoint")
+	}
+	if Lerp(2, 2, 0.7) != 2 {
+		t.Error("Lerp constant")
+	}
+}

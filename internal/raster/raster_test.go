@@ -1,0 +1,267 @@
+package raster
+
+import (
+	"bytes"
+	"image/png"
+	"strings"
+	"testing"
+
+	"repro/internal/draw"
+	"repro/internal/geom"
+)
+
+func TestNewImageClearedWhite(t *testing.T) {
+	img := NewImage(4, 3)
+	if img.W != 4 || img.H != 3 || len(img.Pix) != 12 {
+		t.Fatalf("image %dx%d len %d", img.W, img.H, len(img.Pix))
+	}
+	for _, p := range img.Pix {
+		if p != draw.White {
+			t.Fatal("not cleared to white")
+		}
+	}
+}
+
+func TestSetAtClipping(t *testing.T) {
+	img := NewImage(4, 4)
+	img.Set(1, 2, draw.Red)
+	if img.At(1, 2) != draw.Red {
+		t.Error("Set/At round trip")
+	}
+	// Out-of-bounds writes are clipped, reads return zero.
+	img.Set(-1, 0, draw.Red)
+	img.Set(0, 99, draw.Red)
+	if img.At(-1, 0) != (draw.Color{}) {
+		t.Error("out-of-bounds read")
+	}
+	if img.CountNonBackground(draw.White) != 1 {
+		t.Error("clipping failed")
+	}
+}
+
+func TestAlphaBlend(t *testing.T) {
+	img := NewImage(1, 1)
+	img.Set(0, 0, draw.Color{R: 0, G: 0, B: 0, A: 128})
+	got := img.At(0, 0)
+	if got.R < 120 || got.R > 135 {
+		t.Errorf("50%% black over white = %v", got)
+	}
+	// Fully transparent is a no-op.
+	img.Clear(draw.White)
+	img.Set(0, 0, draw.Color{A: 0})
+	if img.At(0, 0) != draw.White {
+		t.Error("transparent write changed pixel")
+	}
+}
+
+func TestLine(t *testing.T) {
+	img := NewImage(20, 20)
+	pen := NewPen(img)
+	pen.Line(geom.Pt(0, 0), geom.Pt(19, 19), draw.Black, 1)
+	// Diagonal endpoints and midpoint drawn.
+	for _, p := range [][2]int{{0, 0}, {19, 19}, {10, 10}} {
+		if img.At(p[0], p[1]) != draw.Black {
+			t.Errorf("diagonal missing at %v", p)
+		}
+	}
+	// Horizontal and vertical lines.
+	img.Clear(draw.White)
+	pen.Line(geom.Pt(2, 5), geom.Pt(17, 5), draw.Red, 1)
+	for x := 2; x <= 17; x++ {
+		if img.At(x, 5) != draw.Red {
+			t.Fatalf("horizontal gap at %d", x)
+		}
+	}
+	img.Clear(draw.White)
+	pen.Line(geom.Pt(5, 2), geom.Pt(5, 17), draw.Blue, 1)
+	for y := 2; y <= 17; y++ {
+		if img.At(5, y) != draw.Blue {
+			t.Fatalf("vertical gap at %d", y)
+		}
+	}
+}
+
+func TestThickLine(t *testing.T) {
+	img := NewImage(20, 20)
+	pen := NewPen(img)
+	pen.Line(geom.Pt(2, 10), geom.Pt(17, 10), draw.Black, 3)
+	for _, y := range []int{9, 10, 11} {
+		if img.At(10, y) != draw.Black {
+			t.Errorf("thick line missing row %d", y)
+		}
+	}
+}
+
+func TestRect(t *testing.T) {
+	img := NewImage(20, 20)
+	pen := NewPen(img)
+	pen.Rect(geom.R(5, 5, 10, 10), draw.Black, draw.Style{LineWidth: 1})
+	if img.At(5, 5) != draw.Black || img.At(10, 10) != draw.Black {
+		t.Error("outline corners missing")
+	}
+	if img.At(7, 7) == draw.Black {
+		t.Error("outline filled interior")
+	}
+	pen.Rect(geom.R(12, 12, 15, 15), draw.Red, draw.FillStyle)
+	if img.At(13, 13) != draw.Red {
+		t.Error("fill missing interior")
+	}
+}
+
+func TestCircle(t *testing.T) {
+	img := NewImage(40, 40)
+	pen := NewPen(img)
+	pen.Circle(geom.Pt(20, 20), 10, draw.Black, draw.Style{LineWidth: 1})
+	// Cardinal points on the rim.
+	for _, p := range [][2]int{{30, 20}, {10, 20}, {20, 30}, {20, 10}} {
+		if img.At(p[0], p[1]) != draw.Black {
+			t.Errorf("rim missing at %v", p)
+		}
+	}
+	if img.At(20, 20) == draw.Black {
+		t.Error("outline circle filled center")
+	}
+	pen.Circle(geom.Pt(20, 20), 5, draw.Red, draw.FillStyle)
+	if img.At(20, 20) != draw.Red || img.At(22, 22) != draw.Red {
+		t.Error("filled circle missing interior")
+	}
+	// Radius 0 degenerates to a point.
+	img.Clear(draw.White)
+	pen.Circle(geom.Pt(5, 5), 0, draw.Blue, draw.FillStyle)
+	if img.At(5, 5) != draw.Blue {
+		t.Error("zero-radius circle missing")
+	}
+}
+
+func TestPolygonFill(t *testing.T) {
+	img := NewImage(30, 30)
+	pen := NewPen(img)
+	tri := []geom.Point{{X: 5, Y: 5}, {X: 25, Y: 5}, {X: 15, Y: 25}}
+	pen.Polygon(tri, draw.Green, draw.FillStyle)
+	if img.At(15, 10) != draw.Green {
+		t.Error("triangle interior not filled")
+	}
+	if img.At(2, 2) == draw.Green {
+		t.Error("triangle fill leaked")
+	}
+}
+
+func TestText(t *testing.T) {
+	img := NewImage(100, 20)
+	pen := NewPen(img)
+	pen.Text(geom.Pt(2, 2), "AB", 1, draw.Black)
+	if img.CountNonBackground(draw.White) == 0 {
+		t.Fatal("text drew nothing")
+	}
+	// Scale 2 covers more pixels.
+	img2 := NewImage(100, 30)
+	NewPen(img2).Text(geom.Pt(2, 2), "AB", 2, draw.Black)
+	if img2.CountNonBackground(draw.White) <= img.CountNonBackground(draw.White) {
+		t.Error("scaled text not larger")
+	}
+}
+
+func TestGlyphCoverage(t *testing.T) {
+	// Every visible ASCII glyph has at least one pixel; space has none.
+	for r := rune(33); r <= 126; r++ {
+		g := Glyph(r)
+		any := false
+		for _, col := range g {
+			if col != 0 {
+				any = true
+			}
+		}
+		if !any {
+			t.Errorf("glyph %q is blank", r)
+		}
+	}
+	if Glyph(' ') != (GlyphBits{}) {
+		t.Error("space is not blank")
+	}
+	if Glyph(rune(1000)) != fontBox {
+		t.Error("out-of-range rune should be the box glyph")
+	}
+}
+
+func TestClip(t *testing.T) {
+	img := NewImage(20, 20)
+	pen := NewPen(img).WithClip(geom.R(5, 5, 10, 10))
+	pen.Line(geom.Pt(0, 7), geom.Pt(19, 7), draw.Black, 1)
+	if img.At(2, 7) == draw.Black || img.At(15, 7) == draw.Black {
+		t.Error("clip did not constrain")
+	}
+	if img.At(7, 7) != draw.Black {
+		t.Error("clip removed interior")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	img := NewImage(3, 2)
+	img.Set(0, 0, draw.Red)
+	var buf bytes.Buffer
+	if err := img.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P6\n3 2\n255\n")) {
+		t.Fatalf("header = %q", out[:12])
+	}
+	if len(out) != 11+3*2*3 {
+		t.Fatalf("ppm size = %d", len(out))
+	}
+}
+
+func TestWritePNG(t *testing.T) {
+	img := NewImage(8, 8)
+	img.Set(3, 3, draw.Blue)
+	var buf bytes.Buffer
+	if err := img.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 8 || decoded.Bounds().Dy() != 8 {
+		t.Error("png dimensions wrong")
+	}
+	r, g, b, _ := decoded.At(3, 3).RGBA()
+	if r>>8 != uint32(draw.Blue.R) || g>>8 != uint32(draw.Blue.G) || b>>8 != uint32(draw.Blue.B) {
+		t.Error("png pixel wrong")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	img := NewImage(80, 40)
+	NewPen(img).Rect(geom.R(0, 0, 79, 39), draw.Black, draw.FillStyle)
+	art := img.ASCII(40)
+	if len(art) == 0 {
+		t.Fatal("no ascii output")
+	}
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines[0]) != 40 {
+		t.Errorf("ascii width = %d", len(lines[0]))
+	}
+	if !strings.Contains(art, "@") {
+		t.Error("solid black image should use the densest character")
+	}
+	blank := NewImage(80, 40).ASCII(40)
+	if strings.Trim(blank, " \n") != "" {
+		t.Error("white image should be blank")
+	}
+}
+
+func TestSubImageNonBackground(t *testing.T) {
+	img := NewImage(10, 10)
+	img.Set(5, 5, draw.Black)
+	if !img.SubImageNonBackground(0, 0, 10, 10, draw.White) {
+		t.Error("mark not found")
+	}
+	if img.SubImageNonBackground(0, 0, 4, 4, draw.White) {
+		t.Error("found mark outside region")
+	}
+	// Region clamped to image bounds.
+	if !img.SubImageNonBackground(-5, -5, 100, 100, draw.White) {
+		t.Error("clamped region missed mark")
+	}
+}

@@ -1,0 +1,239 @@
+package raster
+
+import (
+	"math"
+
+	"repro/internal/draw"
+	"repro/internal/geom"
+)
+
+// Pen draws primitives in screen pixel coordinates. The viewer maps each
+// drawable from tuple-offset space through the canvas transform into
+// screen space, then calls the Pen.
+type Pen struct {
+	Img *Image
+	// Clip restricts drawing to a screen rectangle; an empty Clip means
+	// the whole image. Magnifying glasses and wormhole windows render
+	// their inner canvases through a Clip.
+	Clip geom.Rect
+}
+
+// NewPen returns a pen over the whole image.
+func NewPen(img *Image) *Pen {
+	return &Pen{Img: img, Clip: geom.R(0, 0, float64(img.W), float64(img.H))}
+}
+
+// WithClip returns a pen clipped to the intersection of the current clip
+// and r.
+func (p *Pen) WithClip(r geom.Rect) *Pen {
+	return &Pen{Img: p.Img, Clip: p.Clip.Intersect(r)}
+}
+
+func (p *Pen) set(x, y int, c draw.Color) {
+	if !p.Clip.Contains(geom.Pt(float64(x), float64(y))) {
+		return
+	}
+	p.Img.Set(x, y, c)
+}
+
+// Blit copies src onto the target at integer offset (x0, y0), honoring
+// the pen's clip. Used to paste cached wormhole interiors.
+func (p *Pen) Blit(src *Image, x0, y0 int) {
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			p.set(x0+x, y0+y, src.Pix[y*src.W+x])
+		}
+	}
+}
+
+// Point draws a single marker (a 1-pixel dot with a 1-pixel halo so points
+// survive downscaling).
+func (p *Pen) Point(at geom.Point, c draw.Color) {
+	x, y := int(math.Round(at.X)), int(math.Round(at.Y))
+	p.set(x, y, c)
+}
+
+// Line draws a segment with Bresenham's algorithm, thickened to width
+// pixels by drawing perpendicular offsets.
+func (p *Pen) Line(a, b geom.Point, c draw.Color, width float64) {
+	w := int(math.Round(width))
+	if w < 1 {
+		w = 1
+	}
+	x0, y0 := int(math.Round(a.X)), int(math.Round(a.Y))
+	x1, y1 := int(math.Round(b.X)), int(math.Round(b.Y))
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := sign(x1-x0), sign(y1-y0)
+	err := dx + dy
+	steep := -dy > dx
+	for {
+		for o := -(w - 1) / 2; o <= w/2; o++ {
+			if steep {
+				p.set(x0+o, y0, c)
+			} else {
+				p.set(x0, y0+o, c)
+			}
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// Rect draws a rectangle, filled or outlined.
+func (p *Pen) Rect(r geom.Rect, c draw.Color, style draw.Style) {
+	x0, y0 := int(math.Floor(r.Min.X)), int(math.Floor(r.Min.Y))
+	x1, y1 := int(math.Ceil(r.Max.X)), int(math.Ceil(r.Max.Y))
+	if style.Fill {
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				p.set(x, y, c)
+			}
+		}
+		return
+	}
+	p.Line(geom.Pt(float64(x0), float64(y0)), geom.Pt(float64(x1), float64(y0)), c, style.LineWidth)
+	p.Line(geom.Pt(float64(x1), float64(y0)), geom.Pt(float64(x1), float64(y1)), c, style.LineWidth)
+	p.Line(geom.Pt(float64(x1), float64(y1)), geom.Pt(float64(x0), float64(y1)), c, style.LineWidth)
+	p.Line(geom.Pt(float64(x0), float64(y1)), geom.Pt(float64(x0), float64(y0)), c, style.LineWidth)
+}
+
+// Circle draws a circle using the midpoint algorithm, filled by horizontal
+// spans.
+func (p *Pen) Circle(center geom.Point, radius float64, c draw.Color, style draw.Style) {
+	cx, cy := int(math.Round(center.X)), int(math.Round(center.Y))
+	r := int(math.Round(radius))
+	if r <= 0 {
+		p.set(cx, cy, c)
+		return
+	}
+	x, y := r, 0
+	err := 1 - r
+	for x >= y {
+		if style.Fill {
+			p.hspan(cx-x, cx+x, cy+y, c)
+			p.hspan(cx-x, cx+x, cy-y, c)
+			p.hspan(cx-y, cx+y, cy+x, c)
+			p.hspan(cx-y, cx+y, cy-x, c)
+		} else {
+			for _, q := range [8][2]int{
+				{cx + x, cy + y}, {cx - x, cy + y}, {cx + x, cy - y}, {cx - x, cy - y},
+				{cx + y, cy + x}, {cx - y, cy + x}, {cx + y, cy - x}, {cx - y, cy - x},
+			} {
+				p.set(q[0], q[1], c)
+			}
+		}
+		y++
+		if err < 0 {
+			err += 2*y + 1
+		} else {
+			x--
+			err += 2*(y-x) + 1
+		}
+	}
+}
+
+func (p *Pen) hspan(x0, x1, y int, c draw.Color) {
+	for x := x0; x <= x1; x++ {
+		p.set(x, y, c)
+	}
+}
+
+// Polygon draws a closed polygon; filled polygons use even-odd scanline
+// filling.
+func (p *Pen) Polygon(pts []geom.Point, c draw.Color, style draw.Style) {
+	if len(pts) < 2 {
+		return
+	}
+	if style.Fill && len(pts) >= 3 {
+		p.fillPolygon(pts, c)
+	}
+	for i := range pts {
+		p.Line(pts[i], pts[(i+1)%len(pts)], c, style.LineWidth)
+	}
+}
+
+func (p *Pen) fillPolygon(pts []geom.Point, c draw.Color) {
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, q := range pts[1:] {
+		minY = math.Min(minY, q.Y)
+		maxY = math.Max(maxY, q.Y)
+	}
+	for y := int(math.Ceil(minY)); y <= int(math.Floor(maxY)); y++ {
+		fy := float64(y) + 0.5
+		var xs []float64
+		for i := range pts {
+			a, b := pts[i], pts[(i+1)%len(pts)]
+			if (a.Y <= fy && b.Y > fy) || (b.Y <= fy && a.Y > fy) {
+				t := (fy - a.Y) / (b.Y - a.Y)
+				xs = append(xs, a.X+t*(b.X-a.X))
+			}
+		}
+		sortFloats(xs)
+		for i := 0; i+1 < len(xs); i += 2 {
+			p.hspan(int(math.Ceil(xs[i])), int(math.Floor(xs[i+1])), y, c)
+		}
+	}
+}
+
+// Text draws a string with the embedded 5x7 font at integer pixel scale
+// (fractional sizes round up to keep glyphs legible).
+func (p *Pen) Text(at geom.Point, s string, scale float64, c draw.Color) {
+	sc := int(math.Round(scale))
+	if sc < 1 {
+		sc = 1
+	}
+	x := int(math.Round(at.X))
+	y := int(math.Round(at.Y))
+	for _, r := range s {
+		glyph := Glyph(r)
+		for col := 0; col < 5; col++ {
+			bits := glyph[col]
+			for row := 0; row < 7; row++ {
+				if bits&(1<<uint(row)) != 0 {
+					for dy := 0; dy < sc; dy++ {
+						for dx := 0; dx < sc; dx++ {
+							p.set(x+col*sc+dx, y+row*sc+dy, c)
+						}
+					}
+				}
+			}
+		}
+		x += draw.GlyphW * sc
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func sortFloats(xs []float64) {
+	// Insertion sort: crossing counts per scanline are tiny.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,641 @@
+package rel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Project is standard database projection (Figure 3): the result keeps the
+// named stored columns in the given order. Computed attributes whose
+// references survive are carried along; others are dropped, matching the
+// paper's note that projecting out fields a display function needs changes
+// the visualization (the default display adapts).
+func Project(r *Relation, names []string) (*Relation, error) {
+	schema, err := r.schema.project(names)
+	if err != nil {
+		return nil, err
+	}
+	idxs := make([]int, len(names))
+	for i, n := range names {
+		idxs[i] = r.schema.Index(n)
+	}
+	out := r.derive(schema, true)
+	out.tuples = make([][]types.Value, len(r.tuples))
+	rows := make([]int, len(r.tuples))
+	for ti, tup := range r.tuples {
+		nt := make([]types.Value, len(idxs))
+		for i, ci := range idxs {
+			nt[i] = tup[ci]
+		}
+		out.tuples[ti] = nt
+		rows[ti] = ti
+	}
+	out.setProv(r, rows)
+	return out, nil
+}
+
+// Restrict filters a relation to tuples satisfying a predicate (Figure 3).
+// When the predicate is a simple comparison on an indexed stored column,
+// the index is scanned instead of the heap; otherwise every row is
+// evaluated.
+func Restrict(r *Relation, pred expr.Node) (*Relation, error) {
+	if err := expr.CheckPredicate(pred, r); err != nil {
+		return nil, err
+	}
+	out := r.derive(r.schema, true)
+
+	if rows, ok := indexedRows(r, pred); ok {
+		out.tuples = make([][]types.Value, 0, len(rows))
+		for _, row := range rows {
+			out.tuples = append(out.tuples, r.tuples[row])
+		}
+		out.setProv(r, rows)
+		return out, nil
+	}
+
+	var rows []int
+	for i := range r.tuples {
+		keep, err := expr.EvalPredicate(pred, r.Row(i))
+		if err != nil {
+			return nil, fmt.Errorf("rel: restrict: %w", err)
+		}
+		if keep {
+			out.tuples = append(out.tuples, r.tuples[i])
+			rows = append(rows, i)
+		}
+	}
+	out.setProv(r, rows)
+	return out, nil
+}
+
+// indexedRows recognizes predicates of the form col OP literal (or literal
+// OP col) on an indexed column and answers them from the B-tree, returning
+// matching rows in key order.
+func indexedRows(r *Relation, pred expr.Node) ([]int, bool) {
+	b, ok := pred.(*expr.Binary)
+	if !ok {
+		return nil, false
+	}
+	var col string
+	var lit types.Value
+	op := b.Op
+	if ref, ok := b.L.(*expr.Ref); ok {
+		if l, ok := b.R.(*expr.Lit); ok {
+			col, lit = ref.Name, l.Val
+		}
+	} else if ref, ok := b.R.(*expr.Ref); ok {
+		if l, ok := b.L.(*expr.Lit); ok {
+			col, lit = ref.Name, l.Val
+			// Flip the comparison: lit OP col == col flip(OP) lit.
+			switch op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			}
+		}
+	}
+	if col == "" || lit.IsNull() {
+		return nil, false
+	}
+	idx, ok := r.Index(col)
+	if !ok {
+		return nil, false
+	}
+	// Mixed int/float comparisons through the index would need care;
+	// require the literal kind to match the column kind exactly.
+	if k, _ := r.schema.KindOf(col); k != lit.Kind() {
+		return nil, false
+	}
+
+	var rows []int
+	switch op {
+	case "=":
+		rows = append(rows, idx.Get(lit)...)
+	case "<":
+		idx.AscendRange(nil, &lit, func(it btree.Item) bool {
+			if c, _ := it.Key.Compare(lit); c < 0 {
+				rows = append(rows, it.Rows...)
+			}
+			return true
+		})
+	case "<=":
+		idx.AscendRange(nil, &lit, func(it btree.Item) bool {
+			rows = append(rows, it.Rows...)
+			return true
+		})
+	case ">":
+		idx.AscendRange(&lit, nil, func(it btree.Item) bool {
+			if c, _ := it.Key.Compare(lit); c > 0 {
+				rows = append(rows, it.Rows...)
+			}
+			return true
+		})
+	case ">=":
+		idx.AscendRange(&lit, nil, func(it btree.Item) bool {
+			rows = append(rows, it.Rows...)
+			return true
+		})
+	default:
+		return nil, false
+	}
+	sort.Ints(rows)
+	return rows, true
+}
+
+// Sample produces a random subset of the input: each tuple is retained
+// with probability p (Figure 3). The paper motivates Sample as a way to
+// improve interactive response by reducing data volume. The RNG is seeded
+// so visualizations are reproducible; callers wanting variation pass
+// different seeds.
+func Sample(r *Relation, p float64, seed int64) (*Relation, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("rel: sample probability %g out of [0,1]", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := r.derive(r.schema, true)
+	var rows []int
+	for i := range r.tuples {
+		if rng.Float64() < p {
+			out.tuples = append(out.tuples, r.tuples[i])
+			rows = append(rows, i)
+		}
+	}
+	out.setProv(r, rows)
+	return out, nil
+}
+
+// JoinStrategy selects the join algorithm behind the Join box.
+type JoinStrategy int
+
+// Join strategies. JoinAuto uses a hash join when the predicate is a
+// conjunction containing an equality between one attribute of each input,
+// and otherwise falls back to a nested loop.
+const (
+	JoinAuto JoinStrategy = iota
+	JoinHash
+	JoinNestedLoop
+)
+
+// Join computes the theta-join of l and r under pred (Figure 3). The
+// output schema is l's stored columns followed by r's; name collisions are
+// disambiguated by suffixing r's columns with "_r" (and the predicate sees
+// the disambiguated names). Computed attributes of both inputs are carried
+// over where their references survive.
+func Join(l, r *Relation, pred expr.Node, strategy JoinStrategy) (*Relation, error) {
+	rRename := make(map[string]string)
+	cols := l.schema.Columns()
+	for _, c := range r.schema.Columns() {
+		name := c.Name
+		if l.schema.Has(name) {
+			name = name + "_r"
+			for l.schema.Has(name) || r.schema.Has(name) {
+				name += "_"
+			}
+			rRename[c.Name] = name
+		}
+		cols = append(cols, Column{Name: name, Kind: c.Kind})
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, fmt.Errorf("rel: join: %w", err)
+	}
+
+	out := &Relation{schema: schema}
+	// Carry computed attributes that still resolve.
+	for _, src := range [][]Computed{l.computed, r.computed} {
+		for _, c := range src {
+			ok := !out.HasAttr(c.Name)
+			for _, ref := range expr.Refs(c.Expr) {
+				if !out.HasAttr(ref) && !schema.Has(ref) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out.computed = append(out.computed, c)
+			}
+		}
+	}
+
+	if err := expr.CheckPredicate(pred, out); err != nil {
+		return nil, fmt.Errorf("rel: join predicate: %w", err)
+	}
+
+	lw, rw := l.schema.Len(), r.schema.Len()
+	emit := func(lt, rt []types.Value) ([]types.Value, error) {
+		nt := make([]types.Value, 0, lw+rw)
+		nt = append(nt, lt...)
+		nt = append(nt, rt...)
+		keep, err := expr.EvalPredicate(pred, out.bindScratch(nt))
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			return nt, nil
+		}
+		return nil, nil
+	}
+
+	if strategy == JoinAuto || strategy == JoinHash {
+		if la, ra, ok := equiKey(pred, l, r, rRename); ok {
+			if err := hashJoin(out, l, r, la, ra, emit); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		if strategy == JoinHash {
+			return nil, fmt.Errorf("rel: join: hash strategy requires an equality predicate between the inputs")
+		}
+	}
+
+	for i := range l.tuples {
+		for j := range r.tuples {
+			nt, err := emit(l.tuples[i], r.tuples[j])
+			if err != nil {
+				return nil, fmt.Errorf("rel: join: %w", err)
+			}
+			if nt != nil {
+				out.tuples = append(out.tuples, nt)
+			}
+		}
+	}
+	return out, nil
+}
+
+// bindScratch wraps a candidate output tuple (not yet appended) as an
+// expr.Env against the output relation's schema and computed attributes.
+func (r *Relation) bindScratch(tuple []types.Value) expr.Env {
+	return scratchRow{rel: r, tuple: tuple}
+}
+
+type scratchRow struct {
+	rel   *Relation
+	tuple []types.Value
+}
+
+// AttrValue implements expr.Env.
+func (s scratchRow) AttrValue(name string) (types.Value, bool) {
+	if i := s.rel.schema.Index(name); i >= 0 {
+		return s.tuple[i], true
+	}
+	for _, c := range s.rel.computed {
+		if c.Name == name {
+			v, err := expr.Eval(c.Expr, s)
+			if err != nil {
+				return types.Null, true
+			}
+			return v, true
+		}
+	}
+	return types.Null, false
+}
+
+// equiKey finds an equality conjunct "lcol = rcol" usable as a hash key.
+// rRename maps r's original column names to their disambiguated names in
+// the join scope; the returned ra is r's ORIGINAL column name.
+func equiKey(pred expr.Node, l, r *Relation, rRename map[string]string) (la, ra string, ok bool) {
+	b, isBin := pred.(*expr.Binary)
+	if !isBin {
+		return "", "", false
+	}
+	if b.Op == "and" {
+		if la, ra, ok = equiKey(b.L, l, r, rRename); ok {
+			return la, ra, true
+		}
+		return equiKey(b.R, l, r, rRename)
+	}
+	if b.Op != "=" {
+		return "", "", false
+	}
+	lr, lok := b.L.(*expr.Ref)
+	rr, rok := b.R.(*expr.Ref)
+	if !lok || !rok {
+		return "", "", false
+	}
+	// Resolve each ref to a side. A ref names r's column either by its
+	// original name (if unambiguous) or the renamed form.
+	resolve := func(name string) (side int, col string) {
+		if l.schema.Has(name) && r.schema.Has(name) {
+			// Ambiguous original name: in the join scope it denotes l's
+			// column; r's is reachable only via the rename.
+			return 0, name
+		}
+		if l.schema.Has(name) {
+			return 0, name
+		}
+		if r.schema.Has(name) {
+			return 1, name
+		}
+		for orig, renamed := range rRename {
+			if renamed == name {
+				return 1, orig
+			}
+		}
+		return -1, ""
+	}
+	s1, c1 := resolve(lr.Name)
+	s2, c2 := resolve(rr.Name)
+	switch {
+	case s1 == 0 && s2 == 1:
+		return c1, c2, true
+	case s1 == 1 && s2 == 0:
+		return c2, c1, true
+	}
+	return "", "", false
+}
+
+func hashJoin(out, l, r *Relation, la, ra string, emit func(lt, rt []types.Value) ([]types.Value, error)) error {
+	li, ri := l.schema.Index(la), r.schema.Index(ra)
+	if li < 0 || ri < 0 {
+		return fmt.Errorf("rel: join: internal: bad equi columns %q/%q", la, ra)
+	}
+	// Build on the smaller input.
+	build, probe := r, l
+	bi, pi := ri, li
+	buildIsRight := true
+	if l.Len() < r.Len() {
+		build, probe = l, r
+		bi, pi = li, ri
+		buildIsRight = false
+	}
+	table := make(map[string][]int, build.Len())
+	for row, tup := range build.tuples {
+		v := tup[bi]
+		if v.IsNull() {
+			continue
+		}
+		k := hashKey(v)
+		table[k] = append(table[k], row)
+	}
+	for _, ptup := range probe.tuples {
+		v := ptup[pi]
+		if v.IsNull() {
+			continue
+		}
+		for _, brow := range table[hashKey(v)] {
+			btup := build.tuples[brow]
+			var lt, rt []types.Value
+			if buildIsRight {
+				lt, rt = ptup, btup
+			} else {
+				lt, rt = btup, ptup
+			}
+			nt, err := emit(lt, rt)
+			if err != nil {
+				return fmt.Errorf("rel: join: %w", err)
+			}
+			if nt != nil {
+				out.tuples = append(out.tuples, nt)
+			}
+		}
+	}
+	return nil
+}
+
+// hashKey canonicalizes a value for hash-join bucketing; int and float
+// compare equal when numerically equal, so both map through float64.
+func hashKey(v types.Value) string {
+	if f, ok := v.AsFloat(); ok && v.Kind() != types.Date {
+		return fmt.Sprintf("n:%g", f)
+	}
+	return v.Kind().String() + ":" + v.String()
+}
+
+// Sort returns the relation ordered by the named attribute (stored or
+// computed), ascending or descending. Used by default displays and by the
+// elevation map's drawing-order view.
+func Sort(r *Relation, attr string, descending bool) (*Relation, error) {
+	if !r.HasAttr(attr) {
+		return nil, fmt.Errorf("rel: sort: no attribute %q", attr)
+	}
+	rows := make([]int, r.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(a, b int) bool {
+		va := r.Row(rows[a]).Attr(attr)
+		vb := r.Row(rows[b]).Attr(attr)
+		c, err := va.Compare(vb)
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		if descending {
+			return c > 0
+		}
+		return c < 0
+	})
+	if sortErr != nil {
+		return nil, fmt.Errorf("rel: sort on %q: %w", attr, sortErr)
+	}
+	out := r.derive(r.schema, true)
+	out.tuples = make([][]types.Value, len(rows))
+	for i, row := range rows {
+		out.tuples[i] = r.tuples[row]
+	}
+	out.setProv(r, rows)
+	return out, nil
+}
+
+// Union concatenates relations with equal schemas.
+func Union(rels ...*Relation) (*Relation, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("rel: union of nothing")
+	}
+	for _, r := range rels[1:] {
+		if !r.schema.Equal(rels[0].schema) {
+			return nil, fmt.Errorf("rel: union: schema mismatch: %s vs %s", rels[0].schema, r.schema)
+		}
+	}
+	out := rels[0].derive(rels[0].schema, true)
+	for _, r := range rels {
+		out.tuples = append(out.tuples, r.tuples...)
+	}
+	return out, nil
+}
+
+// Partition splits a relation by a list of predicates; tuple membership is
+// decided by the first predicate that matches (tuples matching none are
+// dropped). This is the relational engine beneath Replicate (Section 7.4)
+// and the multi-output Partition box.
+func Partition(r *Relation, preds []expr.Node) ([]*Relation, error) {
+	outs := make([]*Relation, len(preds))
+	for i, p := range preds {
+		if err := expr.CheckPredicate(p, r); err != nil {
+			return nil, fmt.Errorf("rel: partition predicate %d: %w", i, err)
+		}
+		outs[i] = r.derive(r.schema, true)
+	}
+	rows := make([][]int, len(preds))
+	for ti := range r.tuples {
+		for pi, p := range preds {
+			keep, err := expr.EvalPredicate(p, r.Row(ti))
+			if err != nil {
+				return nil, fmt.Errorf("rel: partition: %w", err)
+			}
+			if keep {
+				outs[pi].tuples = append(outs[pi].tuples, r.tuples[ti])
+				rows[pi] = append(rows[pi], ti)
+				break
+			}
+		}
+	}
+	for pi := range outs {
+		outs[pi].setProv(r, rows[pi])
+	}
+	return outs, nil
+}
+
+// MapColumn materializes a stored column from an expression evaluated per
+// tuple, the engine beneath Set/Scale/Translate Attribute applied to a
+// stored attribute. The column's kind follows the expression's type.
+func MapColumn(r *Relation, col string, def expr.Node) (*Relation, error) {
+	ci := r.schema.Index(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("rel: map column: no stored column %q", col)
+	}
+	k, err := expr.Check(def, r)
+	if err != nil {
+		return nil, fmt.Errorf("rel: map column %q: %w", col, err)
+	}
+	cols := r.schema.Columns()
+	cols[ci].Kind = k
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := r.derive(schema, true)
+	out.tuples = make([][]types.Value, len(r.tuples))
+	rows := make([]int, len(r.tuples))
+	for i := range r.tuples {
+		v, err := expr.Eval(def, r.Row(i))
+		if err != nil {
+			return nil, fmt.Errorf("rel: map column %q row %d: %w", col, i, err)
+		}
+		nt := append([]types.Value(nil), r.tuples[i]...)
+		nt[ci] = v
+		out.tuples[i] = nt
+		rows[i] = i
+	}
+	out.setProv(r, rows)
+	return out, nil
+}
+
+// SwapColumns interchanges two stored attributes of the same type
+// (Figure 5's Swap Attributes on stored columns) by swapping their names
+// in the schema, which exchanges the attributes' values without touching
+// tuple storage.
+func SwapColumns(r *Relation, a, b string) (*Relation, error) {
+	ai, bi := r.schema.Index(a), r.schema.Index(b)
+	if ai < 0 || bi < 0 {
+		return nil, fmt.Errorf("rel: swap: missing column %q or %q", a, b)
+	}
+	if r.schema.Col(ai).Kind != r.schema.Col(bi).Kind {
+		return nil, fmt.Errorf("rel: swap: %q is %s but %q is %s",
+			a, r.schema.Col(ai).Kind, b, r.schema.Col(bi).Kind)
+	}
+	cols := r.schema.Columns()
+	cols[ai].Name, cols[bi].Name = cols[bi].Name, cols[ai].Name
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := r.derive(schema, true)
+	out.tuples = r.tuples
+	rows := make([]int, len(r.tuples))
+	for i := range rows {
+		rows[i] = i
+	}
+	out.setProv(r, rows)
+	return out, nil
+}
+
+// DropColumn removes one stored column (Remove Attribute on a stored
+// attribute is Project over the survivors).
+func DropColumn(r *Relation, col string) (*Relation, error) {
+	if r.schema.Index(col) < 0 {
+		return nil, fmt.Errorf("rel: drop: no stored column %q", col)
+	}
+	var keep []string
+	for _, c := range r.schema.Columns() {
+		if c.Name != col {
+			keep = append(keep, c.Name)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("rel: drop: cannot remove the only column %q", col)
+	}
+	return Project(r, keep)
+}
+
+// DistinctValues returns the distinct values of an attribute in first-
+// appearance order, used to expand an enumerated-type Replicate
+// specification into predicates.
+func DistinctValues(r *Relation, attr string) ([]types.Value, error) {
+	if !r.HasAttr(attr) {
+		return nil, fmt.Errorf("rel: no attribute %q", attr)
+	}
+	seen := make(map[string]bool)
+	var out []types.Value
+	for i := 0; i < r.Len(); i++ {
+		v := r.Row(i).Attr(attr)
+		k := hashKey(v)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Distinct removes duplicate tuples (full-tuple equality), keeping first
+// occurrences in order. Computed attributes are carried; provenance maps
+// each survivor to its first occurrence.
+func Distinct(r *Relation) *Relation {
+	out := r.derive(r.schema, true)
+	seen := make(map[string]bool, r.Len())
+	var rows []int
+	for i := 0; i < r.Len(); i++ {
+		key := ""
+		for _, v := range r.tuples[i] {
+			key += hashKey(v) + "\x00"
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.tuples = append(out.tuples, r.tuples[i])
+		rows = append(rows, i)
+	}
+	out.setProv(r, rows)
+	return out
+}
+
+// Limit keeps the first n tuples — the quick-look complement to Sample
+// for interactive response.
+func Limit(r *Relation, n int) (*Relation, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("rel: limit must be non-negative, got %d", n)
+	}
+	if n > r.Len() {
+		n = r.Len()
+	}
+	out := r.derive(r.schema, true)
+	out.tuples = r.tuples[:n]
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	out.setProv(r, rows)
+	return out, nil
+}

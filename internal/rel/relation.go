@@ -1,0 +1,411 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/btree"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Computed is an attribute defined by an expression over other attributes
+// of the same relation — the paper's "methods defining additional
+// attributes" on an object-relational table (Section 2). Location
+// attributes are typically computed (for example x = longitude).
+type Computed struct {
+	Name string
+	Kind types.Kind
+	Expr expr.Node
+}
+
+// Relation is a table: a stored schema, tuple storage, computed
+// attributes, and optional secondary indexes on stored columns. Derived
+// relations produced by operators share immutable tuple storage with their
+// inputs where possible; only the db package mutates base tables, through
+// Relation's update hooks.
+type Relation struct {
+	name     string
+	schema   *Schema
+	tuples   [][]types.Value
+	computed []Computed
+	indexes  map[string]*btree.Tree
+	// provenance: when set, tuple i of this relation derives from tuple
+	// provRows[i] of provBase. Operators that keep tuples intact
+	// (Restrict, Sample, Sort, Project, column maps) maintain it so a
+	// screen object can be traced to a base-table row for updates
+	// (Section 8); Join and Union drop it.
+	provBase *Relation
+	provRows []int
+}
+
+// setProv installs provenance, composing with the source's own provenance
+// so BaseRow always reaches a base table in one hop chain.
+func (r *Relation) setProv(src *Relation, rows []int) {
+	if src.provBase != nil {
+		base := src.provBase
+		composed := make([]int, len(rows))
+		for i, row := range rows {
+			composed[i] = src.provRows[row]
+		}
+		r.provBase, r.provRows = base, composed
+		return
+	}
+	r.provBase, r.provRows = src, rows
+}
+
+// BaseRow traces tuple i to its originating base relation and row. For a
+// relation with no provenance (a base table itself, or the output of Join
+// or Union) it returns the relation and i unchanged.
+func (r *Relation) BaseRow(i int) (*Relation, int) {
+	if r.provBase == nil || i < 0 || i >= len(r.provRows) {
+		return r, i
+	}
+	return r.provBase, r.provRows[i]
+}
+
+// New creates an empty relation with the given schema.
+func New(name string, schema *Schema) *Relation {
+	return &Relation{name: name, schema: schema}
+}
+
+// Name returns the relation's name ("" for anonymous derived relations).
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the stored-column schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Computed returns the computed attribute definitions in order.
+func (r *Relation) Computed() []Computed { return append([]Computed(nil), r.computed...) }
+
+// AttrKind implements expr.Scope over stored and computed attributes — the
+// uniform t.l notation of the paper.
+func (r *Relation) AttrKind(name string) (types.Kind, bool) {
+	if k, ok := r.schema.KindOf(name); ok {
+		return k, true
+	}
+	for _, c := range r.computed {
+		if c.Name == name {
+			return c.Kind, true
+		}
+	}
+	return types.Invalid, false
+}
+
+// HasAttr reports whether name is a stored or computed attribute.
+func (r *Relation) HasAttr(name string) bool {
+	_, ok := r.AttrKind(name)
+	return ok
+}
+
+// AttrNames returns all attribute names, stored first, then computed in
+// definition order.
+func (r *Relation) AttrNames() []string {
+	out := make([]string, 0, r.schema.Len()+len(r.computed))
+	for _, c := range r.schema.Columns() {
+		out = append(out, c.Name)
+	}
+	for _, c := range r.computed {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// Append adds a tuple. The tuple must match the schema arity and types
+// (null is accepted in any column).
+func (r *Relation) Append(tuple []types.Value) error {
+	if len(tuple) != r.schema.Len() {
+		return fmt.Errorf("rel: %s: tuple arity %d != schema arity %d", r.name, len(tuple), r.schema.Len())
+	}
+	for i, v := range tuple {
+		if !v.IsNull() && v.Kind() != r.schema.Col(i).Kind {
+			return fmt.Errorf("rel: %s: column %q wants %s, got %s",
+				r.name, r.schema.Col(i).Name, r.schema.Col(i).Kind, v.Kind())
+		}
+	}
+	row := len(r.tuples)
+	r.tuples = append(r.tuples, tuple)
+	for col, idx := range r.indexes {
+		v := tuple[r.schema.Index(col)]
+		if !v.IsNull() {
+			idx.Insert(v, row)
+		}
+	}
+	return nil
+}
+
+// MustAppend is Append that panics on error, for fixtures and generators.
+func (r *Relation) MustAppend(tuple []types.Value) {
+	if err := r.Append(tuple); err != nil {
+		panic(err)
+	}
+}
+
+// Tuple returns the i'th stored tuple. The returned slice must not be
+// mutated; use Update.
+func (r *Relation) Tuple(i int) []types.Value { return r.tuples[i] }
+
+// Row binds tuple i to the relation for attribute access; it implements
+// expr.Env including computed attributes.
+func (r *Relation) Row(i int) Row { return Row{rel: r, idx: i} }
+
+// Update replaces column col of tuple row with v, maintaining indexes.
+// This is the primitive beneath the Section 8 update machinery.
+func (r *Relation) Update(row int, col string, v types.Value) error {
+	ci := r.schema.Index(col)
+	if ci < 0 {
+		return fmt.Errorf("rel: %s: no stored column %q (computed attributes cannot be updated)", r.name, col)
+	}
+	if row < 0 || row >= len(r.tuples) {
+		return fmt.Errorf("rel: %s: row %d out of range", r.name, row)
+	}
+	if !v.IsNull() && v.Kind() != r.schema.Col(ci).Kind {
+		return fmt.Errorf("rel: %s: column %q wants %s, got %s", r.name, col, r.schema.Col(ci).Kind, v.Kind())
+	}
+	old := r.tuples[row][ci]
+	if idx, ok := r.indexes[col]; ok {
+		if !old.IsNull() {
+			idx.Delete(old, row)
+		}
+		if !v.IsNull() {
+			idx.Insert(v, row)
+		}
+	}
+	// Copy-on-write the tuple so derived relations sharing storage keep a
+	// consistent view until re-evaluated.
+	nt := append([]types.Value(nil), r.tuples[row]...)
+	nt[ci] = v
+	r.tuples[row] = nt
+	return nil
+}
+
+// CreateIndex builds a B-tree index on a stored column.
+func (r *Relation) CreateIndex(col string) error {
+	ci := r.schema.Index(col)
+	if ci < 0 {
+		return fmt.Errorf("rel: %s: cannot index %q: no such stored column", r.name, col)
+	}
+	if r.indexes == nil {
+		r.indexes = make(map[string]*btree.Tree)
+	}
+	if _, dup := r.indexes[col]; dup {
+		return fmt.Errorf("rel: %s: index on %q already exists", r.name, col)
+	}
+	t := &btree.Tree{}
+	for row, tup := range r.tuples {
+		if v := tup[ci]; !v.IsNull() {
+			t.Insert(v, row)
+		}
+	}
+	r.indexes[col] = t
+	return nil
+}
+
+// Index returns the index on col, if any.
+func (r *Relation) Index(col string) (*btree.Tree, bool) {
+	t, ok := r.indexes[col]
+	return t, ok
+}
+
+// AddComputed defines a new computed attribute. The definition may depend
+// only on other attributes of the relation (Section 5.3); this is enforced
+// by type checking against the relation's current scope, which also
+// prevents definition cycles because an attribute can only reference
+// attributes that already exist.
+func (r *Relation) AddComputed(name string, def expr.Node) error {
+	if r.HasAttr(name) {
+		return fmt.Errorf("rel: %s: attribute %q already exists", r.name, name)
+	}
+	k, err := expr.Check(def, r)
+	if err != nil {
+		return fmt.Errorf("rel: %s: bad definition for %q: %w", r.name, name, err)
+	}
+	r.computed = append(r.computed, Computed{Name: name, Kind: k, Expr: def})
+	return nil
+}
+
+// SetComputed replaces the definition of an existing computed attribute
+// (the Set Attribute operation of Figure 5 applied to a method attribute).
+// The new definition is checked against a scope that excludes the
+// attribute itself and everything defined after it, preserving the no-
+// forward-reference invariant.
+func (r *Relation) SetComputed(name string, def expr.Node) error {
+	for i, c := range r.computed {
+		if c.Name != name {
+			continue
+		}
+		k, err := expr.Check(def, prefixScope{r: r, upto: i})
+		if err != nil {
+			return fmt.Errorf("rel: %s: bad definition for %q: %w", r.name, name, err)
+		}
+		if k != c.Kind {
+			// Changing the kind is allowed only if no later computed
+			// attribute references this one with the old kind.
+			for _, later := range r.computed[i+1:] {
+				for _, ref := range expr.Refs(later.Expr) {
+					if ref == name {
+						return fmt.Errorf("rel: %s: cannot change %q from %s to %s: %q depends on it",
+							r.name, name, c.Kind, k, later.Name)
+					}
+				}
+			}
+		}
+		r.computed[i] = Computed{Name: name, Kind: k, Expr: def}
+		return nil
+	}
+	return fmt.Errorf("rel: %s: no computed attribute %q", r.name, name)
+}
+
+// RemoveComputed deletes a computed attribute, refusing if a later
+// computed attribute depends on it.
+func (r *Relation) RemoveComputed(name string) error {
+	for i, c := range r.computed {
+		if c.Name != name {
+			continue
+		}
+		for _, later := range r.computed[i+1:] {
+			for _, ref := range expr.Refs(later.Expr) {
+				if ref == name {
+					return fmt.Errorf("rel: %s: cannot remove %q: %q depends on it", r.name, name, later.Name)
+				}
+			}
+		}
+		r.computed = append(r.computed[:i], r.computed[i+1:]...)
+		return nil
+	}
+	return fmt.Errorf("rel: %s: no computed attribute %q", r.name, name)
+}
+
+// prefixScope exposes stored columns plus the first upto computed
+// attributes, for checking redefinitions.
+type prefixScope struct {
+	r    *Relation
+	upto int
+}
+
+// AttrKind implements expr.Scope.
+func (p prefixScope) AttrKind(name string) (types.Kind, bool) {
+	if k, ok := p.r.schema.KindOf(name); ok {
+		return k, true
+	}
+	for _, c := range p.r.computed[:p.upto] {
+		if c.Name == name {
+			return c.Kind, true
+		}
+	}
+	return types.Invalid, false
+}
+
+// ShallowClone returns a relation sharing tuple storage but with private
+// computed-attribute definitions, so attribute boxes can extend a derived
+// relation without mutating their input. Indexes are not carried (they
+// belong to base tables).
+func (r *Relation) ShallowClone() *Relation {
+	return &Relation{
+		name:     r.name,
+		schema:   r.schema,
+		tuples:   r.tuples,
+		computed: append([]Computed(nil), r.computed...),
+		provBase: r.provBase,
+		provRows: r.provRows,
+	}
+}
+
+// Clone returns a relation with copied tuple storage and attribute
+// definitions, used by the undo machinery and by Replace Box.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{
+		name:     r.name,
+		schema:   r.schema,
+		tuples:   make([][]types.Value, len(r.tuples)),
+		computed: append([]Computed(nil), r.computed...),
+	}
+	for i, t := range r.tuples {
+		out.tuples[i] = append([]types.Value(nil), t...)
+	}
+	return out
+}
+
+// derive builds an anonymous relation sharing this relation's computed
+// attributes but with new tuple storage; operators use it.
+func (r *Relation) derive(schema *Schema, keepComputed bool) *Relation {
+	out := &Relation{schema: schema}
+	if keepComputed {
+		// Keep only computed attributes whose references survive in the
+		// new schema or in earlier surviving computed attributes.
+		for _, c := range r.computed {
+			ok := true
+			for _, ref := range expr.Refs(c.Expr) {
+				if !out.HasAttr(ref) && !schemaHas(schema, ref) {
+					ok = false
+					break
+				}
+			}
+			if ok && !schemaHas(schema, c.Name) {
+				out.computed = append(out.computed, c)
+			}
+		}
+	}
+	return out
+}
+
+func schemaHas(s *Schema, name string) bool { return s.Has(name) }
+
+// String renders a compact description for program-window labels.
+func (r *Relation) String() string {
+	name := r.name
+	if name == "" {
+		name = "<derived>"
+	}
+	extra := ""
+	if len(r.computed) > 0 {
+		names := make([]string, len(r.computed))
+		for i, c := range r.computed {
+			names[i] = c.Name
+		}
+		extra = " +" + strings.Join(names, ",")
+	}
+	return fmt.Sprintf("%s%s%s [%d tuples]", name, r.schema, extra, len(r.tuples))
+}
+
+// Row is one tuple bound to its relation; it implements expr.Env over
+// stored and computed attributes. Computed attributes are evaluated on
+// demand — "actually computing the values of these attributes should be
+// avoided except where necessary" (Section 5.1) — so a Row held by a
+// culled tuple costs nothing.
+type Row struct {
+	rel *Relation
+	idx int
+}
+
+// Index returns the row's position in the relation.
+func (w Row) Index() int { return w.idx }
+
+// Relation returns the owning relation.
+func (w Row) Relation() *Relation { return w.rel }
+
+// AttrValue implements expr.Env.
+func (w Row) AttrValue(name string) (types.Value, bool) {
+	if i := w.rel.schema.Index(name); i >= 0 {
+		return w.rel.tuples[w.idx][i], true
+	}
+	for _, c := range w.rel.computed {
+		if c.Name == name {
+			v, err := expr.Eval(c.Expr, w)
+			if err != nil {
+				return types.Null, true // null on evaluation failure, attribute exists
+			}
+			return v, true
+		}
+	}
+	return types.Null, false
+}
+
+// Attr returns the named attribute value, or null if absent.
+func (w Row) Attr(name string) types.Value {
+	v, _ := w.AttrValue(name)
+	return v
+}

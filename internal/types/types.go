@@ -1,0 +1,360 @@
+// Package types implements the Tioga-2 value system: the atomic column
+// types of the object-relational substrate (int, float, text, bool, date),
+// dynamically typed values, and the per-type update functions required by
+// Section 8 of the paper ("we require the type definer to write a second
+// update function that enables Tioga-2 to provide updates for instances of
+// the type that appear on the screen"). The per-type default *display*
+// functions live in internal/draw, which owes this package its value
+// representation.
+package types
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies an atomic column type.
+type Kind int
+
+// The atomic types of the substrate. Invalid is the zero Kind and marks
+// absent or null values.
+const (
+	Invalid Kind = iota
+	Int
+	Float
+	Text
+	Bool
+	Date
+)
+
+var kindNames = [...]string{
+	Invalid: "invalid",
+	Int:     "int",
+	Float:   "float",
+	Text:    "text",
+	Bool:    "bool",
+	Date:    "date",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind maps a type name to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s && Kind(k) != Invalid {
+			return Kind(k), nil
+		}
+	}
+	return Invalid, fmt.Errorf("types: unknown type %q", s)
+}
+
+// Numeric reports whether values of the kind participate in arithmetic.
+// Dates are numeric so Scale/Translate Attribute (Figure 5) work on time
+// axes, exactly as the Louisiana example needs for date ranges.
+func (k Kind) Numeric() bool { return k == Int || k == Float || k == Date }
+
+// Value is a dynamically typed value of one of the atomic kinds. The zero
+// Value is null (Kind Invalid). Values are small and passed by value.
+type Value struct {
+	kind Kind
+	i    int64   // Int, Bool (0/1), Date (days since 1900-01-01)
+	f    float64 // Float
+	s    string  // Text
+}
+
+// Null is the absent value.
+var Null = Value{}
+
+// NewInt returns an int value.
+func NewInt(v int64) Value { return Value{kind: Int, i: v} }
+
+// NewFloat returns a float value.
+func NewFloat(v float64) Value { return Value{kind: Float, f: v} }
+
+// NewText returns a text value.
+func NewText(v string) Value { return Value{kind: Text, s: v} }
+
+// NewBool returns a bool value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: Bool, i: i}
+}
+
+// NewDate returns a date value from days since the epoch 1900-01-01.
+func NewDate(days int64) Value { return Value{kind: Date, i: days} }
+
+// DateYMD returns a date value for the given calendar day using a proleptic
+// Gregorian calendar anchored at 1900-01-01 (day 0).
+func DateYMD(year, month, day int) Value {
+	return NewDate(int64(daysFromCivil(year, month, day) - daysFromCivil(1900, 1, 1)))
+}
+
+// daysFromCivil converts a Gregorian date to a day count (Howard Hinnant's
+// civil-days algorithm), anchored at 1970-01-01 = 0.
+func daysFromCivil(y, m, d int) int {
+	if m <= 2 {
+		y--
+	}
+	era := y / 400
+	if y < 0 && y%400 != 0 {
+		era--
+	}
+	yoe := y - era*400
+	var mp int
+	if m > 2 {
+		mp = m - 3
+	} else {
+		mp = m + 9
+	}
+	doy := (153*mp+2)/5 + d - 1
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return era*146097 + doe - 719468
+}
+
+// civilFromDays inverts daysFromCivil.
+func civilFromDays(z int) (y, m, d int) {
+	z += 719468
+	era := z / 146097
+	if z < 0 && z%146097 != 0 {
+		era--
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	y = yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	d = doy - (153*mp+2)/5 + 1
+	if mp < 10 {
+		m = mp + 3
+	} else {
+		m = mp - 9
+	}
+	if m <= 2 {
+		y++
+	}
+	return
+}
+
+// Kind returns the value's type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is absent.
+func (v Value) IsNull() bool { return v.kind == Invalid }
+
+// Int returns the value as int64. It panics if the kind is not Int; use
+// AsFloat for generic numeric access.
+func (v Value) Int() int64 {
+	if v.kind != Int {
+		panic(fmt.Sprintf("types: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the value as float64. It panics if the kind is not Float.
+func (v Value) Float() float64 {
+	if v.kind != Float {
+		panic(fmt.Sprintf("types: Float() on %s value", v.kind))
+	}
+	return v.f
+}
+
+// Text returns the value as a string. It panics if the kind is not Text.
+func (v Value) Text() string {
+	if v.kind != Text {
+		panic(fmt.Sprintf("types: Text() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Bool returns the value as a bool. It panics if the kind is not Bool.
+func (v Value) Bool() bool {
+	if v.kind != Bool {
+		panic(fmt.Sprintf("types: Bool() on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// DateDays returns the value as days since 1900-01-01. It panics if the
+// kind is not Date.
+func (v Value) DateDays() int64 {
+	if v.kind != Date {
+		panic(fmt.Sprintf("types: DateDays() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// YMD returns the calendar day of a Date value.
+func (v Value) YMD() (year, month, day int) {
+	return civilFromDays(int(v.DateDays()) + daysFromCivil(1900, 1, 1))
+}
+
+// AsFloat converts any numeric value (Int, Float, Date) to float64. This is
+// the conversion viewers use to read location attributes, which the paper
+// defines as floating point numbers.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case Int, Date:
+		return float64(v.i), true
+	case Float:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// Compare orders two values of the same kind: -1, 0, or +1. Nulls sort
+// first. Comparing different non-null kinds returns an error.
+func (v Value) Compare(w Value) (int, error) {
+	if v.IsNull() || w.IsNull() {
+		switch {
+		case v.IsNull() && w.IsNull():
+			return 0, nil
+		case v.IsNull():
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	// Int/Float are mutually comparable through float64.
+	if v.kind.Numeric() && w.kind.Numeric() {
+		a, _ := v.AsFloat()
+		b, _ := w.AsFloat()
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if v.kind != w.kind {
+		return 0, fmt.Errorf("types: cannot compare %s with %s", v.kind, w.kind)
+	}
+	switch v.kind {
+	case Text:
+		return strings.Compare(v.s, w.s), nil
+	case Bool:
+		switch {
+		case v.i < w.i:
+			return -1, nil
+		case v.i > w.i:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("types: cannot compare %s values", v.kind)
+}
+
+// Equal reports whether two values are the same kind and contents.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case Invalid:
+		return true
+	case Float:
+		return v.f == w.f
+	case Text:
+		return v.s == w.s
+	default:
+		return v.i == w.i
+	}
+}
+
+// String renders the value the way the default ASCII display of Section 5.2
+// does ("a display consisting of a sequence of tuples in ASCII").
+func (v Value) String() string {
+	switch v.kind {
+	case Invalid:
+		return "null"
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case Text:
+		return v.s
+	case Bool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case Date:
+		y, m, d := v.YMD()
+		return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+	}
+	return "?"
+}
+
+// Parse converts textual user input into a value of kind k. This is the
+// core of the default per-type update functions of Section 8: the update
+// dialog collects text for each field and Parse installs it.
+func Parse(k Kind, s string) (Value, error) {
+	s = strings.TrimSpace(s)
+	if s == "null" {
+		return Null, nil
+	}
+	switch k {
+	case Int:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("types: %q is not an int", s)
+		}
+		return NewInt(i), nil
+	case Float:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null, fmt.Errorf("types: %q is not a float", s)
+		}
+		return NewFloat(f), nil
+	case Text:
+		return NewText(s), nil
+	case Bool:
+		switch strings.ToLower(s) {
+		case "true", "t", "yes", "1":
+			return NewBool(true), nil
+		case "false", "f", "no", "0":
+			return NewBool(false), nil
+		}
+		return Null, fmt.Errorf("types: %q is not a bool", s)
+	case Date:
+		var y, m, d int
+		if _, err := fmt.Sscanf(s, "%d-%d-%d", &y, &m, &d); err != nil {
+			return Null, fmt.Errorf("types: %q is not a date (want YYYY-MM-DD)", s)
+		}
+		if m < 1 || m > 12 || d < 1 || d > 31 {
+			return Null, fmt.Errorf("types: %q is out of calendar range", s)
+		}
+		return DateYMD(y, m, d), nil
+	}
+	return Null, fmt.Errorf("types: cannot parse into %s", k)
+}
+
+// Zero returns the zero value of kind k (0, 0.0, "", false, day 0).
+func Zero(k Kind) Value {
+	switch k {
+	case Int:
+		return NewInt(0)
+	case Float:
+		return NewFloat(0)
+	case Text:
+		return NewText("")
+	case Bool:
+		return NewBool(false)
+	case Date:
+		return NewDate(0)
+	}
+	return Null
+}

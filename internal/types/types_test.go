@@ -1,0 +1,258 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Invalid: "invalid", Int: "int", Float: "float",
+		Text: "text", Bool: "bool", Date: "date",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, name := range []string{"int", "float", "text", "bool", "date"} {
+		k, err := ParseKind(name)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", name, err)
+		}
+		if k.String() != name {
+			t.Errorf("round trip %q -> %q", name, k.String())
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind accepted unknown type")
+	}
+	if _, err := ParseKind("invalid"); err == nil {
+		t.Error("ParseKind accepted 'invalid'")
+	}
+}
+
+func TestNumericKinds(t *testing.T) {
+	if !Int.Numeric() || !Float.Numeric() || !Date.Numeric() {
+		t.Error("Int/Float/Date should be numeric")
+	}
+	if Text.Numeric() || Bool.Numeric() || Invalid.Numeric() {
+		t.Error("Text/Bool/Invalid should not be numeric")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if NewInt(7).Int() != 7 {
+		t.Error("Int accessor")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float accessor")
+	}
+	if NewText("hi").Text() != "hi" {
+		t.Error("Text accessor")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool accessor")
+	}
+	if NewDate(100).DateDays() != 100 {
+		t.Error("Date accessor")
+	}
+	if !Null.IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull")
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Int() on text did not panic")
+		}
+	}()
+	_ = NewText("x").Int()
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := NewInt(3).AsFloat(); !ok || f != 3 {
+		t.Error("int AsFloat")
+	}
+	if f, ok := NewFloat(1.5).AsFloat(); !ok || f != 1.5 {
+		t.Error("float AsFloat")
+	}
+	if f, ok := NewDate(10).AsFloat(); !ok || f != 10 {
+		t.Error("date AsFloat")
+	}
+	if _, ok := NewText("x").AsFloat(); ok {
+		t.Error("text AsFloat should fail")
+	}
+	if _, ok := Null.AsFloat(); ok {
+		t.Error("null AsFloat should fail")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	mustCmp := func(a, b Value, want int) {
+		t.Helper()
+		got, err := a.Compare(b)
+		if err != nil {
+			t.Fatalf("Compare(%s, %s): %v", a, b, err)
+		}
+		if got != want {
+			t.Errorf("Compare(%s, %s) = %d, want %d", a, b, got, want)
+		}
+	}
+	mustCmp(NewInt(1), NewInt(2), -1)
+	mustCmp(NewInt(2), NewInt(2), 0)
+	mustCmp(NewInt(3), NewInt(2), 1)
+	mustCmp(NewInt(2), NewFloat(2.5), -1) // mixed numeric
+	mustCmp(NewFloat(2.5), NewInt(2), 1)
+	mustCmp(NewText("a"), NewText("b"), -1)
+	mustCmp(NewBool(false), NewBool(true), -1)
+	mustCmp(NewDate(5), NewDate(9), -1)
+	mustCmp(Null, NewInt(1), -1) // nulls first
+	mustCmp(NewInt(1), Null, 1)
+	mustCmp(Null, Null, 0)
+
+	if _, err := NewText("a").Compare(NewBool(true)); err == nil {
+		t.Error("cross-kind compare should fail")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !NewInt(5).Equal(NewInt(5)) {
+		t.Error("equal ints")
+	}
+	if NewInt(5).Equal(NewFloat(5)) {
+		t.Error("Equal is kind-strict (unlike Compare)")
+	}
+	if !Null.Equal(Null) {
+		t.Error("null equals null")
+	}
+	if NewText("a").Equal(NewText("b")) {
+		t.Error("different texts")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(-3), "-3"},
+		{NewFloat(2.5), "2.5"},
+		{NewText("hello"), "hello"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{Null, "null"},
+		{DateYMD(1990, 1, 15), "1990-01-15"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	cases := [][3]int{
+		{1900, 1, 1}, {1990, 6, 15}, {2000, 2, 29}, {1999, 12, 31},
+		{1985, 1, 1}, {1996, 2, 29}, {2026, 7, 6},
+	}
+	for _, c := range cases {
+		v := DateYMD(c[0], c[1], c[2])
+		y, m, d := v.YMD()
+		if y != c[0] || m != c[1] || d != c[2] {
+			t.Errorf("DateYMD(%v) round trip -> (%d,%d,%d)", c, y, m, d)
+		}
+	}
+	if DateYMD(1900, 1, 1).DateDays() != 0 {
+		t.Errorf("epoch day = %d, want 0", DateYMD(1900, 1, 1).DateDays())
+	}
+	if DateYMD(1900, 1, 2).DateDays() != 1 {
+		t.Error("day increments")
+	}
+}
+
+func TestDateOrderingProperty(t *testing.T) {
+	f := func(d1, d2 int16) bool {
+		a, b := NewDate(int64(d1)), NewDate(int64(d2))
+		c, err := a.Compare(b)
+		if err != nil {
+			return false
+		}
+		switch {
+		case d1 < d2:
+			return c == -1
+		case d1 > d2:
+			return c == 1
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		in   string
+		want Value
+		bad  bool
+	}{
+		{Int, "42", NewInt(42), false},
+		{Int, " 42 ", NewInt(42), false},
+		{Int, "x", Null, true},
+		{Float, "2.5", NewFloat(2.5), false},
+		{Float, "1e3", NewFloat(1000), false},
+		{Float, "abc", Null, true},
+		{Text, "hello", NewText("hello"), false},
+		{Bool, "true", NewBool(true), false},
+		{Bool, "NO", NewBool(false), false},
+		{Bool, "perhaps", Null, true},
+		{Date, "1990-06-15", DateYMD(1990, 6, 15), false},
+		{Date, "1990-13-15", Null, true},
+		{Date, "junk", Null, true},
+		{Int, "null", Null, false},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.kind, c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("Parse(%s, %q) should fail", c.kind, c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%s, %q): %v", c.kind, c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Parse(%s, %q) = %s, want %s", c.kind, c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseStringRoundTripProperty(t *testing.T) {
+	f := func(i int64) bool {
+		v := NewInt(i)
+		back, err := Parse(Int, v.String())
+		return err == nil && back.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZero(t *testing.T) {
+	if Zero(Int).Int() != 0 || Zero(Float).Float() != 0 ||
+		Zero(Text).Text() != "" || Zero(Bool).Bool() || Zero(Date).DateDays() != 0 {
+		t.Error("zero values wrong")
+	}
+	if !Zero(Invalid).IsNull() {
+		t.Error("Zero(Invalid) should be null")
+	}
+}

@@ -1,0 +1,115 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// UpdateFunc is a per-type update function (Section 8 of the paper). Given
+// the current value of a field and the user's textual input from the update
+// dialog, it returns the new value to install. The default update function
+// for every kind is Parse, but a type definer — or a user customizing a
+// visualization — can register a replacement to give updates a particular
+// "look and feel" (for example clamping, auditing, or computed edits).
+type UpdateFunc func(current Value, input string) (Value, error)
+
+// DefaultUpdate is the update function installed for every kind: it parses
+// the input as a literal of the field's type, ignoring the current value.
+func DefaultUpdate(current Value, input string) (Value, error) {
+	return Parse(current.Kind(), input)
+}
+
+// UpdateRegistry maps type names to update functions. A fresh registry has
+// the default update function registered for every atomic kind; named
+// custom functions can be added and selected per visualization. The
+// registry is safe for concurrent use because sessions share it across
+// viewers.
+type UpdateRegistry struct {
+	mu    sync.RWMutex
+	named map[string]UpdateFunc
+	kinds map[Kind]UpdateFunc
+}
+
+// NewUpdateRegistry returns a registry with the defaults installed.
+func NewUpdateRegistry() *UpdateRegistry {
+	r := &UpdateRegistry{
+		named: make(map[string]UpdateFunc),
+		kinds: make(map[Kind]UpdateFunc),
+	}
+	for _, k := range []Kind{Int, Float, Text, Bool, Date} {
+		r.kinds[k] = DefaultUpdate
+	}
+	return r
+}
+
+// Register adds a named update function that can later be attached to a
+// kind or chosen by the user in place of the default.
+func (r *UpdateRegistry) Register(name string, f UpdateFunc) error {
+	if f == nil {
+		return fmt.Errorf("types: nil update function %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.named[name]; dup {
+		return fmt.Errorf("types: update function %q already registered", name)
+	}
+	r.named[name] = f
+	return nil
+}
+
+// Names returns the registered custom update function names, sorted, for
+// presentation in the update dialog.
+func (r *UpdateRegistry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.named))
+	for n := range r.named {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Named returns the update function registered under name.
+func (r *UpdateRegistry) Named(name string) (UpdateFunc, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.named[name]
+	if !ok {
+		return nil, fmt.Errorf("types: no update function %q", name)
+	}
+	return f, nil
+}
+
+// SetForKind replaces the update function used for all fields of kind k.
+func (r *UpdateRegistry) SetForKind(k Kind, f UpdateFunc) error {
+	if f == nil {
+		return fmt.Errorf("types: nil update function for %s", k)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.kinds[k] = f
+	return nil
+}
+
+// ForKind returns the update function for kind k (the default if none was
+// customized).
+func (r *UpdateRegistry) ForKind(k Kind) UpdateFunc {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if f, ok := r.kinds[k]; ok {
+		return f
+	}
+	return DefaultUpdate
+}
+
+// Apply runs the update function for the current value's kind. It is the
+// entry point the generic update procedure of Section 8 uses when the user
+// clicks a screen object and edits one field.
+func (r *UpdateRegistry) Apply(current Value, input string) (Value, error) {
+	if current.IsNull() {
+		return Null, fmt.Errorf("types: cannot update a null field without a declared type")
+	}
+	return r.ForKind(current.Kind())(current, input)
+}

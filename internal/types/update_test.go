@@ -1,0 +1,121 @@
+package types
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDefaultUpdate(t *testing.T) {
+	got, err := DefaultUpdate(NewInt(1), "99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 99 {
+		t.Errorf("got %s", got)
+	}
+	if _, err := DefaultUpdate(NewInt(1), "not a number"); err == nil {
+		t.Error("bad input accepted")
+	}
+}
+
+func TestUpdateRegistryDefaults(t *testing.T) {
+	r := NewUpdateRegistry()
+	for _, k := range []Kind{Int, Float, Text, Bool, Date} {
+		f := r.ForKind(k)
+		if f == nil {
+			t.Fatalf("no default for %s", k)
+		}
+	}
+	v, err := r.Apply(NewFloat(1), "2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float() != 2.5 {
+		t.Errorf("Apply = %s", v)
+	}
+	if _, err := r.Apply(Null, "x"); err == nil {
+		t.Error("Apply on null should fail")
+	}
+}
+
+func TestUpdateRegistryCustom(t *testing.T) {
+	r := NewUpdateRegistry()
+	// A clamping update function, the kind of "look and feel" replacement
+	// Section 8 describes.
+	clamp := func(cur Value, input string) (Value, error) {
+		v, err := Parse(cur.Kind(), input)
+		if err != nil {
+			return Null, err
+		}
+		if v.Kind() == Int && v.Int() > 100 {
+			return NewInt(100), nil
+		}
+		return v, nil
+	}
+	if err := r.Register("clamp100", clamp); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("clamp100", clamp); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := r.Register("nil", nil); err == nil {
+		t.Error("nil function accepted")
+	}
+
+	f, err := r.Named("clamp100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f(NewInt(0), "500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 100 {
+		t.Errorf("clamp returned %s", v)
+	}
+
+	if err := r.SetForKind(Int, clamp); err != nil {
+		t.Fatal(err)
+	}
+	v, err = r.Apply(NewInt(0), "500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 100 {
+		t.Errorf("kind-level custom update not used: %s", v)
+	}
+
+	names := r.Names()
+	if len(names) != 1 || names[0] != "clamp100" {
+		t.Errorf("Names = %v", names)
+	}
+	if _, err := r.Named("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if err := r.SetForKind(Float, nil); err == nil {
+		t.Error("nil SetForKind accepted")
+	}
+}
+
+func TestUpdateRegistryConcurrent(t *testing.T) {
+	r := NewUpdateRegistry()
+	done := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		i := i
+		go func() {
+			done <- r.Register(fmt.Sprintf("f%d", i), DefaultUpdate)
+		}()
+		go func() {
+			_, err := r.Apply(NewInt(1), "2")
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(r.Names()) != 4 {
+		t.Errorf("registered %d, want 4", len(r.Names()))
+	}
+}

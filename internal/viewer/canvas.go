@@ -1,0 +1,258 @@
+package viewer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/draw"
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// Canvas is a named viewing surface: a viewer plus its identity in the
+// wormhole namespace. Wormhole drawables name their destination canvas
+// (Section 6.2).
+type Canvas struct {
+	Name   string
+	Viewer *Viewer
+}
+
+// Space is the registry of canvases a session knows about; it resolves
+// wormhole destinations and hosts the navigator's travel history.
+type Space struct {
+	canvases map[string]*Canvas
+}
+
+// NewSpace returns an empty canvas registry.
+func NewSpace() *Space {
+	return &Space{canvases: make(map[string]*Canvas)}
+}
+
+// Add registers a canvas; the viewer is wired back to the space so its
+// wormholes can render destination interiors.
+func (s *Space) Add(name string, v *Viewer) (*Canvas, error) {
+	if name == "" {
+		return nil, fmt.Errorf("viewer: canvas needs a name")
+	}
+	if _, dup := s.canvases[name]; dup {
+		return nil, fmt.Errorf("viewer: canvas %q already exists", name)
+	}
+	c := &Canvas{Name: name, Viewer: v}
+	v.SetSpace(s)
+	s.canvases[name] = c
+	return c, nil
+}
+
+// Remove deletes a canvas and severs its viewer's slaving links.
+func (s *Space) Remove(name string) error {
+	c, ok := s.canvases[name]
+	if !ok {
+		return fmt.Errorf("viewer: no canvas %q", name)
+	}
+	UnslaveAll(c.Viewer)
+	delete(s.canvases, name)
+	return nil
+}
+
+// Canvas returns the named canvas.
+func (s *Space) Canvas(name string) (*Canvas, error) {
+	c, ok := s.canvases[name]
+	if !ok {
+		return nil, fmt.Errorf("viewer: no canvas %q", name)
+	}
+	return c, nil
+}
+
+// Names returns canvas names sorted.
+func (s *Space) Names() []string {
+	out := make([]string, 0, len(s.canvases))
+	for n := range s.canvases {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TravelRecord remembers one wormhole traversal for the rear view mirror:
+// which canvas the user left, where on it the wormhole sat, and the
+// elevation at which the user entered the destination.
+type TravelRecord struct {
+	Canvas         string
+	Exit           geom.Point
+	EntryElevation float64
+}
+
+// Navigator is the user's position in the canvas universe: the current
+// canvas and the travel history through wormholes. The rear view mirror
+// (Section 6.3) is computed from the last record — it shows the underside
+// of the canvas the user most recently passed through, receding as the
+// user descends toward the new canvas.
+type Navigator struct {
+	space   *Space
+	current string
+	history []TravelRecord
+}
+
+// NewNavigator starts a navigator on the named canvas.
+func NewNavigator(s *Space, start string) (*Navigator, error) {
+	if _, err := s.Canvas(start); err != nil {
+		return nil, err
+	}
+	return &Navigator{space: s, current: start}, nil
+}
+
+// Current returns the canvas the user is viewing.
+func (n *Navigator) Current() (*Canvas, error) {
+	return n.space.Canvas(n.current)
+}
+
+// History returns the travel records, oldest first.
+func (n *Navigator) History() []TravelRecord {
+	return append([]TravelRecord(nil), n.history...)
+}
+
+// Descend lowers the user toward the canvas (zoom in). If the elevation
+// would reach zero or below while a wormhole lies under the viewport
+// center, the user passes through it (Section 6.2: "when a user zooms in
+// on a wormhole and reaches zero elevation he passes through"); otherwise
+// the elevation is clamped just above ground. Returns whether a traversal
+// happened.
+func (n *Navigator) Descend(toElevation float64) (bool, error) {
+	c, err := n.Current()
+	if err != nil {
+		return false, err
+	}
+	v := c.Viewer
+	if toElevation > 0 {
+		if err := v.SetElevation(0, toElevation); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+
+	// Reached (or crossed) zero elevation: look for a wormhole at the
+	// viewport center.
+	if _, _, err := v.Render(); err != nil {
+		return false, err
+	}
+	hit, ok := v.HitAt(float64(v.W)/2, float64(v.H)/2)
+	if ok && hit.Wormhole != nil {
+		return true, n.PassThrough(*hit.Wormhole)
+	}
+	// Nothing to fall through: stop just above the canvas.
+	if err := v.SetElevation(0, 0.1); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// PassThrough traverses a wormhole: records the departure point, switches
+// to the destination canvas, and positions the user at the wormhole's
+// destination location and elevation.
+func (n *Navigator) PassThrough(wh draw.Viewer) error {
+	dest, loc, elev := wh.DestCanvas, wh.DestLocation, wh.DestElevation
+	c, err := n.Current()
+	if err != nil {
+		return err
+	}
+	st, err := c.Viewer.State(0)
+	if err != nil {
+		return err
+	}
+	if _, err := n.space.Canvas(dest); err != nil {
+		return fmt.Errorf("viewer: wormhole to unknown canvas %q", dest)
+	}
+	n.history = append(n.history, TravelRecord{
+		Canvas:         n.current,
+		Exit:           st.Center,
+		EntryElevation: elev,
+	})
+	n.current = dest
+	dc, _ := n.Current()
+	if err := dc.Viewer.PanTo(0, loc.X, loc.Y); err != nil {
+		return err
+	}
+	// Pin destination sliders so the user arrives viewing exactly the
+	// data the wormhole promised (e.g. station s's observations).
+	for i, r := range wh.DestSliders {
+		if err := dc.Viewer.SetSlider(0, i, r.Lo, r.Hi); err != nil {
+			break // destination has fewer sliders; pin what exists
+		}
+	}
+	return dc.Viewer.SetElevation(0, elev)
+}
+
+// GoBack retraces the last wormhole: "the user can find his way home if
+// he gets lost" (Section 6.3). The user re-emerges where he left, at a
+// low hover.
+func (n *Navigator) GoBack() error {
+	if len(n.history) == 0 {
+		return fmt.Errorf("viewer: no wormhole to go back through")
+	}
+	rec := n.history[len(n.history)-1]
+	n.history = n.history[:len(n.history)-1]
+	if _, err := n.space.Canvas(rec.Canvas); err != nil {
+		return err
+	}
+	n.current = rec.Canvas
+	c, _ := n.Current()
+	if err := c.Viewer.PanTo(0, rec.Exit.X, rec.Exit.Y); err != nil {
+		return err
+	}
+	return c.Viewer.SetElevation(0, math.Max(rec.EntryElevation, 1))
+}
+
+// MirrorElevation computes the (negative) elevation from which the rear
+// view mirror looks at the previous canvas: immediately after traversal
+// the user sits at negative ground level, and descending on the new
+// canvas increases the distance (Section 6.3).
+func (n *Navigator) MirrorElevation() (float64, bool) {
+	if len(n.history) == 0 {
+		return 0, false
+	}
+	rec := n.history[len(n.history)-1]
+	c, err := n.Current()
+	if err != nil {
+		return 0, false
+	}
+	st, err := c.Viewer.State(0)
+	if err != nil {
+		return 0, false
+	}
+	descended := rec.EntryElevation - st.Elevation
+	if descended < 0.1 {
+		descended = 0.1
+	}
+	return -descended, true
+}
+
+// RenderMirror renders the rear view mirror: the underside of the canvas
+// the user last passed through, centered on the departure point, from the
+// current (negative) mirror elevation. Only displayables whose elevation
+// range extends below zero appear — the programmer puts "way home"
+// markers there (Section 6.3). Returns nil image when there is no history
+// (no mirror to show).
+func (n *Navigator) RenderMirror(w, h int) (*raster.Image, error) {
+	mirrorElev, ok := n.MirrorElevation()
+	if !ok {
+		return nil, nil
+	}
+	rec := n.history[len(n.history)-1]
+	prev, err := n.space.Canvas(rec.Canvas)
+	if err != nil {
+		return nil, err
+	}
+	// A temporary viewer over the previous canvas's source at negative
+	// elevation; the elevation-range cull then selects underside layers.
+	mv := New(prev.Name+" (mirror)", prev.Viewer.Source, w, h)
+	mv.SetSpace(n.space)
+	if err := mv.PanTo(0, rec.Exit.X, rec.Exit.Y); err != nil {
+		return nil, err
+	}
+	if err := mv.SetElevation(0, mirrorElev); err != nil {
+		return nil, err
+	}
+	img, _, err := mv.Render()
+	return img, err
+}

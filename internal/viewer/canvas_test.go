@@ -1,0 +1,380 @@
+package viewer
+
+import (
+	"testing"
+
+	"repro/internal/display"
+	"repro/internal/draw"
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// wormholeExt builds a single-tuple relation whose display is a wormhole
+// to dest centered at the tuple's location.
+func wormholeExt(t testing.TB, dest string) *display.Extended {
+	t.Helper()
+	e := gridExt(t, 1, false)
+	e.Displays = []display.NamedDisplay{{
+		Name: "display",
+		Fn: draw.ConstFunc(draw.List{
+			draw.Circle{R: 0.3, Color: draw.Blue},
+			draw.Viewer{
+				Offset: geom.Pt(-1, -1), W: 2, H: 2,
+				DestCanvas: dest, DestElevation: 8,
+				DestLocation: geom.Pt(2, 2),
+			},
+		}),
+	}}
+	return e
+}
+
+func newSpacePair(t testing.TB) (*Space, *Viewer, *Viewer) {
+	t.Helper()
+	s := NewSpace()
+	src := New("src", DirectSource{D: wormholeExt(t, "dest")}, 100, 100)
+	dst := New("dest", DirectSource{D: gridExt(t, 5, false)}, 100, 100)
+	if _, err := s.Add("src", src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add("dest", dst); err != nil {
+		t.Fatal(err)
+	}
+	return s, src, dst
+}
+
+func TestSpaceRegistry(t *testing.T) {
+	s, src, _ := newSpacePair(t)
+	if _, err := s.Add("src", src); err == nil {
+		t.Error("duplicate canvas accepted")
+	}
+	if _, err := s.Add("", src); err == nil {
+		t.Error("unnamed canvas accepted")
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "dest" {
+		t.Errorf("Names = %v", got)
+	}
+	if _, err := s.Canvas("ghost"); err != nil {
+		// expected
+	} else {
+		t.Error("missing canvas accepted")
+	}
+	if err := s.Remove("dest"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("dest"); err == nil {
+		t.Error("double remove accepted")
+	}
+}
+
+func TestWormholeInteriorRenders(t *testing.T) {
+	_, src, dst := newSpacePair(t)
+	_ = dst
+	if err := src.PanTo(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetElevation(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	img, _, err := src.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wormhole border plus the destination's points inside should
+	// produce marks near the center.
+	if !img.SubImageNonBackground(20, 20, 80, 80, draw.White) {
+		t.Error("wormhole region blank")
+	}
+	// Hit records include the wormhole.
+	found := false
+	for _, h := range src.Hits() {
+		if h.Wormhole != nil && h.Wormhole.DestCanvas == "dest" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("wormhole hit missing")
+	}
+}
+
+func TestNavigatorTraversalAndMirror(t *testing.T) {
+	s, src, dst := newSpacePair(t)
+	// The destination canvas has an underside layer for the mirror.
+	under := gridExt(t, 5, false)
+	under.ElevRange = geom.Rg(-100, -0.01)
+	srcUnder := wormholeExt(t, "dest")
+	comp, _, err := display.NewComposite("c", srcUnder, under)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Source = DirectSource{D: comp}
+
+	nav, err := NewNavigator(s, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNavigator(s, "ghost"); err == nil {
+		t.Error("navigator on missing canvas accepted")
+	}
+	cur, _ := nav.Current()
+	if cur.Name != "src" {
+		t.Fatal("wrong start")
+	}
+
+	// Position over the wormhole (tuple 0 at (0,0)) and descend.
+	if err := src.PanTo(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SetElevation(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	passed, err := nav.Descend(1) // still above ground: no traversal
+	if err != nil || passed {
+		t.Fatalf("early traversal: %v %v", passed, err)
+	}
+	passed, err = nav.Descend(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !passed {
+		t.Fatal("did not pass through")
+	}
+	cur, _ = nav.Current()
+	if cur.Name != "dest" {
+		t.Fatalf("on %q", cur.Name)
+	}
+	// Destination position honored.
+	st, _ := dst.State(0)
+	if st.Center != geom.Pt(2, 2) || st.Elevation != 8 {
+		t.Errorf("dest state = %+v", st)
+	}
+
+	// Mirror elevation grows as the user descends.
+	m1, ok := nav.MirrorElevation()
+	if !ok || m1 >= 0 {
+		t.Fatalf("mirror elevation %g %v", m1, ok)
+	}
+	if err := dst.SetElevation(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := nav.MirrorElevation()
+	if m2 >= m1 {
+		t.Errorf("mirror did not recede: %g -> %g", m1, m2)
+	}
+
+	// The mirror shows the source canvas's underside layer.
+	img, err := nav.RenderMirror(80, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img == nil || img.CountNonBackground(draw.White) == 0 {
+		t.Error("mirror blank")
+	}
+
+	// Go home.
+	if err := nav.GoBack(); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ = nav.Current()
+	if cur.Name != "src" {
+		t.Fatalf("go back to %q", cur.Name)
+	}
+	if _, ok := nav.MirrorElevation(); ok {
+		t.Error("mirror after empty history")
+	}
+	if img, err := nav.RenderMirror(10, 10); err != nil || img != nil {
+		t.Error("mirror image after empty history")
+	}
+	if err := nav.GoBack(); err == nil {
+		t.Error("go back with empty history accepted")
+	}
+}
+
+func TestDescendWithoutWormholeClamps(t *testing.T) {
+	s := NewSpace()
+	v := New("only", DirectSource{D: gridExt(t, 3, false)}, 50, 50)
+	if _, err := s.Add("only", v); err != nil {
+		t.Fatal(err)
+	}
+	nav, _ := NewNavigator(s, "only")
+	passed, err := nav.Descend(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passed {
+		t.Fatal("traversed without a wormhole")
+	}
+	st, _ := v.State(0)
+	if st.Elevation <= 0 {
+		t.Errorf("elevation not clamped: %g", st.Elevation)
+	}
+}
+
+func TestPassThroughUnknownCanvas(t *testing.T) {
+	s, _, _ := newSpacePair(t)
+	nav, _ := NewNavigator(s, "src")
+	err := nav.PassThrough(draw.Viewer{DestCanvas: "nowhere"})
+	if err == nil {
+		t.Error("wormhole to unknown canvas accepted")
+	}
+	if len(nav.History()) != 0 {
+		t.Error("failed traversal polluted history")
+	}
+}
+
+func TestSlaving(t *testing.T) {
+	a := New("a", DirectSource{D: gridExt(t, 3, false)}, 50, 50)
+	b := New("b", DirectSource{D: gridExt(t, 3, false)}, 50, 50)
+	if err := a.PanTo(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PanTo(0, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Slave(a, 0, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if SlaveCount(a) != 1 || SlaveCount(b) != 1 {
+		t.Fatal("link not recorded on both ends")
+	}
+
+	// Moving a drags b, keeping the offset of 10.
+	if err := a.Pan(0, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := b.State(0)
+	if sb.Center != geom.Pt(15, 2) {
+		t.Errorf("slaved center = %v", sb.Center)
+	}
+	// Symmetric: moving b drags a.
+	if err := b.PanTo(0, 20, 0); err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := a.State(0)
+	if sa.Center != geom.Pt(10, 0) {
+		t.Errorf("reverse slave center = %v", sa.Center)
+	}
+	// Elevation offsets maintained too.
+	if err := a.SetElevation(0, 40); err != nil {
+		t.Fatal(err)
+	}
+	sb, _ = b.State(0)
+	if sb.Elevation != 40 { // both started at 100: offset 0
+		t.Errorf("slaved elevation = %g", sb.Elevation)
+	}
+
+	Unslave(a, 0, b, 0)
+	if SlaveCount(a) != 0 || SlaveCount(b) != 0 {
+		t.Fatal("unslave incomplete")
+	}
+	if err := a.Pan(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	sb2, _ := b.State(0)
+	if sb2.Center != sb.Center {
+		t.Error("unslaved viewer still follows")
+	}
+}
+
+func TestSlaveValidation(t *testing.T) {
+	a := New("a", DirectSource{D: gridExt(t, 2, false)}, 50, 50)
+	threeD := New("b", DirectSource{D: gridExt(t, 2, true)}, 50, 50)
+	if err := Slave(a, 0, threeD, 0); err == nil {
+		t.Error("cross-dimension slaving accepted")
+	}
+	if err := Slave(a, 0, a, 0); err == nil {
+		t.Error("self slaving accepted")
+	}
+	if err := Slave(a, 0, a, 5); err == nil {
+		t.Error("bad member accepted")
+	}
+}
+
+func TestUnslaveAllOnDeletion(t *testing.T) {
+	a := New("a", DirectSource{D: gridExt(t, 2, false)}, 50, 50)
+	b := New("b", DirectSource{D: gridExt(t, 2, false)}, 50, 50)
+	c := New("c", DirectSource{D: gridExt(t, 2, false)}, 50, 50)
+	if err := Slave(a, 0, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Slave(a, 0, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	UnslaveAll(a)
+	if SlaveCount(a) != 0 || SlaveCount(b) != 0 || SlaveCount(c) != 0 {
+		t.Error("UnslaveAll left links")
+	}
+}
+
+func TestChainedSlavingTerminates(t *testing.T) {
+	a := New("a", DirectSource{D: gridExt(t, 2, false)}, 50, 50)
+	b := New("b", DirectSource{D: gridExt(t, 2, false)}, 50, 50)
+	c := New("c", DirectSource{D: gridExt(t, 2, false)}, 50, 50)
+	if err := Slave(a, 0, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Slave(b, 0, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Slave(c, 0, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A cyclic chain must not loop forever.
+	if err := a.Pan(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := b.State(0)
+	if sb.Center.X != 1 {
+		t.Errorf("chained slave center = %v", sb.Center)
+	}
+}
+
+func TestMagnifierDimensionCheck(t *testing.T) {
+	outer := New("o", DirectSource{D: gridExt(t, 3, false)}, 100, 100)
+	inner := New("i", DirectSource{D: gridExt(t, 3, true)}, 40, 40)
+	mag := outer.AddMagnifier(inner, geom.R(10, 10, 50, 50))
+	if _, _, err := outer.Render(); err == nil {
+		t.Error("cross-dimension magnifier accepted at render")
+	}
+	outer.RemoveMagnifier(mag)
+	if len(outer.Magnifiers()) != 0 {
+		t.Error("RemoveMagnifier failed")
+	}
+	if _, _, err := outer.Render(); err != nil {
+		t.Errorf("render after removal: %v", err)
+	}
+}
+
+// TestWormholeCacheSoundness: the per-frame interior cache must not
+// change rendered pixels.
+func TestWormholeCacheSoundness(t *testing.T) {
+	build := func(disable bool) *raster.Image {
+		s := NewSpace()
+		src := New("src", DirectSource{D: wormholeExt(t, "dest")}, 160, 120)
+		src.DisableWormholeCache = disable
+		dst := New("dest", DirectSource{D: gridExt(t, 8, false)}, 160, 120)
+		if _, err := s.Add("src", src); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Add("dest", dst); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.PanTo(0, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.SetElevation(0, 2.5); err != nil {
+			t.Fatal(err)
+		}
+		img, _, err := src.Render()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	cached := build(false)
+	naive := build(true)
+	for i := range cached.Pix {
+		if cached.Pix[i] != naive.Pix[i] {
+			t.Fatalf("pixel %d differs between cached and uncached wormhole interiors", i)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package viewer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/display"
+	"repro/internal/draw"
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// Canvas chrome: the paper's canvas window carries slider bars for the
+// extra dimensions, an elevation map, and the elevation control (Section
+// 3). When ShowChrome is set, Render overlays these widgets: one slider
+// track per extra dimension along the right edge, a miniature elevation
+// map strip along the bottom, and the current elevation as a dashed line
+// through it.
+
+const (
+	chromeSliderW = 8
+	chromeStripH  = 26
+)
+
+// RenderWithChrome renders the canvas and overlays the window widgets for
+// group member 0 (the member whose elevation map is currently shown; use
+// CycleElevationMap to switch).
+func (v *Viewer) RenderWithChrome() (*raster.Image, RenderStats, error) {
+	img, stats, err := v.Render()
+	if err != nil {
+		return img, stats, err
+	}
+	if err := v.drawChrome(img, 0); err != nil {
+		return img, stats, err
+	}
+	return img, stats, nil
+}
+
+func (v *Viewer) drawChrome(img *raster.Image, member int) error {
+	d, err := v.Source.Get()
+	if err != nil {
+		return err
+	}
+	g := display.Promote(d)
+	if member < 0 || member >= len(g.Members) {
+		return fmt.Errorf("viewer %s: no member %d for chrome", v.Name, member)
+	}
+	v.ensureStates(g)
+	st := v.states[member]
+	pen := raster.NewPen(img)
+
+	// Slider tracks along the right edge, one per extra dimension of the
+	// member, labeled with the location attribute name where available.
+	dim := g.Members[member].Dim()
+	names := sliderNames(g.Members[member])
+	for si := 0; si < dim-2; si++ {
+		x0 := float64(v.W - (si+1)*(chromeSliderW+3))
+		track := geom.R(x0, 4, x0+chromeSliderW, float64(v.H-chromeStripH-8))
+		pen.Rect(track, draw.Gray, draw.Style{LineWidth: 1})
+		// The filled portion shows the selected range against the data's
+		// own span (estimated from the layer locations).
+		lo, hi := sliderSpan(g.Members[member], si+2)
+		if hi > lo && si < len(st.Sliders) {
+			sel := st.Sliders[si]
+			selLo := clamp01((clampF(sel.Lo, lo, hi) - lo) / (hi - lo))
+			selHi := clamp01((clampF(sel.Hi, lo, hi) - lo) / (hi - lo))
+			// Track y grows downward; high values at the top.
+			y1 := track.Max.Y - selLo*track.H()
+			y0 := track.Max.Y - selHi*track.H()
+			pen.Rect(geom.R(track.Min.X+1, y0, track.Max.X-1, y1), draw.Blue, draw.FillStyle)
+		}
+		if si < len(names) {
+			lbl := names[si]
+			if len(lbl) > 1 {
+				lbl = lbl[:1]
+			}
+			pen.Text(geom.Pt(x0+1, float64(v.H-chromeStripH-6)), lbl, 1, draw.Black)
+		}
+	}
+
+	// Elevation map strip along the bottom.
+	strip, err := v.RenderElevationMap(member, v.W-8, chromeStripH-4)
+	if err != nil {
+		return err
+	}
+	pen.Blit(strip, 4, v.H-chromeStripH)
+	pen.Rect(geom.R(3, float64(v.H-chromeStripH-1), float64(v.W-3), float64(v.H-2)), draw.Gray, draw.Style{LineWidth: 1})
+	return nil
+}
+
+// sliderNames returns the slider-dimension attribute names of the
+// highest-dimensional layer (the one that defines the composite's extra
+// dimensions).
+func sliderNames(c *display.Composite) []string {
+	var best *display.Extended
+	for _, l := range c.Layers {
+		if best == nil || l.Ext.Dim() > best.Dim() {
+			best = l.Ext
+		}
+	}
+	if best == nil || best.SeqLayout || best.Dim() <= 2 {
+		return nil
+	}
+	return best.LocAttrs[2:]
+}
+
+// sliderSpan estimates the data span of location dimension d across the
+// composite's layers, for drawing the selected range proportionally.
+func sliderSpan(c *display.Composite, d int) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, l := range c.Layers {
+		if l.Ext.Dim() <= d {
+			continue
+		}
+		n := l.Ext.Rel.Len()
+		for row := 0; row < n; row++ {
+			v := l.Ext.Location(row)[d]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	return lo, hi
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clamp01(v float64) float64 { return clampF(v, 0, 1) }

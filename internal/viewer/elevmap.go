@@ -1,0 +1,136 @@
+package viewer
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/display"
+	"repro/internal/draw"
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// Clone returns a copy of the viewer over the same source with the same
+// size and position state — "typically, a user will place a copy of the
+// current viewer inside of itself; he will then zoom the inner viewer"
+// (Section 7.2). Slaving links and magnifiers are not copied; the caller
+// slaves the pair if desired.
+func (v *Viewer) Clone(name string) *Viewer {
+	out := New(name, v.Source, v.W, v.H)
+	out.Background = v.Background
+	out.CullMargin = v.CullMargin
+	out.MaxWormholeDepth = v.MaxWormholeDepth
+	out.space = v.space
+	out.states = make([]ViewState, len(v.states))
+	for i, st := range v.states {
+		out.states[i] = st.Clone()
+	}
+	for k, r := range v.rangeOverride {
+		out.rangeOverride[k] = r
+	}
+	for m, order := range v.orderOverride {
+		out.orderOverride[m] = append([]int(nil), order...)
+	}
+	return out
+}
+
+// Magnify is the one-call magnifying-glass construction of Section 7.2:
+// clone this viewer, zoom the clone by factor, install it in screenRect,
+// and slave it to the original so they move in unison. The returned
+// magnifier holds the inner viewer.
+func (v *Viewer) Magnify(name string, screenRect geom.Rect, factor float64) (*Magnifier, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("viewer %s: magnification factor must be positive", v.Name)
+	}
+	inner := v.Clone(name)
+	if err := inner.Zoom(0, 1/factor); err != nil {
+		return nil, err
+	}
+	mag := v.AddMagnifier(inner, screenRect)
+	if err := Slave(v, 0, inner, 0); err != nil {
+		v.RemoveMagnifier(mag)
+		return nil, err
+	}
+	return mag, nil
+}
+
+// RenderElevationMap draws the bar-chart elevation map of Section 6.1 for
+// group member m: one horizontal bar per layer spanning its elevation
+// range, stacked in drawing order (bottom bar drawn first), with the
+// layer label and a dashed vertical line at the viewer's current
+// elevation (the elevation control).
+func (v *Viewer) RenderElevationMap(m, w, h int) (*raster.Image, error) {
+	entries, err := v.ElevationMap(m)
+	if err != nil {
+		return nil, err
+	}
+	st, err := v.State(m)
+	if err != nil {
+		return nil, err
+	}
+	img := raster.NewImage(w, h)
+	pen := raster.NewPen(img)
+
+	// Elevation axis: from the smallest finite Lo (or 0) to the largest
+	// finite Hi (or twice the current elevation), padded.
+	lo, hi := 0.0, math.Abs(st.Elevation)*2
+	for _, e := range entries {
+		if !math.IsInf(e.Range.Lo, 0) && e.Range.Lo < lo {
+			lo = e.Range.Lo
+		}
+		if !math.IsInf(e.Range.Hi, 0) && e.Range.Hi > hi {
+			hi = e.Range.Hi
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	toX := func(e float64) float64 {
+		if math.IsInf(e, -1) {
+			e = lo
+		}
+		if math.IsInf(e, 1) {
+			e = hi
+		}
+		return 4 + (e-lo)/span*float64(w-8)
+	}
+
+	// Bars in drawing order: order 0 at the bottom.
+	barH := float64(h-14) / float64(len(entries))
+	colors := []draw.Color{draw.Blue, draw.Green, draw.Red, draw.Cyan, draw.Magenta, draw.Yellow}
+	for li, e := range entries {
+		y0 := float64(h-12) - float64(e.Order+1)*barH
+		r := geom.R(toX(e.Range.Lo), y0+2, toX(e.Range.Hi), y0+barH-2)
+		pen.Rect(r, colors[li%len(colors)], draw.FillStyle)
+		pen.Text(geom.Pt(toX(e.Range.Lo)+2, y0+3), e.Label, 1, draw.Black)
+	}
+
+	// The elevation control: a dashed vertical line at the current
+	// elevation.
+	cx := toX(math.Abs(st.Elevation))
+	for y := 0; y < h-12; y += 6 {
+		pen.Line(geom.Pt(cx, float64(y)), geom.Pt(cx, float64(y+3)), draw.Black, 1)
+	}
+	// Axis labels.
+	pen.Text(geom.Pt(2, float64(h-9)), fmt.Sprintf("%.3g", lo), 1, draw.Gray)
+	hiLabel := fmt.Sprintf("%.3g", hi)
+	pen.Text(geom.Pt(float64(w)-float64(len(hiLabel))*draw.GlyphW-2, float64(h-9)), hiLabel, 1, draw.Gray)
+	return img, nil
+}
+
+// CycleElevationMap returns the next member index whose elevation map
+// should be shown: "for a group displayable, a viewer shows an elevation
+// map for only one member of the group at a time... the user can
+// explicitly cycle through all of the elevation maps" (Section 6.1).
+func (v *Viewer) CycleElevationMap(current int) (int, error) {
+	d, err := v.Source.Get()
+	if err != nil {
+		return 0, err
+	}
+	g := display.Promote(d)
+	if len(g.Members) == 0 {
+		return 0, fmt.Errorf("viewer %s: empty group", v.Name)
+	}
+	return (current + 1) % len(g.Members), nil
+}

@@ -1,0 +1,163 @@
+package viewer
+
+import (
+	"testing"
+
+	"repro/internal/display"
+	"repro/internal/draw"
+	"repro/internal/geom"
+)
+
+func TestClone(t *testing.T) {
+	v := New("orig", DirectSource{D: gridExt(t, 5, true)}, 120, 90)
+	if err := v.PanTo(0, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElevation(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetSlider(0, 0, 0, 20); err != nil {
+		t.Fatal(err)
+	}
+	v.SetLayerRange(0, 0, 1, 2)
+
+	c := v.Clone("copy")
+	st, err := c.State(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Center != geom.Pt(3, 3) || st.Elevation != 7 {
+		t.Fatalf("clone state %+v", st)
+	}
+	if st.Sliders[0] != geom.Rg(0, 20) {
+		t.Fatalf("clone slider %v", st.Sliders[0])
+	}
+	// Independence: moving the clone leaves the original alone.
+	if err := c.Pan(0, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	ost, _ := v.State(0)
+	if ost.Center.X != 3 {
+		t.Error("clone aliases state")
+	}
+	// Overrides copied but independent.
+	em, _ := c.ElevationMap(0)
+	if em[0].Range != geom.Rg(1, 2) {
+		t.Error("clone lost range override")
+	}
+	c.SetLayerRange(0, 0, 5, 6)
+	em, _ = v.ElevationMap(0)
+	if em[0].Range != geom.Rg(1, 2) {
+		t.Error("clone override aliased")
+	}
+}
+
+func TestMagnify(t *testing.T) {
+	v := New("orig", DirectSource{D: gridExt(t, 9, false)}, 200, 200)
+	if err := v.PanTo(0, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElevation(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	mag, err := v.Magnify("lens", geom.R(120, 120, 190, 190), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := mag.Inner.State(0)
+	if st.Elevation != 2 { // 8 / 4
+		t.Errorf("lens elevation = %g", st.Elevation)
+	}
+	// Slaved: panning the outer drags the lens.
+	if err := v.Pan(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = mag.Inner.State(0)
+	if st.Center.X != 5 {
+		t.Errorf("lens center = %v", st.Center)
+	}
+	// Renders with the lens over the base.
+	img, _, err := v.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.SubImageNonBackground(122, 122, 188, 188, draw.White) {
+		t.Error("lens interior blank")
+	}
+	if _, err := v.Magnify("bad", geom.R(0, 0, 10, 10), 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+}
+
+func TestRenderElevationMap(t *testing.T) {
+	a := gridExt(t, 3, false)
+	a.Label = "map"
+	a.ElevRange = geom.Rg(0, 100)
+	b := gridExt(t, 3, false)
+	b.Label = "labels"
+	b.ElevRange = geom.Rg(0, 3)
+	c, _, _ := display.NewComposite("c", a, b)
+	v := New("v", DirectSource{D: c}, 100, 100)
+	if err := v.SetElevation(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	img, err := v.RenderElevationMap(0, 200, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 200 || img.H != 60 {
+		t.Fatal("size")
+	}
+	if img.CountNonBackground(draw.White) < 100 {
+		t.Error("elevation map mostly blank")
+	}
+	if _, err := v.RenderElevationMap(5, 10, 10); err == nil {
+		t.Error("bad member accepted")
+	}
+}
+
+func TestCycleElevationMap(t *testing.T) {
+	e := gridExt(t, 2, false)
+	c := display.FromR(e)
+	g, _ := display.NewGroup("g", display.Horizontal, 0, c, c.Clone(), c.Clone())
+	v := New("v", DirectSource{D: g}, 100, 100)
+	m := 0
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		var err error
+		m, err = v.CycleElevationMap(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[m] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("cycle visited %v", seen)
+	}
+}
+
+func TestRenderWithChrome(t *testing.T) {
+	e := gridExt(t, 10, true) // 3-D: one slider
+	v := New("v", DirectSource{D: e}, 200, 160)
+	if err := v.PanTo(0, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElevation(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetSlider(0, 0, 10, 60); err != nil {
+		t.Fatal(err)
+	}
+	img, _, err := v.RenderWithChrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slider track occupies the right edge.
+	if !img.SubImageNonBackground(v.W-chromeSliderW-4, 4, v.W, 40, draw.White) {
+		t.Error("slider track missing")
+	}
+	// The elevation map strip occupies the bottom.
+	if !img.SubImageNonBackground(4, v.H-chromeStripH, v.W-4, v.H, draw.White) {
+		t.Error("elevation map strip missing")
+	}
+}

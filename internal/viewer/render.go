@@ -1,0 +1,460 @@
+package viewer
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/display"
+	"repro/internal/draw"
+	"repro/internal/geom"
+	"repro/internal/raster"
+)
+
+// RenderStats counts work done during one render, for the culling
+// benchmarks: the paper's pipeline filters tuples to slider ranges and
+// visible real estate before computing display attributes (Sections 2 and
+// 5.1).
+type RenderStats struct {
+	TuplesSeen      int // tuples examined
+	TuplesCulled    int // rejected before display evaluation
+	DisplaysEvaled  int // display functions evaluated
+	DrawablesDrawn  int
+	DrawablesCulled int // drawables whose bounds missed the viewport
+	DisplayErrors   int // display functions that failed (tuple skipped)
+}
+
+// Render draws the viewer's displayable into a fresh framebuffer and
+// returns it with render statistics.
+func (v *Viewer) Render() (*raster.Image, RenderStats, error) {
+	img := raster.NewImage(v.W, v.H)
+	stats, err := v.RenderInto(img)
+	return img, stats, err
+}
+
+// RenderInto draws into an existing framebuffer of the viewer's size.
+func (v *Viewer) RenderInto(img *raster.Image) (RenderStats, error) {
+	var stats RenderStats
+	img.Clear(v.Background)
+	if v.Iconified {
+		return stats, nil
+	}
+	d, err := v.Source.Get()
+	if err != nil {
+		return stats, err
+	}
+	g := display.Promote(d)
+	v.ensureStates(g)
+	v.hits = v.hits[:0]
+	// The wormhole interior cache is valid within one frame only: the
+	// destination canvas may change between frames.
+	v.whCache = nil
+
+	pen := raster.NewPen(img)
+	rects := memberRects(g, geom.R(0, 0, float64(v.W), float64(v.H)))
+	for m, c := range g.Members {
+		rect := rects[m]
+		// Leave a 1-pixel separation between stitched members.
+		inner := rect.Expand(-1)
+		if inner.Empty() {
+			continue
+		}
+		if len(g.Members) > 1 {
+			pen.Rect(rect, draw.Gray, draw.Style{LineWidth: 1})
+		}
+		if err := v.renderMember(pen.WithClip(inner), inner, c, v.states[m], m, 0, true, &stats); err != nil {
+			return stats, err
+		}
+	}
+
+	// Magnifying glasses draw over the base canvas (Section 7.2).
+	for _, mag := range v.magnifiers {
+		if err := v.renderMagnifier(pen, mag, &stats); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// memberRects computes each group member's screen rectangle under the
+// group's layout (Section 7.3: side-by-side, vertical, or tabular).
+func memberRects(g *display.Group, bounds geom.Rect) []geom.Rect {
+	n := len(g.Members)
+	out := make([]geom.Rect, n)
+	switch g.Layout {
+	case display.Vertical:
+		h := bounds.H() / float64(n)
+		for i := range out {
+			out[i] = geom.R(bounds.Min.X, bounds.Min.Y+float64(i)*h, bounds.Max.X, bounds.Min.Y+float64(i+1)*h)
+		}
+	case display.Tabular:
+		cols := g.Cols
+		if cols <= 0 {
+			cols = 1
+		}
+		rows := (n + cols - 1) / cols
+		cw := bounds.W() / float64(cols)
+		ch := bounds.H() / float64(rows)
+		for i := range out {
+			r, c := i/cols, i%cols
+			out[i] = geom.R(
+				bounds.Min.X+float64(c)*cw, bounds.Min.Y+float64(r)*ch,
+				bounds.Min.X+float64(c+1)*cw, bounds.Min.Y+float64(r+1)*ch)
+		}
+	default: // Horizontal
+		w := bounds.W() / float64(n)
+		for i := range out {
+			out[i] = geom.R(bounds.Min.X+float64(i)*w, bounds.Min.Y, bounds.Min.X+float64(i+1)*w, bounds.Max.Y)
+		}
+	}
+	return out
+}
+
+// canvasTransform maps canvas coordinates to screen pixels for a member
+// viewport rect and view state.
+func canvasTransform(rect geom.Rect, st ViewState) (scale float64, toScreen func(geom.Point) geom.Point) {
+	h := math.Abs(st.Elevation)
+	if h == 0 {
+		h = 1e-6
+	}
+	scale = (rect.H() / 2) / h
+	center := rect.Center()
+	toScreen = func(p geom.Point) geom.Point {
+		return geom.Pt(
+			center.X+(p.X-st.Center.X)*scale,
+			center.Y-(p.Y-st.Center.Y)*scale,
+		)
+	}
+	return scale, toScreen
+}
+
+// renderMember draws one composite into rect under the given state.
+// recordHits is true only for the top-level render into the viewer's own
+// framebuffer, where screen coordinates are meaningful for clicks.
+func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Composite, st ViewState, member, depth int, recordHits bool, stats *RenderStats) error {
+	aspect := rect.W() / rect.H()
+	visible := st.Visible(aspect)
+	scale, toScreen := canvasTransform(rect, st)
+
+	order := v.layerOrder(member, len(c.Layers))
+	for _, li := range order {
+		layer := c.Layers[li]
+		ext := layer.Ext
+
+		// Elevation-range culling (Set Range, Section 6.1): outside its
+		// range a relation contributes nothing. The same test makes
+		// underside displays (negative ranges) appear only in rear view
+		// mirrors, which render with negative elevations.
+		if !v.effectiveRange(member, li, ext.ElevRange).Contains(st.Elevation) {
+			continue
+		}
+
+		margin := v.CullMargin
+		if ex := ext.ApproxExtent(); ex > margin {
+			margin = ex
+		}
+		cullWindow := visible.Expand(margin)
+
+		ldim := ext.Dim()
+		var off []float64
+		if layer.Offset != nil {
+			off = layer.Offset
+		}
+		offAt := func(d int) float64 {
+			if d < len(off) {
+				return off[d]
+			}
+			return 0
+		}
+
+		// Pass 1: cull to the visible tuples.
+		n := ext.Rel.Len()
+		var rows []int
+		var locs []geom.Point
+		for row := 0; row < n; row++ {
+			stats.TuplesSeen++
+			loc := ext.Location(row)
+			x := loc[0] + offAt(0)
+			y := loc[1] + offAt(1)
+
+			// Slider culling for the layer's own extra dimensions; a
+			// lower-dimensional layer is invariant in the composite's
+			// extra dimensions (Figure 7's flat Louisiana map).
+			culled := false
+			for d := 2; d < ldim; d++ {
+				si := d - 2
+				if si < len(st.Sliders) && !st.Sliders[si].Contains(loc[d]+offAt(d)) {
+					culled = true
+					break
+				}
+			}
+			if culled || !cullWindow.Contains(geom.Pt(x, y)) {
+				stats.TuplesCulled++
+				continue
+			}
+			rows = append(rows, row)
+			locs = append(locs, geom.Pt(x, y))
+		}
+
+		// Pass 2: evaluate display functions — concurrently when the
+		// viewer opts in and the batch is large; the computation is pure
+		// over the relation. Painting stays serial in tuple order, so
+		// output is identical either way.
+		lists := v.evalDisplays(ext, rows)
+
+		// Pass 3: paint in drawing order.
+		for vi, row := range rows {
+			list := lists[vi]
+			if list == nil {
+				stats.DisplayErrors++
+				continue
+			}
+			stats.DisplaysEvaled++
+			x, y := locs[vi].X, locs[vi].Y
+
+			for _, dr := range list {
+				b := dr.Bounds().Translate(geom.Pt(x, y))
+				if !b.Overlaps(visible) {
+					stats.DrawablesCulled++
+					continue
+				}
+				v.renderDrawable(pen, dr, geom.Pt(x, y), scale, toScreen, depth, stats)
+				stats.DrawablesDrawn++
+				if recordHits {
+					sb := screenBounds(b, toScreen)
+					hit := Hit{Screen: sb, Member: member, Layer: li, Row: row, Ext: ext}
+					if wh, ok := dr.(draw.Viewer); ok {
+						w := wh
+						hit.Wormhole = &w
+					}
+					v.hits = append(v.hits, hit)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// screenBounds maps a canvas rect through the (y-flipping) transform.
+func screenBounds(b geom.Rect, toScreen func(geom.Point) geom.Point) geom.Rect {
+	p0 := toScreen(b.Min)
+	p1 := toScreen(b.Max)
+	return geom.R(p0.X, p0.Y, p1.X, p1.Y)
+}
+
+// renderDrawable rasterizes one drawable at canvas position at.
+func (v *Viewer) renderDrawable(pen *raster.Pen, dr draw.Drawable, at geom.Point, scale float64, toScreen func(geom.Point) geom.Point, depth int, stats *RenderStats) {
+	// Stroke widths are screen-space (pixels): shapes grow and shrink
+	// with elevation but outlines stay crisp, as on the paper's canvases.
+	lineWidth := func(s draw.Style) float64 {
+		if s.LineWidth < 1 {
+			return 1
+		}
+		return s.LineWidth
+	}
+	switch d := dr.(type) {
+	case draw.Point:
+		pen.Point(toScreen(at.Add(d.Offset)), d.Color)
+
+	case draw.Line:
+		a := toScreen(at.Add(d.Offset))
+		b := toScreen(at.Add(d.Offset).Add(d.Delta))
+		pen.Line(a, b, d.Color, lineWidth(d.Style))
+
+	case draw.Rect:
+		r := screenBounds(geom.R(0, 0, d.W, d.H).Translate(at.Add(d.Offset)), toScreen)
+		pen.Rect(r, d.Color, draw.Style{Fill: d.Style.Fill, LineWidth: lineWidth(d.Style)})
+
+	case draw.Circle:
+		pen.Circle(toScreen(at.Add(d.Offset)), d.R*scale, d.Color, draw.Style{Fill: d.Style.Fill, LineWidth: lineWidth(d.Style)})
+
+	case draw.Polygon:
+		pts := make([]geom.Point, len(d.Vertices))
+		for i, p := range d.Vertices {
+			pts[i] = toScreen(at.Add(d.Offset).Add(p))
+		}
+		pen.Polygon(pts, d.Color, draw.Style{Fill: d.Style.Fill, LineWidth: lineWidth(d.Style)})
+
+	case draw.Text:
+		size := d.Size
+		if size <= 0 {
+			size = 1
+		}
+		// Text anchors at its top-left in offset space; Bounds() spans
+		// upward from the offset, so the screen anchor is the top-left of
+		// the flipped bounds.
+		b := d.Bounds().Translate(at)
+		top := toScreen(geom.Pt(b.Min.X, b.Max.Y))
+		px := size * scale
+		pen.Text(top, d.S, px, d.Color)
+
+	case draw.Viewer:
+		v.renderWormhole(pen, d, at, toScreen, depth, stats)
+	}
+}
+
+// wormholeKey identifies a wormhole interior for within-frame caching:
+// two wormholes with the same destination, position, elevation, and
+// window size render identical interiors.
+type wormholeKey struct {
+	dest   string
+	loc    geom.Point
+	elev   float64
+	pw, ph int
+}
+
+// renderWormhole draws a wormhole: a bordered window whose interior is
+// the destination canvas seen from the wormhole's destination elevation
+// (Section 6.2). Interiors are cached per frame keyed by destination and
+// viewpoint, so a canvas full of identical wormholes (the Figure 8
+// station map) renders the destination once.
+func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, toScreen func(geom.Point) geom.Point, depth int, stats *RenderStats) {
+	r := screenBounds(geom.R(0, 0, wh.W, wh.H).Translate(at.Add(wh.Offset)), toScreen)
+	border := wh.Border
+	if border == (draw.Color{}) {
+		border = draw.Blue
+	}
+	pen.Rect(r, border, draw.Style{LineWidth: 2})
+
+	if depth >= v.MaxWormholeDepth || v.space == nil {
+		return
+	}
+	dest, err := v.space.Canvas(wh.DestCanvas)
+	if err != nil {
+		return // unresolvable destination: border only
+	}
+	inner := r.Expand(-2)
+	if inner.Empty() {
+		return
+	}
+	pw, ph := int(inner.W()), int(inner.H())
+	if pw <= 0 || ph <= 0 {
+		return
+	}
+
+	key := wormholeKey{dest: wh.DestCanvas, loc: wh.DestLocation, elev: wh.DestElevation, pw: pw, ph: ph}
+	if !v.DisableWormholeCache {
+		if img, ok := v.whCache[key]; ok {
+			pen.Blit(img, int(inner.Min.X), int(inner.Min.Y))
+			return
+		}
+	}
+
+	dd, err := dest.Viewer.Source.Get()
+	if err != nil {
+		return
+	}
+	dg := display.Promote(dd)
+	if len(dg.Members) == 0 {
+		return
+	}
+	st := ViewState{
+		Center:    wh.DestLocation,
+		Elevation: wh.DestElevation,
+	}
+	dim := dg.Members[0].Dim()
+	for d := 2; d < dim; d++ {
+		st.Sliders = append(st.Sliders, geom.Rg(math.Inf(-1), math.Inf(1)))
+	}
+	// Render the destination's first member into an offscreen frame, then
+	// paste; clicks inside still resolve to the wormhole itself (you
+	// travel, not poke).
+	off := raster.NewImage(pw, ph)
+	offPen := raster.NewPen(off)
+	offRect := geom.R(0, 0, float64(pw), float64(ph))
+	_ = dest.Viewer.renderMember(offPen, offRect, dg.Members[0], st, 0, depth+1, false, stats)
+	if !v.DisableWormholeCache {
+		if v.whCache == nil {
+			v.whCache = make(map[wormholeKey]*raster.Image)
+		}
+		v.whCache[key] = off
+	}
+	pen.Blit(off, int(inner.Min.X), int(inner.Min.Y))
+}
+
+// renderMagnifier renders a magnifying glass: the inner viewer drawn into
+// its screen rectangle, clipped, with a frame.
+func (v *Viewer) renderMagnifier(pen *raster.Pen, mag *Magnifier, stats *RenderStats) error {
+	d, err := mag.Inner.Source.Get()
+	if err != nil {
+		return err
+	}
+	g := display.Promote(d)
+	mag.Inner.ensureStates(g)
+	if len(g.Members) == 0 {
+		return fmt.Errorf("viewer %s: magnifier over empty group", v.Name)
+	}
+	// Dimensional check: magnifying glasses must match their containing
+	// viewer's dimension (Section 7.2).
+	outer, err := v.Source.Get()
+	if err != nil {
+		return err
+	}
+	if display.Promote(outer).Members[0].Dim() != g.Members[0].Dim() {
+		return fmt.Errorf("viewer %s: magnifier dimension %d does not match containing viewer dimension %d",
+			v.Name, g.Members[0].Dim(), display.Promote(outer).Members[0].Dim())
+	}
+	inner := mag.ScreenRect.Expand(-2)
+	if inner.Empty() {
+		return nil
+	}
+	pen.Rect(mag.ScreenRect, draw.Black, draw.Style{LineWidth: 2})
+	return mag.Inner.renderMember(pen.WithClip(inner), inner, g.Members[0], mag.Inner.states[0], 0, 1, false, stats)
+}
+
+// evalDisplays computes the display list for each listed row. A nil entry
+// marks an evaluation failure (the tuple is skipped and counted); an
+// empty-but-non-nil list is a successful empty display. When Parallel is
+// enabled and the batch is large, evaluation fans out across workers —
+// display functions are pure reads over the relation, and painting
+// happens afterwards in tuple order, so the rendered output is identical.
+func (v *Viewer) evalDisplays(ext *display.Extended, rows []int) []draw.List {
+	lists := make([]draw.List, len(rows))
+	eval := func(i int) {
+		l, err := ext.Display(rows[i])
+		if err != nil {
+			lists[i] = nil
+			return
+		}
+		if l == nil {
+			l = draw.List{}
+		}
+		lists[i] = l
+	}
+	if !v.Parallel || len(rows) < parallelThreshold {
+		for i := range rows {
+			eval(i)
+		}
+		return lists
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(rows) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				eval(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return lists
+}
+
+// parallelThreshold is the batch size below which parallel evaluation is
+// not worth the goroutine overhead.
+const parallelThreshold = 256

@@ -1,0 +1,150 @@
+package viewer
+
+import (
+	"fmt"
+
+	"repro/internal/display"
+	"repro/internal/geom"
+)
+
+// slaveLink ties member am of viewer a to member bm of viewer b: "the
+// system maintains the relative offset between the two viewers"
+// (Section 7.1). Links are symmetric — moving either end drags the other.
+type slaveLink struct {
+	a, b    *Viewer
+	am, bm  int
+	dCenter geom.Point // b.center - a.center at slaving time
+	dElev   float64    // b.elevation - a.elevation at slaving time
+}
+
+// links live on both endpoints so deleting either viewer severs them.
+type slaveSet struct {
+	links       []*slaveLink
+	propagating bool
+}
+
+// Slave ties member am of viewer a to member bm of viewer b, capturing
+// their current relative offset. Slaving is only defined for two viewers
+// with the same dimensions (Section 7.1).
+func Slave(a *Viewer, am int, b *Viewer, bm int) error {
+	if a == b && am == bm {
+		return fmt.Errorf("viewer: cannot slave %s member %d to itself", a.Name, am)
+	}
+	da, err := a.Source.Get()
+	if err != nil {
+		return err
+	}
+	db, err := b.Source.Get()
+	if err != nil {
+		return err
+	}
+	ga, gb := display.Promote(da), display.Promote(db)
+	if am < 0 || am >= len(ga.Members) {
+		return fmt.Errorf("viewer: %s has no member %d", a.Name, am)
+	}
+	if bm < 0 || bm >= len(gb.Members) {
+		return fmt.Errorf("viewer: %s has no member %d", b.Name, bm)
+	}
+	if ga.Members[am].Dim() != gb.Members[bm].Dim() {
+		return fmt.Errorf("viewer: cannot slave %d-dimensional %s to %d-dimensional %s",
+			ga.Members[am].Dim(), a.Name, gb.Members[bm].Dim(), b.Name)
+	}
+	sa, err := a.State(am)
+	if err != nil {
+		return err
+	}
+	sb, err := b.State(bm)
+	if err != nil {
+		return err
+	}
+	l := &slaveLink{
+		a: a, b: b, am: am, bm: bm,
+		dCenter: sb.Center.Sub(sa.Center),
+		dElev:   sb.Elevation - sa.Elevation,
+	}
+	a.slaves.links = append(a.slaves.links, l)
+	if b != a {
+		b.slaves.links = append(b.slaves.links, l)
+	}
+	return nil
+}
+
+// Unslave removes any links between (a, am) and (b, bm).
+func Unslave(a *Viewer, am int, b *Viewer, bm int) {
+	match := func(l *slaveLink) bool {
+		return (l.a == a && l.am == am && l.b == b && l.bm == bm) ||
+			(l.a == b && l.am == bm && l.b == a && l.bm == am)
+	}
+	a.slaves.remove(match)
+	if b != a {
+		b.slaves.remove(match)
+	}
+}
+
+// UnslaveAll removes every slaving relationship of v, the cleanup the
+// paper requires when a viewer is deleted.
+func UnslaveAll(v *Viewer) {
+	mine := func(l *slaveLink) bool { return l.a == v || l.b == v }
+	// Remove from the peers first.
+	for _, l := range v.slaves.links {
+		peer := l.a
+		if peer == v {
+			peer = l.b
+		}
+		if peer != v {
+			self := l
+			peer.slaves.remove(func(x *slaveLink) bool { return x == self })
+		}
+	}
+	v.slaves.remove(mine)
+}
+
+// SlaveCount returns the number of active links on v, for tests.
+func SlaveCount(v *Viewer) int { return len(v.slaves.links) }
+
+func (s *slaveSet) remove(match func(*slaveLink) bool) {
+	out := s.links[:0]
+	for _, l := range s.links {
+		if !match(l) {
+			out = append(out, l)
+		}
+	}
+	s.links = out
+}
+
+// propagateSlaves pushes member m's new position across every link
+// touching it. The propagating flag breaks cycles (mutual or chained
+// slaving).
+func (v *Viewer) propagateSlaves(m int) {
+	if v.slaves.propagating {
+		return
+	}
+	v.slaves.propagating = true
+	defer func() { v.slaves.propagating = false }()
+
+	src, err := v.State(m)
+	if err != nil {
+		return
+	}
+	for _, l := range v.slaves.links {
+		var peer *Viewer
+		var pm int
+		var dc geom.Point
+		var de float64
+		switch {
+		case l.a == v && l.am == m:
+			peer, pm, dc, de = l.b, l.bm, l.dCenter, l.dElev
+		case l.b == v && l.bm == m:
+			peer, pm, dc, de = l.a, l.am, geom.Pt(-l.dCenter.X, -l.dCenter.Y), -l.dElev
+		default:
+			continue
+		}
+		st, err := peer.State(pm)
+		if err != nil {
+			continue
+		}
+		st.Center = src.Center.Add(dc)
+		st.Elevation = src.Elevation + de
+		peer.propagateSlaves(pm)
+	}
+}

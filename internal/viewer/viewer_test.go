@@ -1,0 +1,379 @@
+package viewer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/display"
+	"repro/internal/draw"
+	"repro/internal/geom"
+	"repro/internal/rel"
+	"repro/internal/types"
+)
+
+// gridRel returns a relation of n points at (i, i) with an extra "z"
+// dimension i*10 and a text name.
+func gridRel(t testing.TB, n int) *rel.Relation {
+	t.Helper()
+	r := rel.New("Grid", rel.MustSchema(
+		rel.Column{Name: "id", Kind: types.Int},
+		rel.Column{Name: "px", Kind: types.Float},
+		rel.Column{Name: "py", Kind: types.Float},
+		rel.Column{Name: "z", Kind: types.Float},
+		rel.Column{Name: "name", Kind: types.Text},
+	))
+	for i := 0; i < n; i++ {
+		r.MustAppend([]types.Value{
+			types.NewInt(int64(i)),
+			types.NewFloat(float64(i)),
+			types.NewFloat(float64(i)),
+			types.NewFloat(float64(i * 10)),
+			types.NewText("p"),
+		})
+	}
+	return r
+}
+
+func gridExt(t testing.TB, n int, withZ bool) *display.Extended {
+	t.Helper()
+	locs := []string{"px", "py"}
+	if withZ {
+		locs = append(locs, "z")
+	}
+	e, err := display.NewExtended("grid", gridRel(t, n), locs, []display.NamedDisplay{
+		{Name: "display", Fn: draw.ConstFunc(draw.List{draw.Circle{R: 0.4, Color: draw.Black, Style: draw.FillStyle}})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRenderBasic(t *testing.T) {
+	e := gridExt(t, 10, false)
+	v := New("t", DirectSource{D: e}, 100, 100)
+	if err := v.PanTo(0, 4.5, 4.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElevation(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	img, stats, err := v.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DisplaysEvaled != 10 {
+		t.Errorf("evaluated %d displays, want 10", stats.DisplaysEvaled)
+	}
+	if img.CountNonBackground(draw.White) == 0 {
+		t.Fatal("nothing drawn")
+	}
+}
+
+func TestViewportCulling(t *testing.T) {
+	e := gridExt(t, 100, false)
+	v := New("t", DirectSource{D: e}, 100, 100)
+	v.CullMargin = 0.5
+	if err := v.PanTo(0, 5, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElevation(0, 3); err != nil { // sees roughly y in [2,8]
+		t.Fatal(err)
+	}
+	_, stats, err := v.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TuplesCulled == 0 {
+		t.Error("no culling despite tiny viewport")
+	}
+	if stats.DisplaysEvaled >= 100 {
+		t.Error("display functions evaluated for culled tuples")
+	}
+	if stats.DisplaysEvaled < 5 {
+		t.Errorf("over-culling: only %d visible", stats.DisplaysEvaled)
+	}
+}
+
+func TestSliderCulling(t *testing.T) {
+	e := gridExt(t, 50, true)
+	v := New("t", DirectSource{D: e}, 100, 100)
+	if err := v.PanTo(0, 25, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElevation(0, 30); err != nil {
+		t.Fatal(err)
+	}
+	_, all, err := v.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.DisplaysEvaled != 50 {
+		t.Fatalf("baseline %d", all.DisplaysEvaled)
+	}
+	// Slider restricts z to [0, 100]: points 0..10.
+	if err := v.SetSlider(0, 0, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	_, some, err := v.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if some.DisplaysEvaled != 11 {
+		t.Errorf("slider visible = %d, want 11", some.DisplaysEvaled)
+	}
+	if err := v.SetSlider(0, 5, 0, 1); err == nil {
+		t.Error("bad slider index accepted")
+	}
+}
+
+func TestElevationRangeCulling(t *testing.T) {
+	lo := gridExt(t, 10, false)
+	lo.ElevRange = geom.Rg(0, 5) // detail layer
+	hi := gridExt(t, 10, false)
+	hi.ElevRange = geom.Rg(5, 1000) // overview layer
+	c, _, err := display.NewComposite("c", lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New("t", DirectSource{D: c}, 100, 100)
+	if err := v.PanTo(0, 4.5, 4.5); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := v.SetElevation(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	_, high, err := v.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElevation(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	_, low, err := v.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.DisplaysEvaled != 10 || low.DisplaysEvaled != 10 {
+		t.Errorf("each elevation should see exactly one layer: high=%d low=%d",
+			high.DisplaysEvaled, low.DisplaysEvaled)
+	}
+}
+
+func TestHitTesting(t *testing.T) {
+	e := gridExt(t, 3, false)
+	v := New("t", DirectSource{D: e}, 200, 200)
+	if err := v.PanTo(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElevation(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.Render(); err != nil {
+		t.Fatal(err)
+	}
+	hits := v.Hits()
+	if len(hits) != 3 {
+		t.Fatalf("%d hits", len(hits))
+	}
+	// The screen center is point (1,1), row 1.
+	h, ok := v.HitAt(100, 100)
+	if !ok {
+		t.Fatal("no hit at center")
+	}
+	if h.Row != 1 {
+		t.Errorf("center hit row = %d", h.Row)
+	}
+	if _, ok := v.HitAt(5, 5); ok {
+		t.Error("hit in empty corner")
+	}
+}
+
+func TestGroupLayouts(t *testing.T) {
+	e := gridExt(t, 5, false)
+	c := display.FromR(e)
+	for _, layout := range []display.Layout{display.Horizontal, display.Vertical, display.Tabular} {
+		cols := 0
+		if layout == display.Tabular {
+			cols = 2
+		}
+		g, err := display.NewGroup("g", layout, cols, c, c.Clone(), c.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := New("t", DirectSource{D: g}, 300, 300)
+		for m := 0; m < 3; m++ {
+			if err := v.PanTo(m, 2, 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := v.SetElevation(m, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		img, stats, err := v.Render()
+		if err != nil {
+			t.Fatalf("%v: %v", layout, err)
+		}
+		if stats.DisplaysEvaled != 15 {
+			t.Errorf("%v: %d displays", layout, stats.DisplaysEvaled)
+		}
+		if img.CountNonBackground(draw.White) == 0 {
+			t.Errorf("%v: blank", layout)
+		}
+	}
+}
+
+func TestIconifiedRendersNothing(t *testing.T) {
+	e := gridExt(t, 5, false)
+	v := New("t", DirectSource{D: e}, 100, 100)
+	v.Iconified = true
+	img, stats, err := v.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TuplesSeen != 0 || img.CountNonBackground(draw.White) != 0 {
+		t.Error("iconified viewer drew")
+	}
+}
+
+func TestLayerOffsets(t *testing.T) {
+	e := gridExt(t, 1, false) // single point at (0,0)
+	c := display.FromR(e)
+	c.Overlay(display.FromR(gridExt(t, 1, false)), []float64{3, 0})
+	v := New("t", DirectSource{D: c}, 100, 100)
+	if err := v.PanTo(0, 1.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElevation(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.Render(); err != nil {
+		t.Fatal(err)
+	}
+	hits := v.Hits()
+	if len(hits) != 2 {
+		t.Fatalf("%d hits", len(hits))
+	}
+	// Offsets separate the two screen positions.
+	if hits[0].Screen.Center().X == hits[1].Screen.Center().X {
+		t.Error("offset layer rendered at the same place")
+	}
+}
+
+func TestElevationMapAndOverrides(t *testing.T) {
+	a := gridExt(t, 4, false)
+	a.Label = "bottom"
+	a.ElevRange = geom.Rg(0, 100)
+	b := gridExt(t, 4, false)
+	b.Label = "top"
+	b.ElevRange = geom.Rg(0, 10)
+	c, _, _ := display.NewComposite("c", a, b)
+	v := New("t", DirectSource{D: c}, 100, 100)
+
+	em, err := v.ElevationMap(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(em) != 2 || em[0].Label != "bottom" || em[0].Order != 0 || em[1].Order != 1 {
+		t.Fatalf("map = %+v", em)
+	}
+	// Shuffle via the map: bottom moves to top.
+	if err := v.ShuffleLayer(0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	em, _ = v.ElevationMap(0)
+	if em[0].Order != 1 || em[1].Order != 0 {
+		t.Fatalf("after shuffle map = %+v", em)
+	}
+	if err := v.ShuffleLayer(0, 9, 2); err == nil {
+		t.Error("bad shuffle accepted")
+	}
+
+	// Range override hides layer b at elevation 5.
+	if err := v.PanTo(0, 1.5, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElevation(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	_, before, _ := v.Render()
+	v.SetLayerRange(0, 1, 50, 60)
+	_, after, _ := v.Render()
+	if after.DisplaysEvaled >= before.DisplaysEvaled {
+		t.Error("override did not hide the layer")
+	}
+	v.ClearLayerRange(0, 1)
+	_, restored, _ := v.Render()
+	if restored.DisplaysEvaled != before.DisplaysEvaled {
+		t.Error("clearing the override did not restore")
+	}
+}
+
+func TestNegativeElevationSeesUnderside(t *testing.T) {
+	top := gridExt(t, 4, false)
+	top.ElevRange = geom.Rg(0, 100)
+	under := gridExt(t, 4, false)
+	under.ElevRange = geom.Rg(-100, -0.01)
+	c, _, _ := display.NewComposite("c", top, under)
+	v := New("t", DirectSource{D: c}, 100, 100)
+	if err := v.PanTo(0, 1.5, 1.5); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := v.SetElevation(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	_, above, _ := v.Render()
+	if err := v.SetElevation(0, -5); err != nil {
+		t.Fatal(err)
+	}
+	_, below, _ := v.Render()
+	if above.DisplaysEvaled != 4 || below.DisplaysEvaled != 4 {
+		t.Errorf("above=%d below=%d, want 4 each (one layer per side)",
+			above.DisplaysEvaled, below.DisplaysEvaled)
+	}
+}
+
+func TestStateValidation(t *testing.T) {
+	e := gridExt(t, 2, false)
+	v := New("t", DirectSource{D: e}, 100, 100)
+	if _, err := v.State(5); err == nil {
+		t.Error("bad member accepted")
+	}
+	if err := v.Zoom(0, 0); err == nil {
+		t.Error("zero zoom factor accepted")
+	}
+	if err := v.Zoom(0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := v.State(0)
+	if st.Elevation != 50 { // default 100 halved
+		t.Errorf("elevation = %g", st.Elevation)
+	}
+}
+
+func TestEmptySource(t *testing.T) {
+	v := New("t", DirectSource{}, 50, 50)
+	if _, _, err := v.Render(); err == nil {
+		t.Error("empty source accepted")
+	}
+}
+
+func TestVisibleAspect(t *testing.T) {
+	st := ViewState{Center: geom.Pt(0, 0), Elevation: 10}
+	r := st.Visible(2)
+	if r.H() != 20 || r.W() != 40 {
+		t.Errorf("visible = %v", r)
+	}
+	// Negative elevation views from below with the same extent.
+	st.Elevation = -10
+	if st.Visible(2) != r {
+		t.Error("negative elevation extent differs")
+	}
+	// Zero elevation degenerates but never divides by zero.
+	st.Elevation = 0
+	if math.IsInf(st.Visible(1).W(), 0) {
+		t.Error("zero elevation produced infinite window")
+	}
+}

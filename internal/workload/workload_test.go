@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestStationsDeterministic(t *testing.T) {
+	a := Stations(100, 7)
+	b := Stations(100, 7)
+	if a.Len() != 100 || b.Len() != 100 {
+		t.Fatalf("lens %d %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		for j := range a.Tuple(i) {
+			if !a.Tuple(i)[j].Equal(b.Tuple(i)[j]) {
+				t.Fatalf("seeded generator not deterministic at row %d", i)
+			}
+		}
+	}
+	c := Stations(100, 8)
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		for j := range a.Tuple(i) {
+			if !a.Tuple(i)[j].Equal(c.Tuple(i)[j]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestStationsLouisianaFraction(t *testing.T) {
+	st := Stations(200, 1)
+	la := 0
+	for i := 0; i < st.Len(); i++ {
+		row := st.Row(i)
+		state := row.Attr("state").Text()
+		lon, _ := row.Attr("longitude").AsFloat()
+		lat, _ := row.Attr("latitude").AsFloat()
+		if state == "LA" {
+			la++
+			if lon < LouisianaLonMin || lon > LouisianaLonMax ||
+				lat < LouisianaLatMin || lat > LouisianaLatMax {
+				t.Fatalf("LA station %d outside the box: (%g, %g)", i, lon, lat)
+			}
+		}
+		if alt, _ := row.Attr("altitude").AsFloat(); alt < 0 {
+			t.Fatalf("negative altitude %g", alt)
+		}
+	}
+	if la != 50 {
+		t.Errorf("%d LA stations of 200, want every 4th (50)", la)
+	}
+}
+
+func TestObservationsShape(t *testing.T) {
+	st := Stations(10, 3)
+	obs, err := Observations(st, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Len() != 240 {
+		t.Fatalf("obs len %d", obs.Len())
+	}
+	years := map[int]bool{}
+	for i := 0; i < obs.Len(); i++ {
+		row := obs.Row(i)
+		d := row.Attr("obs_date")
+		y, m, _ := d.YMD()
+		years[y] = true
+		if m < 1 || m > 12 {
+			t.Fatalf("month %d", m)
+		}
+		if p, _ := row.Attr("precipitation").AsFloat(); p < 0 {
+			t.Fatalf("negative precipitation %g", p)
+		}
+		id := row.Attr("station_id").Int()
+		if id < 0 || id >= 10 {
+			t.Fatalf("orphan station id %d", id)
+		}
+	}
+	if !years[1985] || !years[1986] {
+		t.Errorf("years covered: %v", years)
+	}
+}
+
+func TestObservationsSeasonality(t *testing.T) {
+	st := Stations(4, 9)
+	obs, err := Observations(st, 120, 10) // 10 years
+	if err != nil {
+		t.Fatal(err)
+	}
+	// July should be warmer than January on average (northern
+	// hemisphere seasonal model).
+	var jan, jul []float64
+	for i := 0; i < obs.Len(); i++ {
+		row := obs.Row(i)
+		_, m, _ := row.Attr("obs_date").YMD()
+		temp, _ := row.Attr("temperature").AsFloat()
+		switch m {
+		case 1:
+			jan = append(jan, temp)
+		case 7:
+			jul = append(jul, temp)
+		}
+	}
+	if mean(jul) <= mean(jan)+5 {
+		t.Errorf("seasonality missing: jan %.1f, jul %.1f", mean(jan), mean(jul))
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestLouisianaMapClosedLoop(t *testing.T) {
+	m := LouisianaMap()
+	if m.Len() < 20 {
+		t.Fatalf("map has %d segments", m.Len())
+	}
+	// Segments form a closed loop: each segment's endpoint is the next
+	// segment's start (within rounding of the dx/dy encoding).
+	for i := 0; i < m.Len(); i++ {
+		cur := m.Row(i)
+		next := m.Row((i + 1) % m.Len())
+		cx, _ := cur.Attr("x").AsFloat()
+		cy, _ := cur.Attr("y").AsFloat()
+		dx, _ := cur.Attr("dx").AsFloat()
+		dy, _ := cur.Attr("dy").AsFloat()
+		nx, _ := next.Attr("x").AsFloat()
+		ny, _ := next.Attr("y").AsFloat()
+		if abs(cx+dx-nx) > 0.001 || abs(cy+dy-ny) > 0.001 {
+			t.Fatalf("segment %d does not chain: (%g,%g)+(%g,%g) != (%g,%g)", i, cx, cy, dx, dy, nx, ny)
+		}
+	}
+	// Everything inside the Louisiana bounding box.
+	for i := 0; i < m.Len(); i++ {
+		x, _ := m.Row(i).Attr("x").AsFloat()
+		y, _ := m.Row(i).Attr("y").AsFloat()
+		if x < LouisianaLonMin-0.2 || x > LouisianaLonMax+0.2 || y < LouisianaLatMin-0.2 || y > LouisianaLatMax+0.2 {
+			t.Fatalf("vertex %d outside the state box: (%g, %g)", i, x, y)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestSales(t *testing.T) {
+	s := Sales(150, 11)
+	if s.Len() != 150 {
+		t.Fatalf("len %d", s.Len())
+	}
+	depts := map[string]bool{}
+	for i := 0; i < s.Len(); i++ {
+		row := s.Row(i)
+		depts[row.Attr("department").Text()] = true
+		sal, _ := row.Attr("salary").AsFloat()
+		if sal < 2000 || sal > 10000 {
+			t.Fatalf("salary %g out of the generator's range", sal)
+		}
+	}
+	if len(depts) != 4 {
+		t.Errorf("departments: %v", depts)
+	}
+}
+
+func TestSchemasHaveExpectedColumns(t *testing.T) {
+	if !StationsSchema().Has("longitude") || !StationsSchema().Has("altitude") {
+		t.Error("stations schema")
+	}
+	if k, _ := ObservationsSchema().KindOf("obs_date"); k != types.Date {
+		t.Error("obs_date should be a date")
+	}
+	if !MapSchema().Has("dx") || !SalesSchema().Has("department") {
+		t.Error("map/sales schema")
+	}
+}

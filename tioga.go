@@ -1,0 +1,230 @@
+// Package tioga is a from-scratch Go implementation of Tioga-2, the
+// direct-manipulation database visualization environment of Aiken, Chen,
+// Stonebraker, and Woodruff (ICDE 1996). It provides:
+//
+//   - an object-relational substrate with stored and computed attributes
+//     and the database operations Project, Restrict, Sample, and Join;
+//   - a typed boxes-and-arrows dataflow language with lazy, memoized
+//     evaluation, multi-output boxes, T boxes, and Encapsulate with holes;
+//   - the displayable types R (extended relations with location and
+//     display attributes), C (composites/overlays), and G (groups), with
+//     the type equivalences and operator lifting of the paper's Section 2;
+//   - viewers with pan, zoom (elevation), slider dimensions, viewport and
+//     elevation-range culling, elevation maps, wormholes, rear view
+//     mirrors, slaving, magnifying glasses, Stitch, and Replicate;
+//   - tuple-level updates through per-type update functions (Section 8);
+//   - a software rasterizer in place of the 1996 X11 display.
+//
+// The central type is Environment: one Tioga-2 session over a Database.
+// Programs are built by the undoable operation catalog (AddTable, AddBox,
+// Connect, InsertT, Encapsulate, ...) exactly as the paper's menus do,
+// and viewers attached with AddViewer render any edge of the program.
+//
+// A minimal session:
+//
+//	db, _ := tioga.SeedDatabase(400, 132, 42)
+//	env := tioga.NewEnvironment(db)
+//	tb, _ := env.AddTable("Stations")
+//	rb, _ := env.AddBox("restrict", tioga.Params{"pred": "state = 'LA'"})
+//	_ = env.Connect(tb.ID, 0, rb.ID, 0)
+//	v, _ := env.AddViewer("Louisiana", rb.ID, 0, 640, 480)
+//	img, _, _ := v.Render()
+//	_ = img.WritePNG(w)
+//
+// The builders Figure1 through Figure11 reproduce the paper's figures
+// end-to-end; see EXPERIMENTS.md for the reproduction log.
+package tioga
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/db"
+	"repro/internal/display"
+	"repro/internal/draw"
+	"repro/internal/expr"
+	"repro/internal/geom"
+	"repro/internal/raster"
+	"repro/internal/rel"
+	"repro/internal/types"
+	"repro/internal/viewer"
+	"repro/internal/workload"
+)
+
+// Environment is one Tioga-2 session: the program window, the database,
+// the evaluator, and the canvas universe. See core.Environment.
+type Environment = core.Environment
+
+// Database is the POSTGRES stand-in: tables, saved programs and
+// encapsulated box definitions, and the Section 8 update path.
+type Database = db.Database
+
+// Params configures a box (predicates, display specs, probabilities...).
+type Params = dataflow.Params
+
+// Box is one node of a boxes-and-arrows program.
+type Box = dataflow.Box
+
+// PortType is a box port's type: R, C, G, or a scalar.
+type PortType = dataflow.PortType
+
+// Graph is a boxes-and-arrows program.
+type Graph = dataflow.Graph
+
+// Filler plugs a hole of an encapsulated box definition.
+type Filler = dataflow.Filler
+
+// Viewer renders displayables to a framebuffer with pan/zoom/sliders.
+type Viewer = viewer.Viewer
+
+// Navigator tracks the user's position across canvases and wormholes and
+// renders rear view mirrors.
+type Navigator = viewer.Navigator
+
+// Space is the canvas registry wormholes resolve against.
+type Space = viewer.Space
+
+// Magnifier is a viewer placed inside another viewer (Section 7.2).
+type Magnifier = viewer.Magnifier
+
+// RenderStats reports culling and evaluation work done by one render.
+type RenderStats = viewer.RenderStats
+
+// Hit is a screen object resolved from a click: the tuple behind it and,
+// for wormholes, the destination.
+type Hit = viewer.Hit
+
+// Image is the software framebuffer with PPM/PNG/ASCII back ends.
+type Image = raster.Image
+
+// Relation is an object-relational table with stored and computed
+// attributes.
+type Relation = rel.Relation
+
+// Schema describes a relation's stored columns.
+type Schema = rel.Schema
+
+// Column is one stored attribute.
+type Column = rel.Column
+
+// Value is a dynamically typed scalar of the substrate.
+type Value = types.Value
+
+// Kind identifies an atomic column type.
+type Kind = types.Kind
+
+// Extended is the displayable type R: a relation plus location and
+// display attributes.
+type Extended = display.Extended
+
+// Composite is the displayable type C: overlaid relations in one space.
+type Composite = display.Composite
+
+// Group is the displayable type G: composites in a side-by-side,
+// vertical, or tabular layout.
+type Group = display.Group
+
+// Drawable is a primitive screen object (point, line, rect, circle,
+// polygon, text, or wormhole viewer).
+type Drawable = draw.Drawable
+
+// Color is an RGBA color.
+type Color = draw.Color
+
+// Point is a canvas-space point.
+type Point = geom.Point
+
+// Rect is a canvas- or screen-space rectangle.
+type Rect = geom.Rect
+
+// Atomic type kinds.
+const (
+	Int   = types.Int
+	Float = types.Float
+	Text  = types.Text
+	Bool  = types.Bool
+	Date  = types.Date
+)
+
+// Displayable port types for Connect/ApplyBox calls.
+var (
+	RType = dataflow.RType
+	CType = dataflow.CType
+	GType = dataflow.GType
+)
+
+// NewEnvironment creates a session over a database.
+func NewEnvironment(d *Database) *Environment { return core.NewEnvironment(d) }
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return db.New() }
+
+// SeedDatabase loads the synthetic Louisiana weather example data
+// (Stations, Observations, LouisianaMap, Sales) at the given scale.
+func SeedDatabase(stations, perStation int, seed int64) (*Database, error) {
+	return core.SeedDatabase(stations, perStation, seed)
+}
+
+// NewSeededEnvironment is SeedDatabase plus a fresh environment.
+func NewSeededEnvironment(stations, perStation int, seed int64) (*Environment, error) {
+	return core.NewSeededEnvironment(stations, perStation, seed)
+}
+
+// NewViewer constructs a standalone viewer over a fixed displayable, for
+// library use outside a dataflow program.
+func NewViewer(name string, d display.Displayable, w, h int) *Viewer {
+	return viewer.New(name, viewer.DirectSource{D: d}, w, h)
+}
+
+// NewExtendedRelation builds a displayable R directly: a relation with
+// designated numeric location attributes (x, y, then sliders) and one
+// display function (build it with ParseDisplaySpec or the combinators in
+// internal/draw).
+func NewExtendedRelation(label string, r *Relation, locAttrs []string, fn draw.Func) (*Extended, error) {
+	return display.NewExtended(label, r, locAttrs,
+		[]display.NamedDisplay{{Name: "display", Fn: fn}})
+}
+
+// Slave ties two viewer members together, maintaining their relative
+// offset (Section 7.1).
+func Slave(a *Viewer, am int, b *Viewer, bm int) error {
+	return viewer.Slave(a, am, b, bm)
+}
+
+// Unslave removes the slaving link between two viewer members.
+func Unslave(a *Viewer, am int, b *Viewer, bm int) {
+	viewer.Unslave(a, am, b, bm)
+}
+
+// ParseExpr compiles a predicate or attribute definition in the substrate
+// expression language.
+func ParseExpr(src string) (expr.Node, error) { return expr.Parse(src) }
+
+// ParseDisplaySpec compiles a display specification (see
+// internal/draw.ParseSpec for the grammar) into a display function.
+func ParseDisplaySpec(spec string) (draw.Func, error) { return draw.ParseSpec(spec) }
+
+// LiftParams builds the parameters for a liftc/liftg box applying an
+// R -> R operation to one relation of a composite or group (Section 2).
+func LiftParams(kind string, inner Params, member, layer int) Params {
+	return dataflow.LiftParams(kind, inner, member, layer)
+}
+
+// Workload generators, re-exported for examples and benches.
+var (
+	GenStations     = workload.Stations
+	GenObservations = workload.Observations
+	GenLouisianaMap = workload.LouisianaMap
+	GenSales        = workload.Sales
+)
+
+// Figure builders reproducing the paper's figures; see DESIGN.md for the
+// experiment index.
+var (
+	Figure1  = core.Figure1
+	Figure4  = core.Figure4
+	Figure7  = core.Figure7
+	Figure8  = core.Figure8
+	Figure9  = core.Figure9
+	Figure10 = core.Figure10
+	Figure11 = core.Figure11
+)
