@@ -1,0 +1,243 @@
+// Command tioga-bench runs a fixed set of representative workloads with
+// Go's benchmark machinery and writes a machine-readable JSON report:
+// ns/op for each workload plus the obs counter deltas (box fires, cache
+// hits, tuples culled, ...) one iteration of that workload produces.
+//
+// Timing runs happen with obs disabled, so the numbers match the
+// production configuration; counters come from a separate instrumented
+// pass over the same closure.
+//
+// Usage:
+//
+//	tioga-bench [-o BENCH_obs.json] [-benchtime 1s] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/display"
+	"repro/internal/draw"
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/rel"
+	"repro/internal/viewer"
+	"repro/internal/workload"
+)
+
+type benchResult struct {
+	Name       string           `json:"name"`
+	Iterations int              `json:"iterations"`
+	NsPerOp    int64            `json:"ns_per_op"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+}
+
+type benchReport struct {
+	GeneratedBy string        `json:"generated_by"`
+	BenchTime   string        `json:"bench_time"`
+	Results     []benchResult `json:"results"`
+}
+
+// benchCase is one workload: setup runs once and returns the closure a
+// single iteration executes.
+type benchCase struct {
+	name  string
+	setup func() (func() error, error)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_obs.json", "output JSON file")
+	benchtime := flag.Duration("benchtime", time.Second, "target time per workload")
+	verbose := flag.Bool("v", false, "print results as they complete")
+	testing.Init() // registers test.benchtime, which testing.Benchmark reads
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
+		os.Exit(1)
+	}
+
+	if err := run(*out, *benchtime, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, benchtime time.Duration, verbose bool) error {
+	cases := []benchCase{
+		{"figure7_drilldown", setupFigure7},
+		{"parallel_display_eval", setupParallelEval},
+		{"lazy_demand", setupLazyDemand},
+		{"join_hash", setupJoinHash},
+	}
+	report := benchReport{GeneratedBy: "tioga-bench", BenchTime: benchtime.String()}
+	for _, c := range cases {
+		iter, err := c.setup()
+		if err != nil {
+			return fmt.Errorf("%s: setup: %w", c.name, err)
+		}
+
+		// Timed pass: obs off, the production configuration.
+		obs.SetEnabled(false)
+		var iterErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := iter(); err != nil {
+					iterErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if iterErr != nil {
+			return fmt.Errorf("%s: %w", c.name, iterErr)
+		}
+
+		// Counter pass: one instrumented iteration against a clean
+		// registry yields the per-iteration counter profile.
+		obs.Reset()
+		obs.SetEnabled(true)
+		before := obs.TakeSnapshot()
+		if err := iter(); err != nil {
+			obs.SetEnabled(false)
+			return fmt.Errorf("%s: instrumented run: %w", c.name, err)
+		}
+		delta := obs.CounterDelta(before, obs.TakeSnapshot())
+		obs.SetEnabled(false)
+		obs.Reset()
+
+		res := benchResult{
+			Name:       c.name,
+			Iterations: r.N,
+			NsPerOp:    r.NsPerOp(),
+			Counters:   delta,
+		}
+		report.Results = append(report.Results, res)
+		if verbose {
+			fmt.Printf("%-24s %12d ns/op  (%d iterations)\n", c.name, res.NsPerOp, res.Iterations)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d workloads)\n", out, len(report.Results))
+	return nil
+}
+
+// setupFigure7 mirrors BenchmarkFigure7DrillDown: the figure-7 canvas at
+// low elevation (labels visible), re-rendered per iteration.
+func setupFigure7() (func() error, error) {
+	env, err := core.NewSeededEnvironment(400, 132, 42)
+	if err != nil {
+		return nil, err
+	}
+	canvas, err := core.Figure7(env)
+	if err != nil {
+		return nil, err
+	}
+	v, err := env.Canvas(canvas)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.SetElevation(0, 2); err != nil {
+		return nil, err
+	}
+	if _, _, err := v.Render(); err != nil { // warm dataflow caches
+		return nil, err
+	}
+	return func() error {
+		_, _, err := v.Render()
+		return err
+	}, nil
+}
+
+// setupParallelEval mirrors BenchmarkParallelDisplayEval/Parallel: an
+// expression-heavy display over a large visible batch.
+func setupParallelEval() (func() error, error) {
+	st := workload.Stations(30000, 1)
+	fn, err := draw.ParseSpec("circle rexpr='sqrt(altitude + 1.0) / 20' color=blue + label expr='upper(name)' size=0.01")
+	if err != nil {
+		return nil, err
+	}
+	e, err := display.NewExtended("stations", st,
+		[]string{"longitude", "latitude"},
+		[]display.NamedDisplay{{Name: "display", Fn: fn}})
+	if err != nil {
+		return nil, err
+	}
+	v := viewer.New("v", viewer.DirectSource{D: e}, 640, 480)
+	v.Parallel = true
+	if err := v.PanTo(0, -100, 37); err != nil {
+		return nil, err
+	}
+	if err := v.SetElevation(0, 30); err != nil {
+		return nil, err
+	}
+	if _, _, err := v.Render(); err != nil {
+		return nil, err
+	}
+	return func() error {
+		_, _, err := v.Render()
+		return err
+	}, nil
+}
+
+// setupLazyDemand builds table -> restrict -> project and measures a
+// cold demand (invalidate, fire the chain) plus a memoized re-demand.
+func setupLazyDemand() (func() error, error) {
+	env, err := core.NewSeededEnvironment(400, 132, 42)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := env.AddBox("table", map[string]string{"name": "Stations"})
+	if err != nil {
+		return nil, err
+	}
+	rb, err := env.AddBox("restrict", map[string]string{"pred": "state = 'LA'"})
+	if err != nil {
+		return nil, err
+	}
+	pb, err := env.AddBox("project", map[string]string{"attrs": "id,name,state"})
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Connect(tb.ID, 0, rb.ID, 0); err != nil {
+		return nil, err
+	}
+	if err := env.Connect(rb.ID, 0, pb.ID, 0); err != nil {
+		return nil, err
+	}
+	return func() error {
+		env.Eval.InvalidateAll()
+		if _, err := env.Eval.Demand(pb.ID, 0); err != nil {
+			return err
+		}
+		_, err := env.Eval.Demand(pb.ID, 0) // memo hit
+		return err
+	}, nil
+}
+
+// setupJoinHash joins stations to observations on the station key using
+// the hash strategy (the Join box's fast path).
+func setupJoinHash() (func() error, error) {
+	st := workload.Stations(1000, 1)
+	obsRel, err := workload.Observations(st, 12, 2)
+	if err != nil {
+		return nil, err
+	}
+	pred := expr.MustParse("id = station_id")
+	return func() error {
+		_, err := rel.Join(st, obsRel, pred, rel.JoinHash)
+		return err
+	}, nil
+}

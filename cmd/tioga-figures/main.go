@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tioga-figures [-out out] [-stations 400] [-perstation 132] [-seed 42]
+//	              [-trace trace.json] [-stats]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/raster"
 )
 
@@ -22,9 +24,31 @@ func main() {
 	stations := flag.Int("stations", 400, "number of weather stations")
 	perStation := flag.Int("perstation", 132, "observations per station (monthly from 1985)")
 	seed := flag.Int64("seed", 42, "generator seed")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of figure generation to this file")
+	stats := flag.Bool("stats", false, "print an obs metrics snapshot (JSON) to stderr when done")
 	flag.Parse()
 
-	if err := run(*out, *stations, *perStation, *seed); err != nil {
+	if *tracePath != "" || *stats {
+		obs.SetEnabled(true)
+	}
+	if *tracePath != "" {
+		obs.StartTracing()
+	}
+	err := run(*out, *stations, *perStation, *seed)
+	if *tracePath != "" {
+		obs.StopTracing()
+		if werr := obs.WriteTraceFile(*tracePath); werr != nil && err == nil {
+			err = werr
+		} else if werr == nil {
+			fmt.Fprintf(os.Stderr, "trace -> %s (load in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+		}
+	}
+	if *stats {
+		if data, jerr := obs.SnapshotJSON(); jerr == nil {
+			fmt.Fprintln(os.Stderr, string(data))
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tioga-figures:", err)
 		os.Exit(1)
 	}

@@ -8,6 +8,7 @@
 //	tioga-render -db db.gob -program name [-box id] [-port 0]
 //	             [-o out.png] [-w 640] [-h 480]
 //	             [-x cx] [-y cy] [-elev e] [-ascii]
+//	             [-trace trace.json] [-stats]
 //
 // Without -box, the input edge of the program's first viewer box (or the
 // output of its last sink) is rendered.
@@ -21,6 +22,7 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/db"
+	"repro/internal/obs"
 	"repro/internal/viewer"
 )
 
@@ -36,9 +38,31 @@ func main() {
 	cy := flag.Float64("y", 0, "pan center y")
 	elev := flag.Float64("elev", 100, "elevation")
 	ascii := flag.Bool("ascii", false, "print ASCII to stdout instead of writing a file")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the render to this file")
+	stats := flag.Bool("stats", false, "print an obs metrics snapshot (JSON) to stderr after rendering")
 	flag.Parse()
 
-	if err := run(*dbPath, *program, *boxID, *port, *out, *w, *h, *cx, *cy, *elev, *ascii); err != nil {
+	if *tracePath != "" || *stats {
+		obs.SetEnabled(true)
+	}
+	if *tracePath != "" {
+		obs.StartTracing()
+	}
+	err := run(*dbPath, *program, *boxID, *port, *out, *w, *h, *cx, *cy, *elev, *ascii)
+	if *tracePath != "" {
+		obs.StopTracing()
+		if werr := obs.WriteTraceFile(*tracePath); werr != nil && err == nil {
+			err = werr
+		} else if werr == nil {
+			fmt.Fprintf(os.Stderr, "trace -> %s (load in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+		}
+	}
+	if *stats {
+		if data, jerr := obs.SnapshotJSON(); jerr == nil {
+			fmt.Fprintln(os.Stderr, string(data))
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tioga-render:", err)
 		os.Exit(1)
 	}

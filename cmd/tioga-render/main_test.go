@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestRenderFigure7WithTrace saves the Figure 7 program into a database
+// snapshot, renders it headlessly the way `tioga-render -trace` does, and
+// checks the resulting file is a well-formed Chrome trace: a top-level
+// traceEvents array of balanced B/E pairs covering the render phases.
+func TestRenderFigure7WithTrace(t *testing.T) {
+	obs.Reset()
+	obs.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.StopTracing()
+		obs.SetEnabled(false)
+		obs.Reset()
+	})
+
+	env, err := core.NewSeededEnvironment(80, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Figure7(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SaveProgram("figure7"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "db.gob")
+	if err := env.DB.SaveFile(dbPath); err != nil {
+		t.Fatal(err)
+	}
+
+	obs.StartTracing()
+	png := filepath.Join(dir, "f7.png")
+	if err := run(dbPath, "figure7", 0, 0, png, 320, 240, -92.5, 31, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	obs.StopTracing()
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := obs.WriteTraceFile(tracePath); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			PID  int64   `json:"pid"`
+			TID  int64   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Balanced begin/end events per track, in order.
+	depth := map[int64]int{}
+	seen := map[string]bool{}
+	for _, e := range tf.TraceEvents {
+		seen[e.Name] = true
+		switch e.Ph {
+		case "B":
+			depth[e.TID]++
+		case "E":
+			depth[e.TID]--
+			if depth[e.TID] < 0 {
+				t.Fatalf("unbalanced E on track %d", e.TID)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Fatalf("track %d left %d spans open", tid, d)
+		}
+	}
+	for _, want := range []string{"db.load", "eval.fire", "render.frame", "render.cull", "render.display_eval", "render.paint"} {
+		if !seen[want] {
+			t.Errorf("trace missing %s span", want)
+		}
+	}
+	if _, err := os.Stat(png); err != nil {
+		t.Fatalf("render wrote no image: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/viewer"
 )
 
@@ -21,9 +22,14 @@ type shell struct {
 	env *core.Environment
 	out io.Writer
 	nav *viewer.Navigator
+
+	tracePath string // where "trace off" writes the collected trace
 }
 
 func newShell(env *core.Environment, out io.Writer) *shell {
+	// The shell is an interactive introspection surface, so metric
+	// recording is on by default; tracing stays off until "trace on".
+	obs.SetEnabled(true)
 	return &shell{env: env, out: out}
 }
 
@@ -324,6 +330,12 @@ func (s *shell) dispatch(cmd string, args []string) error {
 		return f.Close()
 	case "figures":
 		return s.figures()
+	case "stats":
+		return s.stats()
+	case "trace":
+		return s.trace(args)
+	case "histo":
+		return s.histo(args)
 	}
 	return fmt.Errorf("unknown command %q (try help)", cmd)
 }
@@ -386,6 +398,11 @@ database:
 database and sessions:
   tables | boxes | programs | savedb file | figures | quit
   savesession name | loadsession name   canvases + positions + program
+
+observability:
+  stats                        counters, latency summaries, errors
+  trace on [file] | trace off  collect spans; off writes Chrome JSON
+  histo <metric>               ASCII latency histogram (e.g. render.frame_ns)
 `)
 }
 
@@ -783,6 +800,111 @@ func (s *shell) figures() error {
 	} else {
 		return fmt.Errorf("figure9: %w", err)
 	}
+	return nil
+}
+
+// stats prints every nonzero counter, latency summary, and sampled
+// error from the process-wide obs registry.
+func (s *shell) stats() error {
+	snap := obs.TakeSnapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		s.printf("no counters yet; run a command first\n")
+	}
+	for _, n := range names {
+		s.printf("  %-28s %s\n", n, obs.FormatCount(snap.Counters[n]))
+	}
+	hnames := make([]string, 0, len(snap.Histograms))
+	for n := range snap.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := snap.Histograms[n]
+		s.printf("  %-28s count %s  p50 %s  p95 %s  p99 %s  max %s\n",
+			n, obs.FormatCount(h.Count),
+			formatNS(h.P50NS), formatNS(h.P95NS), formatNS(h.P99NS), formatNS(h.MaxNS))
+	}
+	enames := make([]string, 0, len(snap.Errors))
+	for n := range snap.Errors {
+		enames = append(enames, n)
+	}
+	sort.Strings(enames)
+	for _, n := range enames {
+		s.printf("  %s: %d error(s), first distinct:\n", n, snap.Counters[n])
+		for _, msg := range snap.Errors[n] {
+			s.printf("    %s\n", msg)
+		}
+	}
+	return nil
+}
+
+// formatNS renders a nanosecond latency with a human unit.
+func formatNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// trace starts/stops span collection; "trace off" writes the Chrome
+// trace-event JSON to the path given at "trace on" (default trace.json).
+func (s *shell) trace(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: trace on [file.json] | trace off")
+	}
+	switch args[0] {
+	case "on":
+		s.tracePath = "trace.json"
+		if len(args) >= 2 {
+			s.tracePath = args[1]
+		}
+		obs.StartTracing()
+		s.printf("tracing on; \"trace off\" writes %s\n", s.tracePath)
+		return nil
+	case "off":
+		if !obs.Tracing() {
+			return fmt.Errorf("tracing is not on")
+		}
+		obs.StopTracing()
+		path := s.tracePath
+		if path == "" {
+			path = "trace.json"
+		}
+		if err := obs.WriteTraceFile(path); err != nil {
+			return err
+		}
+		s.printf("trace -> %s (load in chrome://tracing or ui.perfetto.dev)\n", path)
+		return nil
+	}
+	return fmt.Errorf("usage: trace on [file.json] | trace off")
+}
+
+// histo prints one latency histogram as ASCII bars.
+func (s *shell) histo(args []string) error {
+	if len(args) != 1 {
+		names := obs.HistogramNames()
+		sort.Strings(names)
+		if len(names) == 0 {
+			return fmt.Errorf("usage: histo <metric> (no histograms recorded yet)")
+		}
+		return fmt.Errorf("usage: histo <metric>; recorded: %s", strings.Join(names, ", "))
+	}
+	h, ok := obs.LookupHistogram(args[0])
+	if !ok {
+		return fmt.Errorf("no histogram %q (try: stats)", args[0])
+	}
+	s.printf("%s", h.Render())
 	return nil
 }
 

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // testShell runs a script of commands against a small seeded environment
@@ -265,7 +268,7 @@ func TestShellParamsAndDisconnect(t *testing.T) {
 
 func TestShellHelpCoversCommands(t *testing.T) {
 	_, out := testShell(t, "help")
-	for _, word := range []string{"encapsulate", "viewer", "descend", "update", "savesession", "magnify"} {
+	for _, word := range []string{"encapsulate", "viewer", "descend", "update", "savesession", "magnify", "stats", "trace", "histo"} {
 		if !strings.Contains(out, word) {
 			t.Errorf("help missing %q", word)
 		}
@@ -287,5 +290,68 @@ func TestShellApplySel(t *testing.T) {
 	}
 	if !strings.Contains(out, "liftc") {
 		t.Fatalf("no lift box in program:\n%s", out)
+	}
+}
+
+func TestShellStatsTraceHisto(t *testing.T) {
+	obs.Reset()
+	t.Cleanup(obs.Reset)
+	dir := t.TempDir()
+	png := filepath.Join(dir, "o.png")
+	tracePath := filepath.Join(dir, "trace.json")
+	_, out := testShell(t,
+		"trace on "+tracePath,
+		"add table name=Stations",
+		"viewer v 1.0 120 90",
+		"panto v -92 31",
+		"elev v 10",
+		"render v "+png,
+		"trace off",
+		"stats",
+		"histo render.frame_ns",
+	)
+	// The render fired boxes and culled out-of-view tuples; stats shows
+	// both with nonzero values.
+	if fires := obs.CounterValue(obs.EvalFires); fires == 0 {
+		t.Fatalf("no box fires recorded:\n%s", out)
+	}
+	if culled := obs.CounterValue(obs.RenderTuplesCulled); culled == 0 {
+		t.Fatalf("no tuples culled:\n%s", out)
+	}
+	for _, want := range []string{obs.EvalFires, obs.RenderTuplesCulled, obs.RenderFrameNS} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %s:\n%s", want, out)
+		}
+	}
+	// The histogram renders with its summary line.
+	if !strings.Contains(out, "p95") {
+		t.Errorf("histo output missing summary:\n%s", out)
+	}
+	// trace off wrote a Chrome trace with render spans.
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range tf.TraceEvents {
+		seen[e.Name] = true
+	}
+	if !seen["render.frame"] || !seen["eval.fire"] {
+		t.Fatalf("trace missing expected spans (got %v)", seen)
+	}
+}
+
+func TestShellTraceUsageErrors(t *testing.T) {
+	_, out := testShell(t, "trace", "trace off", "histo no.such_metric")
+	if strings.Count(out, "error:") != 3 {
+		t.Fatalf("expected 3 errors:\n%s", out)
 	}
 }

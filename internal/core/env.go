@@ -16,6 +16,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/db"
 	"repro/internal/display"
+	"repro/internal/obs"
 	"repro/internal/viewer"
 )
 
@@ -393,6 +394,9 @@ func (env *Environment) Demand(canvasName string) (display.Displayable, error) {
 // installs the result — the full Section 8 path. The canvas must have
 // been rendered since its last change so hit records exist.
 func (env *Environment) UpdateAt(canvasName string, x, y float64, col, input string) error {
+	obs.Inc(obs.CoreUpdates)
+	sp := obs.StartSpan("core.update", "canvas", canvasName, "column", col)
+	defer sp.End()
 	v, err := env.Canvas(canvasName)
 	if err != nil {
 		return err

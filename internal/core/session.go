@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/viewer"
 )
 
@@ -73,6 +74,9 @@ func decodeSlider(p [2]float64) geom.Range {
 // SaveSession stores the current program plus every canvas window and
 // its view state under the given name.
 func (env *Environment) SaveSession(name string) error {
+	obs.Inc(obs.CoreSessionSaves)
+	sp := obs.StartSpan("core.session_save", "session", name)
+	defer sp.End()
 	prog, err := dataflow.Marshal(env.Program)
 	if err != nil {
 		return err
@@ -115,6 +119,9 @@ func (env *Environment) SaveSession(name string) error {
 // LoadSession replaces the current program and canvases with a saved
 // session's. Existing canvases are removed first.
 func (env *Environment) LoadSession(name string) error {
+	obs.Inc(obs.CoreSessionLoads)
+	sp := obs.StartSpan("core.session_load", "session", name)
+	defer sp.End()
 	data, err := env.DB.LoadProgram(sessionPrefix + name)
 	if err != nil {
 		return err

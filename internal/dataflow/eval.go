@@ -2,10 +2,17 @@ package dataflow
 
 import (
 	"fmt"
+	"strconv"
+
+	"repro/internal/obs"
 )
 
-// EvalStats counts work done by an evaluator, used by tests and the
-// lazy-vs-eager ablation bench.
+// EvalStats counts work done by an evaluator. It is the per-evaluator
+// view of the process-wide internal/obs counters (eval.fires,
+// eval.cache_hits, eval.cache_miss): every increment here is mirrored
+// into the obs registry when obs is enabled, so tests and the
+// lazy-vs-eager ablation bench read the struct while the shell's stats
+// command and the benchmark harness read the global registry.
 type EvalStats struct {
 	Fires     int // box firings actually executed
 	CacheHits int // demands answered from the memo table
@@ -65,7 +72,15 @@ func (e *Evaluator) Demand(id, port int) (Value, error) {
 	if port < 0 || port >= len(b.Out) {
 		return nil, fmt.Errorf("dataflow: box %d (%s) has no output %d", id, b.Kind, port)
 	}
+	obs.Inc(obs.EvalDemands)
+	var sp *obs.Span
+	if obs.Tracing() {
+		sp = obs.StartSpan("eval.demand", "box", strconv.Itoa(id), "kind", b.Kind)
+	}
+	t := obs.StartTimer(obs.EvalDemandNS)
 	vals, _, err := e.demand(id, make(map[int]bool))
+	t.Stop()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -134,22 +149,34 @@ func (e *Evaluator) demand(id int, active map[int]bool) ([]Value, int64, error) 
 
 	if cached, ok := e.cache[id]; ok && e.stamps[id] >= stamp {
 		e.Stats.CacheHits++
+		obs.Inc(obs.EvalCacheHits)
 		return cached, e.stamps[id], nil
 	}
 	e.Stats.CacheMiss++
+	obs.Inc(obs.EvalCacheMiss)
 
 	k, err := e.g.registry.Kind(b.Kind)
 	if err != nil {
 		return nil, 0, err
 	}
+	var sp *obs.Span
+	if obs.Tracing() {
+		sp = obs.StartSpan("eval.fire", "box", strconv.Itoa(id), "kind", b.Kind)
+	}
+	t := obs.StartTimer(obs.EvalFireNS)
 	out, err := k.Fire(e.fc, b.Params, inVals)
+	t.Stop()
+	sp.End()
 	if err != nil {
-		return nil, 0, fmt.Errorf("dataflow: box %d (%s): %w", id, b.Kind, err)
+		err = fmt.Errorf("dataflow: box %d (%s): %w", id, b.Kind, err)
+		obs.RecordError(obs.EvalErrors, err)
+		return nil, 0, err
 	}
 	if len(out) != len(b.Out) {
 		return nil, 0, fmt.Errorf("dataflow: box %d (%s) fired %d outputs, declared %d", id, b.Kind, len(out), len(b.Out))
 	}
 	e.Stats.Fires++
+	obs.Inc(obs.EvalFires)
 	e.cache[id] = out
 	e.stamps[id] = stamp
 	return out, stamp, nil

@@ -1,0 +1,111 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEvalStatsMirrorObsCounters checks that the per-evaluator EvalStats
+// struct and the process-wide obs counters tell the same story: fires,
+// cache hits, and cache misses advance in lockstep.
+func TestEvalStatsMirrorObsCounters(t *testing.T) {
+	obs.Reset()
+	obs.SetEnabled(true)
+	defer func() {
+		obs.SetEnabled(false)
+		obs.Reset()
+	}()
+
+	ev, ids := chainGraph(t, 4)
+	before := obs.TakeSnapshot()
+
+	sink := ids[len(ids)-1]
+	if _, err := ev.Demand(sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A clean re-demand is answered from the memo table.
+	if _, err := ev.Demand(sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	delta := obs.CounterDelta(before, obs.TakeSnapshot())
+
+	if delta[obs.EvalFires] != int64(ev.Stats.Fires) {
+		t.Fatalf("obs fires %d != EvalStats.Fires %d", delta[obs.EvalFires], ev.Stats.Fires)
+	}
+	if delta[obs.EvalCacheHits] != int64(ev.Stats.CacheHits) {
+		t.Fatalf("obs cache hits %d != EvalStats.CacheHits %d", delta[obs.EvalCacheHits], ev.Stats.CacheHits)
+	}
+	if delta[obs.EvalCacheMiss] != int64(ev.Stats.CacheMiss) {
+		t.Fatalf("obs cache miss %d != EvalStats.CacheMiss %d", delta[obs.EvalCacheMiss], ev.Stats.CacheMiss)
+	}
+	if delta[obs.EvalDemands] != 2 {
+		t.Fatalf("eval.demands = %d, want 2", delta[obs.EvalDemands])
+	}
+	if ev.Stats.CacheHits == 0 {
+		t.Fatal("re-demand did not hit the memo table")
+	}
+	snap := obs.TakeSnapshot()
+	if h := snap.Histograms[obs.EvalDemandNS]; h.Count != 2 {
+		t.Fatalf("demand latency histogram count = %d, want 2", h.Count)
+	}
+	if h := snap.Histograms[obs.EvalFireNS]; h.Count != int64(ev.Stats.Fires) {
+		t.Fatalf("fire latency histogram count = %d, want %d", h.Count, ev.Stats.Fires)
+	}
+}
+
+// TestEvalTracingEmitsFireSpans demands a chain under an active trace
+// and checks per-box firing spans carry box ids and kinds.
+func TestEvalTracingEmitsFireSpans(t *testing.T) {
+	obs.Reset()
+	obs.SetEnabled(true)
+	obs.StartTracing()
+	defer func() {
+		obs.StopTracing()
+		obs.SetEnabled(false)
+		obs.Reset()
+	}()
+
+	ev, ids := chainGraph(t, 3)
+	if _, err := ev.Demand(ids[len(ids)-1], 0); err != nil {
+		t.Fatal(err)
+	}
+	obs.StopTracing()
+	var sb strings.Builder
+	if err := obs.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "eval.demand") {
+		t.Fatalf("trace missing eval.demand span:\n%s", out)
+	}
+	if !strings.Contains(out, "eval.fire") || !strings.Contains(out, `"kind"`) {
+		t.Fatalf("trace missing annotated eval.fire spans:\n%s", out)
+	}
+}
+
+// chainGraph builds table -> n restrict boxes so demanding the sink
+// fires a known chain of n+1 boxes with deterministic counts.
+func chainGraph(t *testing.T, n int) (*Evaluator, []int) {
+	t.Helper()
+	g, ev := newTestGraph(t)
+	tb, err := g.AddBox("table", Params{"name": "Stations"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{tb.ID}
+	prev := tb.ID
+	for i := 0; i < n; i++ {
+		b, err := g.AddBox("restrict", Params{"pred": "true"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Connect(prev, 0, b.ID, 0); err != nil {
+			t.Fatal(err)
+		}
+		prev = b.ID
+		ids = append(ids, b.ID)
+	}
+	return ev, ids
+}

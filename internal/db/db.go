@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/rel"
 	"repro/internal/types"
 )
@@ -81,6 +82,7 @@ func (d *Database) DropTable(name string) error {
 
 // Table implements dataflow.TableSource.
 func (d *Database) Table(name string) (*rel.Relation, error) {
+	obs.Inc(obs.DBTableGets)
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	t, ok := d.tables[name]
@@ -136,6 +138,7 @@ func (d *Database) UpdateTuple(table string, row int, col string, v types.Value)
 		return err
 	}
 	d.undo = append(d.undo, undoRecord{table: table, row: row, col: col, old: old})
+	obs.Inc(obs.DBUpdates)
 	var watchers []func(string)
 	watchers = append(watchers, d.watchers...)
 	d.mu.Unlock()
@@ -186,6 +189,7 @@ func (d *Database) UndoLast() (bool, error) {
 		return false, fmt.Errorf("db: undo references dropped table %q", rec.table)
 	}
 	err := t.Update(rec.row, rec.col, rec.old)
+	obs.Inc(obs.DBUndos)
 	var watchers []func(string)
 	watchers = append(watchers, d.watchers...)
 	d.mu.Unlock()
@@ -345,6 +349,9 @@ func fromScalar(s scalarSnapshot) types.Value {
 
 // Save writes the whole database (tables, programs, definitions) to w.
 func (d *Database) Save(w io.Writer) error {
+	obs.Inc(obs.DBSaves)
+	sp := obs.StartSpan("db.save")
+	defer sp.End()
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	snap := snapshot{
@@ -380,6 +387,9 @@ func (d *Database) Save(w io.Writer) error {
 
 // Load reads a database snapshot from r, replacing current contents.
 func (d *Database) Load(r io.Reader) error {
+	obs.Inc(obs.DBLoads)
+	sp := obs.StartSpan("db.load")
+	defer sp.End()
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("db: load: %w", err)

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers [1ns, 2^40ns ≈ 18min) in powers of two; the last
+// bucket absorbs anything longer. Latencies in this system span ~100ns
+// (a memo-table hit) to seconds (a cold eager evaluation), so log-scaled
+// buckets give constant relative error across the whole range.
+const numBuckets = 41
+
+// Histogram is a log-scaled latency histogram: bucket i counts durations
+// in [2^i, 2^(i+1)) nanoseconds. All fields are atomics, so concurrent
+// Observe calls (the parallel display-eval workers) never contend on a
+// lock.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [numBuckets]atomic.Int64
+}
+
+// bucketFor maps a duration in nanoseconds to its bucket index.
+func bucketFor(ns int64) int {
+	if ns < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) - 1 // floor(log2 ns)
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	h.buckets[bucketFor(ns)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the average observation (zero when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) as the upper bound of
+// the bucket holding the q-th observation, clamped to the observed
+// maximum. Log-scaled buckets bound the relative error at 2x, which is
+// plenty to distinguish a 100µs frame from a 10ms one.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(n))
+	if rank >= n {
+		rank = n - 1
+	}
+	var cum int64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum > rank {
+			upper := int64(1) << uint(i+1)
+			if m := h.max.Load(); upper > m {
+				upper = m
+			}
+			return time.Duration(upper)
+		}
+	}
+	return h.Max()
+}
+
+// Buckets returns a copy of the raw bucket counts (index i covers
+// [2^i, 2^(i+1)) ns).
+func (h *Histogram) Buckets() [numBuckets]int64 {
+	var out [numBuckets]int64
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Render draws the histogram as ASCII bucket bars for the shell's histo
+// command, skipping empty leading/trailing buckets.
+func (h *Histogram) Render() string {
+	counts := h.Buckets()
+	lo, hi := -1, -1
+	var peak int64
+	for i, c := range counts {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	if lo < 0 {
+		return "  (empty)\n"
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		width := 0
+		if peak > 0 {
+			width = int(counts[i] * 40 / peak)
+		}
+		if counts[i] > 0 && width == 0 {
+			width = 1
+		}
+		fmt.Fprintf(&b, "  %10s %8d %s\n",
+			"<"+time.Duration(int64(1)<<uint(i+1)).String(),
+			counts[i], strings.Repeat("#", width))
+	}
+	fmt.Fprintf(&b, "  count %d  mean %s  p50 %s  p95 %s  p99 %s  max %s\n",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketFor(t *testing.T) {
+	for _, tc := range []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2},
+		{1023, 9}, {1024, 10},
+		{1 << 39, 39}, {1 << 45, numBuckets - 1},
+	} {
+		if got := bucketFor(tc.ns); got != tc.want {
+			t.Fatalf("bucketFor(%d) = %d, want %d", tc.ns, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Mean() != time.Millisecond {
+		t.Fatalf("mean %s", h.Mean())
+	}
+	if h.Max() != time.Millisecond {
+		t.Fatalf("max %s", h.Max())
+	}
+	// All mass in one bucket whose upper bound clamps to the observed max.
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != time.Millisecond {
+			t.Fatalf("Quantile(%g) = %s, want 1ms", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	// A bimodal distribution: 90 fast observations, 10 slow ones.
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if p50 > 20*time.Microsecond {
+		t.Fatalf("p50 = %s, want fast-mode bucket", p50)
+	}
+	if p95 < time.Millisecond || p99 < time.Millisecond {
+		t.Fatalf("tail quantiles missed the slow mode: p95=%s p99=%s", p95, p99)
+	}
+	if p50 > p95 || p95 > p99 {
+		t.Fatalf("quantiles not monotone: %s %s %s", p50, p95, p99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 16, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("lost observations: %d, want %d", h.Count(), workers*per)
+	}
+	var sum int64
+	for _, c := range h.Buckets() {
+		sum += c
+	}
+	if sum != workers*per {
+		t.Fatalf("bucket sum %d, want %d", sum, workers*per)
+	}
+	if h.Max() != time.Duration(workers)*time.Microsecond {
+		t.Fatalf("max %s", h.Max())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	var h Histogram
+	if !strings.Contains(h.Render(), "(empty)") {
+		t.Fatal("empty render")
+	}
+	h.Observe(time.Microsecond)
+	h.Observe(time.Millisecond)
+	out := h.Render()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "count 2") {
+		t.Fatalf("render missing bars or summary:\n%s", out)
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+// Canonical metric names. Dots separate a subsystem prefix from the
+// measure; the same taxonomy names spans (documented in DESIGN.md).
+// Instrumented packages use these constants so the shell, snapshot
+// consumers, and tests agree on spelling.
+const (
+	// Dataflow evaluation (internal/dataflow).
+	EvalDemands   = "eval.demands"    // top-level Demand/DemandInput calls
+	EvalFires     = "eval.fires"      // box firings actually executed
+	EvalCacheHits = "eval.cache_hits" // demands answered from the memo table
+	EvalCacheMiss = "eval.cache_miss" // demands requiring a firing
+	EvalFireNS    = "eval.fire_ns"    // histogram: per-box firing latency
+	EvalDemandNS  = "eval.demand_ns"  // histogram: top-level demand latency
+	EvalErrors    = "eval.errors"     // failed firings (error log kept)
+
+	// Viewer rendering (internal/viewer).
+	RenderFrames          = "render.frames"
+	RenderTuplesSeen      = "render.tuples_seen"
+	RenderTuplesCulled    = "render.tuples_culled"   // rejected before display evaluation
+	RenderDisplaysEvaled  = "render.displays_evaled" // display functions evaluated
+	RenderDrawablesDrawn  = "render.drawables_drawn"
+	RenderDrawablesCulled = "render.drawables_culled" // bounds missed the viewport
+	RenderDisplayErrors   = "render.display_errors"   // failed display functions (error log kept)
+	RenderWormholes       = "render.wormholes"        // wormhole interiors rendered
+	RenderWormholeCached  = "render.wormhole_cache_hits"
+	RenderFrameNS         = "render.frame_ns"        // histogram: full-frame latency
+	RenderDisplayEvalNS   = "render.display_eval_ns" // histogram: pass-2 batch latency
+
+	// Database (internal/db).
+	DBTableGets = "db.table_gets"
+	DBUpdates   = "db.updates"
+	DBUndos     = "db.undos"
+	DBSaves     = "db.saves"
+	DBLoads     = "db.loads"
+
+	// Relational engine (internal/rel).
+	RelRestrictScans   = "rel.restrict.scans"      // full-heap restricts
+	RelRestrictIndexed = "rel.restrict.index_hits" // restricts answered by a B-tree
+	RelRestrictRowsIn  = "rel.restrict.rows_in"
+	RelRestrictRowsOut = "rel.restrict.rows_out"
+	RelJoinHash        = "rel.join.hash"
+	RelJoinNestedLoop  = "rel.join.nested_loop"
+	RelJoinRowsOut     = "rel.join.rows_out"
+	RelSorts           = "rel.sorts"
+	RelSamples         = "rel.samples"
+
+	// Session / environment (internal/core).
+	CoreUpdates      = "core.updates"
+	CoreSessionSaves = "core.session_saves"
+	CoreSessionLoads = "core.session_loads"
+)

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// withObs enables recording into a clean default registry for one test
+// and restores the disabled default afterwards.
+func withObs(t *testing.T) {
+	t.Helper()
+	Reset()
+	SetEnabled(true)
+	t.Cleanup(func() {
+		SetEnabled(false)
+		Reset()
+	})
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	withObs(t)
+	const workers, per = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Inc("test.concurrent")
+				Add("test.concurrent_add", 3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := CounterValue("test.concurrent"); got != workers*per {
+		t.Fatalf("concurrent Inc lost updates: got %d, want %d", got, workers*per)
+	}
+	if got := CounterValue("test.concurrent_add"); got != workers*per*3 {
+		t.Fatalf("concurrent Add lost updates: got %d, want %d", got, workers*per*3)
+	}
+}
+
+func TestDisabledRecordingIsNoop(t *testing.T) {
+	Reset()
+	SetEnabled(false)
+	Inc("test.off")
+	Add("test.off", 10)
+	Observe("test.off_ns", 123)
+	StartTimer("test.off_ns").Stop()
+	RecordError("test.off_err", errors.New("boom"))
+	s := TakeSnapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 || len(s.Errors) != 0 {
+		t.Fatalf("disabled obs still recorded: %+v", s)
+	}
+	if s.Enabled {
+		t.Fatal("snapshot claims enabled")
+	}
+}
+
+func TestSnapshotStableJSON(t *testing.T) {
+	withObs(t)
+	Add("b.second", 2)
+	Add("a.first", 1)
+	Observe("lat_ns", 1000)
+	j1, err := SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("snapshot JSON not stable:\n%s\nvs\n%s", j1, j2)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(j1, &s); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if s.Counters["a.first"] != 1 || s.Counters["b.second"] != 2 {
+		t.Fatalf("bad counters in %s", j1)
+	}
+	if h := s.Histograms["lat_ns"]; h.Count != 1 || h.MaxNS != 1000 {
+		t.Fatalf("bad histogram in %s", j1)
+	}
+}
+
+func TestRecordErrorKeepsFirstDistinctSamples(t *testing.T) {
+	withObs(t)
+	for i := 0; i < 50; i++ {
+		// Only maxErrorSamples distinct messages survive; repeats of the
+		// first message must not crowd anything out.
+		RecordError("test.errs", fmt.Errorf("failure %d", i%8))
+	}
+	s := TakeSnapshot()
+	if got := s.Counters["test.errs"]; got != 50 {
+		t.Fatalf("error count %d, want 50", got)
+	}
+	samples := s.Errors["test.errs"]
+	if len(samples) != maxErrorSamples {
+		t.Fatalf("kept %d samples, want %d: %v", len(samples), maxErrorSamples, samples)
+	}
+	for i, want := range []string{"failure 0", "failure 1", "failure 2", "failure 3", "failure 4"} {
+		if samples[i] != want {
+			t.Fatalf("sample %d = %q, want %q", i, samples[i], want)
+		}
+	}
+}
+
+func TestCounterDelta(t *testing.T) {
+	withObs(t)
+	Add("x", 5)
+	before := TakeSnapshot()
+	Add("x", 2)
+	Add("y", 7)
+	d := CounterDelta(before, TakeSnapshot())
+	if d["x"] != 2 || d["y"] != 7 || len(d) != 2 {
+		t.Fatalf("delta = %v", d)
+	}
+}
+
+func TestRegistryIsolation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("only.here").Add(9)
+	if got := r.Counter("only.here").Value(); got != 9 {
+		t.Fatalf("registry counter = %d", got)
+	}
+	if got := CounterValue("only.here"); got != 0 {
+		t.Fatalf("default registry leaked: %d", got)
+	}
+	if names := r.CounterNames(); len(names) != 1 || names[0] != "only.here" {
+		t.Fatalf("CounterNames = %v", names)
+	}
+	r.Reset()
+	if got := r.Snapshot(); len(got.Counters) != 0 {
+		t.Fatalf("reset left counters: %v", got.Counters)
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	for _, tc := range []struct {
+		in   int64
+		want string
+	}{{0, "0"}, {999, "999"}, {1000, "1,000"}, {1234567, "1,234,567"}, {-42, "-42"}} {
+		if got := FormatCount(tc.in); got != tc.want {
+			t.Fatalf("FormatCount(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import "encoding/json"
+
+// Snapshot is a stable, JSON-serializable view of a registry at one
+// moment. Benchmarks emit it next to ns/op so the perf trajectory of the
+// repo is machine-readable, and the shell's stats command prints it.
+// Map keys serialize sorted (encoding/json orders map keys), so the
+// document is byte-stable for equal contents.
+type Snapshot struct {
+	Enabled    bool                         `json:"enabled"`
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Errors     map[string][]string          `json:"errors,omitempty"`
+}
+
+// HistogramSnapshot summarizes one latency histogram in nanoseconds.
+type HistogramSnapshot struct {
+	Count  int64 `json:"count"`
+	SumNS  int64 `json:"sum_ns"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// Snapshot captures the registry's current counters, histogram summaries,
+// and sampled error messages.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Enabled:    Enabled(),
+		Counters:   make(map[string]int64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histos)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, h := range r.histos {
+		s.Histograms[n] = HistogramSnapshot{
+			Count:  h.Count(),
+			SumNS:  int64(h.Sum()),
+			MeanNS: int64(h.Mean()),
+			P50NS:  int64(h.Quantile(0.50)),
+			P95NS:  int64(h.Quantile(0.95)),
+			P99NS:  int64(h.Quantile(0.99)),
+			MaxNS:  int64(h.Max()),
+		}
+	}
+	for n, l := range r.errs {
+		l.mu.Lock()
+		if len(l.samples) > 0 {
+			if s.Errors == nil {
+				s.Errors = make(map[string][]string)
+			}
+			s.Errors[n] = append([]string(nil), l.samples...)
+		}
+		l.mu.Unlock()
+	}
+	return s
+}
+
+// TakeSnapshot captures the default registry.
+func TakeSnapshot() Snapshot { return defaultRegistry.Snapshot() }
+
+// SnapshotJSON returns the default registry's snapshot as indented JSON.
+func SnapshotJSON() ([]byte, error) {
+	return json.MarshalIndent(TakeSnapshot(), "", "  ")
+}
+
+// CounterDelta returns s2's counters minus s's, dropping zero deltas —
+// how the bench harness reports per-workload obs activity.
+func CounterDelta(s, s2 Snapshot) map[string]int64 {
+	out := make(map[string]int64)
+	for n, v := range s2.Counters {
+		if d := v - s.Counters[n]; d != 0 {
+			out[n] = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records hierarchical spans and exports them in the Chrome
+// trace-event format (chrome://tracing, Perfetto, speedscope). Spans are
+// emitted as B/E (duration begin/end) event pairs, so nesting falls out
+// of event order per track: a span started inside another span on the
+// same track renders as its child.
+//
+// Tracks (Chrome "tid"s) attribute concurrent work: the main render loop
+// records on track 1, and the parallel display-eval workers record on
+// tracks of their own so the fan-out is visible in the timeline.
+type Tracer struct {
+	active atomic.Bool
+	mu     sync.Mutex
+	start  time.Time
+	events []traceEvent
+	now    func() time.Time // test hook; nil means time.Now
+}
+
+// traceEvent is one Chrome trace-event object.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"` // microseconds since trace start
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the top-level JSON document.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// NewTracer returns an inactive tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+var defaultTracer = NewTracer()
+
+// DefaultTracer returns the process-wide tracer used by the package-level
+// span functions.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+func (t *Tracer) clock() time.Time {
+	if t.now != nil {
+		return t.now()
+	}
+	return time.Now()
+}
+
+// Start clears any previous trace and begins recording.
+func (t *Tracer) Start() {
+	t.mu.Lock()
+	t.start = t.clock()
+	t.events = nil
+	t.mu.Unlock()
+	t.active.Store(true)
+}
+
+// Stop ends recording; recorded events stay available for Write.
+func (t *Tracer) Stop() { t.active.Store(false) }
+
+// Active reports whether the tracer is recording.
+func (t *Tracer) Active() bool { return t.active.Load() }
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Span is one open trace span; End closes it. A nil *Span (returned when
+// tracing is off) is safe to End and annotate, so call sites need no
+// branches.
+type Span struct {
+	t    *Tracer
+	name string
+	tid  int64
+}
+
+// MainTrack is the track id used by StartSpan for non-worker spans.
+const MainTrack = 1
+
+// StartSpan opens a span on the main track. args are alternating
+// key/value annotation pairs. Returns nil (inert) when not tracing.
+func (t *Tracer) StartSpan(name string, args ...string) *Span {
+	return t.StartSpanOn(MainTrack, name, args...)
+}
+
+// StartSpanOn opens a span on an explicit track, used to attribute
+// parallel workers.
+func (t *Tracer) StartSpanOn(tid int64, name string, args ...string) *Span {
+	if !t.active.Load() {
+		return nil
+	}
+	var m map[string]string
+	if len(args) >= 2 {
+		m = make(map[string]string, len(args)/2)
+		for i := 0; i+1 < len(args); i += 2 {
+			m[args[i]] = args[i+1]
+		}
+	}
+	t.emit(traceEvent{Name: name, Ph: "B", TID: tid, Args: m})
+	return &Span{t: t, name: name, tid: tid}
+}
+
+// End closes the span. Safe on nil.
+func (s *Span) End() {
+	if s == nil || !s.t.active.Load() {
+		return
+	}
+	s.t.emit(traceEvent{Name: s.name, Ph: "E", TID: s.tid})
+}
+
+func (t *Tracer) emit(e traceEvent) {
+	ts := t.clock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.TS = float64(ts.Sub(t.start).Nanoseconds()) / 1e3
+	e.PID = 1
+	t.events = append(t.events, e)
+}
+
+// Write serializes the trace as Chrome trace-event JSON.
+func (t *Tracer) Write(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the trace to a path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// --- package-level tracing on the default tracer -----------------------
+
+// StartTracing begins recording on the default tracer.
+func StartTracing() { defaultTracer.Start() }
+
+// StopTracing stops recording on the default tracer.
+func StopTracing() { defaultTracer.Stop() }
+
+// Tracing reports whether the default tracer is recording.
+func Tracing() bool { return defaultTracer.Active() }
+
+// StartSpan opens a span on the default tracer's main track; nil (inert)
+// when not tracing.
+func StartSpan(name string, args ...string) *Span {
+	if !defaultTracer.active.Load() {
+		return nil
+	}
+	return defaultTracer.StartSpan(name, args...)
+}
+
+// StartSpanOn opens a span on an explicit track of the default tracer.
+func StartSpanOn(tid int64, name string, args ...string) *Span {
+	if !defaultTracer.active.Load() {
+		return nil
+	}
+	return defaultTracer.StartSpanOn(tid, name, args...)
+}
+
+// WriteTrace serializes the default tracer's events.
+func WriteTrace(w io.Writer) error { return defaultTracer.Write(w) }
+
+// WriteTraceFile writes the default tracer's events to a path.
+func WriteTraceFile(path string) error { return defaultTracer.WriteFile(path) }

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock returns a deterministic clock advancing 100µs per reading.
+func fakeClock() func() time.Time {
+	base := time.Unix(1000, 0)
+	n := 0
+	return func() time.Time {
+		t := base.Add(time.Duration(n) * 100 * time.Microsecond)
+		n++
+		return t
+	}
+}
+
+// tracedScene records a fixed nested-span scene: a frame containing a
+// cull pass and one parallel worker on its own track.
+func tracedScene() *Tracer {
+	tr := NewTracer()
+	tr.now = fakeClock()
+	tr.Start()
+	frame := tr.StartSpan("render.frame", "viewer", "v")
+	cull := tr.StartSpan("render.cull", "member", "0", "layer", "1")
+	cull.End()
+	worker := tr.StartSpanOn(2, "render.display_eval.worker", "worker", "0")
+	worker.End()
+	frame.End()
+	tr.Stop()
+	return tr
+}
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	tr := tracedScene()
+	var doc traceFile
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	ev := doc.TraceEvents
+	if len(ev) != 6 {
+		t.Fatalf("got %d events, want 6", len(ev))
+	}
+	wantSeq := []struct {
+		name, ph string
+		tid      int64
+	}{
+		{"render.frame", "B", 1},
+		{"render.cull", "B", 1},
+		{"render.cull", "E", 1},
+		{"render.display_eval.worker", "B", 2},
+		{"render.display_eval.worker", "E", 2},
+		{"render.frame", "E", 1},
+	}
+	for i, w := range wantSeq {
+		if ev[i].Name != w.name || ev[i].Ph != w.ph || ev[i].TID != w.tid {
+			t.Fatalf("event %d = %s/%s tid=%d, want %s/%s tid=%d",
+				i, ev[i].Name, ev[i].Ph, ev[i].TID, w.name, w.ph, w.tid)
+		}
+		if i > 0 && ev[i].TS <= ev[i-1].TS {
+			t.Fatalf("timestamps not strictly increasing at event %d", i)
+		}
+	}
+	// Nesting: the child span begins after and ends before its parent.
+	if !(ev[1].TS > ev[0].TS && ev[2].TS < ev[5].TS) {
+		t.Fatal("cull span not nested inside frame span")
+	}
+	if ev[0].Args["viewer"] != "v" || ev[1].Args["layer"] != "1" {
+		t.Fatalf("span args lost: %v %v", ev[0].Args, ev[1].Args)
+	}
+}
+
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := tracedScene().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace JSON drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestInactiveTracerSpansAreInert(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartSpan("nope")
+	if sp != nil {
+		t.Fatal("inactive tracer returned a live span")
+	}
+	sp.End() // must not panic on nil
+	if tr.Len() != 0 {
+		t.Fatalf("inactive tracer recorded %d events", tr.Len())
+	}
+
+	// Package-level: tracing off means nil spans and zero events.
+	if Tracing() {
+		t.Fatal("default tracer unexpectedly active")
+	}
+	if s := StartSpan("x"); s != nil {
+		t.Fatal("package StartSpan returned live span while off")
+	}
+}
+
+func TestDefaultTracerRoundTrip(t *testing.T) {
+	StartTracing()
+	sp := StartSpan("eval.fire", "box", "3", "kind", "restrict")
+	sp.End()
+	StopTracing()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceFile
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 || doc.TraceEvents[0].Args["kind"] != "restrict" {
+		t.Fatalf("bad default-tracer trace: %s", buf.Bytes())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -48,8 +49,11 @@ func Restrict(r *Relation, pred expr.Node) (*Relation, error) {
 		return nil, err
 	}
 	out := r.derive(r.schema, true)
+	obs.Add(obs.RelRestrictRowsIn, int64(len(r.tuples)))
 
 	if rows, ok := indexedRows(r, pred); ok {
+		obs.Inc(obs.RelRestrictIndexed)
+		obs.Add(obs.RelRestrictRowsOut, int64(len(rows)))
 		out.tuples = make([][]types.Value, 0, len(rows))
 		for _, row := range rows {
 			out.tuples = append(out.tuples, r.tuples[row])
@@ -58,6 +62,7 @@ func Restrict(r *Relation, pred expr.Node) (*Relation, error) {
 		return out, nil
 	}
 
+	obs.Inc(obs.RelRestrictScans)
 	var rows []int
 	for i := range r.tuples {
 		keep, err := expr.EvalPredicate(pred, r.Row(i))
@@ -69,6 +74,7 @@ func Restrict(r *Relation, pred expr.Node) (*Relation, error) {
 			rows = append(rows, i)
 		}
 	}
+	obs.Add(obs.RelRestrictRowsOut, int64(len(rows)))
 	out.setProv(r, rows)
 	return out, nil
 }
@@ -161,6 +167,7 @@ func Sample(r *Relation, p float64, seed int64) (*Relation, error) {
 	if p < 0 || p > 1 {
 		return nil, fmt.Errorf("rel: sample probability %g out of [0,1]", p)
 	}
+	obs.Inc(obs.RelSamples)
 	rng := rand.New(rand.NewSource(seed))
 	out := r.derive(r.schema, true)
 	var rows []int
@@ -248,9 +255,11 @@ func Join(l, r *Relation, pred expr.Node, strategy JoinStrategy) (*Relation, err
 
 	if strategy == JoinAuto || strategy == JoinHash {
 		if la, ra, ok := equiKey(pred, l, r, rRename); ok {
+			obs.Inc(obs.RelJoinHash)
 			if err := hashJoin(out, l, r, la, ra, emit); err != nil {
 				return nil, err
 			}
+			obs.Add(obs.RelJoinRowsOut, int64(len(out.tuples)))
 			return out, nil
 		}
 		if strategy == JoinHash {
@@ -258,6 +267,7 @@ func Join(l, r *Relation, pred expr.Node, strategy JoinStrategy) (*Relation, err
 		}
 	}
 
+	obs.Inc(obs.RelJoinNestedLoop)
 	for i := range l.tuples {
 		for j := range r.tuples {
 			nt, err := emit(l.tuples[i], r.tuples[j])
@@ -269,6 +279,7 @@ func Join(l, r *Relation, pred expr.Node, strategy JoinStrategy) (*Relation, err
 			}
 		}
 	}
+	obs.Add(obs.RelJoinRowsOut, int64(len(out.tuples)))
 	return out, nil
 }
 
@@ -418,6 +429,7 @@ func Sort(r *Relation, attr string, descending bool) (*Relation, error) {
 	if !r.HasAttr(attr) {
 		return nil, fmt.Errorf("rel: sort: no attribute %q", attr)
 	}
+	obs.Inc(obs.RelSorts)
 	rows := make([]int, r.Len())
 	for i := range rows {
 		rows[i] = i

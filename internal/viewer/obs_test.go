@@ -1,0 +1,183 @@
+package viewer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/display"
+	"repro/internal/draw"
+	"repro/internal/obs"
+	"repro/internal/rel"
+	"repro/internal/types"
+)
+
+// withObs turns on obs recording over a clean registry for one test.
+// Viewer tests sharing the process-wide registry must not run in
+// parallel with each other, so none of these call t.Parallel.
+func withObs(t *testing.T) {
+	t.Helper()
+	obs.Reset()
+	obs.SetEnabled(true)
+	t.Cleanup(func() {
+		obs.SetEnabled(false)
+		obs.Reset()
+	})
+}
+
+// TestRenderStatsMatchObsCounters renders a scene with obs enabled and
+// asserts that the published obs counter deltas equal the RenderStats the
+// same frame returned: the struct is a per-frame view of the registry.
+func TestRenderStatsMatchObsCounters(t *testing.T) {
+	withObs(t)
+	e := randomExt(t, 500, 7)
+	v := New("v", DirectSource{D: e}, 240, 180)
+	if err := v.SetElevation(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	// A slider cut ensures a nonzero cull count.
+	if err := v.SetSlider(0, 0, -0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	before := obs.TakeSnapshot()
+	_, stats, err := v.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := obs.CounterDelta(before, obs.TakeSnapshot())
+
+	if stats.TuplesSeen == 0 || stats.TuplesCulled == 0 || stats.DisplaysEvaled == 0 {
+		t.Fatalf("test scene produced trivial stats: %+v", stats)
+	}
+	for _, tc := range []struct {
+		name string
+		want int
+	}{
+		{obs.RenderTuplesSeen, stats.TuplesSeen},
+		{obs.RenderTuplesCulled, stats.TuplesCulled},
+		{obs.RenderDisplaysEvaled, stats.DisplaysEvaled},
+		{obs.RenderDrawablesDrawn, stats.DrawablesDrawn},
+		{obs.RenderDrawablesCulled, stats.DrawablesCulled},
+	} {
+		if delta[tc.name] != int64(tc.want) {
+			t.Errorf("%s = %d, want %d (RenderStats)", tc.name, delta[tc.name], tc.want)
+		}
+	}
+	if delta[obs.RenderFrames] != 1 {
+		t.Errorf("render.frames = %d, want 1", delta[obs.RenderFrames])
+	}
+	snap := obs.TakeSnapshot()
+	if h := snap.Histograms[obs.RenderFrameNS]; h.Count != 1 || h.MaxNS <= 0 {
+		t.Errorf("frame latency histogram not recorded: %+v", h)
+	}
+}
+
+// TestDisplayErrorsSurfaceInStatsAndObs checks the once-silently-dropped
+// display failures: the count still lands in RenderStats.DisplayErrors,
+// and the first distinct messages appear both in the stats snapshot and
+// the obs error log.
+func TestDisplayErrorsSurfaceInStatsAndObs(t *testing.T) {
+	withObs(t)
+	r := rel.New("R", rel.MustSchema(
+		rel.Column{Name: "px", Kind: types.Float},
+		rel.Column{Name: "py", Kind: types.Float},
+		rel.Column{Name: "d", Kind: types.Float},
+	))
+	for i := 0; i < 10; i++ {
+		d := 1.0
+		if i%3 == 0 { // rows 0, 3, 6, 9 fail
+			d = 0
+		}
+		r.MustAppend([]types.Value{
+			types.NewFloat(float64(i)), types.NewFloat(0), types.NewFloat(d),
+		})
+	}
+	fn, err := draw.ParseSpec("circle r=1 dyexpr='10 / d'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := display.NewExtended("r", r, []string{"px", "py"},
+		[]display.NamedDisplay{{Name: "display", Fn: fn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New("v", DirectSource{D: e}, 100, 100)
+	if err := v.PanTo(0, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetElevation(0, 20); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := v.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DisplayErrors != 4 {
+		t.Fatalf("DisplayErrors = %d, want 4", stats.DisplayErrors)
+	}
+	if len(stats.Errors) == 0 {
+		t.Fatal("no error samples in RenderStats")
+	}
+	if !strings.Contains(stats.Errors[0], "row 0 of r") {
+		t.Fatalf("error sample lacks row context: %q", stats.Errors[0])
+	}
+	snap := obs.TakeSnapshot()
+	if got := snap.Counters[obs.RenderDisplayErrors]; got != 4 {
+		t.Fatalf("obs %s = %d, want 4", obs.RenderDisplayErrors, got)
+	}
+	if samples := snap.Errors[obs.RenderDisplayErrors]; len(samples) == 0 {
+		t.Fatal("obs error log kept no samples")
+	}
+}
+
+// TestRenderTracingEmitsPhaseSpans renders under an active trace and
+// checks the per-phase span taxonomy shows up.
+func TestRenderTracingEmitsPhaseSpans(t *testing.T) {
+	withObs(t)
+	obs.StartTracing()
+	defer obs.StopTracing()
+	e := randomExt(t, 300, 3)
+	v := New("v", DirectSource{D: e}, 120, 90)
+	if err := v.SetElevation(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.Render(); err != nil {
+		t.Fatal(err)
+	}
+	obs.StopTracing()
+	var sb strings.Builder
+	if err := obs.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, span := range []string{"render.frame", "render.cull", "render.display_eval", "render.paint"} {
+		if !strings.Contains(out, span) {
+			t.Errorf("trace missing %s span:\n%s", span, out)
+		}
+	}
+}
+
+// TestParallelEvalRecordsWorkerSpans checks parallel worker attribution:
+// a batch above the parallel threshold traces one span per worker on its
+// own track.
+func TestParallelEvalRecordsWorkerSpans(t *testing.T) {
+	withObs(t)
+	obs.StartTracing()
+	defer obs.StopTracing()
+	e := randomExt(t, 4*parallelThreshold, 11)
+	v := New("v", DirectSource{D: e}, 240, 180)
+	v.Parallel = true
+	if err := v.SetElevation(0, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.Render(); err != nil {
+		t.Fatal(err)
+	}
+	obs.StopTracing()
+	var sb strings.Builder
+	if err := obs.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "render.display_eval.worker") {
+		t.Fatal("no worker spans in parallel display-eval trace")
+	}
+}

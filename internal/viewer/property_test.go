@@ -2,6 +2,7 @@ package viewer
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/display"
@@ -266,7 +267,7 @@ func TestParallelRenderSoundness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if statsS != statsP {
+	if !reflect.DeepEqual(statsS, statsP) {
 		t.Fatalf("stats differ: %+v vs %+v", statsS, statsP)
 	}
 	for i := range imgS.Pix {

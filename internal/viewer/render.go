@@ -4,18 +4,22 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"repro/internal/display"
 	"repro/internal/draw"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/raster"
 )
 
 // RenderStats counts work done during one render, for the culling
 // benchmarks: the paper's pipeline filters tuples to slider ranges and
 // visible real estate before computing display attributes (Sections 2 and
-// 5.1).
+// 5.1). It is the per-frame view of the process-wide internal/obs
+// counters (render.tuples_seen, render.tuples_culled, ...): each frame's
+// totals are published into the obs registry when obs is enabled.
 type RenderStats struct {
 	TuplesSeen      int // tuples examined
 	TuplesCulled    int // rejected before display evaluation
@@ -23,6 +27,47 @@ type RenderStats struct {
 	DrawablesDrawn  int
 	DrawablesCulled int // drawables whose bounds missed the viewport
 	DisplayErrors   int // display functions that failed (tuple skipped)
+
+	// Errors holds the first few distinct display-function error
+	// messages of the frame. Display failures skip the tuple rather than
+	// abort the frame (a broken display function should not black out the
+	// canvas), but they must not be silently swallowed either.
+	Errors []string
+}
+
+// maxStatsErrors bounds the distinct error messages kept per frame.
+const maxStatsErrors = 5
+
+// noteError records one display-function failure: counted always, message
+// sampled up to maxStatsErrors distinct entries, and mirrored into the
+// obs error log.
+func (st *RenderStats) noteError(err error) {
+	st.DisplayErrors++
+	obs.RecordError(obs.RenderDisplayErrors, err)
+	msg := err.Error()
+	for _, e := range st.Errors {
+		if e == msg {
+			return
+		}
+	}
+	if len(st.Errors) < maxStatsErrors {
+		st.Errors = append(st.Errors, msg)
+	}
+}
+
+// publish mirrors the frame's totals into the process-wide obs counters.
+// DisplayErrors is intentionally absent: noteError records those at the
+// moment of failure.
+func (st *RenderStats) publish() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Inc(obs.RenderFrames)
+	obs.Add(obs.RenderTuplesSeen, int64(st.TuplesSeen))
+	obs.Add(obs.RenderTuplesCulled, int64(st.TuplesCulled))
+	obs.Add(obs.RenderDisplaysEvaled, int64(st.DisplaysEvaled))
+	obs.Add(obs.RenderDrawablesDrawn, int64(st.DrawablesDrawn))
+	obs.Add(obs.RenderDrawablesCulled, int64(st.DrawablesCulled))
 }
 
 // Render draws the viewer's displayable into a fresh framebuffer and
@@ -36,6 +81,14 @@ func (v *Viewer) Render() (*raster.Image, RenderStats, error) {
 // RenderInto draws into an existing framebuffer of the viewer's size.
 func (v *Viewer) RenderInto(img *raster.Image) (RenderStats, error) {
 	var stats RenderStats
+	defer stats.publish()
+	var frameSpan *obs.Span
+	if obs.Tracing() {
+		frameSpan = obs.StartSpan("render.frame", "viewer", v.Name)
+	}
+	defer frameSpan.End()
+	frameTimer := obs.StartTimer(obs.RenderFrameNS)
+	defer frameTimer.Stop()
 	img.Clear(v.Background)
 	if v.Iconified {
 		return stats, nil
@@ -169,6 +222,11 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 		}
 
 		// Pass 1: cull to the visible tuples.
+		var cullSpan *obs.Span
+		if obs.Tracing() {
+			cullSpan = obs.StartSpan("render.cull",
+				"member", strconv.Itoa(member), "layer", strconv.Itoa(li), "depth", strconv.Itoa(depth))
+		}
 		n := ext.Rel.Len()
 		var rows []int
 		var locs []geom.Point
@@ -196,18 +254,32 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 			rows = append(rows, row)
 			locs = append(locs, geom.Pt(x, y))
 		}
+		cullSpan.End()
 
 		// Pass 2: evaluate display functions — concurrently when the
 		// viewer opts in and the batch is large; the computation is pure
 		// over the relation. Painting stays serial in tuple order, so
 		// output is identical either way.
-		lists := v.evalDisplays(ext, rows)
+		var evalSpan *obs.Span
+		if obs.Tracing() {
+			evalSpan = obs.StartSpan("render.display_eval",
+				"member", strconv.Itoa(member), "layer", strconv.Itoa(li), "rows", strconv.Itoa(len(rows)))
+		}
+		evalTimer := obs.StartTimer(obs.RenderDisplayEvalNS)
+		lists, errs := v.evalDisplays(ext, rows)
+		evalTimer.Stop()
+		evalSpan.End()
 
 		// Pass 3: paint in drawing order.
+		var paintSpan *obs.Span
+		if obs.Tracing() {
+			paintSpan = obs.StartSpan("render.paint",
+				"member", strconv.Itoa(member), "layer", strconv.Itoa(li))
+		}
 		for vi, row := range rows {
 			list := lists[vi]
 			if list == nil {
-				stats.DisplayErrors++
+				stats.noteError(fmt.Errorf("row %d of %s: %w", rows[vi], ext.Label, errs[vi]))
 				continue
 			}
 			stats.DisplaysEvaled++
@@ -232,6 +304,7 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 				}
 			}
 		}
+		paintSpan.End()
 	}
 	return nil
 }
@@ -336,6 +409,7 @@ func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, 
 	key := wormholeKey{dest: wh.DestCanvas, loc: wh.DestLocation, elev: wh.DestElevation, pw: pw, ph: ph}
 	if !v.DisableWormholeCache {
 		if img, ok := v.whCache[key]; ok {
+			obs.Inc(obs.RenderWormholeCached)
 			pen.Blit(img, int(inner.Min.X), int(inner.Min.Y))
 			return
 		}
@@ -360,6 +434,13 @@ func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, 
 	// Render the destination's first member into an offscreen frame, then
 	// paste; clicks inside still resolve to the wormhole itself (you
 	// travel, not poke).
+	obs.Inc(obs.RenderWormholes)
+	var whSpan *obs.Span
+	if obs.Tracing() {
+		whSpan = obs.StartSpan("render.wormhole",
+			"dest", wh.DestCanvas, "depth", strconv.Itoa(depth))
+	}
+	defer whSpan.End()
 	off := raster.NewImage(pw, ph)
 	offPen := raster.NewPen(off)
 	offRect := geom.R(0, 0, float64(pw), float64(ph))
@@ -403,18 +484,23 @@ func (v *Viewer) renderMagnifier(pen *raster.Pen, mag *Magnifier, stats *RenderS
 	return mag.Inner.renderMember(pen.WithClip(inner), inner, g.Members[0], mag.Inner.states[0], 0, 1, false, stats)
 }
 
-// evalDisplays computes the display list for each listed row. A nil entry
-// marks an evaluation failure (the tuple is skipped and counted); an
-// empty-but-non-nil list is a successful empty display. When Parallel is
-// enabled and the batch is large, evaluation fans out across workers —
-// display functions are pure reads over the relation, and painting
-// happens afterwards in tuple order, so the rendered output is identical.
-func (v *Viewer) evalDisplays(ext *display.Extended, rows []int) []draw.List {
+// evalDisplays computes the display list for each listed row. A nil list
+// entry marks an evaluation failure (the tuple is skipped and counted)
+// with the cause in the parallel errs slice; an empty-but-non-nil list is
+// a successful empty display. When Parallel is enabled and the batch is
+// large, evaluation fans out across workers — display functions are pure
+// reads over the relation, and painting happens afterwards in tuple
+// order, so the rendered output is identical. Workers write disjoint
+// index ranges, so the slices need no locking; each worker records its
+// chunk as a trace span on its own track so the fan-out is visible in
+// the timeline.
+func (v *Viewer) evalDisplays(ext *display.Extended, rows []int) ([]draw.List, []error) {
 	lists := make([]draw.List, len(rows))
+	errs := make([]error, len(rows))
 	eval := func(i int) {
 		l, err := ext.Display(rows[i])
 		if err != nil {
-			lists[i] = nil
+			lists[i], errs[i] = nil, err
 			return
 		}
 		if l == nil {
@@ -426,12 +512,13 @@ func (v *Viewer) evalDisplays(ext *display.Extended, rows []int) []draw.List {
 		for i := range rows {
 			eval(i)
 		}
-		return lists
+		return lists, errs
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(rows) {
 		workers = len(rows)
 	}
+	tracing := obs.Tracing()
 	var wg sync.WaitGroup
 	chunk := (len(rows) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -444,15 +531,21 @@ func (v *Viewer) evalDisplays(ext *display.Extended, rows []int) []draw.List {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			if tracing {
+				// Track 1 is the render loop; workers get tracks 2+w.
+				sp := obs.StartSpanOn(int64(2+w), "render.display_eval.worker",
+					"worker", strconv.Itoa(w), "rows", strconv.Itoa(hi-lo))
+				defer sp.End()
+			}
 			for i := lo; i < hi; i++ {
 				eval(i)
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
-	return lists
+	return lists, errs
 }
 
 // parallelThreshold is the batch size below which parallel evaluation is
