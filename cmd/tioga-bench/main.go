@@ -13,14 +13,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dataflow"
 	"repro/internal/display"
 	"repro/internal/draw"
 	"repro/internal/expr"
@@ -52,16 +57,25 @@ type benchCase struct {
 
 func main() {
 	out := flag.String("o", "BENCH_obs.json", "output JSON file")
+	parallelOut := flag.String("parallel-out", "BENCH_parallel_eval.json", "output JSON file for the serial-vs-parallel eval comparison")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per workload")
+	quick := flag.Bool("quick", false, "CI smoke mode: small datasets and short benchtime")
 	verbose := flag.Bool("v", false, "print results as they complete")
 	testing.Init() // registers test.benchtime, which testing.Benchmark reads
 	flag.Parse()
+	if *quick && *benchtime == time.Second {
+		*benchtime = 50 * time.Millisecond
+	}
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
 		os.Exit(1)
 	}
 
 	if err := run(*out, *benchtime, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
+		os.Exit(1)
+	}
+	if err := runParallelEval(*parallelOut, *quick, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
 		os.Exit(1)
 	}
@@ -225,6 +239,229 @@ func setupLazyDemand() (func() error, error) {
 		_, err := env.Eval.Demand(pb.ID, 0) // memo hit
 		return err
 	}, nil
+}
+
+// parallelEvalReport is the serial-vs-parallel wavefront comparison
+// written to BENCH_parallel_eval.json: one wide-fanout workload timed
+// under both schedulers, plus the output-identity check the speedup is
+// only meaningful with.
+type parallelEvalReport struct {
+	GeneratedBy      string           `json:"generated_by"`
+	Workload         string           `json:"workload"`
+	Rows             int              `json:"rows"`
+	Branches         int              `json:"branches"`
+	Workers          int              `json:"workers"`
+	FetchDelayMS     int              `json:"simulated_fetch_ms"`
+	NumCPU           int              `json:"num_cpu"`
+	SerialNsPerOp    int64            `json:"serial_ns_per_op"`
+	ParallelNsPerOp  int64            `json:"parallel_ns_per_op"`
+	Speedup          float64          `json:"speedup"`
+	OutputsIdentical bool             `json:"outputs_identical"`
+	ParallelStats    map[string]int64 `json:"parallel_stats,omitempty"`
+}
+
+// registerSlowFetch installs a bench-only R -> R box that passes its
+// input through after a fixed delay, standing in for the per-query
+// POSTGRES fetch latency of the paper's client/server deployment
+// (Tioga-2 boxes issue queries to a database server; this repo's
+// in-memory tables answer instantly, so the latency the wavefront
+// scheduler exists to overlap is simulated explicitly).
+func registerSlowFetch(reg *dataflow.Registry) {
+	reg.MustRegister(&dataflow.Kind{
+		Name:          "slowfetch",
+		Doc:           "Bench-only: identity on R after a simulated server fetch delay (param ms).",
+		ExampleParams: dataflow.Params{"ms": "10"},
+		Ports: func(p dataflow.Params) (in, out []dataflow.PortType, err error) {
+			return []dataflow.PortType{dataflow.RType}, []dataflow.PortType{dataflow.RType}, nil
+		},
+		Fire: func(fc *dataflow.FireContext, p dataflow.Params, in []dataflow.Value) ([]dataflow.Value, error) {
+			ms, err := strconv.Atoi(p["ms"])
+			if err != nil {
+				return nil, fmt.Errorf("slowfetch: bad ms param %q", p["ms"])
+			}
+			time.Sleep(time.Duration(ms) * time.Millisecond)
+			return []dataflow.Value{in[0]}, nil
+		},
+	})
+}
+
+// buildFanout constructs the wide-fanout program: one table feeding
+// `branches` independent fetch+restrict chains — a slowfetch modeling
+// the per-branch server round trip, then a restrict with an
+// arithmetic-heavy predicate — merged back to a single root by a
+// binary tree of union boxes. All fetches share a wavefront level, as
+// do all restricts, so the parallel scheduler can fire each level's
+// boxes concurrently.
+func buildFanout(env *core.Environment, branches, fetchMS int) (root int, err error) {
+	tb, err := env.AddBox("table", map[string]string{"name": "Stations"})
+	if err != nil {
+		return 0, err
+	}
+	var layer []*dataflow.Box
+	for i := 0; i < branches; i++ {
+		fb, err := env.AddBox("slowfetch", map[string]string{"ms": strconv.Itoa(fetchMS)})
+		if err != nil {
+			return 0, err
+		}
+		if err := env.Connect(tb.ID, 0, fb.ID, 0); err != nil {
+			return 0, err
+		}
+		pred := fmt.Sprintf(
+			"sqrt((longitude + 200.0) * (longitude + 200.0) + latitude * latitude + altitude) + sin(latitude * %d.0) * sin(longitude * %d.0) > %d.0",
+			i+1, i+2, 190+i)
+		rb, err := env.AddBox("restrict", map[string]string{"pred": pred})
+		if err != nil {
+			return 0, err
+		}
+		if err := env.Connect(fb.ID, 0, rb.ID, 0); err != nil {
+			return 0, err
+		}
+		layer = append(layer, rb)
+	}
+	for len(layer) > 1 {
+		var next []*dataflow.Box
+		for i := 0; i+1 < len(layer); i += 2 {
+			ub, err := env.AddBox("union", nil)
+			if err != nil {
+				return 0, err
+			}
+			if err := env.Connect(layer[i].ID, 0, ub.ID, 0); err != nil {
+				return 0, err
+			}
+			if err := env.Connect(layer[i+1].ID, 0, ub.ID, 1); err != nil {
+				return 0, err
+			}
+			next = append(next, ub)
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+	}
+	return layer[0].ID, nil
+}
+
+// fingerprint renders a demanded R value to a canonical string so the
+// serial and parallel schedulers can be checked for identical output.
+func fingerprint(v dataflow.Value) (string, error) {
+	e, ok := v.(*display.Extended)
+	if !ok {
+		return "", fmt.Errorf("fanout root produced %T, want *display.Extended", v)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %d\n", e.Label, e.Rel.Len())
+	for i := 0; i < e.Rel.Len(); i++ {
+		fmt.Fprintf(&sb, "%v\n", e.Rel.Tuple(i))
+	}
+	return sb.String(), nil
+}
+
+// runParallelEval times the wide-fanout workload under the serial and
+// parallel schedulers and writes the comparison report. Each iteration
+// is a cold evaluation: InvalidateAll, then one Eval of the root.
+func runParallelEval(out string, quick, verbose bool) error {
+	rows, branches, workers, fetchMS := 6000, 12, 4, 25
+	if quick {
+		rows, fetchMS = 2000, 15
+	}
+	env, err := core.NewSeededEnvironment(rows, 1, 42)
+	if err != nil {
+		return fmt.Errorf("parallel_eval: seed: %w", err)
+	}
+	registerSlowFetch(env.Registry)
+	root, err := buildFanout(env, branches, fetchMS)
+	if err != nil {
+		return fmt.Errorf("parallel_eval: build: %w", err)
+	}
+
+	ctx := context.Background()
+	evalOnce := func(opts ...dataflow.EvalOption) (dataflow.Result, error) {
+		env.Eval.InvalidateAll()
+		return env.Eval.Eval(ctx, dataflow.Request{Box: root, Port: 0}, opts...)
+	}
+
+	// Output identity first: the speedup claim is vacuous if the
+	// schedulers disagree.
+	serialRes, err := evalOnce(dataflow.Serial(), dataflow.WithLabel("bench-serial"))
+	if err != nil {
+		return fmt.Errorf("parallel_eval: serial eval: %w", err)
+	}
+	serialFP, err := fingerprint(serialRes.Value)
+	if err != nil {
+		return fmt.Errorf("parallel_eval: %w", err)
+	}
+	parRes, err := evalOnce(dataflow.WithWorkers(workers), dataflow.WithLabel("bench-parallel"))
+	if err != nil {
+		return fmt.Errorf("parallel_eval: parallel eval: %w", err)
+	}
+	parFP, err := fingerprint(parRes.Value)
+	if err != nil {
+		return fmt.Errorf("parallel_eval: %w", err)
+	}
+	identical := serialFP == parFP
+
+	obs.SetEnabled(false)
+	time_ := func(opts ...dataflow.EvalOption) (int64, error) {
+		var iterErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := evalOnce(opts...); err != nil {
+					iterErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if iterErr != nil {
+			return 0, iterErr
+		}
+		return r.NsPerOp(), nil
+	}
+	serialNs, err := time_(dataflow.Serial())
+	if err != nil {
+		return fmt.Errorf("parallel_eval: serial bench: %w", err)
+	}
+	parNs, err := time_(dataflow.WithWorkers(workers))
+	if err != nil {
+		return fmt.Errorf("parallel_eval: parallel bench: %w", err)
+	}
+
+	report := parallelEvalReport{
+		GeneratedBy:      "tioga-bench",
+		Workload:         "wide_fanout_fetch_restrict_union",
+		Rows:             rows,
+		Branches:         branches,
+		Workers:          workers,
+		FetchDelayMS:     fetchMS,
+		NumCPU:           runtime.NumCPU(),
+		SerialNsPerOp:    serialNs,
+		ParallelNsPerOp:  parNs,
+		Speedup:          float64(serialNs) / float64(parNs),
+		OutputsIdentical: identical,
+		ParallelStats: map[string]int64{
+			"fires":      int64(parRes.Fires),
+			"cache_hits": int64(parRes.CacheHits),
+			"coalesced":  int64(parRes.Coalesced),
+			"waves":      int64(parRes.Waves),
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Printf("%-24s %12d ns/op (serial)\n", "parallel_eval", serialNs)
+		fmt.Printf("%-24s %12d ns/op (%d workers)\n", "", parNs, workers)
+	}
+	fmt.Printf("wrote %s (speedup %.2fx, outputs identical: %v)\n", out, report.Speedup, identical)
+	if !identical {
+		return fmt.Errorf("parallel_eval: serial and parallel outputs differ")
+	}
+	return nil
 }
 
 // setupJoinHash joins stations to observations on the station key using

@@ -1,15 +1,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
+	"repro/internal/display"
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/viewer"
@@ -330,6 +334,8 @@ func (s *shell) dispatch(cmd string, args []string) error {
 		return f.Close()
 	case "figures":
 		return s.figures()
+	case "eval":
+		return s.evalCmd(args)
 	case "stats":
 		return s.stats()
 	case "trace":
@@ -400,6 +406,7 @@ database and sessions:
   savesession name | loadsession name   canvases + positions + program
 
 observability:
+  eval b.p [serial|workers N] [timeout D]   demand a box output, show work profile
   stats                        counters, latency summaries, errors
   trace on [file] | trace off  collect spans; off writes Chrome JSON
   histo <metric>               ASCII latency histogram (e.g. render.frame_ns)
@@ -801,6 +808,81 @@ func (s *shell) figures() error {
 		return fmt.Errorf("figure9: %w", err)
 	}
 	return nil
+}
+
+// evalCmd demands a box output through the cancellable Eval API and
+// prints the value summary plus the request's work profile.
+func (s *shell) evalCmd(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: eval <box>.<port> [serial | workers N] [timeout D]")
+	}
+	b, p, err := parseRef(args[0])
+	if err != nil {
+		return err
+	}
+	opts := []dataflow.EvalOption{dataflow.WithLabel("shell")}
+	var timeout time.Duration
+	for i := 1; i < len(args); i++ {
+		switch args[i] {
+		case "serial":
+			opts = append(opts, dataflow.Serial())
+		case "workers":
+			if i+1 >= len(args) {
+				return fmt.Errorf("workers needs a count")
+			}
+			n, err := strconv.Atoi(args[i+1])
+			if err != nil {
+				return fmt.Errorf("bad worker count %q", args[i+1])
+			}
+			opts = append(opts, dataflow.WithWorkers(n))
+			i++
+		case "timeout":
+			if i+1 >= len(args) {
+				return fmt.Errorf("timeout needs a duration (e.g. 500ms)")
+			}
+			d, err := time.ParseDuration(args[i+1])
+			if err != nil {
+				return fmt.Errorf("bad timeout %q", args[i+1])
+			}
+			timeout = d
+			i++
+		default:
+			return fmt.Errorf("unknown eval option %q (want serial, workers N, or timeout D)", args[i])
+		}
+	}
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+	start := time.Now()
+	res, err := s.env.EvalOutput(ctx, b, p, opts...)
+	elapsed := time.Since(start)
+	if err != nil {
+		var de *dataflow.Error
+		if errors.As(err, &de) {
+			return fmt.Errorf("box %d (%s) failed during %s: %w", de.Box, de.Kind, de.Op, de.Err)
+		}
+		return err
+	}
+	s.printf("box %d.%d -> %s in %s\n", b, p, describeValue(res.Value), elapsed.Round(time.Microsecond))
+	s.printf("  fires %d, cache hits %d, coalesced %d, waves %d\n",
+		res.Fires, res.CacheHits, res.Coalesced, res.Waves)
+	return nil
+}
+
+// describeValue summarizes a demanded value for eval output.
+func describeValue(v dataflow.Value) string {
+	switch d := v.(type) {
+	case *display.Extended:
+		return fmt.Sprintf("R %q (%d tuples)", d.Label, d.Rel.Len())
+	case *display.Composite:
+		return fmt.Sprintf("C (%d layers)", len(d.Layers))
+	case *display.Group:
+		return fmt.Sprintf("G (%d members)", len(d.Members))
+	default:
+		return fmt.Sprintf("%v", v)
+	}
 }
 
 // stats prints every nonzero counter, latency summary, and sampled

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataflow"
@@ -384,6 +385,14 @@ func (env *Environment) Demand(canvasName string) (display.Displayable, error) {
 		return nil, err
 	}
 	return v.Source.Get()
+}
+
+// EvalOutput evaluates output port of a box through the cancellable Eval
+// API and returns the structured result — the programmatic face of the
+// shell's eval command. Options select worker count, the serial fallback,
+// and a trace label.
+func (env *Environment) EvalOutput(ctx context.Context, box, port int, opts ...dataflow.EvalOption) (dataflow.Result, error) {
+	return env.Eval.Eval(ctx, dataflow.Request{Box: box, Port: port}, opts...)
 }
 
 // --- updates (Section 8) ---------------------------------------------------

@@ -1,0 +1,64 @@
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel causes for evaluator errors. They sit behind an *Error wrapper
+// carrying the box attribution, so callers test with errors.Is:
+//
+//	if errors.Is(err, dataflow.ErrUnconnected) { ... }
+var (
+	// ErrCycle is returned when evaluation reaches a box already on the
+	// demand path — a cyclic program, which only a corrupt load can
+	// produce (Connect refuses cycles).
+	ErrCycle = errors.New("cycle in dataflow graph")
+	// ErrUnconnected is returned when a demanded box has an input with no
+	// incoming edge.
+	ErrUnconnected = errors.New("input not connected")
+	// ErrNoSuchPort is returned when a request names a port the box does
+	// not declare.
+	ErrNoSuchPort = errors.New("no such port")
+	// ErrNoData is returned when an upstream firing produced no value on
+	// a demanded output.
+	ErrNoData = errors.New("no data on output")
+)
+
+// Error is the typed evaluation error: which box failed, on which port,
+// during which phase, and why. It wraps the cause, so errors.Is and
+// errors.As see through it, and the evaluator returns it instead of bare
+// formatted strings — callers can route on the box identity (highlight
+// the failing box on the program canvas) rather than parse messages.
+type Error struct {
+	Box  int    // box id the failure is attributed to
+	Port int    // port involved, or -1 when not port-specific
+	Kind string // box kind when known, e.g. "restrict"
+	Op   string // evaluation phase: "plan", "fire", "promote", "request"
+	Err  error  // underlying cause
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	kind := e.Kind
+	if kind == "" {
+		kind = "?"
+	}
+	if e.Port >= 0 {
+		return fmt.Sprintf("dataflow: %s box %d (%s) port %d: %v", e.Op, e.Box, kind, e.Port, e.Err)
+	}
+	return fmt.Sprintf("dataflow: %s box %d (%s): %v", e.Op, e.Box, kind, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// evalErr builds an *Error with no specific port.
+func evalErr(op string, box int, kind string, cause error) *Error {
+	return &Error{Box: box, Port: -1, Kind: kind, Op: op, Err: cause}
+}
+
+// evalPortErr builds an *Error attributed to one port.
+func evalPortErr(op string, box, port int, kind string, cause error) *Error {
+	return &Error{Box: box, Port: port, Kind: kind, Op: op, Err: cause}
+}

@@ -1,22 +1,77 @@
 package dataflow
 
 import (
-	"fmt"
-	"strconv"
+	"context"
+	"runtime"
+	"sync"
 
 	"repro/internal/obs"
 )
 
 // EvalStats counts work done by an evaluator. It is the per-evaluator
 // view of the process-wide internal/obs counters (eval.fires,
-// eval.cache_hits, eval.cache_miss): every increment here is mirrored
-// into the obs registry when obs is enabled, so tests and the
+// eval.cache_hits, eval.cache_miss, eval.coalesced): every increment here
+// is mirrored into the obs registry when obs is enabled, so tests and the
 // lazy-vs-eager ablation bench read the struct while the shell's stats
 // command and the benchmark harness read the global registry.
+//
+// Fields are updated under the evaluator's lock; read them only when no
+// Eval is in flight.
 type EvalStats struct {
 	Fires     int // box firings actually executed
 	CacheHits int // demands answered from the memo table
 	CacheMiss int // demands requiring a firing
+	Coalesced int // demands answered by joining another request's in-flight firing
+}
+
+// EvalOptions configures one evaluation request. Build it with the
+// functional options (WithWorkers, Serial, WithLabel) passed to Eval.
+type EvalOptions struct {
+	// Workers bounds concurrent box firings within one request. Zero or
+	// negative means GOMAXPROCS.
+	Workers int
+	// Serial forces the single-threaded fallback: the wavefront runs
+	// level by level in one goroutine, firing boxes in deterministic
+	// order. Useful for debugging and as the determinism baseline.
+	Serial bool
+	// Label annotates the request's trace span and Result, so concurrent
+	// requests can be told apart in a Chrome trace.
+	Label string
+}
+
+// EvalOption mutates EvalOptions.
+type EvalOption func(*EvalOptions)
+
+// WithWorkers bounds the number of boxes firing concurrently.
+func WithWorkers(n int) EvalOption { return func(o *EvalOptions) { o.Workers = n } }
+
+// Serial forces the single-threaded fallback scheduler.
+func Serial() EvalOption { return func(o *EvalOptions) { o.Serial = true } }
+
+// WithLabel names the request in traces and results.
+func WithLabel(label string) EvalOption { return func(o *EvalOptions) { o.Label = label } }
+
+// Request names what to evaluate: output Port of box Box, or — when
+// Input is set — whatever feeds input Port of box Box (how a viewer box
+// obtains its displayable, and how "a viewer may be installed on any arc
+// in a diagram" is realized: any edge's value is demandable).
+type Request struct {
+	Box   int
+	Port  int
+	Input bool
+}
+
+// Result carries the demanded value plus the work profile of the request:
+// how many boxes fired, how many were answered from the memo table, how
+// many coalesced onto another request's in-flight firing, and how many
+// wavefront levels the demanded subgraph partitioned into.
+type Result struct {
+	Value     Value
+	Fires     int
+	CacheHits int
+	Coalesced int
+	Waves     int
+	Label     string
 }
 
 // Evaluator runs a graph lazily with memoization. Demanding a box output
@@ -25,12 +80,34 @@ type EvalStats struct {
 // evaluating only what is required to produce the demanded visualization"
 // combined with the immediate-feedback requirement of principle 1 (an
 // incremental edit re-fires only the affected suffix of the program).
+//
+// Independent boxes of the demanded subgraph fire concurrently: the
+// evaluator partitions the subgraph into dependency levels and runs each
+// level on a bounded worker pool (see wavefront.go). Concurrent Eval
+// calls are safe and coalesce: two requests demanding the same stale box
+// share one firing through a per-box in-flight latch. Graph mutation must
+// not run concurrently with Eval — the same discipline the rest of the
+// environment already follows (edits and renders alternate).
 type Evaluator struct {
-	g      *Graph
-	fc     *FireContext
+	g  *Graph
+	fc *FireContext
+
+	mu     sync.Mutex
 	cache  map[int][]Value // memoized outputs per box
 	stamps map[int]int64   // dataflow timestamp at which cache entry was computed
-	Stats  EvalStats
+	flight map[int]*flight // in-progress firings, for cross-request coalescing
+
+	// Stats is guarded by mu; read it only between evaluations.
+	Stats EvalStats
+}
+
+// flight is one in-progress box firing. Requests that find a flight for
+// the box they need wait on done instead of firing a duplicate.
+type flight struct {
+	done  chan struct{}
+	vals  []Value
+	stamp int64
+	err   error
 }
 
 // NewEvaluator returns an evaluator for g with table access from src (nil
@@ -41,157 +118,158 @@ func NewEvaluator(g *Graph, src TableSource) *Evaluator {
 		fc:     &FireContext{Tables: src, Registry: g.registry},
 		cache:  make(map[int][]Value),
 		stamps: make(map[int]int64),
+		flight: make(map[int]*flight),
 	}
 }
 
 // Graph returns the evaluated graph.
 func (e *Evaluator) Graph() *Graph { return e.g }
 
-// Invalidate drops the memo entry for one box (used when an external
-// dependency such as a base table changes; graph edits are tracked
-// automatically through versions).
+// Invalidate drops the memo entry for a box and for every transitive
+// dependent (used when an external dependency such as a base table
+// changes; graph edits are tracked automatically through versions).
+// Without the downstream sweep a dependent whose staleness stamp predates
+// the external change would keep serving its stale memo — versions did
+// not move, so stamps alone cannot see the invalidation.
 func (e *Evaluator) Invalidate(id int) {
-	delete(e.cache, id)
-	delete(e.stamps, id)
+	// Reverse adjacency over the current edge set, built once per call.
+	dependents := make(map[int][]int)
+	for _, edge := range e.g.Edges() {
+		dependents[edge.From] = append(dependents[edge.From], edge.To)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	seen := make(map[int]bool)
+	var drop func(int)
+	drop = func(id int) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		delete(e.cache, id)
+		delete(e.stamps, id)
+		for _, to := range dependents[id] {
+			drop(to)
+		}
+	}
+	drop(id)
 }
 
 // InvalidateAll drops the whole memo table.
 func (e *Evaluator) InvalidateAll() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.cache = make(map[int][]Value)
 	e.stamps = make(map[int]int64)
 }
 
-// Demand evaluates the given output of box id and returns its value. This
-// is what a viewer calls: only the transitive inputs of the demanded box
-// are touched.
-func (e *Evaluator) Demand(id, port int) (Value, error) {
-	b, err := e.g.Box(id)
+// Eval evaluates the request under ctx and returns the demanded value
+// with the request's work profile. Cancellation and deadlines are checked
+// between box firings: a firing already in progress completes (its result
+// stays in the memo for the next request), but no further boxes start.
+func (e *Evaluator) Eval(ctx context.Context, req Request, opts ...EvalOption) (Result, error) {
+	var o EvalOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	target, port := req.Box, req.Port
+	var inType PortType // promotion target for Input requests
+	b, err := e.g.Box(target)
 	if err != nil {
-		return nil, err
+		return Result{Label: o.Label}, err
+	}
+	if req.Input {
+		if port < 0 || port >= len(b.In) {
+			return Result{Label: o.Label}, evalPortErr("request", target, port, b.Kind, ErrNoSuchPort)
+		}
+		edge, ok := e.g.InputEdge(target, port)
+		if !ok {
+			return Result{Label: o.Label}, evalPortErr("request", target, port, b.Kind, ErrUnconnected)
+		}
+		inType = b.In[port]
+		target, port = edge.From, edge.FromPort
+		if b, err = e.g.Box(target); err != nil {
+			return Result{Label: o.Label}, err
+		}
 	}
 	if port < 0 || port >= len(b.Out) {
-		return nil, fmt.Errorf("dataflow: box %d (%s) has no output %d", id, b.Kind, port)
+		return Result{Label: o.Label}, evalPortErr("request", target, port, b.Kind, ErrNoSuchPort)
 	}
+
 	obs.Inc(obs.EvalDemands)
 	var sp *obs.Span
 	if obs.Tracing() {
-		sp = obs.StartSpan("eval.demand", "box", strconv.Itoa(id), "kind", b.Kind)
+		args := []string{"box", itoa(target), "kind", b.Kind}
+		if o.Label != "" {
+			args = append(args, "label", o.Label)
+		}
+		sp = obs.StartSpan("eval.demand", args...)
 	}
 	t := obs.StartTimer(obs.EvalDemandNS)
-	vals, _, err := e.demand(id, make(map[int]bool))
+	vals, res, err := e.evalTarget(ctx, target, o)
 	t.Stop()
 	sp.End()
+	res.Label = o.Label
 	if err != nil {
-		return nil, err
+		return res, err
 	}
-	return vals[port], nil
-}
-
-// DemandInput evaluates whatever feeds input (id, port) — how a viewer box
-// obtains its displayable, and how "a viewer may be installed on any arc
-// in a diagram" is realized: any edge's value is demandable.
-func (e *Evaluator) DemandInput(id, port int) (Value, error) {
-	edge, ok := e.g.InputEdge(id, port)
-	if !ok {
-		return nil, fmt.Errorf("dataflow: input %d of box %d is not connected", port, id)
+	v := vals[port]
+	if v == nil {
+		return res, evalPortErr("request", target, port, b.Kind, ErrNoData)
 	}
-	b, err := e.g.Box(id)
-	if err != nil {
-		return nil, err
-	}
-	v, err := e.Demand(edge.From, edge.FromPort)
-	if err != nil {
-		return nil, err
-	}
-	return PromoteValue(v, b.In[port])
-}
-
-// demand returns all outputs of a box plus the staleness stamp: the
-// maximum version along the box's transitive inputs. A memo entry is
-// reusable iff it was computed at a stamp >= the current one.
-func (e *Evaluator) demand(id int, active map[int]bool) ([]Value, int64, error) {
-	if active[id] {
-		return nil, 0, fmt.Errorf("dataflow: cycle through box %d", id)
-	}
-	active[id] = true
-	defer delete(active, id)
-
-	b, err := e.g.Box(id)
-	if err != nil {
-		return nil, 0, err
-	}
-
-	stamp := e.g.Version(id)
-	inVals := make([]Value, len(b.In))
-	for port := range b.In {
-		edge, ok := e.g.InputEdge(id, port)
-		if !ok {
-			return nil, 0, fmt.Errorf("dataflow: input %d of box %d (%s) is not connected", port, id, b.Kind)
-		}
-		upVals, upStamp, err := e.demand(edge.From, active)
+	if req.Input {
+		pv, err := PromoteValue(v, inType)
 		if err != nil {
-			return nil, 0, err
+			return res, evalPortErr("promote", req.Box, req.Port, "", err)
 		}
-		if upStamp > stamp {
-			stamp = upStamp
-		}
-		v := upVals[edge.FromPort]
-		if v == nil {
-			return nil, 0, fmt.Errorf("dataflow: box %d (%s) produced no data on output %d demanded by box %d",
-				edge.From, "upstream", edge.FromPort, id)
-		}
-		pv, err := PromoteValue(v, b.In[port])
-		if err != nil {
-			return nil, 0, err
-		}
-		inVals[port] = pv
+		v = pv
 	}
-
-	if cached, ok := e.cache[id]; ok && e.stamps[id] >= stamp {
-		e.Stats.CacheHits++
-		obs.Inc(obs.EvalCacheHits)
-		return cached, e.stamps[id], nil
-	}
-	e.Stats.CacheMiss++
-	obs.Inc(obs.EvalCacheMiss)
-
-	k, err := e.g.registry.Kind(b.Kind)
-	if err != nil {
-		return nil, 0, err
-	}
-	var sp *obs.Span
-	if obs.Tracing() {
-		sp = obs.StartSpan("eval.fire", "box", strconv.Itoa(id), "kind", b.Kind)
-	}
-	t := obs.StartTimer(obs.EvalFireNS)
-	out, err := k.Fire(e.fc, b.Params, inVals)
-	t.Stop()
-	sp.End()
-	if err != nil {
-		err = fmt.Errorf("dataflow: box %d (%s): %w", id, b.Kind, err)
-		obs.RecordError(obs.EvalErrors, err)
-		return nil, 0, err
-	}
-	if len(out) != len(b.Out) {
-		return nil, 0, fmt.Errorf("dataflow: box %d (%s) fired %d outputs, declared %d", id, b.Kind, len(out), len(b.Out))
-	}
-	e.Stats.Fires++
-	obs.Inc(obs.EvalFires)
-	e.cache[id] = out
-	e.stamps[id] = stamp
-	return out, stamp, nil
+	res.Value = v
+	return res, nil
 }
 
 // EvaluateAll eagerly fires every box in the program, the strategy of
 // compile-and-run systems like the original Tioga. It exists for the
 // lazy-vs-eager ablation benchmark and for whole-program validation.
 func (e *Evaluator) EvaluateAll() error {
+	var o EvalOptions
+	o.Serial = true
+	o.Workers = 1
 	for _, b := range e.g.Boxes() {
-		if _, _, err := e.demand(b.ID, make(map[int]bool)); err != nil {
+		if _, _, err := e.evalTarget(context.Background(), b.ID, o); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Demand evaluates the given output of box id and returns its value.
+//
+// Deprecated: use Eval, which adds cancellation, parallel scheduling, and
+// a structured result. Demand remains as a thin wrapper for existing
+// callers.
+func (e *Evaluator) Demand(id, port int) (Value, error) {
+	res, err := e.Eval(context.Background(), Request{Box: id, Port: port})
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
+}
+
+// DemandInput evaluates whatever feeds input (id, port).
+//
+// Deprecated: use Eval with Request{Input: true}. DemandInput remains as
+// a thin wrapper for existing callers.
+func (e *Evaluator) DemandInput(id, port int) (Value, error) {
+	res, err := e.Eval(context.Background(), Request{Box: id, Port: port, Input: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
 }
 
 // Typecheck walks every edge and verifies compatibility, reporting all
@@ -211,12 +289,12 @@ func Typecheck(g *Graph) []error {
 			continue
 		}
 		if e.FromPort >= len(fb.Out) || e.ToPort >= len(tb.In) {
-			errs = append(errs, fmt.Errorf("dataflow: edge %s references missing port", e))
+			errs = append(errs, evalPortErr("typecheck", e.To, e.ToPort, tb.Kind, ErrNoSuchPort))
 			continue
 		}
 		if !Compatible(fb.Out[e.FromPort], tb.In[e.ToPort]) {
-			errs = append(errs, fmt.Errorf("dataflow: type error on edge %s: %s -> %s",
-				e, fb.Out[e.FromPort], tb.In[e.ToPort]))
+			errs = append(errs, evalPortErr("typecheck", e.To, e.ToPort, tb.Kind,
+				typeError(fb.Out[e.FromPort], tb.In[e.ToPort])))
 		}
 	}
 	return errs

@@ -13,6 +13,9 @@ const (
 	EvalFireNS    = "eval.fire_ns"    // histogram: per-box firing latency
 	EvalDemandNS  = "eval.demand_ns"  // histogram: top-level demand latency
 	EvalErrors    = "eval.errors"     // failed firings (error log kept)
+	EvalCoalesced = "eval.coalesced"  // demands answered by joining an in-flight firing
+	EvalWaves     = "eval.waves"      // wavefront levels executed
+	EvalCancels   = "eval.cancels"    // requests abandoned via context cancellation
 
 	// Viewer rendering (internal/viewer).
 	RenderFrames          = "render.frames"

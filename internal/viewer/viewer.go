@@ -11,6 +11,7 @@
 package viewer
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,22 +45,27 @@ func (s DirectSource) Get() (display.Displayable, error) {
 // BoxSource demands the input of a viewer box in a dataflow program —
 // lazy evaluation happens here, and because any edge can feed a viewer
 // box, "it is easy to instrument a program to understand how it is
-// working" (Section 10).
+// working" (Section 10). The demand goes through the cancellable Eval
+// API: Options configure it (worker count, serial fallback, trace label)
+// and Ctx, when non-nil, lets a render abandon a long evaluation.
 type BoxSource struct {
-	Eval  *dataflow.Evaluator
-	BoxID int
-	Port  int
+	Eval    *dataflow.Evaluator
+	BoxID   int
+	Port    int
+	Options []dataflow.EvalOption
+	Ctx     context.Context // nil means context.Background()
 }
 
 // Get implements Source.
 func (s BoxSource) Get() (display.Displayable, error) {
-	v, err := s.Eval.DemandInput(s.BoxID, s.Port)
+	res, err := s.Eval.Eval(sourceCtx(s.Ctx),
+		dataflow.Request{Box: s.BoxID, Port: s.Port, Input: true}, s.Options...)
 	if err != nil {
 		return nil, err
 	}
-	d, ok := v.(display.Displayable)
+	d, ok := res.Value.(display.Displayable)
 	if !ok {
-		return nil, fmt.Errorf("viewer: box %d input is not displayable (%T)", s.BoxID, v)
+		return nil, fmt.Errorf("viewer: box %d input is not displayable (%T)", s.BoxID, res.Value)
 	}
 	return d, nil
 }
@@ -67,22 +73,33 @@ func (s BoxSource) Get() (display.Displayable, error) {
 // BoxOutputSource demands a box's output directly (rather than a viewer
 // box's input); headless tools use it to view an arbitrary box.
 type BoxOutputSource struct {
-	Eval  *dataflow.Evaluator
-	BoxID int
-	Port  int
+	Eval    *dataflow.Evaluator
+	BoxID   int
+	Port    int
+	Options []dataflow.EvalOption
+	Ctx     context.Context // nil means context.Background()
 }
 
 // Get implements Source.
 func (s BoxOutputSource) Get() (display.Displayable, error) {
-	v, err := s.Eval.Demand(s.BoxID, s.Port)
+	res, err := s.Eval.Eval(sourceCtx(s.Ctx),
+		dataflow.Request{Box: s.BoxID, Port: s.Port}, s.Options...)
 	if err != nil {
 		return nil, err
 	}
-	d, ok := v.(display.Displayable)
+	d, ok := res.Value.(display.Displayable)
 	if !ok {
-		return nil, fmt.Errorf("viewer: box %d output %d is not displayable (%T)", s.BoxID, s.Port, v)
+		return nil, fmt.Errorf("viewer: box %d output %d is not displayable (%T)", s.BoxID, s.Port, res.Value)
 	}
 	return d, nil
+}
+
+// sourceCtx defaults a source's context.
+func sourceCtx(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
 }
 
 // ViewState is the position of a viewer within one group member's viewing

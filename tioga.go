@@ -73,6 +73,31 @@ type Graph = dataflow.Graph
 // Filler plugs a hole of an encapsulated box definition.
 type Filler = dataflow.Filler
 
+// EvalRequest names what Evaluator.Eval evaluates: a box output, or the
+// edge feeding a box input when Input is set.
+type EvalRequest = dataflow.Request
+
+// EvalResult carries a demanded value plus the request's work profile
+// (fires, cache hits, coalesced firings, wavefront depth).
+type EvalResult = dataflow.Result
+
+// EvalOption configures one evaluation request.
+type EvalOption = dataflow.EvalOption
+
+// EvalError is the typed evaluation error: failing box, port, kind, and
+// the wrapped cause (test with errors.Is / errors.As).
+type EvalError = dataflow.Error
+
+// Evaluation request options, re-exported from internal/dataflow.
+var (
+	// WithWorkers bounds concurrent box firings within one request.
+	WithWorkers = dataflow.WithWorkers
+	// SerialEval forces the single-threaded fallback scheduler.
+	SerialEval = dataflow.Serial
+	// WithEvalLabel names the request in traces and results.
+	WithEvalLabel = dataflow.WithLabel
+)
+
 // Viewer renders displayables to a framebuffer with pan/zoom/sliders.
 type Viewer = viewer.Viewer
 
@@ -169,19 +194,79 @@ func NewSeededEnvironment(stations, perStation int, seed int64) (*Environment, e
 	return core.NewSeededEnvironment(stations, perStation, seed)
 }
 
-// NewViewer constructs a standalone viewer over a fixed displayable, for
-// library use outside a dataflow program.
-func NewViewer(name string, d display.Displayable, w, h int) *Viewer {
-	return viewer.New(name, viewer.DirectSource{D: d}, w, h)
+// Displayable is any value a viewer can render: R, C, or G.
+type Displayable = display.Displayable
+
+// DisplayFunc computes one tuple's display list (build with
+// ParseDisplaySpec or the combinators in internal/draw).
+type DisplayFunc = draw.Func
+
+// NamedDisplay is one display attribute: a name and its function.
+type NamedDisplay = display.NamedDisplay
+
+// ExtendedSpec describes a displayable R to build directly, for library
+// use outside a dataflow program. Label, Rel, LocAttrs, and Display are
+// required; Extra adds the alternative representations of Section 5.1
+// after the distinguished display attribute.
+type ExtendedSpec struct {
+	Label    string
+	Rel      *Relation
+	LocAttrs []string // >= 2 numeric attributes: x, y, then sliders
+	Display  DisplayFunc
+	Extra    []NamedDisplay
 }
 
-// NewExtendedRelation builds a displayable R directly: a relation with
-// designated numeric location attributes (x, y, then sliders) and one
-// display function (build it with ParseDisplaySpec or the combinators in
-// internal/draw).
+// Build validates the spec and constructs the extended relation.
+func (s ExtendedSpec) Build() (*Extended, error) {
+	displays := append([]NamedDisplay{{Name: "display", Fn: s.Display}}, s.Extra...)
+	return display.NewExtended(s.Label, s.Rel, s.LocAttrs, displays)
+}
+
+// ViewerSpec describes a standalone viewer over a fixed displayable.
+// Name and D are required; zero-valued fields take the viewer defaults
+// (640x480, white background, parallel display evaluation off).
+type ViewerSpec struct {
+	Name string
+	D    Displayable
+	W, H int
+	// Parallel evaluates display functions across CPUs for large visible
+	// batches; output stays byte-identical.
+	Parallel bool
+	// Background overrides the canvas clear color when non-zero.
+	Background Color
+}
+
+// Build constructs the viewer.
+func (s ViewerSpec) Build() *Viewer {
+	w, h := s.W, s.H
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 480
+	}
+	v := viewer.New(s.Name, viewer.DirectSource{D: s.D}, w, h)
+	v.Parallel = s.Parallel
+	if s.Background != (Color{}) {
+		v.Background = s.Background
+	}
+	return v
+}
+
+// NewViewer constructs a standalone viewer over a fixed displayable.
+//
+// Deprecated: use ViewerSpec{...}.Build(), which names the parameters
+// and exposes the optional knobs.
+func NewViewer(name string, d display.Displayable, w, h int) *Viewer {
+	return ViewerSpec{Name: name, D: d, W: w, H: h}.Build()
+}
+
+// NewExtendedRelation builds a displayable R directly.
+//
+// Deprecated: use ExtendedSpec{...}.Build(), which names the parameters
+// and admits alternative display attributes.
 func NewExtendedRelation(label string, r *Relation, locAttrs []string, fn draw.Func) (*Extended, error) {
-	return display.NewExtended(label, r, locAttrs,
-		[]display.NamedDisplay{{Name: "display", Fn: fn}})
+	return ExtendedSpec{Label: label, Rel: r, LocAttrs: locAttrs, Display: fn}.Build()
 }
 
 // Slave ties two viewer members together, maintaining their relative

@@ -2,6 +2,8 @@ package tioga
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -174,5 +176,92 @@ func TestPublicAPIFigureBuilders(t *testing.T) {
 	}
 	if _, err := Figure11(env); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPublicAPISpecBuilders(t *testing.T) {
+	st := GenStations(20, 1)
+	fn, err := ParseDisplaySpec("circle r=0.1 color=blue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := ParseDisplaySpec("rect w=0.2 h=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ExtendedSpec{
+		Label:    "stations",
+		Rel:      st,
+		LocAttrs: []string{"longitude", "latitude"},
+		Display:  fn,
+		Extra:    []NamedDisplay{{Name: "boxes", Fn: alt}},
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Displays) != 2 || e.Displays[0].Name != "display" || e.Displays[1].Name != "boxes" {
+		t.Fatalf("displays = %v", e.Displays)
+	}
+	// Missing required fields are rejected, not silently defaulted.
+	if _, err := (ExtendedSpec{Label: "x", Rel: st}).Build(); err == nil {
+		t.Fatal("spec without location attributes accepted")
+	}
+
+	v := ViewerSpec{Name: "v", D: e}.Build()
+	if v.W != 640 || v.H != 480 {
+		t.Fatalf("zero-valued size did not default: %dx%d", v.W, v.H)
+	}
+	v2 := ViewerSpec{Name: "v2", D: e, W: 100, H: 80, Parallel: true}.Build()
+	if v2.W != 100 || v2.H != 80 || !v2.Parallel {
+		t.Fatalf("spec fields not honored: %dx%d parallel=%v", v2.W, v2.H, v2.Parallel)
+	}
+
+	// The deprecated constructors stay behaviorally identical.
+	old, err := NewExtendedRelation("stations", st, []string{"longitude", "latitude"}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Label != "stations" || len(old.Displays) != 1 {
+		t.Fatalf("deprecated constructor drifted: %+v", old)
+	}
+	if ov := NewViewer("old", old, 0, 0); ov.W != 640 || ov.H != 480 {
+		t.Fatalf("deprecated viewer constructor drifted: %dx%d", ov.W, ov.H)
+	}
+}
+
+func TestPublicAPIEval(t *testing.T) {
+	env, err := NewSeededEnvironment(40, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := env.AddTable("Stations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := env.AddBox("restrict", Params{"pred": "state = 'LA'"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Connect(tb.ID, 0, rb.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.Eval.Eval(context.Background(), EvalRequest{Box: rb.ID},
+		WithWorkers(2), WithEvalLabel("facade"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value == nil || res.Fires != 2 || res.Label != "facade" {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// The typed error surfaces through the facade aliases.
+	dangling, err := env.AddBox("restrict", Params{"pred": "true"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = env.Eval.Eval(context.Background(), EvalRequest{Box: dangling.ID}, SerialEval())
+	var ee *EvalError
+	if !errors.As(err, &ee) || ee.Box != dangling.ID {
+		t.Fatalf("facade error = %v (%T)", err, err)
 	}
 }
