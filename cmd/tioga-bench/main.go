@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/draw"
 	"repro/internal/expr"
 	"repro/internal/obs"
+	"repro/internal/raster"
 	"repro/internal/rel"
 	"repro/internal/viewer"
 	"repro/internal/workload"
@@ -58,6 +60,7 @@ type benchCase struct {
 func main() {
 	out := flag.String("o", "BENCH_obs.json", "output JSON file")
 	parallelOut := flag.String("parallel-out", "BENCH_parallel_eval.json", "output JSON file for the serial-vs-parallel eval comparison")
+	renderOut := flag.String("render-out", "BENCH_render.json", "output JSON file for the cached-vs-uncached render comparison")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per workload")
 	quick := flag.Bool("quick", false, "CI smoke mode: small datasets and short benchtime")
 	verbose := flag.Bool("v", false, "print results as they complete")
@@ -76,6 +79,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := runParallelEval(*parallelOut, *quick, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
+		os.Exit(1)
+	}
+	if err := runRenderBench(*renderOut, *quick, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
 		os.Exit(1)
 	}
@@ -460,6 +467,222 @@ func runParallelEval(out string, quick, verbose bool) error {
 	fmt.Printf("wrote %s (speedup %.2fx, outputs identical: %v)\n", out, report.Speedup, identical)
 	if !identical {
 		return fmt.Errorf("parallel_eval: serial and parallel outputs differ")
+	}
+	return nil
+}
+
+// renderBenchReport is the cached-vs-uncached render comparison written
+// to BENCH_render.json: a fixed pan/zoom sequence over a large stations
+// relation timed with the cross-frame render caches on and off, the
+// byte-identity check the speedup is only meaningful with, and the
+// per-frame obs counter profile of each configuration.
+type renderBenchReport struct {
+	GeneratedBy        string           `json:"generated_by"`
+	Workload           string           `json:"workload"`
+	Rows               int              `json:"rows"`
+	Frames             int              `json:"frames_per_iteration"`
+	Width              int              `json:"width"`
+	Height             int              `json:"height"`
+	CachedNsPerFrame   int64            `json:"cached_ns_per_frame"`
+	UncachedNsPerFrame int64            `json:"uncached_ns_per_frame"`
+	Speedup            float64          `json:"speedup"`
+	OutputsIdentical   bool             `json:"outputs_identical"`
+	CachedPerFrame     map[string]int64 `json:"cached_counters_per_frame,omitempty"`
+	UncachedPerFrame   map[string]int64 `json:"uncached_counters_per_frame,omitempty"`
+	CachedCacheStats   string           `json:"cached_cache_stats,omitempty"`
+}
+
+// renderFrame is one step of the pan/zoom script.
+type renderFrame struct{ x, y, elev float64 }
+
+// renderScript is the interaction the caches target — the paper's
+// pan-and-zoom browsing regime, where each frame sees a small window of a
+// large, stable dataset: a run of small pan steps across Louisiana at
+// constant elevation, a zoom in/out, and a revisit of an earlier
+// viewpoint.
+func renderScript() []renderFrame {
+	var frames []renderFrame
+	for i := 0; i < 10; i++ { // pan strip across Louisiana
+		frames = append(frames, renderFrame{-93.5 + 0.2*float64(i), 31, 0.35})
+	}
+	frames = append(frames,
+		renderFrame{-91.7, 31, 0.12}, // zoom in
+		renderFrame{-91.7, 31, 0.35}, // zoom back out
+		renderFrame{-93.5, 31, 0.35}, // revisit the strip's start
+		renderFrame{-93.3, 31, 0.35},
+	)
+	return frames
+}
+
+// newRenderBenchViewer builds the workload viewer: a large stations
+// relation with an expression-heavy display (the memo's target — display
+// evaluation that costs something).
+func newRenderBenchViewer(rows int, cached bool) (*viewer.Viewer, error) {
+	st := workload.Stations(rows, 1)
+	fn, err := draw.ParseSpec("circle rexpr='sqrt(altitude + 1.0) / 3000' color=blue + circle rexpr='(sin(latitude) * sin(latitude) + 1.0) / 500' color=red")
+	if err != nil {
+		return nil, err
+	}
+	e, err := display.NewExtended("stations", st,
+		[]string{"longitude", "latitude"},
+		[]display.NamedDisplay{{Name: "display", Fn: fn}})
+	if err != nil {
+		return nil, err
+	}
+	v := viewer.New("render-bench", viewer.DirectSource{D: e}, 640, 480)
+	// The default cull margin (20 canvas units) is sized for coarse
+	// canvases; these drawables reach at most ~0.05 degrees, so a huge
+	// margin would just drag most of the continent through the pipeline.
+	v.CullMargin = 0.1
+	if !cached {
+		v.DisableSpatialIndex = true
+		v.DisableDisplayMemo = true
+		v.DisableWormholeCache = true
+	}
+	return v, nil
+}
+
+// runRenderBench times the pan/zoom script with caches on and off and
+// writes the comparison report.
+func runRenderBench(out string, quick, verbose bool) error {
+	rows := 100000
+	if quick {
+		rows = 20000
+	}
+	script := renderScript()
+
+	playFrame := func(v *viewer.Viewer, img *raster.Image, f renderFrame) error {
+		if err := v.PanTo(0, f.x, f.y); err != nil {
+			return err
+		}
+		if err := v.SetElevation(0, f.elev); err != nil {
+			return err
+		}
+		_, err := v.RenderInto(img)
+		return err
+	}
+
+	// Output identity first: every frame of the script, cached vs
+	// uncached, must encode to the same PNG bytes.
+	cv, err := newRenderBenchViewer(rows, true)
+	if err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	uv, err := newRenderBenchViewer(rows, false)
+	if err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	cImg := raster.NewImage(cv.W, cv.H)
+	uImg := raster.NewImage(uv.W, uv.H)
+	identical := true
+	for i, f := range script {
+		if err := playFrame(cv, cImg, f); err != nil {
+			return fmt.Errorf("render: cached frame %d: %w", i, err)
+		}
+		if err := playFrame(uv, uImg, f); err != nil {
+			return fmt.Errorf("render: uncached frame %d: %w", i, err)
+		}
+		var cb, ub bytes.Buffer
+		if err := cImg.WritePNG(&cb); err != nil {
+			return err
+		}
+		if err := uImg.WritePNG(&ub); err != nil {
+			return err
+		}
+		if !bytes.Equal(cb.Bytes(), ub.Bytes()) {
+			identical = false
+			fmt.Fprintf(os.Stderr, "render: frame %d (%+v) differs cached vs uncached\n", i, f)
+		}
+	}
+
+	// Timed passes: obs off, caches pre-warmed on the cached viewer by the
+	// identity pass above (steady-state panning is what the caches serve).
+	obs.SetEnabled(false)
+	timeScript := func(v *viewer.Viewer, img *raster.Image) (int64, error) {
+		var iterErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, f := range script {
+					if err := playFrame(v, img, f); err != nil {
+						iterErr = err
+						b.FailNow()
+					}
+				}
+			}
+		})
+		if iterErr != nil {
+			return 0, iterErr
+		}
+		return r.NsPerOp() / int64(len(script)), nil
+	}
+	cachedNs, err := timeScript(cv, cImg)
+	if err != nil {
+		return fmt.Errorf("render: cached bench: %w", err)
+	}
+	uncachedNs, err := timeScript(uv, uImg)
+	if err != nil {
+		return fmt.Errorf("render: uncached bench: %w", err)
+	}
+
+	// Counter passes: one instrumented run of the script per
+	// configuration, divided down to per-frame averages.
+	perFrame := func(v *viewer.Viewer, img *raster.Image) (map[string]int64, error) {
+		obs.Reset()
+		obs.SetEnabled(true)
+		defer obs.SetEnabled(false)
+		before := obs.TakeSnapshot()
+		for _, f := range script {
+			if err := playFrame(v, img, f); err != nil {
+				return nil, err
+			}
+		}
+		delta := obs.CounterDelta(before, obs.TakeSnapshot())
+		for k, n := range delta {
+			delta[k] = n / int64(len(script))
+		}
+		return delta, nil
+	}
+	cachedCounters, err := perFrame(cv, cImg)
+	if err != nil {
+		return fmt.Errorf("render: cached counters: %w", err)
+	}
+	uncachedCounters, err := perFrame(uv, uImg)
+	if err != nil {
+		return fmt.Errorf("render: uncached counters: %w", err)
+	}
+	obs.Reset()
+
+	report := renderBenchReport{
+		GeneratedBy:        "tioga-bench",
+		Workload:           "stations_pan_zoom",
+		Rows:               rows,
+		Frames:             len(script),
+		Width:              cv.W,
+		Height:             cv.H,
+		CachedNsPerFrame:   cachedNs,
+		UncachedNsPerFrame: uncachedNs,
+		Speedup:            float64(uncachedNs) / float64(cachedNs),
+		OutputsIdentical:   identical,
+		CachedPerFrame:     cachedCounters,
+		UncachedPerFrame:   uncachedCounters,
+		CachedCacheStats:   cv.CacheStats().String(),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Printf("%-24s %12d ns/frame (cached)\n", "render_pan_zoom", cachedNs)
+		fmt.Printf("%-24s %12d ns/frame (uncached)\n", "", uncachedNs)
+	}
+	fmt.Printf("wrote %s (speedup %.2fx, outputs identical: %v)\n", out, report.Speedup, identical)
+	if !identical {
+		return fmt.Errorf("render: cached and uncached frames differ")
 	}
 	return nil
 }

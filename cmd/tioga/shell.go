@@ -407,7 +407,7 @@ database and sessions:
 
 observability:
   eval b.p [serial|workers N] [timeout D]   demand a box output, show work profile
-  stats                        counters, latency summaries, errors
+  stats                        counters, render cache hit rates, latency, errors
   trace on [file] | trace off  collect spans; off writes Chrome JSON
   histo <metric>               ASCII latency histogram (e.g. render.frame_ns)
 `)
@@ -886,15 +886,24 @@ func describeValue(v dataflow.Value) string {
 }
 
 // stats prints every nonzero counter, latency summary, and sampled
-// error from the process-wide obs registry.
+// error from the process-wide obs registry, plus each canvas's render
+// cache counters. The cache counters live on the viewers themselves, so
+// they are available even when obs instrumentation is disabled.
 func (s *shell) stats() error {
+	for _, name := range s.env.CanvasNames() {
+		v, err := s.env.Canvas(name)
+		if err != nil {
+			continue
+		}
+		s.printf("canvas %-10s %s\n", name, v.CacheStats())
+	}
 	snap := obs.TakeSnapshot()
 	names := make([]string, 0, len(snap.Counters))
 	for n := range snap.Counters {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	if len(names) == 0 {
+	if len(names) == 0 && len(s.env.CanvasNames()) == 0 {
 		s.printf("no counters yet; run a command first\n")
 	}
 	for _, n := range names {

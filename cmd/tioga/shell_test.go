@@ -349,6 +349,48 @@ func TestShellStatsTraceHisto(t *testing.T) {
 	}
 }
 
+// TestShellStatsShowsCacheCountersWithoutObs: the per-viewer render cache
+// counters live on the viewers, not in the obs registry, so stats surfaces
+// them even with instrumentation fully disabled.
+func TestShellStatsShowsCacheCountersWithoutObs(t *testing.T) {
+	obs.Reset()
+	t.Cleanup(func() { obs.Reset(); obs.SetEnabled(false) })
+	dir := t.TempDir()
+	png := filepath.Join(dir, "o.png")
+	env, err := core.NewSeededEnvironment(80, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sh := newShell(env, &buf)
+	obs.SetEnabled(false) // newShell turns metrics on; force them off
+	for _, c := range []string{
+		"add table name=Stations",
+		"viewer v 1.0 120 90",
+		"render v " + png,
+		"render v " + png,
+		"stats",
+	} {
+		sh.Execute(c)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "canvas v") || !strings.Contains(out, "memo") {
+		t.Fatalf("stats output missing cache counters:\n%s", out)
+	}
+	// The second render of an unchanged view must have hit the memo, and
+	// the hit shows up in stats without any obs counters recorded.
+	v, err := env.Canvas("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.CacheStats().MemoHits == 0 {
+		t.Fatalf("repeat render did not hit the display memo: %+v", v.CacheStats())
+	}
+	if obs.CounterValue(obs.RenderMemoHits) != 0 {
+		t.Fatal("obs counters recorded while disabled")
+	}
+}
+
 func TestShellTraceUsageErrors(t *testing.T) {
 	_, out := testShell(t, "trace", "trace off", "histo no.such_metric")
 	if strings.Count(out, "error:") != 3 {

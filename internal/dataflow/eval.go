@@ -125,6 +125,26 @@ func NewEvaluator(g *Graph, src TableSource) *Evaluator {
 // Graph returns the evaluated graph.
 func (e *Evaluator) Graph() *Graph { return e.g }
 
+// generationBumper is implemented by displayables (display.Extended,
+// Composite, Group) that carry generation stamps. Dropping a memo entry
+// bumps the stamps of its displayable values so every downstream
+// render-side cache (spatial cull index, display-list memo, wormhole
+// interiors) keyed on those generations is retired by the same act that
+// retires the dataflow memo — one invalidation spine end to end.
+type generationBumper interface {
+	BumpGeneration()
+}
+
+// bumpDroppedGenerations retires the generation stamps of displayables in
+// a dropped memo entry.
+func bumpDroppedGenerations(vals []Value) {
+	for _, v := range vals {
+		if b, ok := v.(generationBumper); ok {
+			b.BumpGeneration()
+		}
+	}
+}
+
 // Invalidate drops the memo entry for a box and for every transitive
 // dependent (used when an external dependency such as a base table
 // changes; graph edits are tracked automatically through versions).
@@ -146,6 +166,7 @@ func (e *Evaluator) Invalidate(id int) {
 			return
 		}
 		seen[id] = true
+		bumpDroppedGenerations(e.cache[id])
 		delete(e.cache, id)
 		delete(e.stamps, id)
 		for _, to := range dependents[id] {
@@ -159,6 +180,9 @@ func (e *Evaluator) Invalidate(id int) {
 func (e *Evaluator) InvalidateAll() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	for _, vals := range e.cache {
+		bumpDroppedGenerations(vals)
+	}
 	e.cache = make(map[int][]Value)
 	e.stamps = make(map[int]int64)
 }

@@ -13,11 +13,30 @@ package display
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/draw"
 	"repro/internal/geom"
 	"repro/internal/rel"
 )
+
+// metaGenCounter issues metadata generation stamps for Extended values,
+// mirroring the per-relation stamps of internal/rel: globally unique,
+// never reused, 0 meaning "not yet assigned". Two Extended values never
+// share a Meta stamp, so a Gen identifies one Extended in one metadata
+// state over one relation snapshot.
+var metaGenCounter atomic.Int64
+
+// Gen identifies a render-relevant snapshot of an Extended relation: the
+// Extended's own metadata stamp (location attributes, display functions,
+// sequence layout) paired with its relation's data stamp. Viewer-side
+// caches — the spatial cull index, the display-list memo, and the
+// wormhole interior cache — key on Gen values, so any mutation on either
+// level retires every cached artifact derived from the old state.
+type Gen struct {
+	Meta int64 // Extended metadata stamp (unique per Extended instance)
+	Data int64 // rel.Relation generation (see rel.Generation)
+}
 
 // Kind distinguishes displayable types for dataflow port typing.
 type Kind int
@@ -82,6 +101,40 @@ type Extended struct {
 	// is 0 and the y-location is the sequence number of the tuple". When
 	// set, LocAttrs is empty and the visualization is 2-dimensional.
 	SeqLayout bool
+
+	// metaGen is the metadata stamp: 0 until first observed, then unique,
+	// replaced on metadata mutation (SwapDisplays, SwapLocations,
+	// BumpGeneration). Accessed atomically; not copied by Clone, so every
+	// clone starts a fresh cache lineage even before it is mutated.
+	metaGen int64
+}
+
+// Generation returns the Gen identifying this Extended's current
+// render-relevant state. The Meta stamp is assigned lazily on first
+// observation, which covers Extended values built by struct literal
+// (Clone, the dataflow attribute boxes) as well as by the constructors.
+func (e *Extended) Generation() Gen {
+	return Gen{Meta: e.metaGeneration(), Data: e.Rel.Generation()}
+}
+
+func (e *Extended) metaGeneration() int64 {
+	if g := atomic.LoadInt64(&e.metaGen); g != 0 {
+		return g
+	}
+	g := metaGenCounter.Add(1)
+	if atomic.CompareAndSwapInt64(&e.metaGen, 0, g) {
+		return g
+	}
+	return atomic.LoadInt64(&e.metaGen)
+}
+
+// BumpGeneration retires the Extended's Meta stamp, invalidating every
+// cache entry keyed on its previous Gen. Metadata mutators call it
+// internally; dataflow.Invalidate calls it on cached displayables so an
+// externally triggered invalidation flows through the same spine as an
+// ordinary data mutation.
+func (e *Extended) BumpGeneration() {
+	atomic.StoreInt64(&e.metaGen, metaGenCounter.Add(1))
 }
 
 // SeqRowHeight is the vertical allotment per tuple under the default
@@ -246,6 +299,7 @@ func (e *Extended) SwapDisplays(a, b string) error {
 		return fmt.Errorf("display: %s: no display attribute %q", e.Label, b)
 	}
 	e.Displays[i], e.Displays[j] = e.Displays[j], e.Displays[i]
+	e.BumpGeneration()
 	return nil
 }
 
@@ -268,6 +322,7 @@ func (e *Extended) SwapLocations(a, b string) error {
 		return fmt.Errorf("display: %s: no location attribute %q", e.Label, b)
 	}
 	e.LocAttrs[i], e.LocAttrs[j] = e.LocAttrs[j], e.LocAttrs[i]
+	e.BumpGeneration()
 	return nil
 }
 
@@ -311,6 +366,14 @@ func NewComposite(label string, exts ...*Extended) (*Composite, string, error) {
 		c.Layers = append(c.Layers, &Layer{Ext: e})
 	}
 	return c, warning, nil
+}
+
+// BumpGeneration retires the Meta stamp of every component relation, so
+// invalidating a cached composite invalidates everything derived from it.
+func (c *Composite) BumpGeneration() {
+	for _, l := range c.Layers {
+		l.Ext.BumpGeneration()
+	}
 }
 
 // FromR implements the type equivalence R = Composite(R).
@@ -436,6 +499,13 @@ func NewGroup(label string, layout Layout, cols int, members ...*Composite) (*Gr
 		return nil, fmt.Errorf("display: tabular group %q needs a positive column count", label)
 	}
 	return &Group{Label: label, Members: append([]*Composite(nil), members...), Layout: layout, Cols: cols}, nil
+}
+
+// BumpGeneration retires the Meta stamp of every member's relations.
+func (g *Group) BumpGeneration() {
+	for _, m := range g.Members {
+		m.BumpGeneration()
+	}
 }
 
 // FromC implements the type equivalence C = Group(C).

@@ -1,0 +1,116 @@
+package display
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestExtendedGenerationStable(t *testing.T) {
+	e, err := NewExtended("e", stationsRel(t), []string{"lon", "lat"}, circleDisplay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := e.Generation()
+	if g.Meta == 0 || g.Data == 0 {
+		t.Fatalf("unassigned sentinel leaked out: %+v", g)
+	}
+	if got := e.Generation(); got != g {
+		t.Fatalf("generation moved without mutation: %+v -> %+v", g, got)
+	}
+}
+
+func TestRelationMutationMovesDataGeneration(t *testing.T) {
+	r := stationsRel(t)
+	e, err := NewExtended("e", r, []string{"lon", "lat"}, circleDisplay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := e.Generation()
+	if err := r.Update(0, "lat", types.NewFloat(99)); err != nil {
+		t.Fatal(err)
+	}
+	got := e.Generation()
+	if got.Data == g.Data {
+		t.Fatal("relation mutation did not move Gen.Data")
+	}
+	if got.Meta != g.Meta {
+		t.Fatal("relation mutation moved Gen.Meta")
+	}
+}
+
+func TestMetadataMutationMovesMetaGeneration(t *testing.T) {
+	e, err := NewExtended("e", stationsRel(t), []string{"lon", "lat"}, []NamedDisplay{
+		circleDisplay()[0],
+		{Name: "alt", Fn: circleDisplay()[0].Fn},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := e.Generation()
+	if err := e.SwapDisplays("display", "alt"); err != nil {
+		t.Fatal(err)
+	}
+	got := e.Generation()
+	if got.Meta == g.Meta {
+		t.Fatal("SwapDisplays did not move Gen.Meta")
+	}
+	if got.Data != g.Data {
+		t.Fatal("SwapDisplays moved Gen.Data")
+	}
+	g = got
+	if err := e.SwapLocations("lon", "lat"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Generation().Meta == g.Meta {
+		t.Fatal("SwapLocations did not move Gen.Meta")
+	}
+}
+
+func TestCloneGetsFreshMetaGeneration(t *testing.T) {
+	e, err := NewExtended("e", stationsRel(t), []string{"lon", "lat"}, circleDisplay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := e.Generation()
+	c := e.Clone()
+	if c.Generation().Meta == g.Meta {
+		t.Fatal("Clone shares the source's meta generation")
+	}
+	if got := e.Generation(); got != g {
+		t.Fatalf("source generation moved on clone: %+v -> %+v", g, got)
+	}
+}
+
+func TestBumpGenerationCascades(t *testing.T) {
+	a, err := NewExtended("a", stationsRel(t), []string{"lon", "lat"}, circleDisplay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewExtended("b", stationsRel(t), []string{"lon", "lat"}, circleDisplay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := NewComposite("c", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromC(c)
+	ga, gb := a.Generation(), b.Generation()
+
+	c.BumpGeneration()
+	if a.Generation().Meta == ga.Meta || b.Generation().Meta == gb.Meta {
+		t.Fatal("Composite.BumpGeneration did not reach every layer")
+	}
+	ga, gb = a.Generation(), b.Generation()
+
+	g.BumpGeneration()
+	if a.Generation().Meta == ga.Meta || b.Generation().Meta == gb.Meta {
+		t.Fatal("Group.BumpGeneration did not reach every layer")
+	}
+	// Data stamps are untouched either way: bumping invalidates metadata,
+	// not the shared relation.
+	if a.Generation().Data != ga.Data {
+		t.Fatal("BumpGeneration moved a relation data stamp")
+	}
+}

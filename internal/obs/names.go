@@ -30,6 +30,17 @@ const (
 	RenderFrameNS         = "render.frame_ns"        // histogram: full-frame latency
 	RenderDisplayEvalNS   = "render.display_eval_ns" // histogram: pass-2 batch latency
 
+	// Cross-frame render caches (internal/viewer, see DESIGN.md "Render
+	// caching & invalidation"). All are keyed on generation stamps.
+	RenderSpatialBuilds    = "render.spatial_builds"    // grid indexes built
+	RenderSpatialQueries   = "render.spatial_queries"   // pass-1 culls answered from a grid
+	RenderSpatialEvictions = "render.spatial_evictions" // grids dropped by LRU
+	RenderSpatialBuildNS   = "render.spatial_build_ns"  // histogram: index build latency
+	RenderMemoHits         = "render.memo_hits"         // display lists served from the memo
+	RenderMemoMisses       = "render.memo_misses"       // display functions actually evaluated
+	RenderMemoEvictions    = "render.memo_evictions"    // memo entries dropped by LRU
+	RenderWormholeStale    = "render.wormhole_stale"    // cached interiors retired by a generation change
+
 	// Database (internal/db).
 	DBTableGets = "db.table_gets"
 	DBUpdates   = "db.updates"

@@ -3,11 +3,24 @@ package rel
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/expr"
 	"repro/internal/types"
 )
+
+// genCounter issues generation stamps process-wide. Every stamp is taken
+// from this one counter, so a generation identifies a unique immutable
+// snapshot of some relation's visible contents: two relations never share
+// a stamp, and a relation never reuses one after a mutation. Downstream
+// caches (the viewer's spatial cull index, display-list memo, and
+// wormhole interior cache) key on generations instead of guessing at
+// staleness. Stamps start at 1; 0 means "not yet assigned".
+var genCounter atomic.Int64
+
+// nextGen returns a fresh, never-before-issued generation stamp.
+func nextGen() int64 { return genCounter.Add(1) }
 
 // Computed is an attribute defined by an expression over other attributes
 // of the same relation — the paper's "methods defining additional
@@ -37,7 +50,32 @@ type Relation struct {
 	// (Section 8); Join and Union drop it.
 	provBase *Relation
 	provRows []int
+	// gen is the relation's generation stamp: 0 until first observed,
+	// then a unique value from genCounter, replaced with a fresh one on
+	// every content mutation. Accessed atomically so renders may read it
+	// while other relations are being built.
+	gen int64
 }
+
+// Generation returns the relation's generation stamp, assigning one on
+// first observation (which also covers derivation: every relation built
+// by an operator starts unstamped and receives a fresh stamp the first
+// time a cache looks at it). Equal stamps imply identical visible
+// contents; after any mutation the stamp differs from every stamp ever
+// issued for any relation.
+func (r *Relation) Generation() int64 {
+	if g := atomic.LoadInt64(&r.gen); g != 0 {
+		return g
+	}
+	g := nextGen()
+	if atomic.CompareAndSwapInt64(&r.gen, 0, g) {
+		return g
+	}
+	return atomic.LoadInt64(&r.gen)
+}
+
+// bumpGen invalidates the current stamp after a content mutation.
+func (r *Relation) bumpGen() { atomic.StoreInt64(&r.gen, nextGen()) }
 
 // setProv installs provenance, composing with the source's own provenance
 // so BaseRow always reaches a base table in one hop chain.
@@ -134,6 +172,7 @@ func (r *Relation) Append(tuple []types.Value) error {
 			idx.Insert(v, row)
 		}
 	}
+	r.bumpGen()
 	return nil
 }
 
@@ -179,6 +218,7 @@ func (r *Relation) Update(row int, col string, v types.Value) error {
 	nt := append([]types.Value(nil), r.tuples[row]...)
 	nt[ci] = v
 	r.tuples[row] = nt
+	r.bumpGen()
 	return nil
 }
 
@@ -224,6 +264,7 @@ func (r *Relation) AddComputed(name string, def expr.Node) error {
 		return fmt.Errorf("rel: %s: bad definition for %q: %w", r.name, name, err)
 	}
 	r.computed = append(r.computed, Computed{Name: name, Kind: k, Expr: def})
+	r.bumpGen()
 	return nil
 }
 
@@ -254,6 +295,7 @@ func (r *Relation) SetComputed(name string, def expr.Node) error {
 			}
 		}
 		r.computed[i] = Computed{Name: name, Kind: k, Expr: def}
+		r.bumpGen()
 		return nil
 	}
 	return fmt.Errorf("rel: %s: no computed attribute %q", r.name, name)
@@ -274,6 +316,7 @@ func (r *Relation) RemoveComputed(name string) error {
 			}
 		}
 		r.computed = append(r.computed[:i], r.computed[i+1:]...)
+		r.bumpGen()
 		return nil
 	}
 	return fmt.Errorf("rel: %s: no computed attribute %q", r.name, name)

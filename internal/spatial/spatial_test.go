@@ -1,0 +1,144 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randomPoints returns n deterministic pseudo-random points in [-100,100]².
+func randomPoints(n int, seed int64) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()*200 - 100
+		ys[i] = rng.Float64()*200 - 100
+	}
+	return xs, ys
+}
+
+// linearScan is the reference: indices of points inside r, ascending.
+func linearScan(xs, ys []float64, r geom.Rect) []int32 {
+	var out []int32
+	for i := range xs {
+		if !math.IsNaN(xs[i]) && !math.IsNaN(ys[i]) && r.Contains(geom.Pt(xs[i], ys[i])) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// refine applies the exact containment test to a candidate superset, the
+// way the viewer's pass 1 does.
+func refine(cand []int32, xs, ys []float64, r geom.Rect) []int32 {
+	var out []int32
+	for _, i := range cand {
+		if r.Contains(geom.Pt(xs[i], ys[i])) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestQueryMatchesLinearScan(t *testing.T) {
+	xs, ys := randomPoints(5000, 1)
+	g := Build(len(xs), func(i int) (float64, float64) { return xs[i], ys[i] })
+	windows := []geom.Rect{
+		geom.R(-10, -10, 10, 10),
+		geom.R(-100, -100, 100, 100), // everything
+		geom.R(-200, -200, 200, 200), // wider than the data
+		geom.R(99, 99, 99.5, 99.5),   // likely empty
+		geom.R(-0.1, -100, 0.1, 100), // thin slice
+	}
+	for _, w := range windows {
+		cand := g.Query(w, nil)
+		if !sort.SliceIsSorted(cand, func(i, j int) bool { return cand[i] < cand[j] }) {
+			t.Fatalf("window %v: candidates not ascending", w)
+		}
+		got := refine(cand, xs, ys, w)
+		want := linearScan(xs, ys, w)
+		if len(got) != len(want) {
+			t.Fatalf("window %v: %d rows, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("window %v: row %d = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNonFinitePointsExcluded(t *testing.T) {
+	xs := []float64{0, math.NaN(), math.Inf(1), 5, 2}
+	ys := []float64{0, 1, 2, math.Inf(-1), 2}
+	g := Build(len(xs), func(i int) (float64, float64) { return xs[i], ys[i] })
+	cand := g.Query(geom.R(-1000, -1000, 1000, 1000), nil)
+	for _, i := range cand {
+		if i == 1 || i == 2 || i == 3 {
+			t.Fatalf("non-finite point %d indexed", i)
+		}
+	}
+	if len(cand) != 2 {
+		t.Fatalf("candidates = %v, want the two finite points", cand)
+	}
+}
+
+func TestDegenerateCoincidentPoints(t *testing.T) {
+	// All points at (7, 7): extent 0 must still build a usable grid.
+	g := Build(100, func(i int) (float64, float64) { return 7, 7 })
+	if got := len(g.Query(geom.R(6, 6, 8, 8), nil)); got != 100 {
+		t.Fatalf("query at the point returned %d candidates, want 100", got)
+	}
+	// A far-away window may still touch the cell; the exact re-check is
+	// what rejects it. Here we only require Query not to blow up.
+	_ = g.Query(geom.R(100, 100, 101, 101), nil)
+}
+
+func TestEmptyGrid(t *testing.T) {
+	g := Build(0, func(i int) (float64, float64) { return 0, 0 })
+	if g.Len() != 0 || g.Cells() != 0 {
+		t.Fatalf("Len=%d Cells=%d", g.Len(), g.Cells())
+	}
+	if got := g.Query(geom.R(-1, -1, 1, 1), nil); len(got) != 0 {
+		t.Fatalf("query on empty grid returned %v", got)
+	}
+}
+
+func TestQueryAppendsToBuffer(t *testing.T) {
+	xs, ys := randomPoints(200, 2)
+	g := Build(len(xs), func(i int) (float64, float64) { return xs[i], ys[i] })
+	buf := make([]int32, 0, 64)
+	a := g.Query(geom.R(-100, -100, 100, 100), buf)
+	b := g.Query(geom.R(-100, -100, 100, 100), a[:0])
+	if len(a) != len(b) {
+		t.Fatalf("reused buffer changed result size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reused buffer changed result at %d", i)
+		}
+	}
+}
+
+func TestWideWindowWalksOccupiedCells(t *testing.T) {
+	// A handful of tightly clustered points with an astronomically wide
+	// query window exercises the occupied-cells walk (the window covers
+	// more cells than exist).
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 1, 2, 3}
+	g := Build(len(xs), func(i int) (float64, float64) { return xs[i], ys[i] })
+	cand := g.Query(geom.R(-1e9, -1e9, 1e9, 1e9), nil)
+	got := refine(cand, xs, ys, geom.R(-1e9, -1e9, 1e9, 1e9))
+	if len(got) != 4 {
+		t.Fatalf("wide window found %d points, want 4", len(got))
+	}
+	for i, r := range got {
+		if r != int32(i) {
+			t.Fatalf("wide window rows = %v, want 0..3 ascending", got)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package viewer
+
+import (
+	"testing"
+
+	"repro/internal/raster"
+)
+
+// benchViewer builds a viewer over n diagonal points, zoomed so that a
+// small window of them is visible — the pan-step regime the caches target.
+func benchViewer(b *testing.B, n int) *Viewer {
+	b.Helper()
+	v := New("bench", DirectSource{D: gridExt(b, n, false)}, 256, 256)
+	if err := v.PanTo(0, float64(n)/2, float64(n)/2); err != nil {
+		b.Fatal(err)
+	}
+	if err := v.SetElevation(0, 50); err != nil { // ~100 visible points
+		b.Fatal(err)
+	}
+	return v
+}
+
+// BenchmarkCull isolates pass 1: the display memo stays warm (and the
+// display is a constant), so frame cost is dominated by candidate
+// selection — a full linear scan versus a grid query.
+func BenchmarkCull(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		setup func(*Viewer)
+	}{
+		{"linear", func(v *Viewer) { v.DisableSpatialIndex = true }},
+		{"spatial", func(v *Viewer) { v.SpatialThreshold = 1 }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			v := benchViewer(b, 50000)
+			mode.setup(v)
+			img := raster.NewImage(v.W, v.H)
+			if _, err := v.RenderInto(img); err != nil { // warm caches
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.RenderInto(img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDisplayEval isolates pass 2: display-function evaluation for a
+// fixed visible batch, memoized versus re-evaluated every frame.
+func BenchmarkDisplayEval(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		setup func(*Viewer)
+	}{
+		{"memo", func(v *Viewer) {}},
+		{"nomemo", func(v *Viewer) { v.DisableDisplayMemo = true }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			v := New("bench", DirectSource{D: gridExt(b, 2000, false)}, 256, 256)
+			mode.setup(v)
+			if err := v.PanTo(0, 1000, 1000); err != nil {
+				b.Fatal(err)
+			}
+			if err := v.SetElevation(0, 1100); err != nil { // everything visible
+				b.Fatal(err)
+			}
+			img := raster.NewImage(v.W, v.H)
+			if _, err := v.RenderInto(img); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.RenderInto(img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPaint measures pass 3: with the memo warm and the relation
+// small enough that culling is trivial, frame cost is rasterization.
+func BenchmarkPaint(b *testing.B) {
+	v := New("bench", DirectSource{D: gridExt(b, 500, false)}, 256, 256)
+	if err := v.PanTo(0, 250, 250); err != nil {
+		b.Fatal(err)
+	}
+	if err := v.SetElevation(0, 300); err != nil { // all 500 visible
+		b.Fatal(err)
+	}
+	img := raster.NewImage(v.W, v.H)
+	if _, err := v.RenderInto(img); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.RenderInto(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

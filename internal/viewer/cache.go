@@ -1,0 +1,264 @@
+package viewer
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+
+	"repro/internal/display"
+	"repro/internal/draw"
+	"repro/internal/obs"
+	"repro/internal/raster"
+	"repro/internal/spatial"
+)
+
+// This file holds the viewer's cross-frame caches. All three key on
+// display.Gen generation stamps (see internal/rel and internal/display):
+// a stamp changes whenever the underlying relation or the Extended's
+// metadata mutates, so staleness never has to be guessed — an entry under
+// an old Gen can simply never be looked up again, and bounded LRU
+// eviction reclaims it. Renders are single-threaded outside the display
+// evaluation fan-out (which touches none of these), so the caches need no
+// locking; RenderInto is not safe for concurrent use on one Viewer, as
+// before.
+
+// Default capacities and thresholds, overridable per viewer.
+const (
+	// defaultMemoCap bounds the display-list memo: at ~a few drawables
+	// per list this is a few MB worst case, enough to hold several
+	// screenfuls of pan history.
+	defaultMemoCap = 1 << 16
+	// defaultSpatialThreshold is the relation size below which pass-1
+	// culling stays a linear scan: building and probing a grid only pays
+	// off once the scan itself is the frame's dominant cost.
+	defaultSpatialThreshold = 2048
+	// maxSpatialEntries bounds the per-viewer cache of built grids (one
+	// per layer generation is live at a time; the rest are pan history).
+	maxSpatialEntries = 8
+	// maxWormholeEntries bounds the persistent wormhole interior cache.
+	maxWormholeEntries = 32
+)
+
+// CacheStats reports the cumulative effectiveness of one viewer's
+// render caches, independent of the obs registry (and therefore available
+// in interactive sessions without enabling tracing).
+type CacheStats struct {
+	SpatialBuilds    int64 // grid indexes built
+	SpatialQueries   int64 // pass-1 culls answered from a grid
+	SpatialEvictions int64
+	MemoHits         int64 // display lists served from the memo
+	MemoMisses       int64 // display functions actually evaluated
+	MemoEvictions    int64
+	MemoEntries      int   // current memo size
+	WormholeHits     int64 // interiors blitted from cache
+	WormholeRenders  int64 // interiors rendered
+	WormholeStale    int64 // cached interiors retired by a generation change
+	WormholeEntries  int   // current interior cache size
+}
+
+// String renders the stats compactly for the shell.
+func (s CacheStats) String() string {
+	rate := func(hit, miss int64) string {
+		if hit+miss == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f%%", 100*float64(hit)/float64(hit+miss))
+	}
+	return fmt.Sprintf(
+		"memo %s hit (%d/%d, %d entries, %d evicted) · spatial %d builds %d queries · wormhole %s hit (%d stale, %d entries)",
+		rate(s.MemoHits, s.MemoMisses), s.MemoHits, s.MemoHits+s.MemoMisses, s.MemoEntries, s.MemoEvictions,
+		s.SpatialBuilds, s.SpatialQueries,
+		rate(s.WormholeHits, s.WormholeRenders), s.WormholeStale, s.WormholeEntries)
+}
+
+// CacheStats returns the viewer's cumulative cache counters.
+func (v *Viewer) CacheStats() CacheStats {
+	s := v.cacheStats
+	if v.memo != nil {
+		s.MemoEntries = v.memo.len()
+	}
+	s.WormholeEntries = len(v.whCache)
+	return s
+}
+
+// InvalidateCaches drops every cross-frame cache. Rendering remains
+// correct without ever calling this — generation keys retire stale
+// entries — so it exists for tests and for reclaiming memory on demand.
+func (v *Viewer) InvalidateCaches() {
+	v.memo = nil
+	v.grids = nil
+	v.whCache = nil
+}
+
+// --- display-list memo --------------------------------------------------
+
+// memoKey addresses one tuple's evaluated display list: display functions
+// are pure reads over the relation (the same purity that justifies the
+// parallel fan-out of evalDisplays), so (generation, row) fully
+// determines the result — including the error result, which is memoized
+// too so a broken display function does not re-fire every frame.
+type memoKey struct {
+	gen display.Gen
+	row int
+}
+
+type memoEntry struct {
+	key  memoKey
+	list draw.List // nil marks a memoized failure
+	err  error
+}
+
+// displayMemo is a bounded LRU map from memoKey to evaluated display
+// lists.
+type displayMemo struct {
+	cap   int
+	m     map[memoKey]*list.Element
+	order *list.List // front = most recently used
+}
+
+func newDisplayMemo(capacity int) *displayMemo {
+	return &displayMemo{cap: capacity, m: make(map[memoKey]*list.Element), order: list.New()}
+}
+
+func (c *displayMemo) len() int { return len(c.m) }
+
+func (c *displayMemo) get(k memoKey) (draw.List, error, bool) {
+	el, ok := c.m[k]
+	if !ok {
+		return nil, nil, false
+	}
+	c.order.MoveToFront(el)
+	e := el.Value.(*memoEntry)
+	return e.list, e.err, true
+}
+
+// put inserts an entry, evicting the least recently used beyond capacity,
+// and reports how many entries were evicted.
+func (c *displayMemo) put(k memoKey, l draw.List, err error) int {
+	if el, ok := c.m[k]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*memoEntry)
+		e.list, e.err = l, err
+		return 0
+	}
+	c.m[k] = c.order.PushFront(&memoEntry{key: k, list: l, err: err})
+	evicted := 0
+	for len(c.m) > c.cap {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.order.Remove(back)
+		delete(c.m, back.Value.(*memoEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// memoCap resolves the viewer's memo capacity.
+func (v *Viewer) memoCap() int {
+	if v.DisplayMemoCap > 0 {
+		return v.DisplayMemoCap
+	}
+	return defaultMemoCap
+}
+
+// spatialThreshold resolves the viewer's linear-scan cutoff.
+func (v *Viewer) spatialThreshold() int {
+	if v.SpatialThreshold > 0 {
+		return v.SpatialThreshold
+	}
+	return defaultSpatialThreshold
+}
+
+// --- spatial index cache ------------------------------------------------
+
+// gridEntry is one built grid plus the frame it was last used on.
+type gridEntry struct {
+	grid     *spatial.Grid
+	lastUsed int64
+}
+
+// spatialIndex returns the grid over ext's tuple locations for the given
+// generation, building it on first use and reusing it across frames until
+// the generation moves. Grids index raw locations (no layer offset):
+// callers translate the query window instead, so layers sharing one
+// relation share one grid.
+func (v *Viewer) spatialIndex(ext *display.Extended, gen display.Gen) *spatial.Grid {
+	if e, ok := v.grids[gen]; ok {
+		e.lastUsed = v.frame
+		return e.grid
+	}
+	var span *obs.Span
+	if obs.Tracing() {
+		span = obs.StartSpan("render.spatial_build", "layer", ext.Label)
+	}
+	t := obs.StartTimer(obs.RenderSpatialBuildNS)
+	g := spatial.Build(ext.Rel.Len(), func(i int) (float64, float64) {
+		loc := ext.Location(i)
+		return loc[0], loc[1]
+	})
+	t.Stop()
+	span.End()
+	v.cacheStats.SpatialBuilds++
+	obs.Inc(obs.RenderSpatialBuilds)
+	if v.grids == nil {
+		v.grids = make(map[display.Gen]*gridEntry)
+	}
+	v.grids[gen] = &gridEntry{grid: g, lastUsed: v.frame}
+	for len(v.grids) > maxSpatialEntries {
+		var oldest display.Gen
+		oldestUsed := int64(1<<63 - 1)
+		for k, e := range v.grids {
+			if e.lastUsed < oldestUsed {
+				oldest, oldestUsed = k, e.lastUsed
+			}
+		}
+		delete(v.grids, oldest)
+		v.cacheStats.SpatialEvictions++
+		obs.Inc(obs.RenderSpatialEvictions)
+	}
+	return g
+}
+
+// --- wormhole interior cache --------------------------------------------
+
+// whEntry is one cached wormhole interior: the rendered image plus the
+// generation signature of the destination it was rendered from. An entry
+// is served only while the destination's signature still matches, so a
+// mutation anywhere under the destination canvas retires exactly the
+// interiors that depend on it — no wholesale per-frame clearing.
+type whEntry struct {
+	img      *raster.Image
+	sig      string
+	lastUsed int64
+}
+
+// destSignature fingerprints everything a wormhole interior render reads
+// from its destination: the generation of each layer of the member it
+// renders (metadata + data), each layer's offset, and the destination
+// viewer's local override stamp (elevation-map range/order overrides,
+// Section 6.1, live on the viewer rather than the displayable).
+func destSignature(dest *Viewer, member *display.Composite) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v%d", dest.overrideStamp)
+	for _, l := range member.Layers {
+		g := l.Ext.Generation()
+		fmt.Fprintf(&sb, "|%d:%d@%v", g.Meta, g.Data, l.Offset)
+	}
+	return sb.String()
+}
+
+// evictWormholes bounds the interior cache by recency.
+func (v *Viewer) evictWormholes() {
+	for len(v.whCache) > maxWormholeEntries {
+		var oldest wormholeKey
+		oldestUsed := int64(1<<63 - 1)
+		for k, e := range v.whCache {
+			if e.lastUsed < oldestUsed {
+				oldest, oldestUsed = k, e.lastUsed
+			}
+		}
+		delete(v.whCache, oldest)
+	}
+}

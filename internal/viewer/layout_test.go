@@ -1,0 +1,93 @@
+package viewer
+
+import (
+	"testing"
+
+	"repro/internal/display"
+	"repro/internal/geom"
+)
+
+// layoutGroup builds a group of n trivial members with the given layout.
+// NewGroup validates Cols for Tabular, so the struct is assembled directly
+// to also cover memberRects' own Cols<=0 clamping.
+func layoutGroup(t testing.TB, n int, layout display.Layout, cols int) *display.Group {
+	t.Helper()
+	members := make([]*display.Composite, n)
+	for i := range members {
+		members[i] = display.FromR(gridExt(t, 1, false))
+	}
+	return &display.Group{Label: "g", Members: members, Layout: layout, Cols: cols}
+}
+
+func rectsEqual(a, b geom.Rect) bool {
+	const eps = 1e-9
+	close := func(x, y float64) bool { d := x - y; return d < eps && d > -eps }
+	return close(a.Min.X, b.Min.X) && close(a.Min.Y, b.Min.Y) &&
+		close(a.Max.X, b.Max.X) && close(a.Max.Y, b.Max.Y)
+}
+
+func TestMemberRectsSingleMember(t *testing.T) {
+	bounds := geom.R(0, 0, 200, 100)
+	for _, layout := range []display.Layout{display.Horizontal, display.Vertical, display.Tabular} {
+		got := memberRects(layoutGroup(t, 1, layout, 1), bounds)
+		if len(got) != 1 || !rectsEqual(got[0], bounds) {
+			t.Errorf("layout %v: single member got %v, want full bounds", layout, got)
+		}
+	}
+}
+
+func TestMemberRectsTabularNonDivisible(t *testing.T) {
+	// 5 members in 2 columns: 3 rows, last row half-filled. Every member
+	// gets a W/2 x H/3 cell; the sixth cell is simply absent.
+	bounds := geom.R(0, 0, 120, 90)
+	got := memberRects(layoutGroup(t, 5, display.Tabular, 2), bounds)
+	if len(got) != 5 {
+		t.Fatalf("got %d rects", len(got))
+	}
+	want := []geom.Rect{
+		geom.R(0, 0, 60, 30), geom.R(60, 0, 120, 30),
+		geom.R(0, 30, 60, 60), geom.R(60, 30, 120, 60),
+		geom.R(0, 60, 60, 90),
+	}
+	for i := range want {
+		if !rectsEqual(got[i], want[i]) {
+			t.Errorf("member %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMemberRectsTabularColsClamped(t *testing.T) {
+	// Cols <= 0 clamps to one column: a vertical stack.
+	bounds := geom.R(0, 0, 100, 90)
+	for _, cols := range []int{0, -3} {
+		got := memberRects(layoutGroup(t, 3, display.Tabular, cols), bounds)
+		want := []geom.Rect{
+			geom.R(0, 0, 100, 30), geom.R(0, 30, 100, 60), geom.R(0, 60, 100, 90),
+		}
+		for i := range want {
+			if !rectsEqual(got[i], want[i]) {
+				t.Errorf("cols=%d member %d: got %v, want %v", cols, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMemberRectsHorizontalAndVertical(t *testing.T) {
+	bounds := geom.R(0, 0, 90, 60)
+	h := memberRects(layoutGroup(t, 3, display.Horizontal, 0), bounds)
+	for i, want := range []geom.Rect{
+		geom.R(0, 0, 30, 60), geom.R(30, 0, 60, 60), geom.R(60, 0, 90, 60),
+	} {
+		if !rectsEqual(h[i], want) {
+			t.Errorf("horizontal member %d: got %v, want %v", i, h[i], want)
+		}
+	}
+	v := memberRects(layoutGroup(t, 3, display.Vertical, 0), bounds)
+	for i, want := range []geom.Rect{
+		geom.R(0, 0, 90, 20), geom.R(0, 20, 90, 40), geom.R(0, 40, 90, 60),
+	} {
+		if !rectsEqual(v[i], want) {
+			t.Errorf("vertical member %d: got %v, want %v", i, v[i], want)
+		}
+	}
+}

@@ -21,12 +21,14 @@ import (
 // counters (render.tuples_seen, render.tuples_culled, ...): each frame's
 // totals are published into the obs registry when obs is enabled.
 type RenderStats struct {
-	TuplesSeen      int // tuples examined
+	TuplesSeen      int // tuples examined (grid-query candidates when the spatial index is active)
 	TuplesCulled    int // rejected before display evaluation
-	DisplaysEvaled  int // display functions evaluated
+	DisplaysEvaled  int // display lists realized (memoized or evaluated)
 	DrawablesDrawn  int
 	DrawablesCulled int // drawables whose bounds missed the viewport
 	DisplayErrors   int // display functions that failed (tuple skipped)
+	MemoHits        int // display lists served from the cross-frame memo
+	MemoMisses      int // display functions actually evaluated this frame
 
 	// Errors holds the first few distinct display-function error
 	// messages of the frame. Display failures skip the tuple rather than
@@ -68,6 +70,8 @@ func (st *RenderStats) publish() {
 	obs.Add(obs.RenderDisplaysEvaled, int64(st.DisplaysEvaled))
 	obs.Add(obs.RenderDrawablesDrawn, int64(st.DrawablesDrawn))
 	obs.Add(obs.RenderDrawablesCulled, int64(st.DrawablesCulled))
+	obs.Add(obs.RenderMemoHits, int64(st.MemoHits))
+	obs.Add(obs.RenderMemoMisses, int64(st.MemoMisses))
 }
 
 // Render draws the viewer's displayable into a fresh framebuffer and
@@ -100,9 +104,11 @@ func (v *Viewer) RenderInto(img *raster.Image) (RenderStats, error) {
 	g := display.Promote(d)
 	v.ensureStates(g)
 	v.hits = v.hits[:0]
-	// The wormhole interior cache is valid within one frame only: the
-	// destination canvas may change between frames.
-	v.whCache = nil
+	// frame drives LRU recency in the cross-frame caches. The caches
+	// themselves survive between frames: generation stamps, not frame
+	// boundaries, decide staleness (DESIGN.md, "Render caching &
+	// invalidation").
+	v.frame++
 
 	pen := raster.NewPen(img)
 	rects := memberRects(g, geom.R(0, 0, float64(v.W), float64(v.H)))
@@ -190,6 +196,11 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 	visible := st.Visible(aspect)
 	scale, toScreen := canvasTransform(rect, st)
 
+	// Scratch buffers are pooled on the viewer: capacities learned on one
+	// frame carry to the next, so steady-state pans grow nothing in pass 1.
+	sc := v.acquireScratch()
+	defer v.releaseScratch(sc)
+
 	order := v.layerOrder(member, len(c.Layers))
 	for _, li := range order {
 		layer := c.Layers[li]
@@ -221,16 +232,23 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 			return 0
 		}
 
-		// Pass 1: cull to the visible tuples.
+		gen := ext.Generation()
+
+		// Pass 1: cull to the visible tuples. Above the spatial threshold
+		// the candidate set comes from the generation-keyed grid index —
+		// only the cells overlapping the cull window are visited — and the
+		// exact tests below re-apply per candidate, so the accepted rows
+		// (in ascending order either way) match the linear scan exactly.
+		// Slider-dimension filtering stays per-row: sliders move without
+		// the relation changing, so indexing them would thrash.
 		var cullSpan *obs.Span
 		if obs.Tracing() {
 			cullSpan = obs.StartSpan("render.cull",
 				"member", strconv.Itoa(member), "layer", strconv.Itoa(li), "depth", strconv.Itoa(depth))
 		}
 		n := ext.Rel.Len()
-		var rows []int
-		var locs []geom.Point
-		for row := 0; row < n; row++ {
+		rows, locs := sc.rows[:0], sc.locs[:0]
+		accept := func(row int) {
 			stats.TuplesSeen++
 			loc := ext.Location(row)
 			x := loc[0] + offAt(0)
@@ -249,24 +267,75 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 			}
 			if culled || !cullWindow.Contains(geom.Pt(x, y)) {
 				stats.TuplesCulled++
-				continue
+				return
 			}
 			rows = append(rows, row)
 			locs = append(locs, geom.Pt(x, y))
 		}
+		if !v.DisableSpatialIndex && n >= v.spatialThreshold() {
+			idx := v.spatialIndex(ext, gen)
+			// The grid indexes raw locations; the layer offset moves the
+			// query window instead, so layers sharing a relation share a
+			// grid.
+			sc.cand = idx.Query(cullWindow.Translate(geom.Pt(-offAt(0), -offAt(1))), sc.cand[:0])
+			v.cacheStats.SpatialQueries++
+			obs.Inc(obs.RenderSpatialQueries)
+			for _, row := range sc.cand {
+				accept(int(row))
+			}
+		} else {
+			for row := 0; row < n; row++ {
+				accept(row)
+			}
+		}
+		sc.rows, sc.locs = rows, locs
 		cullSpan.End()
 
-		// Pass 2: evaluate display functions — concurrently when the
-		// viewer opts in and the batch is large; the computation is pure
-		// over the relation. Painting stays serial in tuple order, so
-		// output is identical either way.
+		// Pass 2: realize display lists. Display functions are pure reads
+		// over the relation, so (generation, row) fully determines the
+		// result: previously seen rows come out of the cross-frame memo
+		// and only the misses evaluate — concurrently when the viewer opts
+		// in and the miss batch is large. Painting stays serial in tuple
+		// order, so output is identical either way.
 		var evalSpan *obs.Span
 		if obs.Tracing() {
 			evalSpan = obs.StartSpan("render.display_eval",
 				"member", strconv.Itoa(member), "layer", strconv.Itoa(li), "rows", strconv.Itoa(len(rows)))
 		}
 		evalTimer := obs.StartTimer(obs.RenderDisplayEvalNS)
-		lists, errs := v.evalDisplays(ext, rows)
+		lists := make([]draw.List, len(rows))
+		errs := make([]error, len(rows))
+		miss := sc.parts[:0]
+		if v.DisableDisplayMemo {
+			for i := range rows {
+				miss = append(miss, i)
+			}
+		} else {
+			if v.memo == nil {
+				v.memo = newDisplayMemo(v.memoCap())
+			}
+			for i, row := range rows {
+				if l, e, ok := v.memo.get(memoKey{gen: gen, row: row}); ok {
+					lists[i], errs[i] = l, e
+					stats.MemoHits++
+					v.cacheStats.MemoHits++
+				} else {
+					miss = append(miss, i)
+				}
+			}
+		}
+		v.evalDisplays(ext, rows, miss, lists, errs)
+		if !v.DisableDisplayMemo {
+			stats.MemoMisses += len(miss)
+			v.cacheStats.MemoMisses += int64(len(miss))
+			for _, i := range miss {
+				if ev := v.memo.put(memoKey{gen: gen, row: rows[i]}, lists[i], errs[i]); ev > 0 {
+					v.cacheStats.MemoEvictions += int64(ev)
+					obs.Add(obs.RenderMemoEvictions, int64(ev))
+				}
+			}
+		}
+		sc.parts = miss
 		evalTimer.Stop()
 		evalSpan.End()
 
@@ -367,9 +436,10 @@ func (v *Viewer) renderDrawable(pen *raster.Pen, dr draw.Drawable, at geom.Point
 	}
 }
 
-// wormholeKey identifies a wormhole interior for within-frame caching:
-// two wormholes with the same destination, position, elevation, and
-// window size render identical interiors.
+// wormholeKey identifies a wormhole interior: two wormholes with the same
+// destination, position, elevation, and window size render identical
+// interiors (given the same destination contents, which the entry's
+// generation signature checks).
 type wormholeKey struct {
 	dest   string
 	loc    geom.Point
@@ -379,9 +449,12 @@ type wormholeKey struct {
 
 // renderWormhole draws a wormhole: a bordered window whose interior is
 // the destination canvas seen from the wormhole's destination elevation
-// (Section 6.2). Interiors are cached per frame keyed by destination and
-// viewpoint, so a canvas full of identical wormholes (the Figure 8
-// station map) renders the destination once.
+// (Section 6.2). Interiors are cached across frames keyed by destination
+// and viewpoint, with each entry pinned to the destination's generation
+// signature: a canvas full of identical wormholes (the Figure 8 station
+// map) renders the destination interior once *total* under pan/zoom, not
+// once per frame, and a mutation under the destination retires exactly
+// the interiors that saw it.
 func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, toScreen func(geom.Point) geom.Point, depth int, stats *RenderStats) {
 	r := screenBounds(geom.R(0, 0, wh.W, wh.H).Translate(at.Add(wh.Offset)), toScreen)
 	border := wh.Border
@@ -406,15 +479,9 @@ func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, 
 		return
 	}
 
-	key := wormholeKey{dest: wh.DestCanvas, loc: wh.DestLocation, elev: wh.DestElevation, pw: pw, ph: ph}
-	if !v.DisableWormholeCache {
-		if img, ok := v.whCache[key]; ok {
-			obs.Inc(obs.RenderWormholeCached)
-			pen.Blit(img, int(inner.Min.X), int(inner.Min.Y))
-			return
-		}
-	}
-
+	// The destination displayable is demanded before the cache lookup:
+	// its generation signature is the coherence check. The demand itself
+	// is cheap on the steady path — dataflow memoizes it.
 	dd, err := dest.Viewer.Source.Get()
 	if err != nil {
 		return
@@ -423,6 +490,25 @@ func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, 
 	if len(dg.Members) == 0 {
 		return
 	}
+
+	key := wormholeKey{dest: wh.DestCanvas, loc: wh.DestLocation, elev: wh.DestElevation, pw: pw, ph: ph}
+	var sig string
+	if !v.DisableWormholeCache {
+		sig = destSignature(dest.Viewer, dg.Members[0])
+		if e, ok := v.whCache[key]; ok {
+			if e.sig == sig {
+				e.lastUsed = v.frame
+				v.cacheStats.WormholeHits++
+				obs.Inc(obs.RenderWormholeCached)
+				pen.Blit(e.img, int(inner.Min.X), int(inner.Min.Y))
+				return
+			}
+			delete(v.whCache, key)
+			v.cacheStats.WormholeStale++
+			obs.Inc(obs.RenderWormholeStale)
+		}
+	}
+
 	st := ViewState{
 		Center:    wh.DestLocation,
 		Elevation: wh.DestElevation,
@@ -445,11 +531,13 @@ func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, 
 	offPen := raster.NewPen(off)
 	offRect := geom.R(0, 0, float64(pw), float64(ph))
 	_ = dest.Viewer.renderMember(offPen, offRect, dg.Members[0], st, 0, depth+1, false, stats)
+	v.cacheStats.WormholeRenders++
 	if !v.DisableWormholeCache {
 		if v.whCache == nil {
-			v.whCache = make(map[wormholeKey]*raster.Image)
+			v.whCache = make(map[wormholeKey]*whEntry)
 		}
-		v.whCache[key] = off
+		v.whCache[key] = &whEntry{img: off, sig: sig, lastUsed: v.frame}
+		v.evictWormholes()
 	}
 	pen.Blit(off, int(inner.Min.X), int(inner.Min.Y))
 }
@@ -484,19 +572,18 @@ func (v *Viewer) renderMagnifier(pen *raster.Pen, mag *Magnifier, stats *RenderS
 	return mag.Inner.renderMember(pen.WithClip(inner), inner, g.Members[0], mag.Inner.states[0], 0, 1, false, stats)
 }
 
-// evalDisplays computes the display list for each listed row. A nil list
-// entry marks an evaluation failure (the tuple is skipped and counted)
-// with the cause in the parallel errs slice; an empty-but-non-nil list is
-// a successful empty display. When Parallel is enabled and the batch is
-// large, evaluation fans out across workers — display functions are pure
-// reads over the relation, and painting happens afterwards in tuple
-// order, so the rendered output is identical. Workers write disjoint
-// index ranges, so the slices need no locking; each worker records its
-// chunk as a trace span on its own track so the fan-out is visible in
-// the timeline.
-func (v *Viewer) evalDisplays(ext *display.Extended, rows []int) ([]draw.List, []error) {
-	lists := make([]draw.List, len(rows))
-	errs := make([]error, len(rows))
+// evalDisplays computes the display list for each row index listed in
+// idx, writing into the caller's parallel lists/errs slices (the other
+// positions — memo hits — are left untouched). A nil list entry marks an
+// evaluation failure (the tuple is skipped and counted) with the cause in
+// errs; an empty-but-non-nil list is a successful empty display. When
+// Parallel is enabled and the miss batch is large, evaluation fans out
+// across workers — display functions are pure reads over the relation,
+// and painting happens afterwards in tuple order, so the rendered output
+// is identical. Workers write disjoint index sets, so the slices need no
+// locking; each worker records its chunk as a trace span on its own track
+// so the fan-out is visible in the timeline.
+func (v *Viewer) evalDisplays(ext *display.Extended, rows []int, idx []int, lists []draw.List, errs []error) {
 	eval := func(i int) {
 		l, err := ext.Display(rows[i])
 		if err != nil {
@@ -508,24 +595,24 @@ func (v *Viewer) evalDisplays(ext *display.Extended, rows []int) ([]draw.List, [
 		}
 		lists[i] = l
 	}
-	if !v.Parallel || len(rows) < parallelThreshold {
-		for i := range rows {
+	if !v.Parallel || len(idx) < parallelThreshold {
+		for _, i := range idx {
 			eval(i)
 		}
-		return lists, errs
+		return
 	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(rows) {
-		workers = len(rows)
+	if workers > len(idx) {
+		workers = len(idx)
 	}
 	tracing := obs.Tracing()
 	var wg sync.WaitGroup
-	chunk := (len(rows) + workers - 1) / workers
+	chunk := (len(idx) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(rows) {
-			hi = len(rows)
+		if hi > len(idx) {
+			hi = len(idx)
 		}
 		if lo >= hi {
 			break
@@ -539,13 +626,12 @@ func (v *Viewer) evalDisplays(ext *display.Extended, rows []int) ([]draw.List, [
 					"worker", strconv.Itoa(w), "rows", strconv.Itoa(hi-lo))
 				defer sp.End()
 			}
-			for i := lo; i < hi; i++ {
+			for _, i := range idx[lo:hi] {
 				eval(i)
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	return lists, errs
 }
 
 // parallelThreshold is the batch size below which parallel evaluation is

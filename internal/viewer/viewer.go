@@ -19,7 +19,6 @@ import (
 	"repro/internal/display"
 	"repro/internal/draw"
 	"repro/internal/geom"
-	"repro/internal/raster"
 )
 
 // Source yields the displayable a viewer renders. Viewers attached to a
@@ -160,9 +159,21 @@ type Viewer struct {
 	// MaxWormholeDepth bounds recursive rendering of wormhole and
 	// magnifier interiors.
 	MaxWormholeDepth int
-	// DisableWormholeCache turns off the per-frame wormhole interior
-	// cache, for the ablation benchmark.
+	// DisableWormholeCache turns off the cross-frame wormhole interior
+	// cache, for ablation benchmarks and determinism baselines.
 	DisableWormholeCache bool
+	// DisableSpatialIndex forces pass-1 culling back to the per-frame
+	// linear scan regardless of relation size.
+	DisableSpatialIndex bool
+	// DisableDisplayMemo turns off the cross-frame display-list memo, so
+	// every visible tuple's display function re-evaluates each frame.
+	DisableDisplayMemo bool
+	// SpatialThreshold is the relation size at which pass-1 culling
+	// switches from the linear scan to the grid index (0 = default).
+	SpatialThreshold int
+	// DisplayMemoCap bounds the display-list memo entry count
+	// (0 = default).
+	DisplayMemoCap int
 	// Parallel evaluates display functions across CPUs for large visible
 	// batches; painting stays serial so output is byte-identical.
 	Parallel bool
@@ -181,8 +192,50 @@ type Viewer struct {
 	magnifiers []*Magnifier
 	slaves     slaveSet
 
-	whCache map[wormholeKey]*raster.Image
-	hits    []Hit
+	// Cross-frame render caches (see cache.go). All are keyed on
+	// display.Gen generation stamps, so they never serve stale state;
+	// frame is a monotonic render counter driving LRU recency, and
+	// overrideStamp changes whenever the viewer-local elevation-map
+	// overrides do (they affect wormhole interiors rendered *from* this
+	// viewer as a destination).
+	memo          *displayMemo
+	grids         map[display.Gen]*gridEntry
+	whCache       map[wormholeKey]*whEntry
+	frame         int64
+	overrideStamp int64
+	cacheStats    CacheStats
+	scratch       []*renderScratch
+
+	hits []Hit
+}
+
+// renderScratch holds the pass-1 row/location buffers for one renderMember
+// activation. Buffers are pooled on the viewer and reused across frames,
+// so steady-state pans allocate nothing in pass 1: capacity learned on
+// one frame carries to the next. A pool (rather than a single pair) is
+// needed because wormholes whose destination is their own canvas re-enter
+// renderMember on the same viewer.
+type renderScratch struct {
+	rows  []int
+	locs  []geom.Point
+	cand  []int32 // spatial query candidate buffer
+	parts []int   // memo-miss indices for evalDisplays
+}
+
+// acquireScratch pops a pooled scratch (or makes one), reset to length 0.
+func (v *Viewer) acquireScratch() *renderScratch {
+	if n := len(v.scratch); n > 0 {
+		s := v.scratch[n-1]
+		v.scratch = v.scratch[:n-1]
+		s.rows, s.locs, s.cand, s.parts = s.rows[:0], s.locs[:0], s.cand[:0], s.parts[:0]
+		return s
+	}
+	return &renderScratch{}
+}
+
+// releaseScratch returns a scratch to the pool, keeping its capacity.
+func (v *Viewer) releaseScratch(s *renderScratch) {
+	v.scratch = append(v.scratch, s)
 }
 
 // New constructs a viewer of the given pixel size over a source.
@@ -387,11 +440,13 @@ func (v *Viewer) ElevationMap(m int) ([]ElevationEntry, error) {
 // direct manipulation of the elevation map.
 func (v *Viewer) SetLayerRange(m, l int, lo, hi float64) {
 	v.rangeOverride[[2]int{m, l}] = geom.Rg(lo, hi)
+	v.overrideStamp++
 }
 
 // ClearLayerRange removes an override.
 func (v *Viewer) ClearLayerRange(m, l int) {
 	delete(v.rangeOverride, [2]int{m, l})
+	v.overrideStamp++
 }
 
 // ShuffleLayer moves layer l of member m to the top of the drawing order,
@@ -410,6 +465,7 @@ func (v *Viewer) ShuffleLayer(m, l, layerCount int) error {
 	}
 	order = append(append(order[:pos:pos], order[pos+1:]...), l)
 	v.orderOverride[m] = order
+	v.overrideStamp++
 	return nil
 }
 
