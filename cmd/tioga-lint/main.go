@@ -1,0 +1,148 @@
+// Command tioga-lint runs the repo's custom invariant suite
+// (internal/analyzers: genbump, obsnames, ctxcheck) over Go packages,
+// multichecker-style. It complements go vet and staticcheck in CI with
+// the rules only this codebase knows about:
+//
+//	tioga-lint ./...
+//
+// prints one located finding per line,
+//
+//	internal/rel/relation.go:220:6: method Update writes r.tuples but never calls r.bumpGen(); ... (genbump)
+//
+// and exits 1 when anything was found, 0 on a clean run, 2 on unusable
+// input.
+//
+// Results are cached per package under os.UserCacheDir()/tioga-lint,
+// keyed by a content hash of the package's files, so repeated runs
+// (and CI runs restoring the cache directory) re-analyze only what
+// changed. -no-cache bypasses both reads and writes.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tioga-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	noCache := fs.Bool("no-cache", false, "re-analyze every package, ignoring cached results")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analyzers.Load(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "tioga-lint: %v\n", err)
+		return 2
+	}
+
+	suite := analyzers.All()
+	cacheDir := ""
+	if !*noCache {
+		cacheDir = ensureCacheDir()
+	}
+
+	status := 0
+	for _, pkg := range pkgs {
+		key := ""
+		if cacheDir != "" {
+			if key, err = cacheKey(pkg, suite); err != nil {
+				key = "" // unreadable file: analyze uncached
+			}
+		}
+		diags, hit := readCache(cacheDir, key)
+		if !hit {
+			diags, err = analyzers.Run([]*analyzers.Package{pkg}, suite)
+			if err != nil {
+				fmt.Fprintf(stderr, "tioga-lint: %v\n", err)
+				return 2
+			}
+			writeCache(cacheDir, key, diags)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+			status = 1
+		}
+	}
+	return status
+}
+
+// ensureCacheDir creates the result cache, returning "" (cache off) on
+// any failure — a read-only HOME must not break linting.
+func ensureCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	dir := filepath.Join(base, "tioga-lint")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	return dir
+}
+
+// cacheKey hashes the package's file paths and contents plus the suite
+// composition, so both edits and analyzer changes invalidate.
+func cacheKey(pkg *analyzers.Package, suite []*analyzers.Analyzer) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "tioga-lint/1\n")
+	for _, a := range suite {
+		fmt.Fprintf(h, "analyzer %s\n", a.Name)
+	}
+	for _, name := range pkg.FileNames {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "file %s %d\n", name, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func readCache(dir, key string) ([]analyzers.Diagnostic, bool) {
+	if dir == "" || key == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var diags []analyzers.Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return nil, false
+	}
+	return diags, true
+}
+
+func writeCache(dir, key string, diags []analyzers.Diagnostic) {
+	if dir == "" || key == "" {
+		return
+	}
+	data, err := json.Marshal(diags)
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, key+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, filepath.Join(dir, key+".json"))
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lint runs the multichecker with the cache pointed at a per-test
+// directory, so tests never touch (or depend on) the real user cache.
+func lint(t *testing.T, cacheHome string, args ...string) (string, int) {
+	t.Helper()
+	t.Setenv("XDG_CACHE_HOME", cacheHome)
+	var out, errBuf bytes.Buffer
+	status := run(args, &out, &errBuf)
+	if errBuf.Len() > 0 {
+		t.Logf("stderr: %s", errBuf.String())
+	}
+	return out.String(), status
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("go.mod not found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// The acceptance gate from the other side: the shipped binary, run the
+// way CI runs it, reports nothing on the repo.
+func TestLintRunsCleanOnRepo(t *testing.T) {
+	out, status := lint(t, t.TempDir(), "-no-cache", repoRoot(t)+"/...")
+	if status != 0 {
+		t.Fatalf("tioga-lint found problems in the repo (status %d):\n%s", status, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("clean run produced output:\n%s", out)
+	}
+}
+
+func TestLintFindsBrokenMutator(t *testing.T) {
+	dir := t.TempDir()
+	src := `package rel
+
+type Relation struct {
+	tuples []int
+	gen    int64
+}
+
+func (r *Relation) bumpGen() { r.gen++ }
+
+func (r *Relation) Append(v int) {
+	r.tuples = append(r.tuples, v)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "rel.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, status := lint(t, t.TempDir(), "-no-cache", dir)
+	if status != 1 {
+		t.Fatalf("status = %d, want 1\n%s", status, out)
+	}
+	if !strings.Contains(out, "genbump") || !strings.Contains(out, "Append") {
+		t.Fatalf("finding not attributed:\n%s", out)
+	}
+}
+
+func TestLintCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := `package use
+
+import "context"
+
+func dropped(ctx context.Context) {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "use.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cache := t.TempDir()
+	first, s1 := lint(t, cache, dir)
+	second, s2 := lint(t, cache, dir) // served from the cache
+	if s1 != 1 || s2 != 1 {
+		t.Fatalf("statuses = %d, %d, want 1, 1", s1, s2)
+	}
+	if first != second {
+		t.Fatalf("cached replay differs:\n--- first\n%s--- second\n%s", first, second)
+	}
+	entries, err := os.ReadDir(filepath.Join(cache, "tioga-lint"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries written (err %v)", err)
+	}
+
+	// Editing the file must invalidate the entry.
+	fixed := strings.Replace(src, "func dropped(ctx context.Context) {}",
+		"func dropped(ctx context.Context) { _ = ctx }", 1)
+	if err := os.WriteFile(filepath.Join(dir, "use.go"), []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, status := lint(t, cache, dir)
+	if status != 0 {
+		t.Fatalf("fixed package still failing (status %d):\n%s", status, out)
+	}
+}

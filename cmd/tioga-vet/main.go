@@ -1,0 +1,110 @@
+// Command tioga-vet is the static checker for boxes-and-arrows programs:
+// the compiler-style front end that rejects a bad program with *all* of
+// its diagnostics before any box fires, instead of the one error the
+// lazy evaluator happens to trip over first. It loads each serialized
+// program permissively (so corrupt programs — the ones worth vetting —
+// still parse), runs internal/check over it, and prints one located,
+// coded diagnostic per line:
+//
+//	prog.json: TV001 error box 1 (restrict): cycle in dataflow graph: 1 -> 2 -> 1
+//	prog.json: TV002 error box 3 (join) port 1: input not connected
+//
+// Usage:
+//
+//	tioga-vet [-json] [-defs] program.json [more.json ...]
+//
+// With -defs the arguments are encapsulated box definitions (saved by
+// the shell's encapsulate machinery) and the hole-signature checks run
+// instead. The exit status is 0 when no error-severity diagnostics were
+// found (warnings alone stay 0), 1 when any error was reported, and 2
+// for unusable inputs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/check"
+	"repro/internal/dataflow"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiag is the machine-readable rendering of one diagnostic.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Box      int    `json:"box,omitempty"`
+	Port     int    `json:"port,omitempty"`
+	Kind     string `json:"kind,omitempty"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("tioga-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	defs := fs.Bool("defs", false, "treat arguments as encapsulated box definitions")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: tioga-vet [-json] [-defs] program.json ...")
+		return 2
+	}
+
+	reg := dataflow.NewRegistry()
+	status := 0
+	var all []jsonDiag
+	for _, file := range fs.Args() {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(stderr, "tioga-vet: %v\n", err)
+			return 2
+		}
+		var diags []check.Diagnostic
+		if *defs {
+			def, err := dataflow.UnmarshalDef(data)
+			if err != nil {
+				fmt.Fprintf(stderr, "tioga-vet: %s: %v\n", file, err)
+				return 2
+			}
+			diags = check.Def(reg, def)
+		} else {
+			if diags, err = check.ProgramData(reg, data); err != nil {
+				fmt.Fprintf(stderr, "tioga-vet: %s: %v\n", file, err)
+				return 2
+			}
+		}
+		if check.HasErrors(diags) {
+			status = 1
+		}
+		if *asJSON {
+			for _, d := range diags {
+				all = append(all, jsonDiag{
+					File: file, Code: string(d.Code), Severity: d.Severity.String(),
+					Box: d.Box, Port: d.Port, Kind: d.Kind, Message: d.Message,
+				})
+			}
+			continue
+		}
+		fmt.Fprint(stdout, check.Render(file, diags))
+	}
+	if *asJSON {
+		if all == nil {
+			all = []jsonDiag{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(stderr, "tioga-vet: %v\n", err)
+			return 2
+		}
+	}
+	return status
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixture drops a program file into a temp dir and returns its path.
+func writeFixture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs run() with stdout redirected to a pipe-backed temp file.
+func capture(t *testing.T, args []string) (string, int) {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	status := run(args, out, out)
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), status
+}
+
+// The acceptance fixture: a cycle, an unconnected input, and a port-type
+// mismatch in one program must yield all three codes in one run, with
+// box/port locations — not just the first error.
+const mixedFixture = `{
+  "boxes": [
+    {"id": 1, "kind": "restrict", "params": {"pred": "true"}},
+    {"id": 2, "kind": "restrict", "params": {"pred": "true"}},
+    {"id": 3, "kind": "join", "params": {"pred": "true"}},
+    {"id": 4, "kind": "const", "params": {"type": "float", "value": "1"}},
+    {"id": 5, "kind": "restrict", "params": {"pred": "true"}},
+    {"id": 6, "kind": "viewer"}
+  ],
+  "edges": [
+    {"From": 1, "FromPort": 0, "To": 2, "ToPort": 0},
+    {"From": 2, "FromPort": 0, "To": 1, "ToPort": 0},
+    {"From": 4, "FromPort": 0, "To": 5, "ToPort": 0},
+    {"From": 5, "FromPort": 0, "To": 6, "ToPort": 0}
+  ]
+}`
+
+func TestVetReportsAllDiagnosticsInOneRun(t *testing.T) {
+	path := writeFixture(t, "mixed.json", mixedFixture)
+	out, status := capture(t, []string{path})
+	if status != 1 {
+		t.Errorf("exit status = %d, want 1\n%s", status, out)
+	}
+	for _, want := range []string{
+		"TV001 error box 1 (restrict)",
+		"TV002 error box 3 (join) port 0",
+		"TV002 error box 3 (join) port 1",
+		"TV003 error box 5 (restrict) port 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVetJSONOutput(t *testing.T) {
+	path := writeFixture(t, "mixed.json", mixedFixture)
+	out, status := capture(t, []string{"-json", path})
+	if status != 1 {
+		t.Errorf("exit status = %d, want 1", status)
+	}
+	var diags []map[string]interface{}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("bad JSON output: %v\n%s", err, out)
+	}
+	codes := map[string]bool{}
+	for _, d := range diags {
+		codes[d["code"].(string)] = true
+	}
+	for _, c := range []string{"TV001", "TV002", "TV003"} {
+		if !codes[c] {
+			t.Errorf("JSON output missing %s: %v", c, codes)
+		}
+	}
+}
+
+func TestVetCleanProgramExitsZero(t *testing.T) {
+	path := writeFixture(t, "clean.json", `{
+	  "boxes": [
+	    {"id": 1, "kind": "table", "params": {"name": "cities"}},
+	    {"id": 2, "kind": "viewer"}
+	  ],
+	  "edges": [{"From": 1, "FromPort": 0, "To": 2, "ToPort": 0}]
+	}`)
+	out, status := capture(t, []string{path})
+	if status != 0 {
+		t.Errorf("exit status = %d, want 0\n%s", status, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("clean program produced output:\n%s", out)
+	}
+}
+
+func TestVetWarningsDoNotFail(t *testing.T) {
+	path := writeFixture(t, "warn.json", `{
+	  "boxes": [{"id": 1, "kind": "table", "params": {"name": "cities"}}]
+	}`)
+	out, status := capture(t, []string{path})
+	if status != 0 {
+		t.Errorf("warnings alone must exit 0, got %d\n%s", status, out)
+	}
+	if !strings.Contains(out, "TV004 warning") {
+		t.Errorf("expected TV004 warning:\n%s", out)
+	}
+}
+
+func TestVetDefs(t *testing.T) {
+	path := writeFixture(t, "def.json", `{
+	  "name": "broken",
+	  "boxes": [
+	    {"kind": "restrict", "params": {"pred": "true"}, "hole": -1},
+	    {"label": "hole0", "hole": 0}
+	  ],
+	  "edges": [{"From": 1, "FromPort": 3, "To": 0, "ToPort": 0}],
+	  "holes": [{"in": ["R"], "out": ["R"]}]
+	}`)
+	out, status := capture(t, []string{"-defs", path})
+	if status != 1 {
+		t.Errorf("exit status = %d, want 1\n%s", status, out)
+	}
+	if !strings.Contains(out, "TV005") {
+		t.Errorf("expected TV005 diagnostic:\n%s", out)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/display"
@@ -151,6 +152,8 @@ func (s *shell) dispatch(cmd string, args []string) error {
 		return nil
 	case "show":
 		return s.show()
+	case "check":
+		return s.check()
 	case "add":
 		return s.add(args)
 	case "connect":
@@ -384,6 +387,7 @@ func (s *shell) help() {
   applysel a.p kind m l k=v    apply an R op to relation (m,l) of a C/G edge
   encapsulate name b1,b2 [hole=b3,b4]   define a new box (with holes)
   instantiate name [kind:k=v ...]       expand it, plugging hole fillers
+  check                        static checker: every diagnostic, coded and located
   new | save name | load name | addprog name | undo
 
 canvases (Sections 2, 5-7):
@@ -411,6 +415,27 @@ observability:
   trace on [file] | trace off  collect spans; off writes Chrome JSON
   histo <metric>               ASCII latency histogram (e.g. render.frame_ns)
 `)
+}
+
+// check runs the static program checker (internal/check) over the
+// current program and prints every diagnostic — the same analysis
+// tioga-vet applies to serialized programs, aimed at the program being
+// edited.
+func (s *shell) check() error {
+	diags := check.Program(s.env.Program)
+	if len(diags) == 0 {
+		s.printf("ok: no diagnostics\n")
+		return nil
+	}
+	errs := 0
+	for _, d := range diags {
+		if d.Severity == check.Error {
+			errs++
+		}
+		s.printf("  %s\n", d)
+	}
+	s.printf("%d diagnostic(s), %d error(s)\n", len(diags), errs)
+	return nil
 }
 
 func (s *shell) show() error {

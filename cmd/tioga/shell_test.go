@@ -397,3 +397,35 @@ func TestShellTraceUsageErrors(t *testing.T) {
 		t.Fatalf("expected 3 errors:\n%s", out)
 	}
 }
+
+func TestShellCheckCommand(t *testing.T) {
+	// A clean pipeline checks ok; an unwired join then draws a coded,
+	// located diagnostic (plus a dead-box warning for its unused output).
+	_, out := testShell(t,
+		"add table name=Stations",
+		"add restrict pred='true'",
+		"connect 1.0 2.0",
+		"add join pred='true'",
+		"check",
+	)
+	for _, want := range []string{
+		"TV002 error box 3 (join) port 0: input not connected",
+		"TV002 error box 3 (join) port 1: input not connected",
+		"TV004 warning box 3 (join)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("check output missing %q:\n%s", want, out)
+		}
+	}
+
+	_, out = testShell(t,
+		"add table name=Stations",
+		"add restrict pred='true'",
+		"connect 1.0 2.0",
+		"viewer v 2.0",
+		"check",
+	)
+	if !strings.Contains(out, "ok: no diagnostics") {
+		t.Errorf("clean program did not check ok:\n%s", out)
+	}
+}

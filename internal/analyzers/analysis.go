@@ -1,0 +1,112 @@
+// Package analyzers is a self-contained miniature of the
+// golang.org/x/tools go/analysis framework, carrying the repo's custom
+// invariant checks (genbump, obsnames, ctxcheck) without the external
+// dependency: the build environment is offline, so the framework is
+// rebuilt here from the standard library alone. The shape mirrors
+// go/analysis on purpose — an Analyzer owns a name, a doc string, and a
+// Run func over a Pass — so the passes can migrate to the real
+// framework wholesale if x/tools ever becomes available.
+//
+// The passes are purely syntactic (go/ast + go/parser, no go/types):
+// each invariant they enforce is local enough — a method body, a call
+// argument, a parameter list — that name resolution buys nothing, and
+// skipping the type checker keeps tioga-lint independent of build tags,
+// cgo, and module resolution.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer describes one invariant check: a name for diagnostics and
+// the command line, a doc string, and the function that runs the check
+// over one package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, located by file position. The Analyzer
+// field names the pass that produced it so a multichecker run stays
+// attributable.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one analyzer's view of one package: the parsed files,
+// their FileSet, and the directories needed to locate repo-level
+// registries (the obs name file). Report findings with Reportf.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	// Dir is the package directory the files were parsed from.
+	Dir string
+	// ModuleRoot is the enclosing module's root directory (the
+	// directory holding go.mod), used by passes that consult
+	// repo-level registries.
+	ModuleRoot string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full invariant suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{GenBump, ObsNames, CtxCheck}
+}
+
+// Run executes each analyzer over each package and returns the merged
+// findings sorted by position. An analyzer returning an error aborts
+// the run — that is an analyzer bug or an unreadable registry, not a
+// finding.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Dir:        pkg.Dir,
+				ModuleRoot: pkg.ModuleRoot,
+				diags:      &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Dir, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,106 @@
+package analyzers
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// RunTest runs one analyzer over the fixture directory and checks its
+// findings against `// want "regexp"` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest: each diagnostic must
+// match an expectation on its own line, and each expectation must be
+// matched by some diagnostic. Several expectations may share a line
+// (`// want "a" "b"`); regexps match unanchored against the message.
+func RunTest(t *testing.T, dir string, a *Analyzer) {
+	t.Helper()
+	pkg, err := loadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pkg)
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		rest := wants[key][:0]
+		for _, w := range wants[key] {
+			if !matched && w.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, w)
+		}
+		wants[key] = rest
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, w := range res {
+			t.Errorf("%s: expected diagnostic matching %q, got none", key, w)
+		}
+	}
+}
+
+// wantRe strips the marker; the quoted regexps follow.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// wantArgRe pulls each pattern: raw (backquoted) or interpreted
+// (double-quoted, possibly escaped), as strconv.Unquote understands.
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range wantArgRe.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// fixtureHasWants sanity-checks a fixture actually asserts something —
+// a fixture whose marker comments were mangled would otherwise pass
+// vacuously.
+func fixtureHasWants(t *testing.T, dir string) {
+	t.Helper()
+	pkg, err := loadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, res := range collectWants(t, pkg) {
+		total += len(res)
+	}
+	if total == 0 {
+		t.Fatalf("fixture %s declares no // want expectations", dir)
+	}
+}

@@ -1,0 +1,71 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	fixtureHasWants(t, dir)
+	return dir
+}
+
+func TestGenBump(t *testing.T)  { RunTest(t, fixture(t, "genbump"), GenBump) }
+func TestObsNames(t *testing.T) { RunTest(t, fixture(t, "obsnames"), ObsNames) }
+func TestCtxCheck(t *testing.T) { RunTest(t, fixture(t, "ctxcheck"), CtxCheck) }
+
+// repoRoot walks up from the test's working directory to go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := moduleRoot(dir)
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found from %s", dir)
+	}
+	return root
+}
+
+// TestRepoIsClean is the acceptance gate: the invariant suite must run
+// clean over the codebase itself, so any regression against the
+// generation-stamp, obs-name, or context rules fails the repo's own
+// tests even before tioga-lint runs in CI.
+func TestRepoIsClean(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := Load([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from %s; loader is missing code", len(pkgs), root)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestLoadSkipsTestdata guards the loader against sweeping fixture
+// trees (which deliberately contain findings) into real runs.
+func TestLoadSkipsTestdata(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := Load([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(filepath.ToSlash(p.Dir), "/testdata/") ||
+			filepath.Base(p.Dir) == "testdata" {
+			t.Errorf("loader swept fixture dir %s", p.Dir)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// CtxCheck keeps cancellation plumbed through: a function that accepts
+// a context.Context must actually use it, and must not quietly swap in
+// context.Background()/TODO() — either way the caller's deadline or
+// cancel is dropped on what looks like a cancellable path. The Eval
+// API's whole cancellation story (DESIGN.md "Cancellation") rests on
+// every hop forwarding ctx.
+//
+// The one sanctioned pattern is nil-defaulting: a Background() call
+// inside an if whose condition mentions the parameter (`if ctx == nil
+// { ctx = context.Background() }`) is explicitly deciding there is no
+// caller context, not discarding one.
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "context.Context parameters must be used, not replaced with Background()",
+	Run:  runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			for _, name := range ctxParams(ftype) {
+				checkCtxFunc(pass, name, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxParams returns the non-blank parameter names of type
+// context.Context (matched syntactically).
+func ctxParams(ftype *ast.FuncType) []string {
+	if ftype.Params == nil {
+		return nil
+	}
+	var names []string
+	for _, field := range ftype.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "context" {
+			continue
+		}
+		for _, id := range field.Names {
+			if id.Name != "_" {
+				names = append(names, id.Name)
+			}
+		}
+	}
+	return names
+}
+
+// checkCtxFunc enforces both rules for one ctx parameter of one
+// function body. Nested function literals that declare their own ctx
+// parameter are skipped — they are visited as functions in their own
+// right — but literals that merely capture the outer ctx are scanned,
+// since a Background() inside them drops the same caller context.
+func checkCtxFunc(pass *Pass, name string, body *ast.BlockStmt) {
+	used := false
+	var report []ast.Node
+
+	var scan func(n ast.Node, guarded bool) bool
+	walk := func(n ast.Node, guarded bool) {
+		if n != nil {
+			ast.Inspect(n, func(m ast.Node) bool { return scan(m, guarded) })
+		}
+	}
+	scan = func(n ast.Node, guarded bool) bool {
+		switch t := n.(type) {
+		case *ast.FuncLit:
+			if len(ctxParams(t.Type)) > 0 {
+				return false
+			}
+			return true
+		case *ast.Ident:
+			if t.Name == name {
+				used = true
+			}
+		case *ast.IfStmt:
+			// An if whose condition mentions ctx sanctions
+			// Background()/TODO() in its branches (nil-defaulting).
+			walk(t.Init, guarded)
+			cond := guarded || mentionsIdent(t.Cond, name)
+			walk(t.Cond, guarded)
+			walk(t.Body, cond)
+			walk(t.Else, cond)
+			return false
+		case *ast.CallExpr:
+			if !guarded && isContextFreshCall(t) {
+				report = append(report, t)
+			}
+		}
+		return true
+	}
+	walk(body, false)
+
+	if !used {
+		pass.Reportf(body.Pos(),
+			"context.Context parameter %s is never used; the caller's cancellation is dropped", name)
+	}
+	for _, n := range report {
+		pass.Reportf(n.Pos(),
+			"context.Background/TODO inside a function that already receives %s; forward it instead", name)
+	}
+}
+
+// mentionsIdent reports whether expr references an identifier named
+// name.
+func mentionsIdent(expr ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isContextFreshCall matches context.Background() and context.TODO().
+func isContextFreshCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context"
+}

@@ -1,0 +1,154 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// GenBump enforces the generation-stamp invariant behind every
+// cross-frame render cache (DESIGN.md "Render caching &
+// invalidation"): any method on rel.Relation that writes the backing
+// data — the tuple heap or the computed-field table — must bump the
+// relation's generation in the same body, or stale display lists and
+// spatial indexes survive the mutation.
+var GenBump = &Analyzer{
+	Name: "genbump",
+	Doc:  "mutating methods on rel.Relation must call bumpGen()",
+	Run:  runGenBump,
+}
+
+// The receiver type and the fields whose mutation must be stamped.
+const (
+	genbumpRecvType = "Relation"
+	genbumpCall     = "bumpGen"
+)
+
+var genbumpFields = map[string]bool{
+	"tuples":   true,
+	"computed": true,
+}
+
+func runGenBump(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Name.Name == genbumpCall {
+				continue
+			}
+			recv := receiverIdent(fn, genbumpRecvType)
+			if recv == "" {
+				continue
+			}
+			field, pos := firstDataWrite(fn.Body, recv)
+			if field == "" {
+				continue
+			}
+			if callsMethod(fn.Body, recv, genbumpCall) {
+				continue
+			}
+			_ = pos
+			pass.Reportf(fn.Name.Pos(),
+				"method %s writes %s.%s but never calls %s.%s(); generation-stamped caches will serve stale data",
+				fn.Name.Name, recv, field, recv, genbumpCall)
+		}
+	}
+	return nil
+}
+
+// receiverIdent returns the receiver variable name when fn is a method
+// on typ or *typ with a usable (non-blank) receiver, else "".
+func receiverIdent(fn *ast.FuncDecl, typ string) string {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return ""
+	}
+	rf := fn.Recv.List[0]
+	t := rf.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok || id.Name != typ {
+		return ""
+	}
+	if len(rf.Names) != 1 || rf.Names[0].Name == "_" {
+		return ""
+	}
+	return rf.Names[0].Name
+}
+
+// firstDataWrite reports the first stamped field the body assigns
+// through the receiver — plain assignment, indexed assignment, or
+// inc/dec — and the position of the write.
+func firstDataWrite(body *ast.BlockStmt, recv string) (string, token.Pos) {
+	var field string
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if field != "" {
+			return false
+		}
+		var targets []ast.Expr
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			targets = st.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{st.X}
+		default:
+			return true
+		}
+		for _, t := range targets {
+			if name := stampedFieldTarget(t, recv); name != "" {
+				field, pos = name, t.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return field, pos
+}
+
+// stampedFieldTarget unwraps an assignment target down to a selector on
+// the receiver and returns the field name when it is one of the
+// stamped fields. `r.tuples`, `r.tuples[i]`, and parenthesised forms
+// all count.
+func stampedFieldTarget(e ast.Expr, recv string) string {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok || !genbumpFields[sel.Sel.Name] {
+				return ""
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+				return sel.Sel.Name
+			}
+			return ""
+		}
+	}
+}
+
+// callsMethod reports whether body contains a call recv.name(...).
+func callsMethod(body *ast.BlockStmt, recv, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != name {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

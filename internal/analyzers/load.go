@@ -1,0 +1,142 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one directory's worth of parsed Go files. Grouping is by
+// directory, not import path: the passes are syntactic, so external
+// test packages and build-tagged variants can share a Pass harmlessly.
+type Package struct {
+	Dir        string
+	ModuleRoot string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// FileNames lists the absolute paths parsed into Files, in order —
+	// the cache key material for tioga-lint.
+	FileNames []string
+}
+
+// Load expands go-style package patterns into parsed packages. A
+// pattern is either a directory or a directory followed by "/..." for a
+// recursive walk; testdata, vendor, and dot-directories are skipped
+// exactly as the go tool skips them. Directories without Go files are
+// silently dropped.
+func Load(patterns []string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "/...")
+		if pat == "..." {
+			root, recursive = ".", true
+		}
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			add(filepath.Clean(root))
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if path != root {
+				name := d.Name()
+				if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor" {
+					return fs.SkipDir
+				}
+			}
+			add(filepath.Clean(path))
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: walking %s: %w", pat, err)
+		}
+	}
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// loadDir parses every .go file directly inside dir, or returns nil if
+// there are none.
+func loadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	pkg := &Package{Dir: dir, Fset: token.NewFileSet()}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			abs = path
+		}
+		f, err := parser.ParseFile(pkg.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.FileNames = append(pkg.FileNames, abs)
+	}
+	pkg.ModuleRoot = moduleRoot(dir)
+	return pkg, nil
+}
+
+// moduleRoot walks up from dir to the nearest directory containing
+// go.mod, falling back to dir itself when none is found.
+func moduleRoot(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return abs
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,58 @@
+// Fixture for the ctxcheck analyzer.
+package use
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// Clean: the context is forwarded.
+func forwards(ctx context.Context) error {
+	return work(ctx)
+}
+
+// Clean: nil-defaulting is the sanctioned Background() pattern.
+func defaulted(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return work(ctx)
+}
+
+// Clean: captured by a closure still counts as used.
+func captured(ctx context.Context) func() error {
+	return func() error { return work(ctx) }
+}
+
+// Clean: blank parameter opts out explicitly.
+func blank(_ context.Context) error { return nil }
+
+func dropped(ctx context.Context) error { // want `parameter ctx is never used`
+	return nil
+}
+
+func replaced(ctx context.Context) error {
+	_ = ctx
+	return work(context.Background()) // want `context\.Background/TODO inside a function that already receives ctx`
+}
+
+func todoInGoroutine(ctx context.Context) {
+	_ = ctx
+	go func() {
+		_ = work(context.TODO()) // want `context\.Background/TODO inside a function that already receives ctx`
+	}()
+}
+
+// Clean: the nested literal declares its own ctx, so it is judged on
+// its own — and it forwards correctly.
+func nestedOwnCtx(ctx context.Context) func(context.Context) error {
+	_ = ctx
+	return func(ctx context.Context) error { return work(ctx) }
+}
+
+func nestedDropped(outer context.Context) { // no finding here; the literal has its own
+	_ = outer
+	f := func(ctx context.Context) error { // want `parameter ctx is never used`
+		return work(context.Background()) // want `context\.Background/TODO inside a function that already receives ctx`
+	}
+	_ = f
+}

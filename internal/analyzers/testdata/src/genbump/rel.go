@@ -1,0 +1,66 @@
+// Fixture for the genbump analyzer: a miniature rel.Relation with
+// correct mutators, deliberately broken ones, and the shapes that must
+// NOT be flagged (local-variable writes, read-only methods).
+package rel
+
+type Relation struct {
+	tuples   []int
+	computed map[string]int
+	gen      int64
+}
+
+func (r *Relation) bumpGen() { r.gen++ }
+
+// Correct mutators: write + bump in the same body.
+
+func (r *Relation) Append(v int) {
+	r.tuples = append(r.tuples, v)
+	r.bumpGen()
+}
+
+func (r *Relation) SetComputed(name string, v int) {
+	if r.computed == nil {
+		r.computed = map[string]int{}
+	}
+	r.computed[name] = v
+	r.bumpGen()
+}
+
+// Broken mutators: the deliberate bugs the analyzer must catch.
+
+func (r *Relation) BrokenAppend(v int) { // want `BrokenAppend writes r\.tuples but never calls r\.bumpGen`
+	r.tuples = append(r.tuples, v)
+}
+
+func (r *Relation) BrokenUpdate(i, v int) { // want `BrokenUpdate writes r\.tuples but never calls r\.bumpGen`
+	r.tuples[i] = v
+}
+
+func (r *Relation) BrokenDropComputed(name string) { // want `BrokenDropComputed writes r\.computed but never calls r\.bumpGen`
+	delete(r.computed, name)
+	r.computed = r.computed
+}
+
+func (rel Relation) BrokenValueWrite(v int) { // want `BrokenValueWrite writes rel\.tuples but never calls rel\.bumpGen`
+	rel.tuples = append(rel.tuples, v)
+}
+
+// Shapes that must stay clean.
+
+// Len only reads.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Clone writes a fresh relation through a local, not the receiver.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{}
+	out.tuples = append(out.tuples, r.tuples...)
+	return out
+}
+
+// Gen writes a non-stamped field; only tuples/computed need bumps.
+func (r *Relation) Touch() { r.gen = r.gen }
+
+// merge is a plain function, not a method; receiver rules don't apply.
+func merge(dst *Relation, src *Relation) {
+	dst.tuples = append(dst.tuples, src.tuples...)
+}

@@ -1,0 +1,32 @@
+// Fixture for the obsnames analyzer. The import is resolved purely
+// syntactically, so this file never has to compile against the real
+// registry — but the constant set is read from the repo's actual
+// internal/obs/names.go, so the "declared" cases below must name real
+// constants.
+package use
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+func instrumented(d time.Duration) {
+	obs.Inc(obs.EvalFires)                // declared: clean
+	obs.Observe(obs.EvalFireNS, d)        // declared: clean
+	sp := obs.StartSpan(obs.SpanEvalWave) // declared: clean
+	sp2 := obs.StartSpanOn(2, obs.SpanEvalWorker, "worker", "0")
+	_ = sp
+	_ = sp2
+
+	obs.Inc("eval.fires")             // want `obs\.Inc called with string literal "eval\.fires"`
+	obs.Add("eval.waves", 1)          // want `obs\.Add called with string literal "eval\.waves"`
+	obs.StartSpan("eval.wave")        // want `obs\.StartSpan called with string literal "eval\.wave"`
+	obs.StartSpanOn(3, "eval.worker") // want `obs\.StartSpanOn called with string literal "eval\.worker"`
+
+	obs.Inc(obs.NoSuchCounter)        // want `obs\.NoSuchCounter is not declared`
+	obs.StartSpan(obs.SpanNoSuchSpan) // want `obs\.SpanNoSuchSpan is not declared`
+
+	name := "eval.fires"
+	obs.Inc(name) // variables pass through: resolving them needs types
+}

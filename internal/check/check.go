@@ -1,0 +1,307 @@
+// Package check is the compiler-style front end for boxes-and-arrows
+// programs: it analyzes a dataflow.Graph (or an encapsulated definition)
+// without evaluating it and reports every problem at once as a list of
+// coded, located Diagnostics — the static counterpart of the lazy
+// evaluator's one-error-at-a-time plan failures. The paper specifies a
+// typed language (typed ports, the displayable lattice R -> C -> G with
+// operator lifting, graphical procedures with hole signatures); this
+// package machine-checks those rules the way a DBMS validates a query
+// before executing it.
+//
+// Diagnostic codes are stable: tools (tioga-vet, the shell's check
+// command, CI) key on them, and DESIGN.md §10 documents the table.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataflow"
+)
+
+// Code identifies one diagnostic rule. Codes are append-only: a rule may
+// be retired but its code is never reused.
+type Code string
+
+// The diagnostic code table (documented in DESIGN.md §10).
+const (
+	CodeCycle        Code = "TV001" // program graph contains a cycle
+	CodeUnconnected  Code = "TV002" // input port has no incoming edge
+	CodePortType     Code = "TV003" // edge or lifted operator violates port typing
+	CodeDeadBox      Code = "TV004" // box output is computed but never consumed
+	CodeHoleMismatch Code = "TV005" // encapsulated hole signature inconsistent
+	CodeBadParam     Code = "TV006" // parameters fail the kind's port derivation
+	CodeUnknownKind  Code = "TV007" // box kind not in the registry
+	CodeDanglingEdge Code = "TV008" // edge references a missing box or port
+	CodeDupInput     Code = "TV009" // two edges feed the same input port
+)
+
+// Severity grades a diagnostic. Errors make a program unrunnable (Eval
+// would fail or misbehave); warnings flag suspicious but legal shapes.
+type Severity int
+
+// Severity levels.
+const (
+	Warning Severity = iota + 1
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is one located finding: which rule fired, where (box and
+// port when applicable), and why.
+type Diagnostic struct {
+	Code     Code
+	Severity Severity
+	Box      int    // box id, or -1 for program-level findings
+	Port     int    // port index, or -1 when not port-specific
+	Kind     string // box kind when known
+	Message  string
+}
+
+// String renders the canonical single-line form:
+//
+//	TV002 error box 4 (join) port 1: input not connected
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", d.Code, d.Severity)
+	if d.Box >= 0 {
+		kind := d.Kind
+		if kind == "" {
+			kind = "?"
+		}
+		fmt.Fprintf(&b, " box %d (%s)", d.Box, kind)
+	}
+	if d.Port >= 0 {
+		fmt.Fprintf(&b, " port %d", d.Port)
+	}
+	fmt.Fprintf(&b, ": %s", d.Message)
+	return b.String()
+}
+
+// HasErrors reports whether any diagnostic is of Error severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Program checks a whole program and returns every diagnostic in
+// deterministic (box, port, code) order. It layers the graph-wide
+// analyses — dead boxes, lifted-operator type inference — on top of the
+// structural validation shared with the evaluator's pre-flight
+// (dataflow.ValidateGraph).
+func Program(g *dataflow.Graph) []Diagnostic {
+	diags := FromDataflow(dataflow.ValidateGraph(g))
+	diags = append(diags, deadBoxes(g)...)
+	diags = append(diags, liftChecks(g)...)
+	Sort(diags)
+	return diags
+}
+
+// ProgramData checks serialized program data: it loads permissively (so
+// corrupt programs — the ones worth vetting — still parse), then merges
+// loader-level findings (duplicate ids, duplicate input edges) with the
+// full Program analysis. The error is non-nil only for undecodable JSON.
+func ProgramData(reg *dataflow.Registry, data []byte) ([]Diagnostic, error) {
+	g, loadDiags, err := dataflow.UnmarshalPermissive(reg, data)
+	if err != nil {
+		return nil, err
+	}
+	diags := FromDataflow(loadDiags)
+	diags = append(diags, Program(g)...)
+	Sort(diags)
+	return diags, nil
+}
+
+// FromDataflow maps the evaluator-layer aggregate (dataflow.Diagnostics,
+// sentinel causes under *dataflow.Error wrappers) onto coded
+// Diagnostics, so both layers report one vocabulary.
+func FromDataflow(in dataflow.Diagnostics) []Diagnostic {
+	out := make([]Diagnostic, 0, len(in))
+	for _, e := range in {
+		d := Diagnostic{Box: e.Box, Port: e.Port, Kind: e.Kind, Severity: Error, Message: e.Err.Error()}
+		switch {
+		case errors.Is(e, dataflow.ErrCycle):
+			d.Code = CodeCycle
+		case errors.Is(e, dataflow.ErrUnconnected):
+			d.Code = CodeUnconnected
+		case errors.Is(e, dataflow.ErrPortType), errors.Is(e, dataflow.ErrNoSuchPort):
+			d.Code = CodePortType
+		case errors.Is(e, dataflow.ErrBadParam):
+			d.Code = CodeBadParam
+		case errors.Is(e, dataflow.ErrUnknownKind):
+			d.Code = CodeUnknownKind
+		case errors.Is(e, dataflow.ErrDanglingEdge):
+			d.Code = CodeDanglingEdge
+		case errors.Is(e, dataflow.ErrDuplicateInput):
+			d.Code = CodeDupInput
+		default:
+			// Loader-level findings without a sentinel (duplicate box ids)
+			// are structural corruption too.
+			d.Code = CodeDanglingEdge
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// deadBoxes warns about boxes whose declared outputs are all
+// unconnected: their computation can never reach a viewer or another
+// box. Zero-output kinds (viewer) are sinks by shape and exempt; a box
+// with some outputs consumed and others free (switch, partition, T) is
+// normal control flow and not flagged.
+func deadBoxes(g *dataflow.Graph) []Diagnostic {
+	var out []Diagnostic
+	for _, b := range g.Boxes() {
+		if len(b.Out) == 0 {
+			continue
+		}
+		if len(g.OutputEdges(b.ID)) == 0 {
+			out = append(out, Diagnostic{
+				Code: CodeDeadBox, Severity: Warning, Box: b.ID, Port: -1, Kind: b.Kind,
+				Message: fmt.Sprintf("dead box: none of its %d output(s) is connected", len(b.Out)),
+			})
+		}
+	}
+	return out
+}
+
+// liftChecks statically resolves the operator wrapped by each lift box
+// (liftc, liftg) and type-checks it against the paper's equivalences
+// R = Composite(R), C = Group(C): the inner operator must be R -> R for
+// the lifting to reassemble the composite or group. The evaluator only
+// discovers a violation when the box fires; here it is a TV003 before
+// anything runs.
+func liftChecks(g *dataflow.Graph) []Diagnostic {
+	var out []Diagnostic
+	reg := g.Registry()
+	for _, b := range g.Boxes() {
+		if b.Kind != "liftc" && b.Kind != "liftg" {
+			continue
+		}
+		inner := b.Params.Str("kind", "")
+		if inner == "" {
+			out = append(out, Diagnostic{
+				Code: CodeBadParam, Severity: Error, Box: b.ID, Port: -1, Kind: b.Kind,
+				Message: "lift box has no 'kind' parameter naming the wrapped operator",
+			})
+			continue
+		}
+		k, err := reg.Kind(inner)
+		if err != nil {
+			out = append(out, Diagnostic{
+				Code: CodeUnknownKind, Severity: Error, Box: b.ID, Port: -1, Kind: b.Kind,
+				Message: fmt.Sprintf("lifted operator %q is not a registered kind", inner),
+			})
+			continue
+		}
+		iin, iout, err := k.Ports(innerParams(b.Params))
+		if err != nil {
+			out = append(out, Diagnostic{
+				Code: CodeBadParam, Severity: Error, Box: b.ID, Port: -1, Kind: b.Kind,
+				Message: fmt.Sprintf("lifted operator %q rejects its op.* parameters: %v", inner, err),
+			})
+			continue
+		}
+		if len(iin) != 1 || len(iout) != 1 || !iin[0].Equal(dataflow.RType) || !iout[0].Equal(dataflow.RType) {
+			out = append(out, Diagnostic{
+				Code: CodePortType, Severity: Error, Box: b.ID, Port: -1, Kind: b.Kind,
+				Message: fmt.Sprintf("lifted operator %q is %s, not R -> R: %s lifting applies an R operation inside a %s",
+					inner, signature(iin, iout), b.Kind, liftTarget(b.Kind)),
+			})
+		}
+		for _, key := range []string{"member", "layer"} {
+			if _, err := b.Params.Int(key, 0); err != nil {
+				out = append(out, Diagnostic{
+					Code: CodeBadParam, Severity: Error, Box: b.ID, Port: -1, Kind: b.Kind,
+					Message: fmt.Sprintf("bad %q selection: %v", key, err),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// innerParams strips the "op." prefix under which a lift box nests the
+// wrapped operator's own parameters (mirrors dataflow's fire-time
+// unwrapping).
+func innerParams(p dataflow.Params) dataflow.Params {
+	out := dataflow.Params{}
+	for k, v := range p {
+		if rest, ok := strings.CutPrefix(k, "op."); ok {
+			out[rest] = v
+		}
+	}
+	return out
+}
+
+// signature renders a port shape like "C -> C" or "R,R -> R".
+func signature(in, out []dataflow.PortType) string {
+	var b strings.Builder
+	for i, t := range in {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString(" -> ")
+	for i, t := range out {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+func liftTarget(kind string) string {
+	if kind == "liftc" {
+		return "composite"
+	}
+	return "group"
+}
+
+// Sort orders diagnostics deterministically: by box, then port, then
+// code, then message.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Box != b.Box {
+			return a.Box < b.Box
+		}
+		if a.Port != b.Port {
+			return a.Port < b.Port
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Render formats diagnostics one per line, each prefixed with label
+// (typically the program file or name) when non-empty.
+func Render(label string, diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		if label != "" {
+			b.WriteString(label)
+			b.WriteString(": ")
+		}
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+)
+
+// Def checks an encapsulated box definition — the graphical procedure of
+// Section 4.1, "something akin to a macro or (more accurately) a
+// higher-order function" — for internal consistency before it is ever
+// instantiated: local box indices resolve, ordinary boxes have known
+// kinds with valid parameters, hole placeholders map one-to-one onto the
+// declared hole signatures, and the ports edges and boundary references
+// use on each placeholder stay within that hole's signature. Instantiate
+// re-validates fillers at expansion time; Def catches a corrupt stored
+// definition the moment it is loaded or vetted.
+func Def(reg *dataflow.Registry, def *dataflow.EncapDef) []Diagnostic {
+	var out []Diagnostic
+	report := func(code Code, box int, kind, format string, args ...interface{}) {
+		out = append(out, Diagnostic{
+			Code: code, Severity: Error, Box: box, Port: -1, Kind: kind,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Hole placeholders: every BoxSpec.Hole must index a declared hole,
+	// and every declared hole must have exactly one placeholder.
+	holeBox := make(map[int]int) // hole index -> local box index
+	for i, b := range def.Boxes {
+		if b.Hole < 0 {
+			if !reg.Has(b.Kind) {
+				report(CodeUnknownKind, i, b.Kind, "definition %q box %d: unknown kind %q", def.Name, i, b.Kind)
+				continue
+			}
+			k, _ := reg.Kind(b.Kind)
+			if _, _, err := k.Ports(b.Params); err != nil {
+				report(CodeBadParam, i, b.Kind, "definition %q box %d (%s): %v", def.Name, i, b.Kind, err)
+			}
+			continue
+		}
+		if b.Hole >= len(def.Holes) {
+			report(CodeHoleMismatch, i, "hole", "definition %q box %d names hole %d; only %d hole(s) declared",
+				def.Name, i, b.Hole, len(def.Holes))
+			continue
+		}
+		if prev, dup := holeBox[b.Hole]; dup {
+			report(CodeHoleMismatch, i, "hole", "definition %q: hole %d has two placeholders (boxes %d and %d)",
+				def.Name, b.Hole, prev, i)
+			continue
+		}
+		holeBox[b.Hole] = i
+	}
+	for hi := range def.Holes {
+		if _, ok := holeBox[hi]; !ok {
+			report(CodeHoleMismatch, -1, "", "definition %q: hole %d has no placeholder box", def.Name, hi)
+		}
+	}
+
+	// Edge and boundary references must land on existing local boxes, and
+	// the ports they use on a placeholder must fit the hole's signature.
+	// usedIn/usedOut track the highest port touched per placeholder so a
+	// signature shorter than its usage is reported once, precisely.
+	inBox := func(i int) bool { return i >= 0 && i < len(def.Boxes) }
+	checkHolePort := func(local, port int, input bool, what string) {
+		if !inBox(local) || def.Boxes[local].Hole < 0 {
+			return
+		}
+		h := def.Holes[def.Boxes[local].Hole]
+		sig, dir := len(h.Out), "output"
+		if input {
+			sig, dir = len(h.In), "input"
+		}
+		if port >= sig {
+			report(CodeHoleMismatch, local, "hole",
+				"definition %q: %s uses %s %d of hole %d, whose signature declares %d %s(s)",
+				def.Name, what, dir, port, def.Boxes[local].Hole, sig, dir)
+		}
+	}
+	for _, e := range def.Edges {
+		if !inBox(e.From) || !inBox(e.To) {
+			report(CodeDanglingEdge, -1, "", "definition %q: edge %s references a box outside 0..%d",
+				def.Name, e, len(def.Boxes)-1)
+			continue
+		}
+		checkHolePort(e.From, e.FromPort, false, fmt.Sprintf("edge %s", e))
+		checkHolePort(e.To, e.ToPort, true, fmt.Sprintf("edge %s", e))
+	}
+	for i, p := range def.Inputs {
+		if !inBox(p.Box) {
+			report(CodeDanglingEdge, -1, "", "definition %q: input %d references missing box %d", def.Name, i, p.Box)
+			continue
+		}
+		checkHolePort(p.Box, p.Port, true, fmt.Sprintf("exposed input %d", i))
+	}
+	for i, p := range def.Outputs {
+		if !inBox(p.Box) {
+			report(CodeDanglingEdge, -1, "", "definition %q: output %d references missing box %d", def.Name, i, p.Box)
+			continue
+		}
+		checkHolePort(p.Box, p.Port, false, fmt.Sprintf("exposed output %d", i))
+	}
+
+	Sort(out)
+	return out
+}

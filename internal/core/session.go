@@ -75,7 +75,7 @@ func decodeSlider(p [2]float64) geom.Range {
 // its view state under the given name.
 func (env *Environment) SaveSession(name string) error {
 	obs.Inc(obs.CoreSessionSaves)
-	sp := obs.StartSpan("core.session_save", "session", name)
+	sp := obs.StartSpan(obs.SpanCoreSessionSave, "session", name)
 	defer sp.End()
 	prog, err := dataflow.Marshal(env.Program)
 	if err != nil {
@@ -120,7 +120,7 @@ func (env *Environment) SaveSession(name string) error {
 // session's. Existing canvases are removed first.
 func (env *Environment) LoadSession(name string) error {
 	obs.Inc(obs.CoreSessionLoads)
-	sp := obs.StartSpan("core.session_load", "session", name)
+	sp := obs.StartSpan(obs.SpanCoreSessionLoad, "session", name)
 	defer sp.End()
 	data, err := env.DB.LoadProgram(sessionPrefix + name)
 	if err != nil {

@@ -3,6 +3,7 @@ package dataflow
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // Sentinel causes for evaluator errors. They sit behind an *Error wrapper
@@ -23,6 +24,22 @@ var (
 	// ErrNoData is returned when an upstream firing produced no value on
 	// a demanded output.
 	ErrNoData = errors.New("no data on output")
+	// ErrPortType is returned when an edge's source output type cannot
+	// flow into its destination input type (no R->C->G promotion applies).
+	// Connect refuses such edges, so only a corrupt load can produce one.
+	ErrPortType = errors.New("port type mismatch")
+	// ErrDanglingEdge is returned when an edge references a box or port
+	// that does not exist — structural corruption in serialized data.
+	ErrDanglingEdge = errors.New("edge references missing box or port")
+	// ErrDuplicateInput is returned when serialized data wires two edges
+	// into the same input port.
+	ErrDuplicateInput = errors.New("input connected twice")
+	// ErrUnknownKind is returned when a box names a kind the registry
+	// does not provide.
+	ErrUnknownKind = errors.New("unknown box kind")
+	// ErrBadParam is returned when a box's parameters fail its kind's
+	// port derivation.
+	ErrBadParam = errors.New("bad box parameters")
 )
 
 // Error is the typed evaluation error: which box failed, on which port,
@@ -52,6 +69,54 @@ func (e *Error) Error() string {
 
 // Unwrap exposes the cause to errors.Is / errors.As.
 func (e *Error) Unwrap() error { return e.Err }
+
+// Diagnostics aggregates every problem a validation pass found, in
+// deterministic (box, port) order. It implements error and multi-unwrap,
+// so errors.Is sees through an aggregate to each sentinel cause at once:
+// a program containing both a cycle and a dangling input satisfies
+// errors.Is(err, ErrCycle) and errors.Is(err, ErrUnconnected).
+type Diagnostics []*Error
+
+// Error implements the error interface, summarizing every diagnostic.
+func (d Diagnostics) Error() string {
+	switch len(d) {
+	case 0:
+		return "dataflow: no diagnostics"
+	case 1:
+		return d[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataflow: %d diagnostics:", len(d))
+	for _, e := range d {
+		b.WriteString("\n\t")
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes every diagnostic to errors.Is / errors.As.
+func (d Diagnostics) Unwrap() []error {
+	out := make([]error, len(d))
+	for i, e := range d {
+		out[i] = e
+	}
+	return out
+}
+
+// AsError returns nil for an empty list, the sole diagnostic unchanged
+// for a singleton (preserving exact box/port attribution for callers
+// using errors.As), and otherwise an *Error attributed to the first
+// diagnostic's box that wraps the whole list.
+func (d Diagnostics) AsError() error {
+	switch len(d) {
+	case 0:
+		return nil
+	case 1:
+		return d[0]
+	}
+	first := d[0]
+	return &Error{Box: first.Box, Port: first.Port, Kind: first.Kind, Op: first.Op, Err: d}
+}
 
 // evalErr builds an *Error with no specific port.
 func evalErr(op string, box int, kind string, cause error) *Error {

@@ -37,6 +37,10 @@ type EvalOptions struct {
 	// Label annotates the request's trace span and Result, so concurrent
 	// requests can be told apart in a Chrome trace.
 	Label string
+	// NoPreflight skips the pre-flight validation of the demanded
+	// subgraph, restoring the old behavior of reporting only the first
+	// plan-time error the scheduler trips over.
+	NoPreflight bool
 }
 
 // EvalOption mutates EvalOptions.
@@ -50,6 +54,12 @@ func Serial() EvalOption { return func(o *EvalOptions) { o.Serial = true } }
 
 // WithLabel names the request in traces and results.
 func WithLabel(label string) EvalOption { return func(o *EvalOptions) { o.Label = label } }
+
+// WithoutPreflight opts the request out of pre-flight validation: the
+// scheduler plans directly and reports only the first problem it finds,
+// as it did before the checker existed. Intended for callers that have
+// already validated the program (tioga-vet, load-time checks).
+func WithoutPreflight() EvalOption { return func(o *EvalOptions) { o.NoPreflight = true } }
 
 // Request names what to evaluate: output Port of box Box, or — when
 // Input is set — whatever feeds input Port of box Box (how a viewer box
@@ -96,6 +106,13 @@ type Evaluator struct {
 	cache  map[int][]Value // memoized outputs per box
 	stamps map[int]int64   // dataflow timestamp at which cache entry was computed
 	flight map[int]*flight // in-progress firings, for cross-request coalescing
+
+	// Pre-flight validation memo: checked[id] is the (possibly nil)
+	// aggregate diagnostic for target id, valid while the graph clock
+	// stays at checkClock. Renders demand the same target every frame, so
+	// the steady-state cost of pre-flight is one map lookup.
+	checked    map[int]error
+	checkClock int64
 
 	// Stats is guarded by mu; read it only between evaluations.
 	Stats EvalStats
@@ -224,6 +241,12 @@ func (e *Evaluator) Eval(ctx context.Context, req Request, opts ...EvalOption) (
 		return Result{Label: o.Label}, evalPortErr("request", target, port, b.Kind, ErrNoSuchPort)
 	}
 
+	if !o.NoPreflight {
+		if err := e.preflight(target); err != nil {
+			return Result{Label: o.Label}, err
+		}
+	}
+
 	obs.Inc(obs.EvalDemands)
 	var sp *obs.Span
 	if obs.Tracing() {
@@ -231,7 +254,7 @@ func (e *Evaluator) Eval(ctx context.Context, req Request, opts ...EvalOption) (
 		if o.Label != "" {
 			args = append(args, "label", o.Label)
 		}
-		sp = obs.StartSpan("eval.demand", args...)
+		sp = obs.StartSpan(obs.SpanEvalDemand, args...)
 	}
 	t := obs.StartTimer(obs.EvalDemandNS)
 	vals, res, err := e.evalTarget(ctx, target, o)
@@ -254,6 +277,35 @@ func (e *Evaluator) Eval(ctx context.Context, req Request, opts ...EvalOption) (
 	}
 	res.Value = v
 	return res, nil
+}
+
+// preflight validates the demanded subgraph before any box fires,
+// aggregating every plan-time problem — cycles, unconnected inputs,
+// type-incompatible edges, unknown kinds, bad parameters — into one
+// *Error (errors.Is sees each sentinel cause). Verdicts are memoized per
+// target against the graph's mutation clock, so repeated demands on an
+// unchanged program cost a map lookup.
+func (e *Evaluator) preflight(target int) error {
+	g := e.g
+	e.mu.Lock()
+	if e.checked == nil || e.checkClock != g.Clock() {
+		e.checked = make(map[int]error)
+		e.checkClock = g.Clock()
+	}
+	if err, ok := e.checked[target]; ok {
+		e.mu.Unlock()
+		return err
+	}
+	e.mu.Unlock()
+
+	err := ValidateTarget(g, target).AsError()
+
+	e.mu.Lock()
+	if e.checkClock == g.Clock() {
+		e.checked[target] = err
+	}
+	e.mu.Unlock()
+	return err
 }
 
 // EvaluateAll eagerly fires every box in the program, the strategy of

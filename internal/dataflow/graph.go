@@ -104,6 +104,12 @@ func (g *Graph) Edges() []Edge {
 // cache invalidation.
 func (g *Graph) Version(id int) int64 { return g.version[id] }
 
+// Clock returns the graph's global mutation clock: it advances on every
+// structural or parameter change anywhere in the program, so a cached
+// judgment about the graph (the evaluator's pre-flight validation memo)
+// is valid exactly as long as Clock is unchanged.
+func (g *Graph) Clock() int64 { return g.clock }
+
 func (g *Graph) bump(id int) {
 	g.clock++
 	g.version[id] = g.clock

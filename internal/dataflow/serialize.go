@@ -2,6 +2,7 @@ package dataflow
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 )
 
@@ -36,27 +37,62 @@ func Marshal(g *Graph) ([]byte, error) {
 // Unmarshal rebuilds a program against a registry. Box IDs are preserved
 // so saved references (for example a viewer attached to box 7) remain
 // valid.
+//
+// The load is validating: structural corruption — cycles, dangling or
+// duplicate edges, port type mismatches, unknown kinds, bad parameters —
+// is rejected here with every diagnostic aggregated into one error
+// (test with errors.Is against the sentinels), instead of deferring the
+// failure to the first Eval that happens to demand the corrupt region.
+// Unconnected inputs are tolerated: a saved program under construction
+// stays loadable and editable.
 func Unmarshal(reg *Registry, data []byte) (*Graph, error) {
+	g, diags, err := UnmarshalPermissive(reg, data)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range ValidateGraph(g) {
+		if errors.Is(d, ErrUnconnected) {
+			continue
+		}
+		diags = append(diags, d)
+	}
+	if err := diags.AsError(); err != nil {
+		return nil, fmt.Errorf("dataflow: corrupt program: %w", err)
+	}
+	return g, nil
+}
+
+// UnmarshalPermissive rebuilds a program without rejecting structural
+// corruption: boxes with unknown kinds keep empty port shapes, and edges
+// are wired exactly as stored, bypassing Connect's type, cycle, and
+// single-edge rules. The returned Diagnostics report problems only the
+// loader can see (duplicate box ids, duplicate input edges); everything
+// else is left for ValidateGraph / internal/check, which is the point:
+// tioga-vet must be able to load a corrupt program in order to diagnose
+// it. The error is non-nil only for undecodable JSON.
+func UnmarshalPermissive(reg *Registry, data []byte) (*Graph, Diagnostics, error) {
 	var pj programJSON
 	if err := json.Unmarshal(data, &pj); err != nil {
-		return nil, fmt.Errorf("dataflow: bad program data: %w", err)
+		return nil, nil, fmt.Errorf("dataflow: bad program data: %w", err)
 	}
 	g := NewGraph(reg)
+	var diags Diagnostics
 	for _, bj := range pj.Boxes {
-		k, err := reg.Kind(bj.Kind)
-		if err != nil {
-			return nil, err
+		if _, dup := g.boxes[bj.ID]; dup {
+			diags = append(diags, evalErr("load", bj.ID, bj.Kind,
+				fmt.Errorf("duplicate box id %d in program", bj.ID)))
+			continue
 		}
 		params := bj.Params
 		if params == nil {
 			params = Params{}
 		}
-		in, out, err := k.Ports(params)
-		if err != nil {
-			return nil, fmt.Errorf("dataflow: load box %d (%s): %w", bj.ID, bj.Kind, err)
-		}
-		if _, dup := g.boxes[bj.ID]; dup {
-			return nil, fmt.Errorf("dataflow: duplicate box id %d in program", bj.ID)
+		var in, out []PortType
+		if k, err := reg.Kind(bj.Kind); err == nil {
+			// Port derivation errors surface as ErrBadParam in validation;
+			// the box is kept with empty shapes so the rest of the program
+			// still loads and gets checked.
+			in, out, _ = k.Ports(params)
 		}
 		label := bj.Label
 		if label == "" {
@@ -69,11 +105,20 @@ func Unmarshal(reg *Registry, data []byte) (*Graph, error) {
 		}
 	}
 	for _, e := range pj.Edges {
-		if err := g.Connect(e.From, e.FromPort, e.To, e.ToPort); err != nil {
-			return nil, fmt.Errorf("dataflow: load edge %s: %w", e, err)
+		if _, taken := g.edges[e.To][e.ToPort]; taken {
+			diags = append(diags, evalPortErr("load", e.To, e.ToPort, "",
+				fmt.Errorf("%w: %s", ErrDuplicateInput, e)))
+			continue
+		}
+		if g.edges[e.To] == nil {
+			g.edges[e.To] = make(map[int]Edge)
+		}
+		g.edges[e.To][e.ToPort] = e
+		if _, ok := g.boxes[e.To]; ok {
+			g.bump(e.To)
 		}
 	}
-	return g, nil
+	return g, diags, nil
 }
 
 // Restore replaces g's contents in place from serialized data, keeping

@@ -1,0 +1,243 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the structural validator beneath the static checker
+// (internal/check), the strict loader (Unmarshal), and the evaluator's
+// pre-flight: a compiler-style front end that walks a program without
+// firing a single box and reports *every* problem at once, instead of
+// the first error the lazy evaluator happens to trip over. Each problem
+// is an *Error carrying box/port attribution and a sentinel cause, so
+// callers route on errors.Is exactly as they do for evaluation errors.
+
+// ValidateGraph checks the whole program: box kinds resolve, parameters
+// derive ports, edges land on existing ports with compatible types, and
+// the graph is acyclic. Unconnected inputs are reported too — callers
+// that tolerate programs under construction (the editor keeps everything
+// runnable while wiring is incomplete) filter those with
+// errors.Is(d, ErrUnconnected).
+func ValidateGraph(g *Graph) Diagnostics {
+	v := &validator{g: g, op: "check"}
+	ids := make([]int, 0, len(g.boxes))
+	for id := range g.boxes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		v.checkBox(id)
+	}
+	for _, id := range ids {
+		b, err := g.Box(id)
+		if err != nil || v.badKind[id] {
+			continue
+		}
+		for port := range b.In {
+			if _, ok := g.InputEdge(id, port); !ok {
+				v.report(evalPortErr(v.op, id, port, b.Kind, ErrUnconnected))
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		v.checkEdge(e)
+	}
+	v.findCycles(ids)
+	return v.finish()
+}
+
+// ValidateTarget checks only the subgraph demanded by target — the same
+// region buildPlan walks — but keeps going after the first problem so a
+// failing Eval can report every plan-time diagnostic in one shot.
+func ValidateTarget(g *Graph, target int) Diagnostics {
+	v := &validator{g: g, op: "plan"}
+	v.walk(target, make(map[int]bool), make(map[int]bool))
+	return v.finish()
+}
+
+// validator accumulates diagnostics over one validation pass.
+type validator struct {
+	g       *Graph
+	op      string
+	diags   Diagnostics
+	badKind map[int]bool // boxes whose kind failed to resolve
+}
+
+func (v *validator) report(e *Error) { v.diags = append(v.diags, e) }
+
+// checkBox validates one box in isolation: its kind resolves and its
+// parameters derive ports.
+func (v *validator) checkBox(id int) {
+	b, err := v.g.Box(id)
+	if err != nil {
+		return
+	}
+	k, err := v.g.registry.Kind(b.Kind)
+	if err != nil {
+		v.report(evalErr(v.op, id, b.Kind, fmt.Errorf("%w %q", ErrUnknownKind, b.Kind)))
+		if v.badKind == nil {
+			v.badKind = make(map[int]bool)
+		}
+		v.badKind[id] = true
+		return
+	}
+	if _, _, err := k.Ports(b.Params); err != nil {
+		v.report(evalErr(v.op, id, b.Kind, fmt.Errorf("%w: %v", ErrBadParam, err)))
+	}
+}
+
+// checkEdge validates one edge: both endpoints exist, the ports are in
+// range, and the source type can flow into the destination (with R->C->G
+// promotion). Edges touching a box with an unresolved kind are skipped —
+// the unknown-kind diagnostic already covers them and their port shapes
+// are meaningless.
+func (v *validator) checkEdge(e Edge) {
+	fb, ferr := v.g.Box(e.From)
+	tb, terr := v.g.Box(e.To)
+	if ferr != nil || terr != nil {
+		kind := ""
+		if tb != nil {
+			kind = tb.Kind
+		}
+		v.report(evalPortErr(v.op, e.To, e.ToPort, kind, fmt.Errorf("%w: %s", ErrDanglingEdge, e)))
+		return
+	}
+	if v.badKind[e.From] || v.badKind[e.To] {
+		return
+	}
+	if e.FromPort < 0 || e.FromPort >= len(fb.Out) {
+		v.report(evalPortErr(v.op, e.From, e.FromPort, fb.Kind, fmt.Errorf("%w: %s names no output of %s", ErrDanglingEdge, e, fb.Kind)))
+		return
+	}
+	if e.ToPort < 0 || e.ToPort >= len(tb.In) {
+		v.report(evalPortErr(v.op, e.To, e.ToPort, tb.Kind, fmt.Errorf("%w: %s names no input of %s", ErrDanglingEdge, e, tb.Kind)))
+		return
+	}
+	if !Compatible(fb.Out[e.FromPort], tb.In[e.ToPort]) {
+		v.report(evalPortErr(v.op, e.To, e.ToPort, tb.Kind,
+			fmt.Errorf("%w: %s output of box %d (%s) cannot feed %s input", ErrPortType,
+				fb.Out[e.FromPort], e.From, fb.Kind, tb.In[e.ToPort])))
+	}
+}
+
+// walk is the plan-scoped traversal: box checks, input connectivity,
+// edge checks, and on-path cycle detection, continuing past errors.
+func (v *validator) walk(id int, done, active map[int]bool) {
+	if done[id] {
+		return
+	}
+	if active[id] {
+		v.report(evalErr(v.op, id, v.kindOf(id), fmt.Errorf("%w: box %d is on its own input path", ErrCycle, id)))
+		return
+	}
+	active[id] = true
+	defer delete(active, id)
+
+	b, err := v.g.Box(id)
+	if err != nil {
+		v.report(evalErr(v.op, id, "", fmt.Errorf("%w: no box %d", ErrDanglingEdge, id)))
+		done[id] = true
+		return
+	}
+	v.checkBox(id)
+	for port := range b.In {
+		e, ok := v.g.InputEdge(id, port)
+		if !ok {
+			v.report(evalPortErr(v.op, id, port, b.Kind, ErrUnconnected))
+			continue
+		}
+		// Visit the producer first so an unresolved upstream kind is known
+		// before the edge's port shapes are judged.
+		v.walk(e.From, done, active)
+		v.checkEdge(e)
+	}
+	done[id] = true
+}
+
+func (v *validator) kindOf(id int) string {
+	if b, err := v.g.Box(id); err == nil {
+		return b.Kind
+	}
+	return ""
+}
+
+// findCycles reports each strongly connected cycle once, attributed to
+// its smallest box id, with the cycle's path in the message. Connect
+// refuses cycles, so any finding here means corrupt serialized data.
+func (v *validator) findCycles(ids []int) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int, len(ids))
+	var stack []int
+	var visit func(id int)
+	visit = func(id int) {
+		color[id] = gray
+		stack = append(stack, id)
+		for _, e := range v.g.OutputEdges(id) {
+			if _, err := v.g.Box(e.To); err != nil {
+				continue // dangling edges are reported separately
+			}
+			switch color[e.To] {
+			case white:
+				visit(e.To)
+			case gray:
+				v.reportCycle(stack, e.To)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[id] = black
+	}
+	for _, id := range ids {
+		if color[id] == white {
+			visit(id)
+		}
+	}
+}
+
+// reportCycle extracts the cycle closed by a back edge to head from the
+// gray stack and reports it once, anchored at its smallest box id.
+func (v *validator) reportCycle(stack []int, head int) {
+	start := 0
+	for i, id := range stack {
+		if id == head {
+			start = i
+			break
+		}
+	}
+	cycle := append([]int(nil), stack[start:]...)
+	anchor, at := cycle[0], 0
+	for i, id := range cycle {
+		if id < anchor {
+			anchor, at = id, i
+		}
+	}
+	// Rotate so the path starts at the anchor, keeping edge order.
+	cycle = append(cycle[at:], cycle[:at]...)
+	var path strings.Builder
+	for _, id := range cycle {
+		fmt.Fprintf(&path, "%d -> ", id)
+	}
+	fmt.Fprintf(&path, "%d", cycle[0])
+	v.report(evalErr(v.op, anchor, v.kindOf(anchor), fmt.Errorf("%w: %s", ErrCycle, path.String())))
+}
+
+// finish orders the diagnostics deterministically: by box, then port,
+// then message.
+func (v *validator) finish() Diagnostics {
+	sort.SliceStable(v.diags, func(i, j int) bool {
+		a, b := v.diags[i], v.diags[j]
+		if a.Box != b.Box {
+			return a.Box < b.Box
+		}
+		if a.Port != b.Port {
+			return a.Port < b.Port
+		}
+		return a.Err.Error() < b.Err.Error()
+	})
+	return v.diags
+}

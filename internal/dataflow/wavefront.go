@@ -109,7 +109,7 @@ func (e *Evaluator) evalTarget(ctx context.Context, target int, o EvalOptions) (
 		}
 		var sp *obs.Span
 		if obs.Tracing() {
-			sp = obs.StartSpan("eval.wave",
+			sp = obs.StartSpan(obs.SpanEvalWave,
 				"wave", strconv.Itoa(w), "boxes", strconv.Itoa(len(level)))
 		}
 		err := e.runLevel(ctx, p, level, o, rs)
@@ -187,7 +187,7 @@ func (e *Evaluator) runLevel(ctx context.Context, p *plan, level []*planNode, o 
 			defer wg.Done()
 			if tracing {
 				// Track 1 is the request; workers get tracks 2+w.
-				sp := obs.StartSpanOn(int64(2+w), "eval.worker", "worker", strconv.Itoa(w))
+				sp := obs.StartSpanOn(int64(2+w), obs.SpanEvalWorker, "worker", strconv.Itoa(w))
 				defer sp.End()
 			}
 			for i := range idx {
@@ -339,7 +339,7 @@ func (e *Evaluator) fire(ctx context.Context, p *plan, n *planNode, rs *runStats
 	}
 	var sp *obs.Span
 	if obs.Tracing() {
-		sp = obs.StartSpan("eval.fire", "box", strconv.Itoa(n.id), "kind", b.Kind)
+		sp = obs.StartSpan(obs.SpanEvalFire, "box", strconv.Itoa(n.id), "kind", b.Kind)
 	}
 	t := obs.StartTimer(obs.EvalFireNS)
 	out, err := k.Fire(e.fc, b.Params, inVals)

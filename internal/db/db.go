@@ -350,7 +350,7 @@ func fromScalar(s scalarSnapshot) types.Value {
 // Save writes the whole database (tables, programs, definitions) to w.
 func (d *Database) Save(w io.Writer) error {
 	obs.Inc(obs.DBSaves)
-	sp := obs.StartSpan("db.save")
+	sp := obs.StartSpan(obs.SpanDBSave)
 	defer sp.End()
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -388,7 +388,7 @@ func (d *Database) Save(w io.Writer) error {
 // Load reads a database snapshot from r, replacing current contents.
 func (d *Database) Load(r io.Reader) error {
 	obs.Inc(obs.DBLoads)
-	sp := obs.StartSpan("db.load")
+	sp := obs.StartSpan(obs.SpanDBLoad)
 	defer sp.End()
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {

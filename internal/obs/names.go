@@ -64,3 +64,34 @@ const (
 	CoreSessionSaves = "core.session_saves"
 	CoreSessionLoads = "core.session_loads"
 )
+
+// Canonical span names, same taxonomy as the metrics above. Call sites
+// must use these constants rather than string literals — the obsnames
+// analyzer (internal/analyzers, run by cmd/tioga-lint) enforces it, so
+// the registry stays the single spelling authority for everything the
+// trace viewer and tests key on.
+const (
+	// Dataflow evaluation (internal/dataflow).
+	SpanEvalDemand = "eval.demand" // one top-level Eval request
+	SpanEvalWave   = "eval.wave"   // one wavefront level of a request
+	SpanEvalWorker = "eval.worker" // one worker goroutine of a level
+	SpanEvalFire   = "eval.fire"   // one box firing
+
+	// Viewer rendering (internal/viewer).
+	SpanRenderFrame             = "render.frame"
+	SpanRenderCull              = "render.cull"
+	SpanRenderDisplayEval       = "render.display_eval"
+	SpanRenderDisplayEvalWorker = "render.display_eval.worker"
+	SpanRenderPaint             = "render.paint"
+	SpanRenderWormhole          = "render.wormhole"
+	SpanRenderSpatialBuild      = "render.spatial_build"
+
+	// Database (internal/db).
+	SpanDBSave = "db.save"
+	SpanDBLoad = "db.load"
+
+	// Session / environment (internal/core).
+	SpanCoreUpdate      = "core.update"
+	SpanCoreSessionSave = "core.session_save"
+	SpanCoreSessionLoad = "core.session_load"
+)

@@ -191,7 +191,7 @@ func (v *Viewer) spatialIndex(ext *display.Extended, gen display.Gen) *spatial.G
 	}
 	var span *obs.Span
 	if obs.Tracing() {
-		span = obs.StartSpan("render.spatial_build", "layer", ext.Label)
+		span = obs.StartSpan(obs.SpanRenderSpatialBuild, "layer", ext.Label)
 	}
 	t := obs.StartTimer(obs.RenderSpatialBuildNS)
 	g := spatial.Build(ext.Rel.Len(), func(i int) (float64, float64) {

@@ -88,7 +88,7 @@ func (v *Viewer) RenderInto(img *raster.Image) (RenderStats, error) {
 	defer stats.publish()
 	var frameSpan *obs.Span
 	if obs.Tracing() {
-		frameSpan = obs.StartSpan("render.frame", "viewer", v.Name)
+		frameSpan = obs.StartSpan(obs.SpanRenderFrame, "viewer", v.Name)
 	}
 	defer frameSpan.End()
 	frameTimer := obs.StartTimer(obs.RenderFrameNS)
@@ -243,7 +243,7 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 		// the relation changing, so indexing them would thrash.
 		var cullSpan *obs.Span
 		if obs.Tracing() {
-			cullSpan = obs.StartSpan("render.cull",
+			cullSpan = obs.StartSpan(obs.SpanRenderCull,
 				"member", strconv.Itoa(member), "layer", strconv.Itoa(li), "depth", strconv.Itoa(depth))
 		}
 		n := ext.Rel.Len()
@@ -299,7 +299,7 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 		// order, so output is identical either way.
 		var evalSpan *obs.Span
 		if obs.Tracing() {
-			evalSpan = obs.StartSpan("render.display_eval",
+			evalSpan = obs.StartSpan(obs.SpanRenderDisplayEval,
 				"member", strconv.Itoa(member), "layer", strconv.Itoa(li), "rows", strconv.Itoa(len(rows)))
 		}
 		evalTimer := obs.StartTimer(obs.RenderDisplayEvalNS)
@@ -342,7 +342,7 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 		// Pass 3: paint in drawing order.
 		var paintSpan *obs.Span
 		if obs.Tracing() {
-			paintSpan = obs.StartSpan("render.paint",
+			paintSpan = obs.StartSpan(obs.SpanRenderPaint,
 				"member", strconv.Itoa(member), "layer", strconv.Itoa(li))
 		}
 		for vi, row := range rows {
@@ -523,7 +523,7 @@ func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, 
 	obs.Inc(obs.RenderWormholes)
 	var whSpan *obs.Span
 	if obs.Tracing() {
-		whSpan = obs.StartSpan("render.wormhole",
+		whSpan = obs.StartSpan(obs.SpanRenderWormhole,
 			"dest", wh.DestCanvas, "depth", strconv.Itoa(depth))
 	}
 	defer whSpan.End()
@@ -622,7 +622,7 @@ func (v *Viewer) evalDisplays(ext *display.Extended, rows []int, idx []int, list
 			defer wg.Done()
 			if tracing {
 				// Track 1 is the render loop; workers get tracks 2+w.
-				sp := obs.StartSpanOn(int64(2+w), "render.display_eval.worker",
+				sp := obs.StartSpanOn(int64(2+w), obs.SpanRenderDisplayEvalWorker,
 					"worker", strconv.Itoa(w), "rows", strconv.Itoa(hi-lo))
 				defer sp.End()
 			}
