@@ -698,3 +698,76 @@ func BenchmarkParallelDisplayEval(b *testing.B) {
 		})
 	}
 }
+
+// --- query fast path: compiled closures vs the interpreter ------------
+
+// queryEngineModes runs fn twice as sub-benchmarks: under the full query
+// fast path (compiled closures, materialized computed attributes) and
+// under the ablated baseline (tree-walking interpreter, serial scans).
+func queryEngineModes(b *testing.B, fn func(b *testing.B)) {
+	b.Run("compiled", fn)
+	b.Run("interpreted", func(b *testing.B) {
+		prevC := rel.SetCompileDisabled(true)
+		prevW := rel.SetScanWorkers(1)
+		defer func() {
+			rel.SetCompileDisabled(prevC)
+			rel.SetScanWorkers(prevW)
+		}()
+		fn(b)
+	})
+}
+
+// benchQueryStations is a Stations relation with the computed attributes
+// the query benchmarks lean on: the interpreter re-walks a computed
+// definition at every reference, the compiled path materializes each
+// once per row.
+func benchQueryStations(b *testing.B, rows int) *rel.Relation {
+	b.Helper()
+	st := workload.Stations(rows, benchSeed)
+	mustB(b, st.AddComputed("dist2", expr.MustParse(
+		"(longitude + 92.0) * (longitude + 92.0) + (latitude - 31.0) * (latitude - 31.0)")))
+	mustB(b, st.AddComputed("score", expr.MustParse("dist2 * 0.5 + altitude / 100.0")))
+	return st
+}
+
+func BenchmarkRestrictCompiledVsInterpreted(b *testing.B) {
+	st := benchQueryStations(b, 8000)
+	pred := expr.MustParse("score > 2.0 and dist2 < 4000.0 and score + dist2 * 0.25 < 9000.0")
+	queryEngineModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rel.Restrict(st, pred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMapColumnCompiledVsInterpreted(b *testing.B) {
+	st := benchQueryStations(b, 8000)
+	def := expr.MustParse("score * 2.0 + dist2 / 10.0 + altitude")
+	queryEngineModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rel.MapColumn(st, "altitude", def); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkJoinCompiledVsInterpreted(b *testing.B) {
+	st := workload.Stations(8000, benchSeed)
+	mustB(b, st.AddComputed("elev_adj", expr.MustParse("altitude / 1000.0 + latitude * 0.1")))
+	obsRel, err := workload.Observations(st, 4, 43)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mustB(b, obsRel.AddComputed("degf", expr.MustParse("temperature * 1.8 + 32.0")))
+	pred := expr.MustParse("id = station_id and degf > 60.0 and degf < 110.0 and precipitation * 25.4 < elev_adj * 100.0 + degf - 30.0")
+	queryEngineModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rel.Join(st, obsRel, pred, rel.JoinHash); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

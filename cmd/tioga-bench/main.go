@@ -61,6 +61,7 @@ func main() {
 	out := flag.String("o", "BENCH_obs.json", "output JSON file")
 	parallelOut := flag.String("parallel-out", "BENCH_parallel_eval.json", "output JSON file for the serial-vs-parallel eval comparison")
 	renderOut := flag.String("render-out", "BENCH_render.json", "output JSON file for the cached-vs-uncached render comparison")
+	queryOut := flag.String("query-out", "BENCH_query.json", "output JSON file for the compiled-vs-interpreted query pipeline comparison")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per workload")
 	quick := flag.Bool("quick", false, "CI smoke mode: small datasets and short benchtime")
 	verbose := flag.Bool("v", false, "print results as they complete")
@@ -83,6 +84,10 @@ func main() {
 		os.Exit(1)
 	}
 	if err := runRenderBench(*renderOut, *quick, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
+		os.Exit(1)
+	}
+	if err := runQueryBench(*queryOut, *quick, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
 		os.Exit(1)
 	}
@@ -683,6 +688,240 @@ func runRenderBench(out string, quick, verbose bool) error {
 	fmt.Printf("wrote %s (speedup %.2fx, outputs identical: %v)\n", out, report.Speedup, identical)
 	if !identical {
 		return fmt.Errorf("render: cached and uncached frames differ")
+	}
+	return nil
+}
+
+// queryBenchReport is the compiled-vs-interpreted query pipeline
+// comparison written to BENCH_query.json: a restrict→project→restrict
+// dataflow chain plus a hash join with an arithmetic residual predicate,
+// timed with the full fast path (expression compilation, chain fusion,
+// parallel scans) against the ablated baseline (tree-walking interpreter,
+// per-box firing, serial scans), with the output-identity check the
+// speedup is only meaningful with.
+type queryBenchReport struct {
+	GeneratedBy        string           `json:"generated_by"`
+	Workload           string           `json:"workload"`
+	Rows               int              `json:"rows"`
+	ObservationRows    int              `json:"observation_rows"`
+	NumCPU             int              `json:"num_cpu"`
+	ScanWorkers        int              `json:"scan_workers"`
+	InterpretedNsPerOp int64            `json:"interpreted_ns_per_op"`
+	CompiledNsPerOp    int64            `json:"compiled_ns_per_op"`
+	Speedup            float64          `json:"speedup"`
+	OutputsIdentical   bool             `json:"outputs_identical"`
+	CompiledCounters   map[string]int64 `json:"compiled_counters,omitempty"`
+}
+
+// buildQueryPipeline gives Stations the computed attributes dist2 (a
+// squared distance from a reference point) and score (derived from
+// dist2), then wires table → restrict → project → restrict — the
+// canonical fusible chain — with predicates that reference the computed
+// attributes repeatedly. This is the workload the fast path is built
+// for: the interpreter re-walks a computed definition at every
+// reference, the compiled scan materializes each once per row.
+func buildQueryPipeline(env *core.Environment) (int, error) {
+	st, err := env.DB.Table("Stations")
+	if err != nil {
+		return 0, err
+	}
+	if err := st.AddComputed("dist2", expr.MustParse(
+		"(longitude + 92.0) * (longitude + 92.0) + (latitude - 31.0) * (latitude - 31.0)")); err != nil {
+		return 0, err
+	}
+	if err := st.AddComputed("score", expr.MustParse(
+		"dist2 * 0.5 + altitude / 100.0")); err != nil {
+		return 0, err
+	}
+	tb, err := env.AddBox("table", map[string]string{"name": "Stations"})
+	if err != nil {
+		return 0, err
+	}
+	r1, err := env.AddBox("restrict", map[string]string{
+		"pred": "score > 2.0 and dist2 < 4000.0 and score + dist2 * 0.25 < 9000.0 and dist2 * 0.125 - score / 2.0 < 4500.0",
+	})
+	if err != nil {
+		return 0, err
+	}
+	pb, err := env.AddBox("project", map[string]string{"attrs": "id,name,longitude,latitude,altitude"})
+	if err != nil {
+		return 0, err
+	}
+	r2, err := env.AddBox("restrict", map[string]string{
+		"pred": "(dist2 * 0.5 + score < 6000.0 or score / 4.0 > 1.0) and score - dist2 / 16.0 < 8000.0",
+	})
+	if err != nil {
+		return 0, err
+	}
+	chain := []int{tb.ID, r1.ID, pb.ID, r2.ID}
+	for i := 0; i+1 < len(chain); i++ {
+		if err := env.Connect(chain[i], 0, chain[i+1], 0); err != nil {
+			return 0, err
+		}
+	}
+	return r2.ID, nil
+}
+
+// runQueryBench times the restrict_join_pipeline workload in both engine
+// configurations and writes the comparison report.
+func runQueryBench(out string, quick, verbose bool) error {
+	rows, perStation := 60000, 2
+	if quick {
+		rows, perStation = 8000, 1
+	}
+	env, err := core.NewSeededEnvironment(rows, perStation, 42)
+	if err != nil {
+		return fmt.Errorf("query: seed: %w", err)
+	}
+	tail, err := buildQueryPipeline(env)
+	if err != nil {
+		return fmt.Errorf("query: build: %w", err)
+	}
+	st := workload.Stations(rows, 42)
+	obsRel, err := workload.Observations(st, perStation, 43)
+	if err != nil {
+		return fmt.Errorf("query: observations: %w", err)
+	}
+	// The join residual leans on computed attributes too: degf and
+	// elev_adj are re-derived per candidate pair by the interpreter,
+	// materialized once per pair by the compiled path.
+	if err := st.AddComputed("elev_adj", expr.MustParse("altitude / 1000.0 + latitude * 0.1")); err != nil {
+		return fmt.Errorf("query: computed: %w", err)
+	}
+	if err := obsRel.AddComputed("degf", expr.MustParse("temperature * 1.8 + 32.0")); err != nil {
+		return fmt.Errorf("query: computed: %w", err)
+	}
+	joinPred := expr.MustParse("id = station_id and degf > 60.0 and degf < 110.0 and precipitation * 25.4 < elev_adj * 100.0 + degf - 30.0 and degf * 0.5 + elev_adj * 2.0 < 300.0")
+
+	ctx := context.Background()
+	iterate := func(opts ...dataflow.EvalOption) (dataflow.Value, *rel.Relation, error) {
+		env.Eval.InvalidateAll()
+		res, err := env.Eval.Eval(ctx, dataflow.Request{Box: tail, Port: 0}, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		j, err := rel.Join(st, obsRel, joinPred, rel.JoinHash)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Value, j, nil
+	}
+
+	// The two engine configurations. Baseline ablates every fast-path
+	// layer: interpreter instead of compiled closures, per-box firing
+	// instead of fused scans, one scan worker instead of chunking.
+	workers := runtime.GOMAXPROCS(0)
+	baseline := func() (dataflow.Value, *rel.Relation, error) {
+		prevC := rel.SetCompileDisabled(true)
+		prevW := rel.SetScanWorkers(1)
+		defer func() {
+			rel.SetCompileDisabled(prevC)
+			rel.SetScanWorkers(prevW)
+		}()
+		return iterate(dataflow.WithoutFusion(), dataflow.Serial())
+	}
+	fast := func() (dataflow.Value, *rel.Relation, error) {
+		return iterate(dataflow.Serial()) // scan chunking parallelizes inside the firing
+	}
+
+	// Output identity first (fingerprinting happens here, outside the
+	// timed loop): the speedup claim is vacuous if the engines disagree.
+	stamp := func(v dataflow.Value, j *rel.Relation) (string, error) {
+		fp, err := fingerprint(v)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		sb.WriteString(fp)
+		fmt.Fprintf(&sb, "|join %d\n", j.Len())
+		for i := 0; i < j.Len(); i++ {
+			fmt.Fprintf(&sb, "%v\n", j.Tuple(i))
+		}
+		return sb.String(), nil
+	}
+	bv, bj, err := baseline()
+	if err != nil {
+		return fmt.Errorf("query: interpreted eval: %w", err)
+	}
+	baseFP, err := stamp(bv, bj)
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	fv, fj, err := fast()
+	if err != nil {
+		return fmt.Errorf("query: compiled eval: %w", err)
+	}
+	fastFP, err := stamp(fv, fj)
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	identical := baseFP == fastFP
+
+	// Counter pass: the compiled configuration's per-iteration profile.
+	obs.Reset()
+	obs.SetEnabled(true)
+	before := obs.TakeSnapshot()
+	if _, _, err := fast(); err != nil {
+		obs.SetEnabled(false)
+		return fmt.Errorf("query: instrumented run: %w", err)
+	}
+	compiledCounters := obs.CounterDelta(before, obs.TakeSnapshot())
+	obs.SetEnabled(false)
+	obs.Reset()
+
+	time_ := func(fn func() (dataflow.Value, *rel.Relation, error)) (int64, error) {
+		var iterErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fn(); err != nil {
+					iterErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if iterErr != nil {
+			return 0, iterErr
+		}
+		return r.NsPerOp(), nil
+	}
+	interpNs, err := time_(baseline)
+	if err != nil {
+		return fmt.Errorf("query: interpreted bench: %w", err)
+	}
+	fastNs, err := time_(fast)
+	if err != nil {
+		return fmt.Errorf("query: compiled bench: %w", err)
+	}
+
+	report := queryBenchReport{
+		GeneratedBy:        "tioga-bench",
+		Workload:           "restrict_join_pipeline",
+		Rows:               rows,
+		ObservationRows:    obsRel.Len(),
+		NumCPU:             runtime.NumCPU(),
+		ScanWorkers:        workers,
+		InterpretedNsPerOp: interpNs,
+		CompiledNsPerOp:    fastNs,
+		Speedup:            float64(interpNs) / float64(fastNs),
+		OutputsIdentical:   identical,
+		CompiledCounters:   compiledCounters,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Printf("%-24s %12d ns/op (interpreted)\n", "query_pipeline", interpNs)
+		fmt.Printf("%-24s %12d ns/op (compiled+fused)\n", "", fastNs)
+	}
+	fmt.Printf("wrote %s (speedup %.2fx, outputs identical: %v)\n", out, report.Speedup, identical)
+	if !identical {
+		return fmt.Errorf("query: interpreted and compiled outputs differ")
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/display"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/rel"
 	"repro/internal/viewer"
 )
 
@@ -922,6 +923,9 @@ func (s *shell) stats() error {
 		}
 		s.printf("canvas %-10s %s\n", name, v.CacheStats())
 	}
+	s.printf("query engine: compile=%s fusion=%s scan_workers=%d threshold=%d\n",
+		onOff(!rel.CompileDisabled()), onOff(!dataflow.FusionDisabled()),
+		rel.ScanWorkers(), rel.ScanThreshold())
 	snap := obs.TakeSnapshot()
 	names := make([]string, 0, len(snap.Counters))
 	for n := range snap.Counters {
@@ -957,6 +961,14 @@ func (s *shell) stats() error {
 		}
 	}
 	return nil
+}
+
+// onOff renders a boolean knob state.
+func onOff(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
 }
 
 // formatNS renders a nanosecond latency with a human unit.

@@ -128,3 +128,27 @@ func TestCleanProgram(t *testing.T) {
 		t.Errorf("clean program produced diagnostics:\n%s", Render("", diags))
 	}
 }
+
+// TestFusedChainStillChecked pins the contract between the static
+// checker and the evaluator's plan-time fusion pass: a fusible
+// restrict→project→restrict chain is checked exactly like any other
+// program. Fusion happens inside the evaluator, after preflight, and is
+// invisible here — so the TV002 and TV004 diagnostics the fused_chain
+// fixture carries alongside its fusible chain must always surface.
+func TestFusedChainStillChecked(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "fused_chain.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := ProgramData(dataflow.NewRegistry(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Code]int{}
+	for _, d := range diags {
+		counts[d.Code]++
+	}
+	if counts[CodeUnconnected] != 1 || counts[CodeDeadBox] != 2 {
+		t.Errorf("want one TV002 and two TV004s, got:\n%s", Render("", diags))
+	}
+}

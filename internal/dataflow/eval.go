@@ -41,6 +41,10 @@ type EvalOptions struct {
 	// subgraph, restoring the old behavior of reporting only the first
 	// plan-time error the scheduler trips over.
 	NoPreflight bool
+	// NoFusion disables the plan-time fusion of adjacent restrict/project
+	// chains into single fused scans (see fuse.go), firing every box
+	// individually — the ablation baseline for the query fast path.
+	NoFusion bool
 }
 
 // EvalOption mutates EvalOptions.
@@ -60,6 +64,11 @@ func WithLabel(label string) EvalOption { return func(o *EvalOptions) { o.Label 
 // as it did before the checker existed. Intended for callers that have
 // already validated the program (tioga-vet, load-time checks).
 func WithoutPreflight() EvalOption { return func(o *EvalOptions) { o.NoPreflight = true } }
+
+// WithoutFusion opts the request out of restrict/project chain fusion,
+// firing every box of the chain individually. Useful as the ablation
+// baseline and for tests that want per-box memo entries.
+func WithoutFusion() EvalOption { return func(o *EvalOptions) { o.NoFusion = true } }
 
 // Request names what to evaluate: output Port of box Box, or — when
 // Input is set — whatever feeds input Port of box Box (how a viewer box
@@ -315,6 +324,7 @@ func (e *Evaluator) EvaluateAll() error {
 	var o EvalOptions
 	o.Serial = true
 	o.Workers = 1
+	o.NoFusion = true // eager mode wants a memo entry for every box
 	for _, b := range e.g.Boxes() {
 		if _, _, err := e.evalTarget(context.Background(), b.ID, o); err != nil {
 			return err

@@ -43,10 +43,11 @@ func TestLazyDemandTouchesOnlyUpstream(t *testing.T) {
 	if _, err := ev.Demand(boxes["project"].ID, 0); err != nil {
 		t.Fatal(err)
 	}
-	// Only the 3 boxes upstream of the demand fired; the second branch
-	// (table2, sample) is untouched — the paper's lazy evaluation.
-	if ev.Stats.Fires != 3 {
-		t.Fatalf("fired %d boxes, want 3", ev.Stats.Fires)
+	// Only the demand's upstream fired — the table plus the fused
+	// restrict→project chain; the second branch (table2, sample) is
+	// untouched — the paper's lazy evaluation.
+	if ev.Stats.Fires != 2 {
+		t.Fatalf("fired %d boxes, want 2 (table + fused chain)", ev.Stats.Fires)
 	}
 }
 
@@ -72,16 +73,16 @@ func TestIncrementalEditRefiresOnlySuffix(t *testing.T) {
 	}
 	base := ev.Stats.Fires
 
-	// Editing the restrict predicate re-fires restrict and project, not
-	// the table.
+	// Editing the restrict predicate re-fires the fused restrict→project
+	// chain (one firing), not the table.
 	if err := g.SetParams(boxes["restrict"].ID, Params{"pred": "state = 'TX'"}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := ev.Demand(boxes["project"].ID, 0); err != nil {
 		t.Fatal(err)
 	}
-	if got := ev.Stats.Fires - base; got != 2 {
-		t.Fatalf("incremental edit re-fired %d boxes, want 2", got)
+	if got := ev.Stats.Fires - base; got != 1 {
+		t.Fatalf("incremental edit re-fired %d boxes, want 1 (fused chain)", got)
 	}
 }
 
@@ -95,8 +96,8 @@ func TestTouchInvalidates(t *testing.T) {
 	if _, err := ev.Demand(boxes["project"].ID, 0); err != nil {
 		t.Fatal(err)
 	}
-	if got := ev.Stats.Fires - base; got != 3 {
-		t.Fatalf("touch re-fired %d boxes, want all 3", got)
+	if got := ev.Stats.Fires - base; got != 2 {
+		t.Fatalf("touch re-fired %d boxes, want all (table + fused chain)", got)
 	}
 }
 

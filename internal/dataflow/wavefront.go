@@ -30,9 +30,14 @@ type planNode struct {
 }
 
 // plan is the demanded subgraph partitioned into dependency levels.
+// fused and inlined are populated by the fusion pass (fuse.go): fused
+// maps a chain tail's id to the steps its firing executes as one scan,
+// inlined marks the chain interiors the wavefront must skip.
 type plan struct {
-	nodes  map[int]*planNode
-	levels [][]*planNode
+	nodes   map[int]*planNode
+	levels  [][]*planNode
+	fused   map[int]*fusedChain
+	inlined map[int]bool
 }
 
 // buildPlan walks upstream from target, detecting cycles and dangling
@@ -97,6 +102,9 @@ func (e *Evaluator) evalTarget(ctx context.Context, target int, o EvalOptions) (
 	if err != nil {
 		return nil, res, err
 	}
+	if !o.NoFusion && !fusionOff.Load() {
+		e.fuseChains(p, target)
+	}
 	res.Waves = len(p.levels)
 	obs.Add(obs.EvalWaves, int64(len(p.levels)))
 
@@ -129,7 +137,7 @@ func (e *Evaluator) evalTarget(ctx context.Context, target int, o EvalOptions) (
 		// The target resolved but its entry vanished (an Invalidate racing
 		// this request); resolve it once more directly.
 		var err error
-		if vals, _, err = e.resolve(ctx, p, n, rs); err != nil {
+		if vals, _, err = e.resolve(ctx, p, n, o, rs); err != nil {
 			rs.fill(&res)
 			return nil, res, err
 		}
@@ -162,11 +170,14 @@ func (e *Evaluator) runLevel(ctx context.Context, p *plan, level []*planNode, o 
 	}
 	if workers <= 1 || len(level) == 1 {
 		for _, n := range level {
+			if p.inlined[n.id] {
+				continue // fused into its downstream consumer's firing
+			}
 			if err := ctx.Err(); err != nil {
 				obs.Inc(obs.EvalCancels)
 				return err
 			}
-			if _, _, err := e.resolve(ctx, p, n, rs); err != nil {
+			if _, _, err := e.resolve(ctx, p, n, o, rs); err != nil {
 				return err
 			}
 		}
@@ -194,7 +205,7 @@ func (e *Evaluator) runLevel(ctx context.Context, p *plan, level []*planNode, o 
 				if lctx.Err() != nil {
 					continue // drain; an error or cancellation already won
 				}
-				if _, _, err := e.resolve(lctx, p, level[i], rs); err != nil {
+				if _, _, err := e.resolve(lctx, p, level[i], o, rs); err != nil {
 					errc <- err
 					cancel()
 				}
@@ -202,6 +213,9 @@ func (e *Evaluator) runLevel(ctx context.Context, p *plan, level []*planNode, o 
 		}(w)
 	}
 	for i := range level {
+		if p.inlined[level[i].id] {
+			continue // fused into its downstream consumer's firing
+		}
 		idx <- i
 	}
 	close(idx)
@@ -228,7 +242,7 @@ func (e *Evaluator) runLevel(ctx context.Context, p *plan, level []*planNode, o 
 // resolve produces box n's outputs: from the memo table when fresh, by
 // joining another request's in-flight firing, or by firing the box. It
 // returns the outputs and the stamp they were computed at.
-func (e *Evaluator) resolve(ctx context.Context, p *plan, n *planNode, rs *runStats) ([]Value, int64, error) {
+func (e *Evaluator) resolve(ctx context.Context, p *plan, n *planNode, o EvalOptions, rs *runStats) ([]Value, int64, error) {
 	for {
 		e.mu.Lock()
 		if vals, ok := e.cache[n.id]; ok && e.stamps[n.id] >= n.stamp {
@@ -273,7 +287,7 @@ func (e *Evaluator) resolve(ctx context.Context, p *plan, n *planNode, rs *runSt
 		e.mu.Unlock()
 		obs.Inc(obs.EvalCacheMiss)
 
-		vals, stamp, err := e.fire(ctx, p, n, rs)
+		vals, stamp, err := e.fire(ctx, p, n, o, rs)
 
 		e.mu.Lock()
 		if err == nil {
@@ -298,8 +312,12 @@ func (e *Evaluator) resolve(ctx context.Context, p *plan, n *planNode, rs *runSt
 
 // fire gathers a box's promoted inputs and executes its kind. Inputs come
 // from the memo table; a missing producer entry (an Invalidate racing the
-// request, or resolve called outside a wavefront) recurses upstream.
-func (e *Evaluator) fire(ctx context.Context, p *plan, n *planNode, rs *runStats) ([]Value, int64, error) {
+// request, or resolve called outside a wavefront) recurses upstream. A
+// chain tail the fusion pass rewrote executes its whole chain instead.
+func (e *Evaluator) fire(ctx context.Context, p *plan, n *planNode, o EvalOptions, rs *runStats) ([]Value, int64, error) {
+	if ch := p.fused[n.id]; ch != nil {
+		return e.fireFused(ctx, p, n, ch, o, rs)
+	}
 	b := n.box
 	stamp := n.stamp
 	inVals := make([]Value, len(b.In))
@@ -315,7 +333,7 @@ func (e *Evaluator) fire(ctx context.Context, p *plan, n *planNode, rs *runStats
 		}
 		if upVals == nil {
 			var err error
-			upVals, upStamp, err = e.resolveProducer(ctx, p, edge.From, rs)
+			upVals, upStamp, err = e.resolveProducer(ctx, p, edge.From, o, rs)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -373,12 +391,14 @@ func (e *Evaluator) cached(id int, stamp int64) ([]Value, int64) {
 // straight from the memo when fresh (the common case — the wavefront
 // resolved it in an earlier level), otherwise by resolving it, reusing
 // the plan's node when available or planning the producer on the fly.
-func (e *Evaluator) resolveProducer(ctx context.Context, p *plan, id int, rs *runStats) ([]Value, int64, error) {
+func (e *Evaluator) resolveProducer(ctx context.Context, p *plan, id int, o EvalOptions, rs *runStats) ([]Value, int64, error) {
 	var n *planNode
 	if p != nil {
 		n = p.nodes[id]
 	}
 	if n == nil {
+		// An on-the-fly sub-plan never fuses: the demanded box itself must
+		// land in the memo table.
 		sub, err := e.buildPlan(id)
 		if err != nil {
 			return nil, 0, err
@@ -386,7 +406,7 @@ func (e *Evaluator) resolveProducer(ctx context.Context, p *plan, id int, rs *ru
 		n = sub.nodes[id]
 		p = sub
 	}
-	return e.resolve(ctx, p, n, rs)
+	return e.resolve(ctx, p, n, o, rs)
 }
 
 // itoa is strconv.Itoa, aliased to keep trace call sites compact.

@@ -1,0 +1,426 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// This file is the expression compiler: it lowers an AST to a tree of
+// closures over a positional tuple, eliminating the per-row costs of the
+// interpreter — interface dispatch per node and string-keyed Env lookups
+// per Ref. Attribute references are resolved to column ordinals once at
+// compile time, constant subtrees are folded, and the common numeric and
+// comparison operators get monomorphic fast paths. Eval remains the
+// semantics of record: compiled closures fall back to the same applyUnary
+// / applyBinary helpers the interpreter uses, and the differential
+// property tests in compile_test.go hold the two modes equal.
+
+// CompileScope resolves attribute references at compile time. ResolveAttr
+// reports how the named attribute reads from a positional tuple: a stored
+// column returns its ordinal (ord >= 0, def nil); a computed attribute
+// returns its defining expression to inline (ord < 0, def non-nil); an
+// unknown name returns ok false, which fails compilation.
+type CompileScope interface {
+	ResolveAttr(name string) (ord int, def Node, ok bool)
+}
+
+// closure is the compiled form of one node: evaluate against a tuple laid
+// out as the scope's stored columns. Closures are pure and goroutine-safe
+// so a compiled expression may be shared across parallel scan workers.
+type closure func(tuple []types.Value) (types.Value, error)
+
+// Compiled is a compiled expression. It is immutable and safe for
+// concurrent use.
+type Compiled struct {
+	fn closure
+}
+
+// Eval evaluates the compiled expression against a tuple.
+func (c *Compiled) Eval(tuple []types.Value) (types.Value, error) { return c.fn(tuple) }
+
+// CompiledPredicate is a compiled boolean expression with the boundary
+// semantics of EvalPredicate: null collapses to false, non-bool results
+// are errors. Immutable and safe for concurrent use.
+type CompiledPredicate struct {
+	node Node
+	fn   closure
+}
+
+// Eval evaluates the compiled predicate against a tuple.
+func (p *CompiledPredicate) Eval(tuple []types.Value) (bool, error) {
+	v, err := p.fn(tuple)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	if v.Kind() != types.Bool {
+		return false, evalErrorf(p.node, "predicate produced %s, want bool", v.Kind())
+	}
+	return v.Bool(), nil
+}
+
+// Compile lowers an expression to a closure over a positional tuple. It
+// fails on names the scope cannot resolve, unknown functions, and
+// over-deep computed-attribute inlining; callers treat a compile failure
+// as "use the interpreter".
+func Compile(n Node, scope CompileScope) (*Compiled, error) {
+	c := &compiler{scope: scope}
+	fn, _, err := c.compile(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{fn: fn}, nil
+}
+
+// CompilePredicate is Compile with EvalPredicate's boundary semantics.
+func CompilePredicate(n Node, scope CompileScope) (*CompiledPredicate, error) {
+	c := &compiler{scope: scope}
+	fn, _, err := c.compile(n)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledPredicate{node: n, fn: fn}, nil
+}
+
+// maxInlineDepth bounds computed-attribute inlining. Relations forbid
+// definition cycles, so this only guards adversarial CompileScope
+// implementations.
+const maxInlineDepth = 64
+
+type compiler struct {
+	scope CompileScope
+	depth int
+}
+
+// compile lowers one node and folds it if constant. The bool reports
+// constness to the caller so folding composes bottom-up.
+func (c *compiler) compile(n Node) (closure, bool, error) {
+	fn, konst, err := c.compileNode(n)
+	if err != nil {
+		return nil, false, err
+	}
+	if konst {
+		// Fold now, but reproduce a folding-time error at call time
+		// rather than compile time: the interpreter never evaluates 1/0
+		// over an empty relation, and neither may we.
+		v, err := fn(nil)
+		if err != nil {
+			return func([]types.Value) (types.Value, error) { return types.Null, err }, true, nil
+		}
+		return func([]types.Value) (types.Value, error) { return v, nil }, true, nil
+	}
+	return fn, false, nil
+}
+
+func (c *compiler) compileNode(n Node) (closure, bool, error) {
+	switch n := n.(type) {
+	case *Lit:
+		v := n.Val
+		return func([]types.Value) (types.Value, error) { return v, nil }, true, nil
+
+	case *Ref:
+		ord, def, ok := c.scope.ResolveAttr(n.Name)
+		if !ok {
+			return nil, false, fmt.Errorf("expr: compile: unknown attribute %q", n.Name)
+		}
+		if ord >= 0 {
+			return func(t []types.Value) (types.Value, error) {
+				if ord >= len(t) {
+					return types.Null, evalErrorf(n, "tuple has %d columns, attribute is column %d", len(t), ord)
+				}
+				return t[ord], nil
+			}, false, nil
+		}
+		if def == nil {
+			return nil, false, fmt.Errorf("expr: compile: attribute %q resolved to neither a column nor a definition", n.Name)
+		}
+		c.depth++
+		if c.depth > maxInlineDepth {
+			c.depth--
+			return nil, false, fmt.Errorf("expr: compile: computed attribute %q nests too deeply", n.Name)
+		}
+		sub, konst, err := c.compile(def)
+		c.depth--
+		if err != nil {
+			return nil, false, err
+		}
+		// Mirror the Env implementations (rel.Row and friends): a computed
+		// attribute whose definition fails evaluates to null, not an error.
+		return func(t []types.Value) (types.Value, error) {
+			v, err := sub(t)
+			if err != nil {
+				return types.Null, nil
+			}
+			return v, nil
+		}, konst, nil
+
+	case *Unary:
+		xf, konst, err := c.compile(n.X)
+		if err != nil {
+			return nil, false, err
+		}
+		switch n.Op {
+		case "-":
+			return func(t []types.Value) (types.Value, error) {
+				x, err := xf(t)
+				if err != nil {
+					return types.Null, err
+				}
+				switch x.Kind() {
+				case types.Int:
+					return types.NewInt(-x.Int()), nil
+				case types.Float:
+					return types.NewFloat(-x.Float()), nil
+				}
+				return applyUnary(n, x)
+			}, konst, nil
+		case "not":
+			return func(t []types.Value) (types.Value, error) {
+				x, err := xf(t)
+				if err != nil {
+					return types.Null, err
+				}
+				if x.Kind() == types.Bool {
+					return types.NewBool(!x.Bool()), nil
+				}
+				return applyUnary(n, x)
+			}, konst, nil
+		}
+		return nil, false, fmt.Errorf("expr: compile: unknown unary operator %q", n.Op)
+
+	case *Binary:
+		lf, lk, err := c.compile(n.L)
+		if err != nil {
+			return nil, false, err
+		}
+		rf, rk, err := c.compile(n.R)
+		if err != nil {
+			return nil, false, err
+		}
+		konst := lk && rk
+		if n.Op == "and" || n.Op == "or" {
+			isAnd := n.Op == "and"
+			return func(t []types.Value) (types.Value, error) {
+				// Short-circuit exactly like evalBinary, Kleene-ish nulls
+				// included: false and X = false without evaluating X.
+				l, err := lf(t)
+				if err != nil {
+					return types.Null, err
+				}
+				if !l.IsNull() && l.Kind() == types.Bool {
+					if isAnd && !l.Bool() {
+						return types.NewBool(false), nil
+					}
+					if !isAnd && l.Bool() {
+						return types.NewBool(true), nil
+					}
+				}
+				r, err := rf(t)
+				if err != nil {
+					return types.Null, err
+				}
+				if l.IsNull() || r.IsNull() {
+					return types.Null, nil
+				}
+				if l.Kind() != types.Bool || r.Kind() != types.Bool {
+					return types.Null, evalErrorf(n, "%s requires bool operands", n.Op)
+				}
+				if isAnd {
+					return types.NewBool(l.Bool() && r.Bool()), nil
+				}
+				return types.NewBool(l.Bool() || r.Bool()), nil
+			}, konst, nil
+		}
+		if fast := fastBinary(n.Op); fast != nil {
+			return func(t []types.Value) (types.Value, error) {
+				l, err := lf(t)
+				if err != nil {
+					return types.Null, err
+				}
+				r, err := rf(t)
+				if err != nil {
+					return types.Null, err
+				}
+				if v, ok := fast(l, r); ok {
+					return v, nil
+				}
+				return applyBinary(n, l, r)
+			}, konst, nil
+		}
+		return func(t []types.Value) (types.Value, error) {
+			l, err := lf(t)
+			if err != nil {
+				return types.Null, err
+			}
+			r, err := rf(t)
+			if err != nil {
+				return types.Null, err
+			}
+			return applyBinary(n, l, r)
+		}, konst, nil
+
+	case *Call:
+		b, ok := LookupBuiltin(n.Name)
+		if !ok {
+			return nil, false, fmt.Errorf("expr: compile: unknown function %q", n.Name)
+		}
+		argfns := make([]closure, len(n.Args))
+		konst := true
+		for i, a := range n.Args {
+			fn, k, err := c.compile(a)
+			if err != nil {
+				return nil, false, err
+			}
+			argfns[i] = fn
+			konst = konst && k
+		}
+		nargs := len(argfns)
+		return func(t []types.Value) (types.Value, error) {
+			args := make([]types.Value, nargs)
+			for i, fn := range argfns {
+				v, err := fn(t)
+				if err != nil {
+					return types.Null, err
+				}
+				args[i] = v
+			}
+			out, err := b.eval(args)
+			if err != nil {
+				return types.Null, evalErrorf(n, "%v", err)
+			}
+			return out, nil
+		}, konst, nil
+	}
+	return nil, false, fmt.Errorf("expr: compile: unknown node type %T", n)
+}
+
+// fastBinary returns a monomorphic fast path for op, or nil when the op
+// has none. A fast path handles only the cases whose semantics it can
+// reproduce exactly (the common int/float and text shapes, error-free);
+// everything else — nulls, dates, type errors, division by zero — reports
+// ok false and is handled by applyBinary, which IS the interpreter.
+func fastBinary(op string) func(l, r types.Value) (types.Value, bool) {
+	isNum := func(k types.Kind) bool { return k == types.Int || k == types.Float }
+	switch op {
+	case "+":
+		return func(l, r types.Value) (types.Value, bool) {
+			lk, rk := l.Kind(), r.Kind()
+			if lk == types.Int && rk == types.Int {
+				return types.NewInt(l.Int() + r.Int()), true
+			}
+			if isNum(lk) && isNum(rk) {
+				a, _ := l.AsFloat()
+				b, _ := r.AsFloat()
+				return types.NewFloat(a + b), true
+			}
+			return types.Null, false
+		}
+	case "-":
+		return func(l, r types.Value) (types.Value, bool) {
+			lk, rk := l.Kind(), r.Kind()
+			if lk == types.Int && rk == types.Int {
+				return types.NewInt(l.Int() - r.Int()), true
+			}
+			if isNum(lk) && isNum(rk) {
+				a, _ := l.AsFloat()
+				b, _ := r.AsFloat()
+				return types.NewFloat(a - b), true
+			}
+			return types.Null, false
+		}
+	case "*":
+		return func(l, r types.Value) (types.Value, bool) {
+			lk, rk := l.Kind(), r.Kind()
+			if lk == types.Int && rk == types.Int {
+				return types.NewInt(l.Int() * r.Int()), true
+			}
+			if isNum(lk) && isNum(rk) {
+				a, _ := l.AsFloat()
+				b, _ := r.AsFloat()
+				return types.NewFloat(a * b), true
+			}
+			return types.Null, false
+		}
+	case "/":
+		return func(l, r types.Value) (types.Value, bool) {
+			lk, rk := l.Kind(), r.Kind()
+			if lk == types.Int && rk == types.Int {
+				if b := r.Int(); b != 0 {
+					return types.NewInt(l.Int() / b), true
+				}
+				return types.Null, false // division by zero: interpreter error path
+			}
+			if isNum(lk) && isNum(rk) {
+				a, _ := l.AsFloat()
+				b, _ := r.AsFloat()
+				if b != 0 {
+					return types.NewFloat(a / b), true
+				}
+			}
+			return types.Null, false
+		}
+	case "%":
+		return func(l, r types.Value) (types.Value, bool) {
+			if l.Kind() == types.Int && r.Kind() == types.Int {
+				if b := r.Int(); b != 0 {
+					return types.NewInt(l.Int() % b), true
+				}
+			}
+			return types.Null, false // float % and % 0 take the interpreter path
+		}
+	case "<", "<=", ">", ">=":
+		return func(l, r types.Value) (types.Value, bool) {
+			if !isNum(l.Kind()) || !isNum(r.Kind()) {
+				return types.Null, false // dates and text order via Compare
+			}
+			a, _ := l.AsFloat()
+			b, _ := r.AsFloat()
+			var out bool
+			switch op {
+			case "<":
+				out = a < b
+			case "<=":
+				out = a <= b
+			case ">":
+				out = a > b
+			default:
+				out = a >= b
+			}
+			return types.NewBool(out), true
+		}
+	case "=", "!=":
+		return func(l, r types.Value) (types.Value, bool) {
+			lk, rk := l.Kind(), r.Kind()
+			var eq bool
+			switch {
+			case isNum(lk) && isNum(rk):
+				a, _ := l.AsFloat()
+				b, _ := r.AsFloat()
+				eq = a == b
+			case lk == types.Text && rk == types.Text:
+				eq = l.Text() == r.Text()
+			case lk == types.Bool && rk == types.Bool:
+				eq = l.Bool() == r.Bool()
+			case lk == types.Date && rk == types.Date:
+				eq = l.DateDays() == r.DateDays()
+			default:
+				return types.Null, false // mixed kinds: comparable() decides
+			}
+			if op == "!=" {
+				eq = !eq
+			}
+			return types.NewBool(eq), true
+		}
+	case "||":
+		return func(l, r types.Value) (types.Value, bool) {
+			if l.Kind() == types.Text && r.Kind() == types.Text {
+				return types.NewText(l.Text() + r.Text()), true
+			}
+			return types.Null, false
+		}
+	}
+	return nil
+}

@@ -1,0 +1,404 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// tupleScope is a CompileScope over an ordered column list plus computed
+// definitions — the same shape rel's compileScope has, without the
+// dependency.
+type tupleScope struct {
+	names []string
+	comps map[string]Node
+}
+
+func (s tupleScope) ResolveAttr(name string) (int, Node, bool) {
+	for i, n := range s.names {
+		if n == name {
+			return i, nil, true
+		}
+	}
+	if def, ok := s.comps[name]; ok {
+		return -1, def, true
+	}
+	return -1, nil, false
+}
+
+// tupleEnv is the interpreted counterpart: an Env over one tuple with the
+// same computed-attribute error swallowing the rel layer applies.
+type tupleEnv struct {
+	scope tupleScope
+	tuple []types.Value
+}
+
+func (e tupleEnv) AttrValue(name string) (types.Value, bool) {
+	for i, n := range e.scope.names {
+		if n == name {
+			return e.tuple[i], true
+		}
+	}
+	if def, ok := e.scope.comps[name]; ok {
+		v, err := Eval(def, e)
+		if err != nil {
+			return types.Null, true
+		}
+		return v, true
+	}
+	return types.Null, false
+}
+
+func mustParse(t *testing.T, src string) Node {
+	t.Helper()
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return n
+}
+
+// checkAgree compiles src against scope and verifies the closure and the
+// interpreter agree on every given tuple: same error presence, and when
+// both succeed, same kind and rendering.
+func checkAgree(t *testing.T, src string, scope tupleScope, tuples [][]types.Value) {
+	t.Helper()
+	n := mustParse(t, src)
+	c, err := Compile(n, scope)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	for _, tu := range tuples {
+		want, werr := Eval(n, tupleEnv{scope: scope, tuple: tu})
+		got, gerr := c.Eval(tu)
+		if (werr != nil) != (gerr != nil) {
+			t.Fatalf("%q on %v: interpreted err=%v, compiled err=%v", src, tu, werr, gerr)
+		}
+		if werr != nil {
+			continue
+		}
+		if got.Kind() != want.Kind() || got.String() != want.String() {
+			t.Fatalf("%q on %v: interpreted %s, compiled %s", src, tu, want, got)
+		}
+	}
+}
+
+var compileCols = tupleScope{
+	names: []string{"x", "y", "f", "g", "s", "u", "b", "d"},
+	comps: map[string]Node{},
+}
+
+func compileTuple(x, y int64, f, g float64, s, u string, b bool, days int64) []types.Value {
+	return []types.Value{
+		types.NewInt(x), types.NewInt(y), types.NewFloat(f), types.NewFloat(g),
+		types.NewText(s), types.NewText(u), types.NewBool(b), types.NewDate(days),
+	}
+}
+
+func TestCompileMatchesEvalTable(t *testing.T) {
+	tuples := [][]types.Value{
+		compileTuple(10, 3, 2.5, -1.5, "abc", "b", true, 7500),
+		compileTuple(-4, 0, 0.0, 3.25, "", "abc", false, 0),
+		// Nulls in every column.
+		{types.Null, types.Null, types.Null, types.Null, types.Null, types.Null, types.Null, types.Null},
+	}
+	srcs := []string{
+		"x + y", "x - y", "x * y", "x / y", "x % y", "x + f", "f * g",
+		"-x", "-f", "not b",
+		"x < y", "x <= y", "x > y", "x >= y", "x = y", "x != y",
+		"f < x", "f = 2.5", "s = u", "s < u", "s != u", "b = true",
+		"d < date(1991, 1, 1)", "d = d",
+		"s || u", "s || 'z'",
+		"b and x > 5", "b or x > 5", "x > 5 and f < 3.0",
+		"abs(x)", "pow(x, 2)", "if(b, x, y)", "len(s)", "substr(s, 1, 2)",
+		"contains(s, u)", "str(x)", "int(f)", "float(x)",
+		"1 + 2 * 3", "2.5 * 4.0", "'a' || 'b'", "true and false",
+		"x / 0", "x % 0", "1 / 0 = 1 or x > 0",
+		"if(x > 0, f, g) + 1.0",
+	}
+	for _, src := range srcs {
+		checkAgree(t, src, compileCols, tuples)
+	}
+}
+
+func TestCompileConstantFolding(t *testing.T) {
+	// A fully-constant expression compiles to a single closure evaluated
+	// once; an erroring constant defers the error to call time instead of
+	// failing the compile, so scans over empty relations still succeed.
+	c, err := Compile(mustParse(t, "1 + 2 * 3"), compileCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Eval(nil)
+	if err != nil || v.Int() != 7 {
+		t.Fatalf("folded constant = %v, %v; want 7", v, err)
+	}
+	c, err = Compile(mustParse(t, "1 / 0"), compileCols)
+	if err != nil {
+		t.Fatalf("erroring constant failed at compile time: %v", err)
+	}
+	if _, err := c.Eval(nil); err == nil {
+		t.Fatal("1/0 evaluated without error")
+	}
+}
+
+func TestCompileComputedAttr(t *testing.T) {
+	scope := tupleScope{
+		names: []string{"x", "f"},
+		comps: map[string]Node{
+			"twice":  mustParse(t, "x * 2"),
+			"ratio":  mustParse(t, "f / float(x)"),
+			"broken": mustParse(t, "x / 0"), // always errors: reads as null
+		},
+	}
+	tuples := [][]types.Value{
+		{types.NewInt(21), types.NewFloat(10.5)},
+		{types.NewInt(0), types.NewFloat(1.0)},
+		{types.Null, types.NewFloat(2.0)},
+	}
+	for _, src := range []string{
+		"twice + 1", "ratio > 0.4", "twice * twice", "broken", "broken = 0",
+	} {
+		checkAgree(t, src, scope, tuples)
+	}
+}
+
+func TestCompileUnknownAttrFails(t *testing.T) {
+	if _, err := Compile(mustParse(t, "nope + 1"), compileCols); err == nil {
+		t.Fatal("unknown attribute compiled")
+	}
+}
+
+func TestCompilePredicate(t *testing.T) {
+	p, err := CompilePredicate(mustParse(t, "x > y"), compileCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.Eval(compileTuple(10, 3, 0, 0, "", "", false, 0))
+	if err != nil || !ok {
+		t.Fatalf("10 > 3 = %v, %v", ok, err)
+	}
+	// A null predicate result means "does not pass", not an error.
+	ok, err = p.Eval([]types.Value{types.Null, types.NewInt(1), {}, {}, {}, {}, {}, {}})
+	if err != nil || ok {
+		t.Fatalf("null > 1 = %v, %v; want false, nil", ok, err)
+	}
+	// A non-bool predicate is an error in both modes.
+	p, err = CompilePredicate(mustParse(t, "x + y"), compileCols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Eval(compileTuple(1, 2, 0, 0, "", "", false, 0)); err == nil {
+		t.Fatal("non-bool predicate accepted")
+	}
+}
+
+// genKind builds a random expression of the requested static kind over
+// the fixture columns — kind-directed because production always runs
+// Check before Eval, so the interpreter's builtins may assume statically
+// well-typed arguments. Runtime hazards stay in play: division and
+// modulus by zero, nulls in any column, and the if-builtin returning a
+// runtime Int where the static kind says Float.
+func genKind(r *rand.Rand, depth int, k types.Kind) string {
+	num := func(d int) string { // Int or Float operand
+		if r.Intn(2) == 0 {
+			return genKind(r, d, types.Int)
+		}
+		return genKind(r, d, types.Float)
+	}
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch k {
+		case types.Int:
+			if r.Intn(2) == 0 {
+				return fmt.Sprintf("%d", r.Intn(11)-5)
+			}
+			return []string{"x", "y"}[r.Intn(2)]
+		case types.Float:
+			if r.Intn(2) == 0 {
+				return fmt.Sprintf("%.2f", r.Float64()*10-5)
+			}
+			return []string{"f", "g"}[r.Intn(2)]
+		case types.Text:
+			return []string{"''", "'a'", "'abc'", "s", "u"}[r.Intn(5)]
+		case types.Date:
+			return "d"
+		default:
+			return []string{"true", "false", "b"}[r.Intn(3)]
+		}
+	}
+	d := depth - 1
+	switch k {
+	case types.Int:
+		switch r.Intn(5) {
+		case 0:
+			return fmt.Sprintf("(-%s)", genKind(r, d, types.Int))
+		case 1:
+			return fmt.Sprintf("abs(%s)", genKind(r, d, types.Int))
+		case 2:
+			return fmt.Sprintf("len(%s)", genKind(r, d, types.Text))
+		case 3:
+			return fmt.Sprintf("if(%s, %s, %s)",
+				genKind(r, d, types.Bool), genKind(r, d, types.Int), genKind(r, d, types.Int))
+		default:
+			ops := []string{"+", "-", "*", "/", "%"}
+			return fmt.Sprintf("(%s %s %s)",
+				genKind(r, d, types.Int), ops[r.Intn(len(ops))], genKind(r, d, types.Int))
+		}
+	case types.Float:
+		switch r.Intn(5) {
+		case 0:
+			return fmt.Sprintf("(-%s)", genKind(r, d, types.Float))
+		case 1:
+			return fmt.Sprintf("float(%s)", genKind(r, d, types.Int))
+		case 2:
+			// The specialization trap: statically Float, runtime Int when
+			// the branches disagree.
+			return fmt.Sprintf("if(%s, %s, %s)",
+				genKind(r, d, types.Bool), genKind(r, d, types.Int), genKind(r, d, types.Float))
+		default:
+			ops := []string{"+", "-", "*", "/"}
+			a, b := genKind(r, d, types.Float), num(d)
+			if r.Intn(2) == 0 {
+				a, b = b, a
+			}
+			return fmt.Sprintf("(%s %s %s)", a, ops[r.Intn(len(ops))], b)
+		}
+	case types.Text:
+		switch r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("str(%s)", genKind(r, d, types.Int))
+		case 1:
+			return fmt.Sprintf("substr(%s, %d, %d)", genKind(r, d, types.Text), r.Intn(3), r.Intn(4))
+		default:
+			return fmt.Sprintf("(%s || %s)", genKind(r, d, types.Text), genKind(r, d, types.Text))
+		}
+	case types.Date:
+		return "d"
+	default: // Bool
+		switch r.Intn(6) {
+		case 0:
+			return fmt.Sprintf("(not %s)", genKind(r, d, types.Bool))
+		case 1:
+			return fmt.Sprintf("contains(%s, %s)", genKind(r, d, types.Text), genKind(r, d, types.Text))
+		case 2:
+			ops := []string{"and", "or"}
+			return fmt.Sprintf("(%s %s %s)",
+				genKind(r, d, types.Bool), ops[r.Intn(2)], genKind(r, d, types.Bool))
+		case 3:
+			ops := []string{"=", "!="}
+			pairs := [][2]string{
+				{genKind(r, d, types.Text), genKind(r, d, types.Text)},
+				{genKind(r, d, types.Bool), genKind(r, d, types.Bool)},
+				{"d", "d"},
+				{num(d), num(d)},
+			}
+			p := pairs[r.Intn(len(pairs))]
+			return fmt.Sprintf("(%s %s %s)", p[0], ops[r.Intn(2)], p[1])
+		default:
+			ops := []string{"<", "<=", ">", ">="}
+			if r.Intn(4) == 0 {
+				return fmt.Sprintf("(%s %s %s)",
+					genKind(r, d, types.Text), ops[r.Intn(4)], genKind(r, d, types.Text))
+			}
+			return fmt.Sprintf("(%s %s %s)", num(d), ops[r.Intn(4)], num(d))
+		}
+	}
+}
+
+func randKind(r *rand.Rand) types.Kind {
+	return []types.Kind{types.Int, types.Float, types.Text, types.Bool}[r.Intn(4)]
+}
+
+// randTuple draws random column values, with nulls mixed in.
+func randTuple(r *rand.Rand) []types.Value {
+	tu := compileTuple(
+		int64(r.Intn(21)-10), int64(r.Intn(5)-2),
+		r.Float64()*20-10, r.Float64()*4-2,
+		[]string{"", "a", "abc", "zz"}[r.Intn(4)], []string{"", "a", "b"}[r.Intn(3)],
+		r.Intn(2) == 0, int64(r.Intn(10000)))
+	for i := range tu {
+		if r.Intn(6) == 0 {
+			tu[i] = types.Null
+		}
+	}
+	return tu
+}
+
+// TestCompileMatchesEvalRandom is the differential property test: for
+// thousands of random expressions and tuples the compiled closure must
+// agree with the tree-walking interpreter on error presence and value.
+func TestCompileMatchesEvalRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	exprs := 0
+	for i := 0; i < 400; i++ {
+		src := genKind(r, 4, randKind(r))
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generator produced unparsable %q: %v", src, err)
+		}
+		c, err := Compile(n, compileCols)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		exprs++
+		for j := 0; j < 25; j++ {
+			tu := randTuple(r)
+			want, werr := Eval(n, tupleEnv{scope: compileCols, tuple: tu})
+			got, gerr := c.Eval(tu)
+			if (werr != nil) != (gerr != nil) {
+				t.Fatalf("%q on %v: interpreted err=%v, compiled err=%v", src, tu, werr, gerr)
+			}
+			if werr == nil && (got.Kind() != want.Kind() || got.String() != want.String()) {
+				t.Fatalf("%q on %v: interpreted %s, compiled %s", src, tu, want, got)
+			}
+		}
+	}
+	if exprs == 0 {
+		t.Fatal("no expressions generated")
+	}
+}
+
+// Computed attributes join the random property: definitions themselves are
+// random expressions, referenced by random outer expressions.
+func TestCompileMatchesEvalRandomComputed(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		dk := randKind(r)
+		def, err := Parse(genKind(r, 3, dk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		scope := tupleScope{names: compileCols.names, comps: map[string]Node{"c": def}}
+		var op string
+		switch dk {
+		case types.Int, types.Float:
+			op = []string{"+", "=", "<"}[r.Intn(3)]
+		case types.Text:
+			op = "||"
+		default:
+			op = "and"
+		}
+		outer := fmt.Sprintf("(c %s %s)", op, genKind(r, 2, dk))
+		n, err := Parse(outer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(n, scope)
+		if err != nil {
+			t.Fatalf("compile %q: %v", outer, err)
+		}
+		for j := 0; j < 20; j++ {
+			tu := randTuple(r)
+			want, werr := Eval(n, tupleEnv{scope: scope, tuple: tu})
+			got, gerr := c.Eval(tu)
+			if (werr != nil) != (gerr != nil) {
+				t.Fatalf("%q on %v: interpreted err=%v, compiled err=%v", outer, tu, werr, gerr)
+			}
+			if werr == nil && (got.Kind() != want.Kind() || got.String() != want.String()) {
+				t.Fatalf("%q on %v: interpreted %s, compiled %s", outer, tu, want, got)
+			}
+		}
+	}
+}

@@ -61,25 +61,7 @@ func Eval(n Node, env Env) (types.Value, error) {
 		if err != nil {
 			return types.Null, err
 		}
-		if x.IsNull() {
-			return types.Null, nil
-		}
-		switch n.Op {
-		case "-":
-			switch x.Kind() {
-			case types.Int:
-				return types.NewInt(-x.Int()), nil
-			case types.Float:
-				return types.NewFloat(-x.Float()), nil
-			}
-			return types.Null, evalErrorf(n, "cannot negate %s", x.Kind())
-		case "not":
-			if x.Kind() != types.Bool {
-				return types.Null, evalErrorf(n, "not requires bool, got %s", x.Kind())
-			}
-			return types.NewBool(!x.Bool()), nil
-		}
-		return types.Null, evalErrorf(n, "unknown unary operator %q", n.Op)
+		return applyUnary(n, x)
 
 	case *Binary:
 		return evalBinary(n, env)
@@ -147,6 +129,39 @@ func evalBinary(n *Binary, env Env) (types.Value, error) {
 	if err != nil {
 		return types.Null, err
 	}
+	return applyBinary(n, l, r)
+}
+
+// applyUnary applies a unary operator to an already-evaluated operand.
+// It is shared by the interpreter and by compiled closures, so the two
+// execution modes cannot drift apart on null propagation or errors.
+func applyUnary(n *Unary, x types.Value) (types.Value, error) {
+	if x.IsNull() {
+		return types.Null, nil
+	}
+	switch n.Op {
+	case "-":
+		switch x.Kind() {
+		case types.Int:
+			return types.NewInt(-x.Int()), nil
+		case types.Float:
+			return types.NewFloat(-x.Float()), nil
+		}
+		return types.Null, evalErrorf(n, "cannot negate %s", x.Kind())
+	case "not":
+		if x.Kind() != types.Bool {
+			return types.Null, evalErrorf(n, "not requires bool, got %s", x.Kind())
+		}
+		return types.NewBool(!x.Bool()), nil
+	}
+	return types.Null, evalErrorf(n, "unknown unary operator %q", n.Op)
+}
+
+// applyBinary applies a non-short-circuiting binary operator to already-
+// evaluated operands. Like applyUnary it is the single semantics shared
+// by the interpreter and compiled closures (and/or live in evalBinary and
+// in the compiler's short-circuit closures, which mirror each other).
+func applyBinary(n *Binary, l, r types.Value) (types.Value, error) {
 	if l.IsNull() || r.IsNull() {
 		return types.Null, nil
 	}

@@ -59,6 +59,12 @@ const (
 	RelSorts           = "rel.sorts"
 	RelSamples         = "rel.samples"
 
+	// Query-execution fast path (internal/rel, internal/expr via rel;
+	// see DESIGN.md §11).
+	RelCompile    = "rel.compile"     // expressions/predicates compiled to closures
+	RelFusedScans = "rel.fused_scans" // fused restrict/project pipelines executed
+	RelScanChunks = "rel.scan_chunks" // parallel scan chunks dispatched
+
 	// Session / environment (internal/core).
 	CoreUpdates      = "core.updates"
 	CoreSessionSaves = "core.session_saves"

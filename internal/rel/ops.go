@@ -1,7 +1,9 @@
 package rel
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -63,16 +65,59 @@ func Restrict(r *Relation, pred expr.Node) (*Relation, error) {
 	}
 
 	obs.Inc(obs.RelRestrictScans)
+	n := len(r.tuples)
 	var rows []int
-	for i := range r.tuples {
-		keep, err := expr.EvalPredicate(pred, r.Row(i))
+	if cp := r.compilePredicate(pred); cp != nil {
+		// Compiled scan, chunk-parallel above the row threshold. Chunks
+		// are contiguous and concatenated in order, so the output is
+		// deterministic regardless of worker count.
+		chunks := scanChunks(n, 0)
+		chunkRows := make([][]int, chunks)
+		err := runChunks(n, chunks, func(c, lo, hi int) error {
+			keep := make([]int, 0, (hi-lo)/4+8)
+			var scratch []types.Value
+			for i := lo; i < hi; i++ {
+				var ok bool
+				var err error
+				ok, scratch, err = cp.eval(r.tuples[i], scratch)
+				if err != nil {
+					return fmt.Errorf("rel: restrict: %w", err)
+				}
+				if ok {
+					keep = append(keep, i)
+				}
+			}
+			chunkRows[c] = keep
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("rel: restrict: %w", err)
+			return nil, err
 		}
-		if keep {
-			out.tuples = append(out.tuples, r.tuples[i])
-			rows = append(rows, i)
+		total := 0
+		for _, ks := range chunkRows {
+			total += len(ks)
 		}
+		rows = make([]int, 0, total)
+		for _, ks := range chunkRows {
+			rows = append(rows, ks...)
+		}
+	} else {
+		rows = make([]int, 0, n/4+8)
+		cur := &rowCursor{rel: r}
+		for i := range r.tuples {
+			cur.idx = i
+			keep, err := expr.EvalPredicate(pred, cur)
+			if err != nil {
+				return nil, fmt.Errorf("rel: restrict: %w", err)
+			}
+			if keep {
+				rows = append(rows, i)
+			}
+		}
+	}
+	out.tuples = make([][]types.Value, len(rows))
+	for i, row := range rows {
+		out.tuples[i] = r.tuples[row]
 	}
 	obs.Add(obs.RelRestrictRowsOut, int64(len(rows)))
 	out.setProv(r, rows)
@@ -170,7 +215,14 @@ func Sample(r *Relation, p float64, seed int64) (*Relation, error) {
 	obs.Inc(obs.RelSamples)
 	rng := rand.New(rand.NewSource(seed))
 	out := r.derive(r.schema, true)
-	var rows []int
+	// Expected output size is p·n; pad a little so typical draws append
+	// without growing.
+	est := int(float64(len(r.tuples))*p) + 16
+	if est > len(r.tuples) {
+		est = len(r.tuples)
+	}
+	out.tuples = make([][]types.Value, 0, est)
+	rows := make([]int, 0, est)
 	for i := range r.tuples {
 		if rng.Float64() < p {
 			out.tuples = append(out.tuples, r.tuples[i])
@@ -238,17 +290,31 @@ func Join(l, r *Relation, pred expr.Node, strategy JoinStrategy) (*Relation, err
 		return nil, fmt.Errorf("rel: join predicate: %w", err)
 	}
 
+	// The residual predicate runs compiled when possible, and either way
+	// over one scratch tuple reused across every candidate pair; only
+	// kept pairs allocate an output tuple.
+	cp := out.compilePredicate(pred)
 	lw, rw := l.schema.Len(), r.schema.Len()
+	scratch := make([]types.Value, 0, lw+rw)
+	var matScratch []types.Value
+	env := &scratchEnv{rel: out}
 	emit := func(lt, rt []types.Value) ([]types.Value, error) {
-		nt := make([]types.Value, 0, lw+rw)
-		nt = append(nt, lt...)
-		nt = append(nt, rt...)
-		keep, err := expr.EvalPredicate(pred, out.bindScratch(nt))
+		scratch = scratch[:0]
+		scratch = append(scratch, lt...)
+		scratch = append(scratch, rt...)
+		var keep bool
+		var err error
+		if cp != nil {
+			keep, matScratch, err = cp.eval(scratch, matScratch)
+		} else {
+			env.tuple = scratch
+			keep, err = expr.EvalPredicate(pred, env)
+		}
 		if err != nil {
 			return nil, err
 		}
 		if keep {
-			return nt, nil
+			return append([]types.Value(nil), scratch...), nil
 		}
 		return nil, nil
 	}
@@ -285,17 +351,19 @@ func Join(l, r *Relation, pred expr.Node, strategy JoinStrategy) (*Relation, err
 
 // bindScratch wraps a candidate output tuple (not yet appended) as an
 // expr.Env against the output relation's schema and computed attributes.
+// Join allocates one scratchEnv and rebinds its tuple per candidate pair
+// instead of calling this per row.
 func (r *Relation) bindScratch(tuple []types.Value) expr.Env {
-	return scratchRow{rel: r, tuple: tuple}
+	return &scratchEnv{rel: r, tuple: tuple}
 }
 
-type scratchRow struct {
+type scratchEnv struct {
 	rel   *Relation
 	tuple []types.Value
 }
 
 // AttrValue implements expr.Env.
-func (s scratchRow) AttrValue(name string) (types.Value, bool) {
+func (s *scratchEnv) AttrValue(name string) (types.Value, bool) {
 	if i := s.rel.schema.Index(name); i >= 0 {
 		return s.tuple[i], true
 	}
@@ -379,13 +447,13 @@ func hashJoin(out, l, r *Relation, la, ra string, emit func(lt, rt []types.Value
 		bi, pi = li, ri
 		buildIsRight = false
 	}
-	table := make(map[string][]int, build.Len())
+	table := make(map[valueKey][]int, build.Len())
 	for row, tup := range build.tuples {
 		v := tup[bi]
 		if v.IsNull() {
 			continue
 		}
-		k := hashKey(v)
+		k := keyOf(v)
 		table[k] = append(table[k], row)
 	}
 	for _, ptup := range probe.tuples {
@@ -393,7 +461,7 @@ func hashJoin(out, l, r *Relation, la, ra string, emit func(lt, rt []types.Value
 		if v.IsNull() {
 			continue
 		}
-		for _, brow := range table[hashKey(v)] {
+		for _, brow := range table[keyOf(v)] {
 			btup := build.tuples[brow]
 			var lt, rt []types.Value
 			if buildIsRight {
@@ -413,13 +481,61 @@ func hashJoin(out, l, r *Relation, la, ra string, emit func(lt, rt []types.Value
 	return nil
 }
 
-// hashKey canonicalizes a value for hash-join bucketing; int and float
-// compare equal when numerically equal, so both map through float64.
-func hashKey(v types.Value) string {
-	if f, ok := v.AsFloat(); ok && v.Kind() != types.Date {
-		return fmt.Sprintf("n:%g", f)
+// valueKey is an allocation-free comparable canonical form of a value for
+// hash bucketing. Int and Float share a key when numerically equal
+// (mirroring Value.Compare); Date keeps its own kind so 1996-05-12 never
+// buckets with the int of its day count; text rides in str. NaN and
+// negative zero are canonicalized so map equality (==) matches numeric
+// equality.
+type valueKey struct {
+	kind types.Kind
+	num  float64
+	str  string
+}
+
+// keyOf canonicalizes a value into its bucketing key.
+func keyOf(v types.Value) valueKey {
+	switch v.Kind() {
+	case types.Int, types.Float:
+		f, _ := v.AsFloat()
+		if f == 0 {
+			f = 0 // fold -0 into +0; they compare equal
+		}
+		if math.IsNaN(f) {
+			return valueKey{kind: types.Float, str: "NaN"} // NaN != NaN under ==
+		}
+		return valueKey{kind: types.Float, num: f}
+	case types.Date:
+		return valueKey{kind: types.Date, num: float64(v.DateDays())}
+	case types.Bool:
+		if v.Bool() {
+			return valueKey{kind: types.Bool, num: 1}
+		}
+		return valueKey{kind: types.Bool}
+	case types.Text:
+		return valueKey{kind: types.Text, str: v.Text()}
 	}
-	return v.Kind().String() + ":" + v.String()
+	return valueKey{} // null
+}
+
+// appendKeyBytes appends a canonical byte encoding of v's valueKey, for
+// composite (whole-tuple) keys: a kind tag, then either a length-prefixed
+// string (Text) or 8 canonical float bits. The encoding is a prefix code,
+// so concatenated keys cannot realign across value boundaries.
+func appendKeyBytes(b []byte, v types.Value) []byte {
+	k := keyOf(v)
+	b = append(b, byte(k.kind))
+	if k.kind == types.Text {
+		b = binary.AppendUvarint(b, uint64(len(k.str)))
+		return append(b, k.str...)
+	}
+	f := k.num
+	if k.str != "" {
+		f = math.NaN() // canonical NaN bits for the NaN key
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	return append(b, buf[:]...)
 }
 
 // Sort returns the relation ordered by the named attribute (stored or
@@ -488,10 +604,23 @@ func Partition(r *Relation, preds []expr.Node) ([]*Relation, error) {
 		}
 		outs[i] = r.derive(r.schema, true)
 	}
+	cps := make([]*compiledPred, len(preds))
+	for i, p := range preds {
+		cps[i] = r.compilePredicate(p) // nil falls back to the interpreter
+	}
 	rows := make([][]int, len(preds))
+	cur := &rowCursor{rel: r}
+	var scratch []types.Value
 	for ti := range r.tuples {
 		for pi, p := range preds {
-			keep, err := expr.EvalPredicate(p, r.Row(ti))
+			var keep bool
+			var err error
+			if cp := cps[pi]; cp != nil {
+				keep, scratch, err = cp.eval(r.tuples[ti], scratch)
+			} else {
+				cur.idx = ti
+				keep, err = expr.EvalPredicate(p, cur)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("rel: partition: %w", err)
 			}
@@ -527,17 +656,46 @@ func MapColumn(r *Relation, col string, def expr.Node) (*Relation, error) {
 		return nil, err
 	}
 	out := r.derive(schema, true)
-	out.tuples = make([][]types.Value, len(r.tuples))
-	rows := make([]int, len(r.tuples))
-	for i := range r.tuples {
-		v, err := expr.Eval(def, r.Row(i))
+	n := len(r.tuples)
+	out.tuples = make([][]types.Value, n)
+	rows := make([]int, n)
+	if ce := r.compileExpr(def); ce != nil {
+		// Compiled materialization, chunk-parallel above the row
+		// threshold: chunks write disjoint index ranges of the
+		// preallocated output, so order is deterministic by construction.
+		chunks := scanChunks(n, 0)
+		err := runChunks(n, chunks, func(c, lo, hi int) error {
+			var scratch []types.Value
+			for i := lo; i < hi; i++ {
+				var v types.Value
+				var err error
+				v, scratch, err = ce.eval(r.tuples[i], scratch)
+				if err != nil {
+					return fmt.Errorf("rel: map column %q row %d: %w", col, i, err)
+				}
+				nt := append([]types.Value(nil), r.tuples[i]...)
+				nt[ci] = v
+				out.tuples[i] = nt
+				rows[i] = i
+			}
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("rel: map column %q row %d: %w", col, i, err)
+			return nil, err
 		}
-		nt := append([]types.Value(nil), r.tuples[i]...)
-		nt[ci] = v
-		out.tuples[i] = nt
-		rows[i] = i
+	} else {
+		cur := &rowCursor{rel: r}
+		for i := range r.tuples {
+			cur.idx = i
+			v, err := expr.Eval(def, cur)
+			if err != nil {
+				return nil, fmt.Errorf("rel: map column %q row %d: %w", col, i, err)
+			}
+			nt := append([]types.Value(nil), r.tuples[i]...)
+			nt[ci] = v
+			out.tuples[i] = nt
+			rows[i] = i
+		}
 	}
 	out.setProv(r, rows)
 	return out, nil
@@ -597,11 +755,11 @@ func DistinctValues(r *Relation, attr string) ([]types.Value, error) {
 	if !r.HasAttr(attr) {
 		return nil, fmt.Errorf("rel: no attribute %q", attr)
 	}
-	seen := make(map[string]bool)
+	seen := make(map[valueKey]bool)
 	var out []types.Value
 	for i := 0; i < r.Len(); i++ {
 		v := r.Row(i).Attr(attr)
-		k := hashKey(v)
+		k := keyOf(v)
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, v)
@@ -617,11 +775,13 @@ func Distinct(r *Relation) *Relation {
 	out := r.derive(r.schema, true)
 	seen := make(map[string]bool, r.Len())
 	var rows []int
+	var buf []byte
 	for i := 0; i < r.Len(); i++ {
-		key := ""
+		buf = buf[:0]
 		for _, v := range r.tuples[i] {
-			key += hashKey(v) + "\x00"
+			buf = appendKeyBytes(buf, v)
 		}
+		key := string(buf)
 		if seen[key] {
 			continue
 		}

@@ -452,3 +452,30 @@ func (w Row) Attr(name string) types.Value {
 	v, _ := w.AttrValue(name)
 	return v
 }
+
+// rowCursor is a reusable expr.Env over one relation: scans rebind idx
+// per row instead of boxing a fresh Row into the interface every
+// iteration, so the interpreted fallback paths allocate once per scan.
+// Semantics match Row.AttrValue exactly, including the evaluate-to-null
+// swallowing of computed-attribute errors.
+type rowCursor struct {
+	rel *Relation
+	idx int
+}
+
+// AttrValue implements expr.Env.
+func (c *rowCursor) AttrValue(name string) (types.Value, bool) {
+	if i := c.rel.schema.Index(name); i >= 0 {
+		return c.rel.tuples[c.idx][i], true
+	}
+	for _, cc := range c.rel.computed {
+		if cc.Name == name {
+			v, err := expr.Eval(cc.Expr, c)
+			if err != nil {
+				return types.Null, true
+			}
+			return v, true
+		}
+	}
+	return types.Null, false
+}

@@ -96,6 +96,29 @@ var (
 	SerialEval = dataflow.Serial
 	// WithEvalLabel names the request in traces and results.
 	WithEvalLabel = dataflow.WithLabel
+	// WithoutFusion opts one request out of restrict/project chain fusion,
+	// firing every box individually — the query fast path's per-request
+	// ablation baseline.
+	WithoutFusion = dataflow.WithoutFusion
+)
+
+// Query fast-path knobs, process-wide. All return the previous setting.
+// The defaults — compilation on, fusion on, scan workers and chunk
+// threshold auto — are what benchmarks and production use; the setters
+// exist for ablation (measuring one layer of the fast path at a time)
+// and for pinning deterministic serial execution in tests.
+var (
+	// SetExprCompileDisabled turns per-row expression compilation off,
+	// falling back to the tree-walking interpreter everywhere.
+	SetExprCompileDisabled = rel.SetCompileDisabled
+	// SetFusionDisabled turns restrict/project chain fusion off for every
+	// request (WithoutFusion does it per request).
+	SetFusionDisabled = dataflow.SetFusionDisabled
+	// SetScanWorkers bounds parallel scan workers (0 = GOMAXPROCS).
+	SetScanWorkers = rel.SetScanWorkers
+	// SetScanThreshold sets the minimum row count before a scan splits
+	// into parallel chunks (0 restores the default).
+	SetScanThreshold = rel.SetScanThreshold
 )
 
 // Viewer renders displayables to a framebuffer with pan/zoom/sliders.
