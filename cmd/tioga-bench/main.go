@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/draw"
 	"repro/internal/expr"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/raster"
 	"repro/internal/rel"
 	"repro/internal/viewer"
@@ -46,6 +48,7 @@ type benchResult struct {
 
 type benchReport struct {
 	GeneratedBy string        `json:"generated_by"`
+	Meta        runMeta       `json:"meta"`
 	BenchTime   string        `json:"bench_time"`
 	Results     []benchResult `json:"results"`
 }
@@ -65,8 +68,34 @@ func main() {
 	benchtime := flag.Duration("benchtime", time.Second, "target time per workload")
 	quick := flag.Bool("quick", false, "CI smoke mode: small datasets and short benchtime")
 	verbose := flag.Bool("v", false, "print results as they complete")
+	compare := flag.Bool("compare", false, "compare two bench reports (args: old.json new.json) and fail on regressions")
+	threshold := flag.Float64("threshold", 0.15, "relative regression tolerance for -compare (0.15 = 15%)")
+	absGate := flag.Bool("abs", false, "with -compare, also gate absolute ns keys (same-machine comparisons only)")
+	telemetry := flag.String("telemetry", "", "serve /snapshot, /metrics, /trace, and pprof on this address while benchmarks run")
 	testing.Init() // registers test.benchtime, which testing.Benchmark reads
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "tioga-bench: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		regs, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *absGate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tioga-bench:", err)
+			os.Exit(1)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "tioga-bench: %d regression(s) vs %s:\n", len(regs), flag.Arg(0))
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r.String())
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions: %s vs %s (threshold %.0f%%)\n", flag.Arg(1), flag.Arg(0), 100**threshold)
+		return
+	}
+
 	if *quick && *benchtime == time.Second {
 		*benchtime = 50 * time.Millisecond
 	}
@@ -74,23 +103,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
 		os.Exit(1)
 	}
+	if *telemetry != "" {
+		obs.SetEnabled(true) // timedSection still turns recorders off inside timed passes
+		srv, terr := export.Start(*telemetry)
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "tioga-bench:", terr)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry -> http://%s/\n", srv.Addr)
+	}
 
-	if err := run(*out, *benchtime, *verbose); err != nil {
+	// fail dumps the flight recorder next to the reports before exiting,
+	// so a CI failure ships the causal trace of what the bench was doing.
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
+		if events := obs.DumpFlight(); len(events) > 0 {
+			if werr := obs.WriteFlightFile("flight_trace.json", events); werr == nil {
+				fmt.Fprintln(os.Stderr, "flight recorder -> flight_trace.json")
+			}
+		}
 		os.Exit(1)
+	}
+	if err := run(*out, *benchtime, *verbose); err != nil {
+		fail(err)
 	}
 	if err := runParallelEval(*parallelOut, *quick, *verbose); err != nil {
-		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if err := runRenderBench(*renderOut, *quick, *verbose); err != nil {
-		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if err := runQueryBench(*queryOut, *quick, *verbose); err != nil {
-		fmt.Fprintln(os.Stderr, "tioga-bench:", err)
-		os.Exit(1)
+		fail(err)
 	}
+}
+
+// timedSection runs fn with the flight recorder off as well as the obs
+// registry, so timed passes measure the true production configuration,
+// then restores the recorder for the surrounding instrumented passes.
+func timedSection(fn func()) {
+	prevObs := obs.Enabled()
+	obs.SetEnabled(false)
+	prevFlight := obs.SetFlightEnabled(false)
+	defer func() {
+		obs.SetFlightEnabled(prevFlight)
+		obs.SetEnabled(prevObs)
+	}()
+	fn()
 }
 
 func run(out string, benchtime time.Duration, verbose bool) error {
@@ -100,24 +160,27 @@ func run(out string, benchtime time.Duration, verbose bool) error {
 		{"lazy_demand", setupLazyDemand},
 		{"join_hash", setupJoinHash},
 	}
-	report := benchReport{GeneratedBy: "tioga-bench", BenchTime: benchtime.String()}
+	report := benchReport{GeneratedBy: "tioga-bench", Meta: collectMeta(), BenchTime: benchtime.String()}
 	for _, c := range cases {
 		iter, err := c.setup()
 		if err != nil {
 			return fmt.Errorf("%s: setup: %w", c.name, err)
 		}
 
-		// Timed pass: obs off, the production configuration.
-		obs.SetEnabled(false)
+		// Timed pass: obs and the flight recorder off, the production
+		// configuration.
 		var iterErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := iter(); err != nil {
-					iterErr = err
-					b.FailNow()
+		var r testing.BenchmarkResult
+		timedSection(func() {
+			r = testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := iter(); err != nil {
+						iterErr = err
+						b.FailNow()
+					}
 				}
-			}
+			})
 		})
 		if iterErr != nil {
 			return fmt.Errorf("%s: %w", c.name, iterErr)
@@ -126,14 +189,15 @@ func run(out string, benchtime time.Duration, verbose bool) error {
 		// Counter pass: one instrumented iteration against a clean
 		// registry yields the per-iteration counter profile.
 		obs.Reset()
+		prevObs := obs.Enabled()
 		obs.SetEnabled(true)
 		before := obs.TakeSnapshot()
 		if err := iter(); err != nil {
-			obs.SetEnabled(false)
+			obs.SetEnabled(prevObs)
 			return fmt.Errorf("%s: instrumented run: %w", c.name, err)
 		}
 		delta := obs.CounterDelta(before, obs.TakeSnapshot())
-		obs.SetEnabled(false)
+		obs.SetEnabled(prevObs)
 		obs.Reset()
 
 		res := benchResult{
@@ -259,6 +323,7 @@ func setupLazyDemand() (func() error, error) {
 // only meaningful with.
 type parallelEvalReport struct {
 	GeneratedBy      string           `json:"generated_by"`
+	Meta             runMeta          `json:"meta"`
 	Workload         string           `json:"workload"`
 	Rows             int              `json:"rows"`
 	Branches         int              `json:"branches"`
@@ -412,17 +477,19 @@ func runParallelEval(out string, quick, verbose bool) error {
 	}
 	identical := serialFP == parFP
 
-	obs.SetEnabled(false)
 	time_ := func(opts ...dataflow.EvalOption) (int64, error) {
 		var iterErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := evalOnce(opts...); err != nil {
-					iterErr = err
-					b.FailNow()
+		var r testing.BenchmarkResult
+		timedSection(func() {
+			r = testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := evalOnce(opts...); err != nil {
+						iterErr = err
+						b.FailNow()
+					}
 				}
-			}
+			})
 		})
 		if iterErr != nil {
 			return 0, iterErr
@@ -440,6 +507,7 @@ func runParallelEval(out string, quick, verbose bool) error {
 
 	report := parallelEvalReport{
 		GeneratedBy:      "tioga-bench",
+		Meta:             collectMeta(),
 		Workload:         "wide_fanout_fetch_restrict_union",
 		Rows:             rows,
 		Branches:         branches,
@@ -483,6 +551,7 @@ func runParallelEval(out string, quick, verbose bool) error {
 // per-frame obs counter profile of each configuration.
 type renderBenchReport struct {
 	GeneratedBy        string           `json:"generated_by"`
+	Meta               runMeta          `json:"meta"`
 	Workload           string           `json:"workload"`
 	Rows               int              `json:"rows"`
 	Frames             int              `json:"frames_per_iteration"`
@@ -490,6 +559,8 @@ type renderBenchReport struct {
 	Height             int              `json:"height"`
 	CachedNsPerFrame   int64            `json:"cached_ns_per_frame"`
 	UncachedNsPerFrame int64            `json:"uncached_ns_per_frame"`
+	CachedP95NS        int64            `json:"cached_p95_ns"`
+	UncachedP95NS      int64            `json:"uncached_p95_ns"`
 	Speedup            float64          `json:"speedup"`
 	OutputsIdentical   bool             `json:"outputs_identical"`
 	CachedPerFrame     map[string]int64 `json:"cached_counters_per_frame,omitempty"`
@@ -600,32 +671,44 @@ func runRenderBench(out string, quick, verbose bool) error {
 		}
 	}
 
-	// Timed passes: obs off, caches pre-warmed on the cached viewer by the
-	// identity pass above (steady-state panning is what the caches serve).
-	obs.SetEnabled(false)
-	timeScript := func(v *viewer.Viewer, img *raster.Image) (int64, error) {
+	// Timed passes: obs and flight recorder off, caches pre-warmed on the
+	// cached viewer by the identity pass above (steady-state panning is
+	// what the caches serve). Alongside the mean, each pass records every
+	// individual frame time and reports the p95 — tail latency is what an
+	// interactive user feels, and a cache that helps the mean but not the
+	// tail would hide behind an average.
+	timeScript := func(v *viewer.Viewer, img *raster.Image) (mean, p95 int64, err error) {
 		var iterErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				for _, f := range script {
-					if err := playFrame(v, img, f); err != nil {
-						iterErr = err
-						b.FailNow()
+		var frameNS []int64
+		var r testing.BenchmarkResult
+		timedSection(func() {
+			r = testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				frameNS = frameNS[:0]
+				for i := 0; i < b.N; i++ {
+					for _, f := range script {
+						fs := time.Now()
+						if err := playFrame(v, img, f); err != nil {
+							iterErr = err
+							b.FailNow()
+						}
+						frameNS = append(frameNS, time.Since(fs).Nanoseconds())
 					}
 				}
-			}
+			})
 		})
 		if iterErr != nil {
-			return 0, iterErr
+			return 0, 0, iterErr
 		}
-		return r.NsPerOp() / int64(len(script)), nil
+		sort.Slice(frameNS, func(i, j int) bool { return frameNS[i] < frameNS[j] })
+		p95 = frameNS[(len(frameNS)-1)*95/100]
+		return r.NsPerOp() / int64(len(script)), p95, nil
 	}
-	cachedNs, err := timeScript(cv, cImg)
+	cachedNs, cachedP95, err := timeScript(cv, cImg)
 	if err != nil {
 		return fmt.Errorf("render: cached bench: %w", err)
 	}
-	uncachedNs, err := timeScript(uv, uImg)
+	uncachedNs, uncachedP95, err := timeScript(uv, uImg)
 	if err != nil {
 		return fmt.Errorf("render: uncached bench: %w", err)
 	}
@@ -634,8 +717,9 @@ func runRenderBench(out string, quick, verbose bool) error {
 	// configuration, divided down to per-frame averages.
 	perFrame := func(v *viewer.Viewer, img *raster.Image) (map[string]int64, error) {
 		obs.Reset()
+		prevObs := obs.Enabled()
 		obs.SetEnabled(true)
-		defer obs.SetEnabled(false)
+		defer obs.SetEnabled(prevObs)
 		before := obs.TakeSnapshot()
 		for _, f := range script {
 			if err := playFrame(v, img, f); err != nil {
@@ -660,6 +744,7 @@ func runRenderBench(out string, quick, verbose bool) error {
 
 	report := renderBenchReport{
 		GeneratedBy:        "tioga-bench",
+		Meta:               collectMeta(),
 		Workload:           "stations_pan_zoom",
 		Rows:               rows,
 		Frames:             len(script),
@@ -667,6 +752,8 @@ func runRenderBench(out string, quick, verbose bool) error {
 		Height:             cv.H,
 		CachedNsPerFrame:   cachedNs,
 		UncachedNsPerFrame: uncachedNs,
+		CachedP95NS:        cachedP95,
+		UncachedP95NS:      uncachedP95,
 		Speedup:            float64(uncachedNs) / float64(cachedNs),
 		OutputsIdentical:   identical,
 		CachedPerFrame:     cachedCounters,
@@ -701,6 +788,7 @@ func runRenderBench(out string, quick, verbose bool) error {
 // speedup is only meaningful with.
 type queryBenchReport struct {
 	GeneratedBy        string           `json:"generated_by"`
+	Meta               runMeta          `json:"meta"`
 	Workload           string           `json:"workload"`
 	Rows               int              `json:"rows"`
 	ObservationRows    int              `json:"observation_rows"`
@@ -859,26 +947,30 @@ func runQueryBench(out string, quick, verbose bool) error {
 
 	// Counter pass: the compiled configuration's per-iteration profile.
 	obs.Reset()
+	prevObs := obs.Enabled()
 	obs.SetEnabled(true)
 	before := obs.TakeSnapshot()
 	if _, _, err := fast(); err != nil {
-		obs.SetEnabled(false)
+		obs.SetEnabled(prevObs)
 		return fmt.Errorf("query: instrumented run: %w", err)
 	}
 	compiledCounters := obs.CounterDelta(before, obs.TakeSnapshot())
-	obs.SetEnabled(false)
+	obs.SetEnabled(prevObs)
 	obs.Reset()
 
 	time_ := func(fn func() (dataflow.Value, *rel.Relation, error)) (int64, error) {
 		var iterErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, _, err := fn(); err != nil {
-					iterErr = err
-					b.FailNow()
+		var r testing.BenchmarkResult
+		timedSection(func() {
+			r = testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := fn(); err != nil {
+						iterErr = err
+						b.FailNow()
+					}
 				}
-			}
+			})
 		})
 		if iterErr != nil {
 			return 0, iterErr
@@ -896,6 +988,7 @@ func runQueryBench(out string, quick, verbose bool) error {
 
 	report := queryBenchReport{
 		GeneratedBy:        "tioga-bench",
+		Meta:               collectMeta(),
 		Workload:           "restrict_join_pipeline",
 		Rows:               rows,
 		ObservationRows:    obsRel.Len(),

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/raster"
 )
 
@@ -26,10 +27,21 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of figure generation to this file")
 	stats := flag.Bool("stats", false, "print an obs metrics snapshot (JSON) to stderr when done")
+	telemetry := flag.String("telemetry", "", "serve /snapshot, /metrics, /trace, and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *tracePath != "" || *stats {
 		obs.SetEnabled(true)
+	}
+	if *telemetry != "" {
+		obs.SetEnabled(true)
+		srv, terr := export.Start(*telemetry)
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "tioga-figures:", terr)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry -> http://%s/\n", srv.Addr)
 	}
 	if *tracePath != "" {
 		obs.StartTracing()

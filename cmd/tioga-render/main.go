@@ -23,6 +23,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/db"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
 	"repro/internal/viewer"
 )
 
@@ -40,10 +41,21 @@ func main() {
 	ascii := flag.Bool("ascii", false, "print ASCII to stdout instead of writing a file")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the render to this file")
 	stats := flag.Bool("stats", false, "print an obs metrics snapshot (JSON) to stderr after rendering")
+	telemetry := flag.String("telemetry", "", "serve /snapshot, /metrics, /trace, and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *tracePath != "" || *stats {
 		obs.SetEnabled(true)
+	}
+	if *telemetry != "" {
+		obs.SetEnabled(true)
+		srv, terr := export.Start(*telemetry)
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "tioga-render:", terr)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry -> http://%s/\n", srv.Addr)
 	}
 	if *tracePath != "" {
 		obs.StartTracing()

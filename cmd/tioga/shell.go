@@ -344,6 +344,8 @@ func (s *shell) dispatch(cmd string, args []string) error {
 		return s.stats()
 	case "trace":
 		return s.trace(args)
+	case "flight":
+		return s.flight(args)
 	case "histo":
 		return s.histo(args)
 	}
@@ -414,6 +416,8 @@ observability:
   eval b.p [serial|workers N] [timeout D]   demand a box output, show work profile
   stats                        counters, render cache hit rates, latency, errors
   trace on [file] | trace off  collect spans; off writes Chrome JSON
+  flight [file.json]           flight recorder: last spans, or dump Chrome JSON
+  flight budget <dur|off>      arm slow-frame watchdog on every canvas
   histo <metric>               ASCII latency histogram (e.g. render.frame_ns)
 `)
 }
@@ -1016,6 +1020,79 @@ func (s *shell) trace(args []string) error {
 		return nil
 	}
 	return fmt.Errorf("usage: trace on [file.json] | trace off")
+}
+
+// flight inspects the always-on flight recorder. With no arguments it
+// prints the buffer occupancy, the causal span tree of the most recent
+// trace, and any slow frames the watchdog captured; with a filename it
+// dumps the whole buffer as Chrome trace-event JSON; "flight budget
+// <dur>" arms the slow-frame watchdog on every canvas ("off" disarms).
+func (s *shell) flight(args []string) error {
+	if len(args) >= 1 && args[0] == "budget" {
+		if len(args) != 2 {
+			return fmt.Errorf("usage: flight budget <duration|off>")
+		}
+		var budget time.Duration
+		if args[1] != "off" {
+			d, err := time.ParseDuration(args[1])
+			if err != nil || d <= 0 {
+				return fmt.Errorf("flight budget: bad duration %q (try 16ms)", args[1])
+			}
+			budget = d
+		}
+		for _, name := range s.env.CanvasNames() {
+			if v, err := s.env.Canvas(name); err == nil {
+				v.FrameBudget = budget
+			}
+		}
+		if budget == 0 {
+			s.printf("slow-frame watchdog off\n")
+		} else {
+			s.printf("slow-frame watchdog armed: frames over %v keep their span tree (see flight)\n", budget)
+		}
+		return nil
+	}
+	if len(args) > 1 {
+		return fmt.Errorf("usage: flight [file.json] | flight budget <duration|off>")
+	}
+	events := obs.DumpFlight()
+	if len(args) == 1 {
+		if err := obs.WriteFlightFile(args[0], events); err != nil {
+			return err
+		}
+		s.printf("flight (%d spans) -> %s (load in chrome://tracing or ui.perfetto.dev)\n", len(events), args[0])
+		return nil
+	}
+	s.printf("flight recorder: %d spans buffered (capacity %d)\n", len(events), obs.DefaultFlight().Capacity())
+	var last uint64 // events arrive oldest-first, so the final id is newest
+	for _, ev := range events {
+		if ev.TraceID != 0 {
+			last = ev.TraceID
+		}
+	}
+	if last != 0 {
+		span := obs.FilterTrace(events, last)
+		label := ""
+		for _, ev := range span {
+			if ev.Label != "" {
+				label = " (" + ev.Label + ")"
+				break
+			}
+		}
+		s.printf("most recent trace %d%s, %d spans:\n%s", last, label, len(span),
+			obs.FormatSpanTree(obs.BuildSpanTree(events, last)))
+	}
+	for _, name := range s.env.CanvasNames() {
+		v, err := s.env.Canvas(name)
+		if err != nil {
+			continue
+		}
+		for _, sf := range v.SlowFrames() {
+			s.printf("slow frame on %s: frame %d took %v (trace %d, %d spans)\n",
+				name, sf.Frame, sf.Elapsed, sf.TraceID, len(sf.Spans))
+		}
+	}
+	return nil
 }
 
 // histo prints one latency histogram as ASCII bars.

@@ -429,3 +429,49 @@ func TestShellCheckCommand(t *testing.T) {
 		t.Errorf("clean program did not check ok:\n%s", out)
 	}
 }
+
+func TestShellFlightCommand(t *testing.T) {
+	obs.ResetFlight()
+	prev := obs.SetFlightEnabled(true)
+	defer obs.SetFlightEnabled(prev)
+
+	dir := t.TempDir()
+	dump := filepath.Join(dir, "flight.json")
+	_, out := testShell(t,
+		"add table name=Stations",
+		`add restrict pred='state = "LA"'`,
+		"connect 1.0 2.0",
+		"viewer v 2.0 120 80",
+		"ascii v 10",
+		"flight",
+		"flight "+dump,
+		"flight budget 16ms",
+		"flight budget off",
+		"flight budget nonsense",
+	)
+	if !strings.Contains(out, "flight recorder:") || !strings.Contains(out, "spans buffered") {
+		t.Fatalf("flight summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "most recent trace") || !strings.Contains(out, "render.frame") {
+		t.Fatalf("flight span tree missing render.frame:\n%s", out)
+	}
+	if !strings.Contains(out, "watchdog armed") || !strings.Contains(out, "watchdog off") {
+		t.Fatalf("flight budget output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "bad duration") {
+		t.Fatalf("bad budget duration not rejected:\n%s", out)
+	}
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatalf("flight dump not written: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("flight dump is not Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("flight dump has no events")
+	}
+}

@@ -38,6 +38,8 @@ var obsNameArg = map[string]int{
 	"LookupHistogram": 0,
 	"StartSpan":       0,
 	"StartSpanOn":     1,
+	"StartSpanCtx":    1,
+	"StartSpanCtxOn":  2,
 }
 
 // obsNamesRel locates the registry file under the module root.

@@ -6,6 +6,7 @@
 package use
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/obs"
@@ -29,4 +30,15 @@ func instrumented(d time.Duration) {
 
 	name := "eval.fires"
 	obs.Inc(name) // variables pass through: resolving them needs types
+}
+
+func instrumentedCtx(ctx context.Context) {
+	cctx, sp := obs.StartSpanCtx(ctx, obs.SpanEvalDemand, "box", "1") // declared: clean
+	_, sp2 := obs.StartSpanCtxOn(cctx, 2, obs.SpanEvalWorker)         // declared: clean
+	sp2.End()
+	sp.End()
+
+	obs.StartSpanCtx(ctx, "eval.demand")       // want `obs\.StartSpanCtx called with string literal "eval\.demand"`
+	obs.StartSpanCtxOn(ctx, 2, "eval.worker")  // want `obs\.StartSpanCtxOn called with string literal "eval\.worker"`
+	obs.StartSpanCtx(ctx, obs.SpanNoSuchSpan2) // want `obs\.SpanNoSuchSpan2 is not declared`
 }

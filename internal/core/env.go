@@ -404,7 +404,7 @@ func (env *Environment) EvalOutput(ctx context.Context, box, port int, opts ...d
 // been rendered since its last change so hit records exist.
 func (env *Environment) UpdateAt(canvasName string, x, y float64, col, input string) error {
 	obs.Inc(obs.CoreUpdates)
-	sp := obs.StartSpan(obs.SpanCoreUpdate, "canvas", canvasName, "column", col)
+	_, sp := obs.StartSpanCtx(context.Background(), obs.SpanCoreUpdate, "canvas", canvasName, "column", col)
 	defer sp.End()
 	v, err := env.Canvas(canvasName)
 	if err != nil {

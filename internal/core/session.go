@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -75,7 +76,7 @@ func decodeSlider(p [2]float64) geom.Range {
 // its view state under the given name.
 func (env *Environment) SaveSession(name string) error {
 	obs.Inc(obs.CoreSessionSaves)
-	sp := obs.StartSpan(obs.SpanCoreSessionSave, "session", name)
+	_, sp := obs.StartSpanCtx(context.Background(), obs.SpanCoreSessionSave, "session", name)
 	defer sp.End()
 	prog, err := dataflow.Marshal(env.Program)
 	if err != nil {
@@ -120,7 +121,7 @@ func (env *Environment) SaveSession(name string) error {
 // session's. Existing canvases are removed first.
 func (env *Environment) LoadSession(name string) error {
 	obs.Inc(obs.CoreSessionLoads)
-	sp := obs.StartSpan(obs.SpanCoreSessionLoad, "session", name)
+	_, sp := obs.StartSpanCtx(context.Background(), obs.SpanCoreSessionLoad, "session", name)
 	defer sp.End()
 	data, err := env.DB.LoadProgram(sessionPrefix + name)
 	if err != nil {

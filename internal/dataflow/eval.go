@@ -178,21 +178,37 @@ func bumpDroppedGenerations(vals []Value) {
 // the external change would keep serving its stale memo — versions did
 // not move, so stamps alone cannot see the invalidation.
 func (e *Evaluator) Invalidate(id int) {
+	e.InvalidateCtx(context.Background(), id)
+}
+
+// InvalidateCtx is Invalidate attributed to the request carried by ctx:
+// the sweep records an eval.invalidate span (annotated with the number
+// of memo entries it dropped) parented under whatever span caused the
+// invalidation, so a trace shows which update fanned out to which
+// boxes.
+func (e *Evaluator) InvalidateCtx(ctx context.Context, id int) {
+	var sp *obs.Span
+	if obs.Recording() {
+		_, sp = obs.StartSpanCtx(ctx, obs.SpanEvalInvalidate, "box", itoa(id))
+	}
 	// Reverse adjacency over the current edge set, built once per call.
 	dependents := make(map[int][]int)
 	for _, edge := range e.g.Edges() {
 		dependents[edge.From] = append(dependents[edge.From], edge.To)
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	seen := make(map[int]bool)
+	dropped := 0
 	var drop func(int)
 	drop = func(id int) {
 		if seen[id] {
 			return
 		}
 		seen[id] = true
-		bumpDroppedGenerations(e.cache[id])
+		if vals, ok := e.cache[id]; ok {
+			bumpDroppedGenerations(vals)
+			dropped++
+		}
 		delete(e.cache, id)
 		delete(e.stamps, id)
 		for _, to := range dependents[id] {
@@ -200,17 +216,36 @@ func (e *Evaluator) Invalidate(id int) {
 		}
 	}
 	drop(id)
+	e.mu.Unlock()
+	obs.Add(obs.EvalInvalidated, int64(dropped))
+	sp.Annotate("dropped", itoa(dropped))
+	sp.Annotate("swept", itoa(len(seen)))
+	sp.End()
 }
 
 // InvalidateAll drops the whole memo table.
 func (e *Evaluator) InvalidateAll() {
+	e.InvalidateAllCtx(context.Background())
+}
+
+// InvalidateAllCtx is InvalidateAll attributed to the request carried
+// by ctx.
+func (e *Evaluator) InvalidateAllCtx(ctx context.Context) {
+	var sp *obs.Span
+	if obs.Recording() {
+		_, sp = obs.StartSpanCtx(ctx, obs.SpanEvalInvalidate, "box", "all")
+	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	dropped := len(e.cache)
 	for _, vals := range e.cache {
 		bumpDroppedGenerations(vals)
 	}
 	e.cache = make(map[int][]Value)
 	e.stamps = make(map[int]int64)
+	e.mu.Unlock()
+	obs.Add(obs.EvalInvalidated, int64(dropped))
+	sp.Annotate("dropped", itoa(dropped))
+	sp.End()
 }
 
 // Eval evaluates the request under ctx and returns the demanded value
@@ -258,12 +293,20 @@ func (e *Evaluator) Eval(ctx context.Context, req Request, opts ...EvalOption) (
 
 	obs.Inc(obs.EvalDemands)
 	var sp *obs.Span
-	if obs.Tracing() {
+	if obs.Recording() {
+		// Mint (or inherit) the request's trace identity, then hang the
+		// whole evaluation under one eval.demand span: waves, workers,
+		// and fires all record parent links back to it.
+		label := o.Label
+		if label == "" {
+			label = "eval"
+		}
+		ctx, _ = obs.EnsureTrace(ctx, label)
 		args := []string{"box", itoa(target), "kind", b.Kind}
 		if o.Label != "" {
 			args = append(args, "label", o.Label)
 		}
-		sp = obs.StartSpan(obs.SpanEvalDemand, args...)
+		ctx, sp = obs.StartSpanCtx(ctx, obs.SpanEvalDemand, args...)
 	}
 	t := obs.StartTimer(obs.EvalDemandNS)
 	vals, res, err := e.evalTarget(ctx, target, o)

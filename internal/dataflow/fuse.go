@@ -176,12 +176,14 @@ func (e *Evaluator) fireFused(ctx context.Context, p *plan, n *planNode, ch *fus
 	if o.Serial {
 		workers = 1
 	}
+	fctx := ctx
 	var sp *obs.Span
-	if obs.Tracing() {
-		sp = obs.StartSpan(obs.SpanEvalFire, "box", strconv.Itoa(n.id), "kind", "fused:"+strconv.Itoa(len(ch.steps)))
+	if obs.Recording() {
+		fctx, sp = obs.StartSpanCtx(ctx, obs.SpanEvalFire,
+			"box", strconv.Itoa(n.id), "kind", obs.FusedKindPrefix+strconv.Itoa(len(ch.steps)))
 	}
 	t := obs.StartTimer(obs.EvalFireNS)
-	res, err := rel.FusedScan(ein.Rel, ops, workers)
+	res, err := rel.FusedScanCtx(fctx, ein.Rel, ops, workers)
 	t.Stop()
 	sp.End()
 	if err != nil {

@@ -1,0 +1,83 @@
+package dataflow
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTraceContextPropagatesAcrossParallelWorkers evaluates a wide
+// fanout under the parallel scheduler with the flight recorder on and
+// checks every recorded span — waves, worker spans, firings — carries
+// the request's trace id and a parent link that resolves inside the
+// trace. Run under -race this also pins that the ctx-carried trace
+// state is safe across the worker pool.
+func TestTraceContextPropagatesAcrossParallelWorkers(t *testing.T) {
+	prev := obs.SetFlightEnabled(true)
+	obs.ResetFlight()
+	defer func() {
+		obs.ResetFlight()
+		obs.SetFlightEnabled(prev)
+	}()
+
+	_, ev, root := buildFanout(t, 8)
+	if _, err := ev.Eval(context.Background(), Request{Box: root},
+		WithWorkers(4), WithLabel("trace-prop")); err != nil {
+		t.Fatal(err)
+	}
+
+	events := obs.DumpFlight()
+	var traceID uint64
+	for _, e := range events {
+		if e.Name == obs.SpanEvalDemand && e.Label == "trace-prop" {
+			traceID = e.TraceID
+		}
+	}
+	if traceID == 0 {
+		t.Fatal("no eval.demand span with the request label recorded")
+	}
+
+	trace := obs.FilterTrace(events, traceID)
+	byID := make(map[uint64]obs.SpanEvent, len(trace))
+	counts := map[string]int{}
+	for _, e := range trace {
+		byID[e.SpanID] = e
+		counts[e.Name]++
+	}
+	if counts[obs.SpanEvalWave] < 3 {
+		t.Errorf("recorded %d waves, want >= 3 (table, restricts, unions)", counts[obs.SpanEvalWave])
+	}
+	if counts[obs.SpanEvalWorker] == 0 {
+		t.Error("no worker spans recorded under the parallel scheduler")
+	}
+	if counts[obs.SpanEvalFire] == 0 {
+		t.Error("no fire spans recorded")
+	}
+	for _, e := range trace {
+		if e.Name == obs.SpanEvalDemand {
+			continue
+		}
+		parent, ok := byID[e.ParentID]
+		if !ok {
+			t.Fatalf("span %s (id %d) has parent %d outside its own trace", e.Name, e.SpanID, e.ParentID)
+		}
+		switch e.Name {
+		case obs.SpanEvalWorker:
+			if parent.Name != obs.SpanEvalWave {
+				t.Errorf("worker span parented under %s, want %s", parent.Name, obs.SpanEvalWave)
+			}
+		case obs.SpanEvalFire:
+			if parent.Name != obs.SpanEvalWorker && parent.Name != obs.SpanEvalWave {
+				t.Errorf("fire span parented under %s, want a wave or worker span", parent.Name)
+			}
+		}
+	}
+	// Worker spans run off the main track so Chrome-style views keep
+	// lanes distinct.
+	for _, e := range trace {
+		if e.Name == obs.SpanEvalWorker && e.Track < 2 {
+			t.Errorf("worker span on track %d, want >= 2", e.Track)
+		}
+	}
+}

@@ -115,12 +115,13 @@ func (e *Evaluator) evalTarget(ctx context.Context, target int, o EvalOptions) (
 			rs.fill(&res)
 			return nil, res, err
 		}
+		wctx := ctx
 		var sp *obs.Span
-		if obs.Tracing() {
-			sp = obs.StartSpan(obs.SpanEvalWave,
+		if obs.Recording() {
+			wctx, sp = obs.StartSpanCtx(ctx, obs.SpanEvalWave,
 				"wave", strconv.Itoa(w), "boxes", strconv.Itoa(len(level)))
 		}
-		err := e.runLevel(ctx, p, level, o, rs)
+		err := e.runLevel(wctx, p, level, o, rs)
 		sp.End()
 		if err != nil {
 			rs.fill(&res)
@@ -191,21 +192,25 @@ func (e *Evaluator) runLevel(ctx context.Context, p *plan, level []*planNode, o 
 	lctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var wg sync.WaitGroup
-	tracing := obs.Tracing()
+	recording := obs.Recording()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			if tracing {
-				// Track 1 is the request; workers get tracks 2+w.
-				sp := obs.StartSpanOn(int64(2+w), obs.SpanEvalWorker, "worker", strconv.Itoa(w))
+			wctx := lctx
+			if recording {
+				// Track 1 is the request; workers get tracks 2+w. The
+				// worker span inherits the wave's trace through lctx, and
+				// every fire this worker resolves parents under it.
+				var sp *obs.Span
+				wctx, sp = obs.StartSpanCtxOn(lctx, int64(2+w), obs.SpanEvalWorker, "worker", strconv.Itoa(w))
 				defer sp.End()
 			}
 			for i := range idx {
-				if lctx.Err() != nil {
+				if wctx.Err() != nil {
 					continue // drain; an error or cancellation already won
 				}
-				if _, _, err := e.resolve(lctx, p, level[i], o, rs); err != nil {
+				if _, _, err := e.resolve(wctx, p, level[i], o, rs); err != nil {
 					errc <- err
 					cancel()
 				}
@@ -356,8 +361,8 @@ func (e *Evaluator) fire(ctx context.Context, p *plan, n *planNode, o EvalOption
 		return nil, 0, err
 	}
 	var sp *obs.Span
-	if obs.Tracing() {
-		sp = obs.StartSpan(obs.SpanEvalFire, "box", strconv.Itoa(n.id), "kind", b.Kind)
+	if obs.Recording() {
+		_, sp = obs.StartSpanCtx(ctx, obs.SpanEvalFire, "box", strconv.Itoa(n.id), "kind", b.Kind)
 	}
 	t := obs.StartTimer(obs.EvalFireNS)
 	out, err := k.Fire(e.fc, b.Params, inVals)

@@ -9,6 +9,7 @@
 package db
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -350,7 +351,7 @@ func fromScalar(s scalarSnapshot) types.Value {
 // Save writes the whole database (tables, programs, definitions) to w.
 func (d *Database) Save(w io.Writer) error {
 	obs.Inc(obs.DBSaves)
-	sp := obs.StartSpan(obs.SpanDBSave)
+	_, sp := obs.StartSpanCtx(context.Background(), obs.SpanDBSave)
 	defer sp.End()
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -388,7 +389,7 @@ func (d *Database) Save(w io.Writer) error {
 // Load reads a database snapshot from r, replacing current contents.
 func (d *Database) Load(r io.Reader) error {
 	obs.Inc(obs.DBLoads)
-	sp := obs.StartSpan(obs.SpanDBLoad)
+	_, sp := obs.StartSpanCtx(context.Background(), obs.SpanDBLoad)
 	defer sp.End()
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {

@@ -1,0 +1,160 @@
+// Package export serves the live telemetry endpoint: a read-only HTTP
+// surface over the obs registry and flight recorder, so a running
+// tioga-render, tioga-figures, or tioga-bench process can be inspected
+// from outside without instrumentation changes. Four endpoint families:
+//
+//	/snapshot     registry snapshot as indented JSON (obs.SnapshotJSON)
+//	/metrics      the same snapshot in Prometheus text exposition format
+//	/trace        flight-recorder contents as a Chrome trace-event JSON
+//	/debug/pprof  the standard net/http/pprof profiles
+//
+// Everything here reads shared atomics and the lock-free flight ring —
+// serving a request never blocks eval or render.
+package export
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Handler returns the telemetry mux. It is exported separately from
+// Start so tests can drive it through httptest and embedders can mount
+// it under their own server.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/snapshot", handleSnapshot)
+	mux.HandleFunc("/metrics", handleMetrics)
+	mux.HandleFunc("/trace", handleTrace)
+	// net/http/pprof registers on http.DefaultServeMux at import; mount
+	// the handlers explicitly so this mux works standalone.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", handleIndex)
+	return mux
+}
+
+// Server is one running telemetry listener.
+type Server struct {
+	Addr string // actual listen address (resolves :0)
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// Start listens on addr (host:port; ":0" picks a free port) and serves
+// the telemetry mux on a background goroutine. The returned server
+// reports the resolved address.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("export: listen %s: %w", addr, err)
+	}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: Handler()}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "tioga telemetry endpoints:")
+	fmt.Fprintln(w, "  /snapshot     registry snapshot (JSON)")
+	fmt.Fprintln(w, "  /metrics      Prometheus text format")
+	fmt.Fprintln(w, "  /trace        flight recorder (Chrome trace JSON; ?trace=ID filters)")
+	fmt.Fprintln(w, "  /debug/pprof  runtime profiles")
+}
+
+func handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	data, err := obs.SnapshotJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func handleTrace(w http.ResponseWriter, r *http.Request) {
+	events := obs.DumpFlight()
+	if q := r.URL.Query().Get("trace"); q != "" {
+		id, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace id: "+q, http.StatusBadRequest)
+			return
+		}
+		events = obs.FilterTrace(events, id)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteFlightChrome(w, events); err != nil {
+		// Headers are gone; nothing to do beyond noting the failure.
+		return
+	}
+}
+
+// handleMetrics renders the registry snapshot in the Prometheus text
+// exposition format: each counter as a counter metric, each histogram
+// as a summary (quantiles 0.5/0.95/0.99 plus _sum and _count, both in
+// nanoseconds to match the snapshot's units).
+func handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := obs.TakeSnapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeMetrics(w, snap)
+}
+
+// writeMetrics is the testable core of /metrics.
+func writeMetrics(w io.Writer, snap obs.Snapshot) {
+	var sb strings.Builder
+
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := metricName(n)
+		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", m, m, snap.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		m := metricName(n)
+		fmt.Fprintf(&sb, "# TYPE %s summary\n", m)
+		fmt.Fprintf(&sb, "%s{quantile=\"0.5\"} %d\n", m, h.P50NS)
+		fmt.Fprintf(&sb, "%s{quantile=\"0.95\"} %d\n", m, h.P95NS)
+		fmt.Fprintf(&sb, "%s{quantile=\"0.99\"} %d\n", m, h.P99NS)
+		fmt.Fprintf(&sb, "%s_sum %d\n", m, h.SumNS)
+		fmt.Fprintf(&sb, "%s_count %d\n", m, h.Count)
+	}
+
+	_, _ = w.Write([]byte(sb.String()))
+}
+
+// metricName maps an obs registry name (dotted, e.g. "eval.fires") to a
+// Prometheus metric name ("tioga_eval_fires"). Prometheus names admit
+// [a-zA-Z_:][a-zA-Z0-9_:]*; registry names are lowercase dotted words,
+// so replacing separators suffices.
+func metricName(obsName string) string {
+	r := strings.NewReplacer(".", "_", "-", "_", "/", "_")
+	return "tioga_" + r.Replace(obsName)
+}

@@ -1,0 +1,199 @@
+package export
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// enable turns metric collection on for one test, restoring the prior
+// state afterwards.
+func enable(t *testing.T) {
+	t.Helper()
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	t.Cleanup(func() { obs.SetEnabled(prev) })
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	enable(t)
+	obs.Reset()
+	obs.Inc("test.export.hits")
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot status = %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/snapshot is not a Snapshot document: %v", err)
+	}
+	if snap.Counters["test.export.hits"] != 1 {
+		t.Fatalf("snapshot counters = %v, want test.export.hits=1", snap.Counters)
+	}
+}
+
+// promLine matches every legal non-comment, non-blank line of the
+// Prometheus text exposition format as this endpoint emits it.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?$`)
+
+func TestMetricsEndpointIsValidPrometheusText(t *testing.T) {
+	enable(t)
+	obs.Reset()
+	obs.Inc("test.export.counter")
+	obs.Observe("test.export.latency_ns", 5*time.Millisecond)
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	text := string(body)
+	if !strings.Contains(text, "tioga_test_export_counter 1") {
+		t.Fatalf("/metrics missing counter line:\n%s", text)
+	}
+	if !strings.Contains(text, `tioga_test_export_latency_ns{quantile="0.95"}`) {
+		t.Fatalf("/metrics missing summary quantile line:\n%s", text)
+	}
+	if !strings.Contains(text, "tioga_test_export_latency_ns_count 1") {
+		t.Fatalf("/metrics missing summary count line:\n%s", text)
+	}
+	seenType := map[string]string{}
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment: %q", i+1, line)
+			}
+			seenType[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line %d is not valid Prometheus text: %q", i+1, line)
+		}
+	}
+	if seenType["tioga_test_export_counter"] != "counter" {
+		t.Fatalf("counter TYPE = %q, want counter", seenType["tioga_test_export_counter"])
+	}
+	if seenType["tioga_test_export_latency_ns"] != "summary" {
+		t.Fatalf("histogram TYPE = %q, want summary", seenType["tioga_test_export_latency_ns"])
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	obs.Reset()
+	obs.ResetFlight()
+	prev := obs.SetFlightEnabled(true)
+	defer obs.SetFlightEnabled(prev)
+
+	ctx, tc := obs.EnsureTrace(context.Background(), "export-test")
+	cctx, parent := obs.StartSpanCtx(ctx, "test.export.parent")
+	_, child := obs.StartSpanCtx(cctx, "test.export.child")
+	child.End()
+	parent.End()
+	// A second, unrelated trace that ?trace= should filter out.
+	octx, _ := obs.EnsureTrace(context.Background(), "other")
+	_, other := obs.StartSpanCtx(octx, "test.export.other")
+	other.End()
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status = %d", code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/trace is not Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 3 {
+		t.Fatalf("/trace has %d events, want >= 3", len(doc.TraceEvents))
+	}
+
+	code, body = get(t, srv, "/trace?trace="+strconv.FormatUint(tc.TraceID, 10))
+	if code != http.StatusOK {
+		t.Fatalf("/trace?trace= status = %d", code)
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("filtered /trace is not Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("filtered /trace has %d events, want 2", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if name, _ := ev["name"].(string); name == "test.export.other" {
+			t.Fatalf("filtered /trace leaked foreign trace event: %v", ev)
+		}
+	}
+
+	code, _ = get(t, srv, "/trace?trace=bogus")
+	if code != http.StatusBadRequest {
+		t.Fatalf("/trace?trace=bogus status = %d, want 400", code)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d", code)
+	}
+	if len(body) == 0 {
+		t.Fatal("/debug/pprof/cmdline returned empty body")
+	}
+}
+
+func TestStartResolvesEphemeralPort(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Close()
+	if strings.HasSuffix(s.Addr, ":0") {
+		t.Fatalf("Start did not resolve port: %s", s.Addr)
+	}
+	resp, err := http.Get("http://" + s.Addr + "/snapshot")
+	if err != nil {
+		t.Fatalf("GET via Start addr: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot via Start addr: status %d", resp.StatusCode)
+	}
+}

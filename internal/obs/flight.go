@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// SpanEvent is one completed span captured by the flight recorder: the
+// durable record of a Span created through the context API
+// (StartSpanCtx / StartSpanCtxOn). TraceID groups every span of one
+// request, ParentID links the causal tree, Track matches the Chrome
+// trace tid convention (1 = main, 2+w = workers).
+type SpanEvent struct {
+	TraceID  uint64   `json:"trace,omitempty"`
+	SpanID   uint64   `json:"span"`
+	ParentID uint64   `json:"parent,omitempty"`
+	Name     string   `json:"name"`
+	Label    string   `json:"label,omitempty"`
+	Track    int64    `json:"track"`
+	StartNS  int64    `json:"start_ns"` // wall-clock start, UnixNano
+	DurNS    int64    `json:"dur_ns"`
+	Args     []string `json:"args,omitempty"` // alternating key/value pairs
+}
+
+// Arg returns the value of the named key/value annotation pair, or "".
+func (e *SpanEvent) Arg(key string) string {
+	for i := 0; i+1 < len(e.Args); i += 2 {
+		if e.Args[i] == key {
+			return e.Args[i+1]
+		}
+	}
+	return ""
+}
+
+// DefaultFlightCapacity is the ring size of the package-level flight
+// recorder: enough for several full eval+render requests while staying
+// a fixed, small memory cost (~a few hundred KB of pointers + events).
+const DefaultFlightCapacity = 4096
+
+// FlightRecorder is an always-on, fixed-size ring buffer of the most
+// recent span events. It is the "black box" of the process: recording
+// costs one atomic increment and one atomic pointer store per span, so
+// it stays enabled in production even when full tracing is off, and a
+// slow frame (or a crash handler, or the /trace endpoint) can dump the
+// recent past after the fact.
+//
+// Writers never block and never lock. A reader (DumpRecent) that races
+// a wrapping writer may observe a handful of events slightly out of
+// ring order; it never observes duplicates or torn events, because each
+// event is published once via its own atomic pointer.
+type FlightRecorder struct {
+	enabled atomic.Bool
+	next    atomic.Uint64
+	slots   []atomic.Pointer[SpanEvent]
+}
+
+// NewFlightRecorder returns an enabled recorder retaining the last
+// capacity events (DefaultFlightCapacity when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	f := &FlightRecorder{slots: make([]atomic.Pointer[SpanEvent], capacity)}
+	f.enabled.Store(true)
+	return f
+}
+
+var defaultFlight = NewFlightRecorder(DefaultFlightCapacity)
+
+// DefaultFlight returns the process-wide flight recorder fed by the
+// context span API.
+func DefaultFlight() *FlightRecorder { return defaultFlight }
+
+// Capacity returns the ring size.
+func (f *FlightRecorder) Capacity() int { return len(f.slots) }
+
+// Enabled reports whether the recorder accepts events.
+func (f *FlightRecorder) Enabled() bool { return f != nil && f.enabled.Load() }
+
+// SetEnabled turns recording on or off and returns the previous
+// setting. Benchmark timed passes turn it off so measured latencies
+// exclude even the per-span pointer store.
+func (f *FlightRecorder) SetEnabled(on bool) bool { return f.enabled.Swap(on) }
+
+// Record publishes one completed span event. Safe for any number of
+// concurrent writers; a no-op when disabled or nil.
+func (f *FlightRecorder) Record(ev *SpanEvent) {
+	if f == nil || !f.enabled.Load() {
+		return
+	}
+	n := f.next.Add(1) - 1
+	f.slots[n%uint64(len(f.slots))].Store(ev)
+}
+
+// Reset clears the retained events (the sequence counter keeps
+// monotonically increasing so concurrent writers stay well-defined).
+func (f *FlightRecorder) Reset() {
+	for i := range f.slots {
+		f.slots[i].Store(nil)
+	}
+}
+
+// DumpRecent returns the retained events, oldest first. Concurrent
+// writers wrapping the ring during the read can surface a few events
+// slightly out of order; duplicates cannot occur (each slot is read
+// once and each event published once).
+func (f *FlightRecorder) DumpRecent() []SpanEvent {
+	n := f.next.Load()
+	size := uint64(len(f.slots))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]SpanEvent, 0, n-start)
+	for i := start; i < n; i++ {
+		if ev := f.slots[i%size].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	return out
+}
+
+// --- package-level flight recorder ------------------------------------
+
+// SetFlightEnabled turns the default flight recorder on or off and
+// returns the previous setting.
+func SetFlightEnabled(on bool) bool { return defaultFlight.SetEnabled(on) }
+
+// FlightEnabled reports whether the default flight recorder is on.
+func FlightEnabled() bool { return defaultFlight.Enabled() }
+
+// DumpFlight returns the default recorder's retained events, oldest
+// first.
+func DumpFlight() []SpanEvent { return defaultFlight.DumpRecent() }
+
+// ResetFlight clears the default recorder.
+func ResetFlight() { defaultFlight.Reset() }
+
+// FilterTrace returns the events belonging to one trace, preserving
+// order.
+func FilterTrace(events []SpanEvent, traceID uint64) []SpanEvent {
+	out := make([]SpanEvent, 0, len(events))
+	for _, ev := range events {
+		if ev.TraceID == traceID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteFlightChrome serializes flight events as Chrome trace-event JSON
+// ("X" complete events, one per span, timestamps rebased to the oldest
+// event). The output loads in chrome://tracing and Perfetto exactly
+// like a Tracer dump, with trace/span/parent ids in each event's args
+// so the causal tree survives the format.
+func WriteFlightChrome(w io.Writer, events []SpanEvent) error {
+	evs := make([]SpanEvent, len(events))
+	copy(evs, events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].StartNS < evs[j].StartNS })
+	var base int64
+	if len(evs) > 0 {
+		base = evs[0].StartNS
+	}
+	out := make([]traceEvent, 0, len(evs))
+	for _, ev := range evs {
+		args := make(map[string]string, len(ev.Args)/2+4)
+		for i := 0; i+1 < len(ev.Args); i += 2 {
+			args[ev.Args[i]] = ev.Args[i+1]
+		}
+		args["span"] = strconv.FormatUint(ev.SpanID, 10)
+		if ev.ParentID != 0 {
+			args["parent"] = strconv.FormatUint(ev.ParentID, 10)
+		}
+		if ev.TraceID != 0 {
+			args["trace"] = strconv.FormatUint(ev.TraceID, 10)
+		}
+		if ev.Label != "" {
+			args["label"] = ev.Label
+		}
+		out = append(out, traceEvent{
+			Name: ev.Name,
+			Ph:   "X",
+			TS:   float64(ev.StartNS-base) / 1e3,
+			Dur:  float64(ev.DurNS) / 1e3,
+			PID:  1,
+			TID:  ev.Track,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// WriteFlightFile dumps flight events to a path as Chrome trace JSON.
+func WriteFlightFile(path string, events []SpanEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteFlightChrome(f, events); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -6,16 +6,17 @@ package obs
 // consumers, and tests agree on spelling.
 const (
 	// Dataflow evaluation (internal/dataflow).
-	EvalDemands   = "eval.demands"    // top-level Demand/DemandInput calls
-	EvalFires     = "eval.fires"      // box firings actually executed
-	EvalCacheHits = "eval.cache_hits" // demands answered from the memo table
-	EvalCacheMiss = "eval.cache_miss" // demands requiring a firing
-	EvalFireNS    = "eval.fire_ns"    // histogram: per-box firing latency
-	EvalDemandNS  = "eval.demand_ns"  // histogram: top-level demand latency
-	EvalErrors    = "eval.errors"     // failed firings (error log kept)
-	EvalCoalesced = "eval.coalesced"  // demands answered by joining an in-flight firing
-	EvalWaves     = "eval.waves"      // wavefront levels executed
-	EvalCancels   = "eval.cancels"    // requests abandoned via context cancellation
+	EvalDemands     = "eval.demands"     // top-level Demand/DemandInput calls
+	EvalFires       = "eval.fires"       // box firings actually executed
+	EvalCacheHits   = "eval.cache_hits"  // demands answered from the memo table
+	EvalCacheMiss   = "eval.cache_miss"  // demands requiring a firing
+	EvalFireNS      = "eval.fire_ns"     // histogram: per-box firing latency
+	EvalDemandNS    = "eval.demand_ns"   // histogram: top-level demand latency
+	EvalErrors      = "eval.errors"      // failed firings (error log kept)
+	EvalCoalesced   = "eval.coalesced"   // demands answered by joining an in-flight firing
+	EvalWaves       = "eval.waves"       // wavefront levels executed
+	EvalCancels     = "eval.cancels"     // requests abandoned via context cancellation
+	EvalInvalidated = "eval.invalidated" // memo entries dropped by invalidation sweeps
 
 	// Viewer rendering (internal/viewer).
 	RenderFrames          = "render.frames"
@@ -29,6 +30,7 @@ const (
 	RenderWormholeCached  = "render.wormhole_cache_hits"
 	RenderFrameNS         = "render.frame_ns"        // histogram: full-frame latency
 	RenderDisplayEvalNS   = "render.display_eval_ns" // histogram: pass-2 batch latency
+	RenderSlowFrames      = "render.slow_frames"     // frames over the viewer's FrameBudget
 
 	// Cross-frame render caches (internal/viewer, see DESIGN.md "Render
 	// caching & invalidation"). All are keyed on generation stamps.
@@ -78,10 +80,11 @@ const (
 // trace viewer and tests key on.
 const (
 	// Dataflow evaluation (internal/dataflow).
-	SpanEvalDemand = "eval.demand" // one top-level Eval request
-	SpanEvalWave   = "eval.wave"   // one wavefront level of a request
-	SpanEvalWorker = "eval.worker" // one worker goroutine of a level
-	SpanEvalFire   = "eval.fire"   // one box firing
+	SpanEvalDemand     = "eval.demand"     // one top-level Eval request
+	SpanEvalWave       = "eval.wave"       // one wavefront level of a request
+	SpanEvalWorker     = "eval.worker"     // one worker goroutine of a level
+	SpanEvalFire       = "eval.fire"       // one box firing
+	SpanEvalInvalidate = "eval.invalidate" // one invalidation sweep (memo drops + fan-out)
 
 	// Viewer rendering (internal/viewer).
 	SpanRenderFrame             = "render.frame"
@@ -92,6 +95,13 @@ const (
 	SpanRenderWormhole          = "render.wormhole"
 	SpanRenderSpatialBuild      = "render.spatial_build"
 
+	// Relational engine (internal/rel). SpanRelCompile covers the
+	// shape/check/compile pass of a fused scan and runs in both the
+	// compiled and interpreted modes, so trace structure is identical
+	// across the ablation.
+	SpanRelFusedScan = "rel.fused_scan"
+	SpanRelCompile   = "rel.compile.pass"
+
 	// Database (internal/db).
 	SpanDBSave = "db.save"
 	SpanDBLoad = "db.load"
@@ -101,3 +111,8 @@ const (
 	SpanCoreSessionSave = "core.session_save"
 	SpanCoreSessionLoad = "core.session_load"
 )
+
+// FusedKindPrefix prefixes the "kind" arg of an eval.fire span that
+// executed a fused restrict/project chain ("fused:<steps>"), replacing
+// the string literal the fusion pass used before the obsnames audit.
+const FusedKindPrefix = "fused:"

@@ -26,11 +26,14 @@ type Tracer struct {
 	now    func() time.Time // test hook; nil means time.Now
 }
 
-// traceEvent is one Chrome trace-event object.
+// traceEvent is one Chrome trace-event object. Dur is only set on "X"
+// complete events (flight-recorder dumps); B/E pairs leave it zero and
+// omitted, so Tracer output is byte-identical to the pre-flight format.
 type traceEvent struct {
 	Name string            `json:"name"`
 	Ph   string            `json:"ph"`
-	TS   float64           `json:"ts"` // microseconds since trace start
+	TS   float64           `json:"ts"`            // microseconds since trace start
+	Dur  float64           `json:"dur,omitempty"` // microseconds, "X" events only
 	PID  int               `json:"pid"`
 	TID  int64             `json:"tid"`
 	Args map[string]string `json:"args,omitempty"`
@@ -83,10 +86,27 @@ func (t *Tracer) Len() int {
 // Span is one open trace span; End closes it. A nil *Span (returned when
 // tracing is off) is safe to End and annotate, so call sites need no
 // branches.
+//
+// Spans come from two APIs. The legacy Tracer API (StartSpan/
+// StartSpanOn) emits B/E pairs to a tracer and nothing else. The
+// context API (StartSpanCtx/StartSpanCtxOn in tracecontext.go)
+// additionally carries trace/span/parent ids and, on End, publishes a
+// completed SpanEvent to the flight recorder — that is the path every
+// instrumented subsystem uses.
 type Span struct {
 	t    *Tracer
+	f    *FlightRecorder
 	name string
 	tid  int64
+
+	// Context-API fields; zero for legacy tracer spans.
+	id          uint64
+	parent      uint64
+	traceID     uint64
+	label       string
+	start       time.Time
+	args        []string
+	annotations []string
 }
 
 // MainTrack is the track id used by StartSpan for non-worker spans.
@@ -117,10 +137,43 @@ func (t *Tracer) StartSpanOn(tid int64, name string, args ...string) *Span {
 
 // End closes the span. Safe on nil.
 func (s *Span) End() {
-	if s == nil || !s.t.active.Load() {
+	if s == nil {
 		return
 	}
-	s.t.emit(traceEvent{Name: s.name, Ph: "E", TID: s.tid})
+	if s.t != nil && s.t.active.Load() {
+		s.t.emit(traceEvent{Name: s.name, Ph: "E", TID: s.tid})
+	}
+	if s.f != nil {
+		args := s.args
+		if len(s.annotations) > 0 {
+			merged := make([]string, 0, len(s.args)+len(s.annotations))
+			merged = append(merged, s.args...)
+			merged = append(merged, s.annotations...)
+			args = merged
+		}
+		s.f.Record(&SpanEvent{
+			TraceID:  s.traceID,
+			SpanID:   s.id,
+			ParentID: s.parent,
+			Name:     s.name,
+			Label:    s.label,
+			Track:    s.tid,
+			StartNS:  s.start.UnixNano(),
+			DurNS:    time.Since(s.start).Nanoseconds(),
+			Args:     args,
+		})
+	}
+}
+
+// Annotate attaches a key/value pair to the span's flight-recorder
+// event at End time, for facts only known after the work ran (rows
+// produced, memo entries dropped). Safe on nil; legacy tracer spans
+// ignore it.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.annotations = append(s.annotations, key, value)
 }
 
 func (t *Tracer) emit(e traceEvent) {

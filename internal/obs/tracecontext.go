@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext identifies one request — one Eval demand, one rendered
+// frame, one shell command — so every span recorded on its behalf can
+// be grouped and the request's causal tree rebuilt after the fact. It
+// travels through context.Context: entry points mint one with
+// EnsureTrace, interior span sites inherit it implicitly through
+// StartSpanCtx.
+type TraceContext struct {
+	TraceID uint64
+	Label   string
+}
+
+type traceCtxKey struct{}
+type parentSpanKey struct{}
+
+var (
+	traceIDs atomic.Uint64
+	spanIDs  atomic.Uint64
+)
+
+// NewTraceContext mints a fresh process-unique trace id.
+func NewTraceContext(label string) *TraceContext {
+	return &TraceContext{TraceID: traceIDs.Add(1), Label: label}
+}
+
+// WithTraceContext returns ctx carrying tc.
+func WithTraceContext(ctx context.Context, tc *TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the TraceContext carried by ctx, or nil.
+func TraceFromContext(ctx context.Context) *TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(*TraceContext)
+	return tc
+}
+
+// ParentSpanID returns the id of the innermost span opened on ctx via
+// StartSpanCtx, or 0 at the root.
+func ParentSpanID(ctx context.Context) uint64 {
+	id, _ := ctx.Value(parentSpanKey{}).(uint64)
+	return id
+}
+
+// recordingOn reports whether any span recorder could observe a span
+// right now — the default tracer is active or the flight recorder is
+// enabled. When false the ctx span API is a near-free no-op.
+func recordingOn() bool {
+	return defaultTracer.active.Load() || defaultFlight.Enabled()
+}
+
+// Recording reports whether any span recorder is active. Hot call sites
+// use it to skip building span-arg slices entirely when both the tracer
+// and the flight recorder are off.
+func Recording() bool { return recordingOn() }
+
+// EnsureTrace returns ctx carrying a TraceContext, minting one labeled
+// label when ctx has none. When ctx already carries one (an enclosing
+// request) it is reused, so nested entry points — a render demanding an
+// Eval — attribute to the outer request. When no recorder could observe
+// the request at all, ctx is returned unchanged with a nil TraceContext
+// (safe to ignore): request attribution costs nothing while both the
+// tracer and the flight recorder are off.
+func EnsureTrace(ctx context.Context, label string) (context.Context, *TraceContext) {
+	if tc := TraceFromContext(ctx); tc != nil {
+		return ctx, tc
+	}
+	if !recordingOn() {
+		return ctx, nil
+	}
+	tc := NewTraceContext(label)
+	return WithTraceContext(ctx, tc), tc
+}
+
+// AdoptTrace returns dst carrying src's TraceContext and parent span,
+// used where two contexts meet: a viewer source that owns a
+// cancellation context adopts the render request's trace so demands it
+// issues attribute to the frame that caused them.
+func AdoptTrace(dst, src context.Context) context.Context {
+	if tc := TraceFromContext(src); tc != nil {
+		dst = WithTraceContext(dst, tc)
+	}
+	if id := ParentSpanID(src); id != 0 {
+		dst = context.WithValue(dst, parentSpanKey{}, id)
+	}
+	return dst
+}
+
+// StartSpanCtx opens a span on the main track, linked to ctx's trace
+// and parent span. It returns a derived context (the new span becomes
+// the parent for spans opened beneath it) and the span to End. When
+// neither the tracer nor the flight recorder is recording it returns
+// (ctx, nil) — a nil Span is inert, so call sites need no branches.
+func StartSpanCtx(ctx context.Context, name string, args ...string) (context.Context, *Span) {
+	return StartSpanCtxOn(ctx, MainTrack, name, args...)
+}
+
+// StartSpanCtxOn opens a span on an explicit track (used to attribute
+// parallel workers), linked to ctx's trace and parent span.
+func StartSpanCtxOn(ctx context.Context, tid int64, name string, args ...string) (context.Context, *Span) {
+	tracerOn := defaultTracer.active.Load()
+	flightOn := defaultFlight.Enabled()
+	if !tracerOn && !flightOn {
+		return ctx, nil
+	}
+	s := &Span{
+		name:   name,
+		tid:    tid,
+		id:     spanIDs.Add(1),
+		parent: ParentSpanID(ctx),
+		start:  time.Now(),
+		args:   args,
+	}
+	if tc := TraceFromContext(ctx); tc != nil {
+		s.traceID = tc.TraceID
+		s.label = tc.Label
+	}
+	if flightOn {
+		s.f = defaultFlight
+	}
+	if tracerOn {
+		s.t = defaultTracer
+		targs := make([]string, 0, len(args)+6)
+		targs = append(targs, args...)
+		targs = append(targs, "span", strconv.FormatUint(s.id, 10))
+		if s.parent != 0 {
+			targs = append(targs, "parent", strconv.FormatUint(s.parent, 10))
+		}
+		if s.traceID != 0 {
+			targs = append(targs, "trace", strconv.FormatUint(s.traceID, 10))
+		}
+		var m map[string]string
+		if len(targs) >= 2 {
+			m = make(map[string]string, len(targs)/2)
+			for i := 0; i+1 < len(targs); i += 2 {
+				m[targs[i]] = targs[i+1]
+			}
+		}
+		defaultTracer.emit(traceEvent{Name: name, Ph: "B", TID: tid, Args: m})
+	}
+	return context.WithValue(ctx, parentSpanKey{}, s.id), s
+}

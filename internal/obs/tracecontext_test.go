@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// withFlight runs a test against a clean, enabled default flight
+// recorder, restoring the previous state afterwards.
+func withFlight(t *testing.T) {
+	t.Helper()
+	prev := SetFlightEnabled(true)
+	ResetFlight()
+	t.Cleanup(func() {
+		ResetFlight()
+		SetFlightEnabled(prev)
+	})
+}
+
+func TestEnsureTraceMintsAndReuses(t *testing.T) {
+	withFlight(t)
+	ctx, tc := EnsureTrace(context.Background(), "first")
+	if tc == nil || tc.TraceID == 0 {
+		t.Fatal("EnsureTrace did not mint a trace while recording")
+	}
+	ctx2, tc2 := EnsureTrace(ctx, "second")
+	if tc2 != tc {
+		t.Fatal("nested EnsureTrace minted a fresh trace instead of reusing")
+	}
+	if ctx2 != ctx {
+		t.Fatal("nested EnsureTrace changed the context")
+	}
+}
+
+func TestEnsureTraceIsFreeWhenNothingRecords(t *testing.T) {
+	prev := SetFlightEnabled(false)
+	defer SetFlightEnabled(prev)
+	ctx := context.Background()
+	got, tc := EnsureTrace(ctx, "idle")
+	if tc != nil || got != ctx {
+		t.Fatal("EnsureTrace allocated while no recorder is active")
+	}
+	cctx, sp := StartSpanCtx(ctx, "idle.span")
+	if sp != nil || cctx != ctx {
+		t.Fatal("StartSpanCtx allocated while no recorder is active")
+	}
+	sp.End() // nil span must be inert
+	sp.Annotate("k", "v")
+}
+
+func TestSpanParentLinksAndTrackRecorded(t *testing.T) {
+	withFlight(t)
+	ctx, tc := EnsureTrace(context.Background(), "req")
+	rctx, root := StartSpanCtx(ctx, "t.root")
+	cctx, child := StartSpanCtxOn(rctx, 3, "t.child", "k", "v")
+	_, grand := StartSpanCtx(cctx, "t.grand")
+	grand.End()
+	child.End()
+	root.End()
+
+	events := FilterTrace(DumpFlight(), tc.TraceID)
+	if len(events) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(events))
+	}
+	byName := map[string]SpanEvent{}
+	for _, ev := range events {
+		byName[ev.Name] = ev
+	}
+	if byName["t.root"].ParentID != 0 {
+		t.Fatalf("root has parent %d, want 0", byName["t.root"].ParentID)
+	}
+	if byName["t.child"].ParentID != byName["t.root"].SpanID {
+		t.Fatal("child not parented under root")
+	}
+	if byName["t.grand"].ParentID != byName["t.child"].SpanID {
+		t.Fatal("grandchild not parented under child")
+	}
+	ch := byName["t.child"]
+	if ch.Track != 3 {
+		t.Fatalf("child track = %d, want 3", ch.Track)
+	}
+	if ch.Arg("k") != "v" {
+		t.Fatal("span args lost")
+	}
+	for _, ev := range events {
+		if ev.Label != "req" {
+			t.Fatalf("event %s label = %q, want req", ev.Name, ev.Label)
+		}
+	}
+}
+
+func TestAdoptTraceBridgesContexts(t *testing.T) {
+	withFlight(t)
+	reqCtx, tc := EnsureTrace(context.Background(), "render")
+	rctx, frame := StartSpanCtx(reqCtx, "t.frame")
+
+	// A source with its own cancellation context adopts the request's
+	// identity, as viewer sources do.
+	srcCtx := AdoptTrace(context.Background(), rctx)
+	_, demand := StartSpanCtx(srcCtx, "t.demand")
+	demand.End()
+	frame.End()
+
+	events := FilterTrace(DumpFlight(), tc.TraceID)
+	byName := map[string]SpanEvent{}
+	for _, ev := range events {
+		byName[ev.Name] = ev
+	}
+	d, ok := byName["t.demand"]
+	if !ok {
+		t.Fatal("adopted-context span not attributed to the trace")
+	}
+	if d.ParentID != byName["t.frame"].SpanID {
+		t.Fatal("adopted-context span not parented under the frame span")
+	}
+}
+
+func TestAnnotateAppearsInRecordedArgs(t *testing.T) {
+	withFlight(t)
+	ctx, tc := EnsureTrace(context.Background(), "a")
+	_, sp := StartSpanCtx(ctx, "t.annotated", "pre", "1")
+	sp.Annotate("cached", "true")
+	sp.End()
+	events := FilterTrace(DumpFlight(), tc.TraceID)
+	if len(events) != 1 {
+		t.Fatalf("recorded %d events, want 1", len(events))
+	}
+	if events[0].Arg("pre") != "1" || events[0].Arg("cached") != "true" {
+		t.Fatalf("args = %v, want both pre and cached", events[0].Args)
+	}
+}
+
+// TestResetWhileSpansOpen ends spans across registry and flight resets;
+// under -race this pins that teardown during a live request is safe.
+func TestResetWhileSpansOpen(t *testing.T) {
+	withFlight(t)
+	ctx, _ := EnsureTrace(context.Background(), "reset")
+	const n = 16
+	var open sync.WaitGroup
+	var closed sync.WaitGroup
+	for i := 0; i < n; i++ {
+		open.Add(1)
+		closed.Add(1)
+		go func() {
+			defer closed.Done()
+			_, sp := StartSpanCtx(ctx, "t.open")
+			open.Done()
+			sp.Annotate("late", "yes")
+			sp.End()
+		}()
+	}
+	open.Wait()
+	Reset()       // registry reset mid-request
+	ResetFlight() // flight reset mid-request
+	closed.Wait() // Ends after the resets must not panic or tear
+	for _, ev := range DumpFlight() {
+		if ev.SpanID == 0 {
+			t.Fatal("torn event after reset")
+		}
+	}
+}
+
+func TestBuildSpanTreeStructure(t *testing.T) {
+	withFlight(t)
+	ctx, tc := EnsureTrace(context.Background(), "tree")
+	rctx, root := StartSpanCtx(ctx, "t.root")
+	actx, a := StartSpanCtx(rctx, "t.a")
+	_, a1 := StartSpanCtx(actx, "t.a1")
+	a1.End()
+	a.End()
+	_, b := StartSpanCtx(rctx, "t.b")
+	b.End()
+	root.End()
+
+	roots := BuildSpanTree(DumpFlight(), tc.TraceID)
+	got := FormatSpanTree(roots)
+	want := strings.Join([]string{
+		"t.root",
+		"  t.a",
+		"    t.a1",
+		"  t.b",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("span tree:\n%s\nwant:\n%s", got, want)
+	}
+}

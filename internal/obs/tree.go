@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// SpanNode is one span with its causal children, rebuilt from flight
+// events by BuildSpanTree.
+type SpanNode struct {
+	Event    SpanEvent
+	Children []*SpanNode
+}
+
+// BuildSpanTree reassembles the parent/child forest of the given events
+// via their SpanID/ParentID links. traceID restricts the forest to one
+// request; pass 0 to keep every event. Spans whose parent is absent
+// (the parent span predates the ring window, or the span is a true
+// root) become roots. Roots and children are ordered by start time,
+// ties broken by span id, so serial executions format
+// deterministically.
+func BuildSpanTree(events []SpanEvent, traceID uint64) []*SpanNode {
+	nodes := make(map[uint64]*SpanNode, len(events))
+	ordered := make([]*SpanNode, 0, len(events))
+	for _, ev := range events {
+		if traceID != 0 && ev.TraceID != traceID {
+			continue
+		}
+		n := &SpanNode{Event: ev}
+		nodes[ev.SpanID] = n
+		ordered = append(ordered, n)
+	}
+	var roots []*SpanNode
+	for _, n := range ordered {
+		if p, ok := nodes[n.Event.ParentID]; ok && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortNodes func(ns []*SpanNode)
+	sortNodes = func(ns []*SpanNode) {
+		sort.SliceStable(ns, func(i, j int) bool {
+			a, b := ns[i].Event, ns[j].Event
+			if a.StartNS != b.StartNS {
+				return a.StartNS < b.StartNS
+			}
+			return a.SpanID < b.SpanID
+		})
+		for _, n := range ns {
+			sortNodes(n.Children)
+		}
+	}
+	sortNodes(roots)
+	return roots
+}
+
+// FormatSpanTree renders the forest as an indented list of span names,
+// two spaces per depth, one span per line. Only names appear — no ids,
+// times, or args — so the output is a stable structural fingerprint:
+// two executions that did the same kinds of work in the same causal
+// shape format identically, which is what the golden-structure and
+// differential (compiled vs interpreted, cached vs uncached) oracles
+// compare.
+func FormatSpanTree(roots []*SpanNode) string {
+	var b strings.Builder
+	var walk func(ns []*SpanNode, depth int)
+	walk = func(ns []*SpanNode, depth int) {
+		for _, n := range ns {
+			for i := 0; i < depth; i++ {
+				b.WriteString("  ")
+			}
+			b.WriteString(n.Event.Name)
+			b.WriteByte('\n')
+			walk(n.Children, depth+1)
+		}
+	}
+	walk(roots, 0)
+	return b.String()
+}

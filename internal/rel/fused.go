@@ -1,7 +1,9 @@
 package rel
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"repro/internal/expr"
 	"repro/internal/obs"
@@ -120,10 +122,33 @@ func (m *mappedCursor) AttrValue(name string) (types.Value, bool) {
 // (0 inherits the package scan-worker setting). Errors carry the failing
 // step as a *FusedStepError.
 func FusedScan(r *Relation, ops []FusedOp, workers int) (*FusedResult, error) {
+	return FusedScanCtx(context.Background(), r, ops, workers)
+}
+
+// FusedScanCtx is FusedScan attributed to the request carried by ctx:
+// the scan records a rel.fused_scan span (parented under the firing that
+// invoked it) with a rel.compile.pass child covering the shape-check and
+// predicate-compilation phase. The compile pass runs — and so records —
+// in both the compiled and interpreted modes, keeping trace structure
+// identical across the ablation.
+func FusedScanCtx(ctx context.Context, r *Relation, ops []FusedOp, workers int) (*FusedResult, error) {
 	if len(ops) == 0 {
 		return nil, fmt.Errorf("rel: fused scan: empty pipeline")
 	}
+	var sp *obs.Span
+	if obs.Recording() {
+		ctx, sp = obs.StartSpanCtx(ctx, obs.SpanRelFusedScan,
+			"steps", strconv.Itoa(len(ops)), "rows_in", strconv.Itoa(len(r.tuples)))
+	}
+	res, err := fusedScan(ctx, r, ops, workers)
+	if err == nil {
+		sp.Annotate("rows_out", strconv.Itoa(len(res.Out.tuples)))
+	}
+	sp.End()
+	return res, err
+}
 
+func fusedScan(ctx context.Context, r *Relation, ops []FusedOp, workers int) (*FusedResult, error) {
 	// Shape pass: replay the schema and computed-attribute derivations the
 	// unfused operators would perform, tracking for every surviving stored
 	// column its ordinal in r's tuples. Checking and compiling happen here,
@@ -134,54 +159,63 @@ func FusedScan(r *Relation, ops []FusedOp, workers int) (*FusedResult, error) {
 	for i := range colMap {
 		colMap[i] = i
 	}
-	// One materialization plan for every computed attribute any predicate
-	// references, evaluated once per source row and shared by all steps
-	// (compiled predicates read the extended slots instead of re-walking
-	// the definitions per reference).
 	var matp *matPlan
 	var mat map[string]int
-	if !compileOff.Load() {
-		var prednodes []expr.Node
-		for _, op := range ops {
-			if op.Pred != nil {
-				prednodes = append(prednodes, op.Pred)
-			}
-		}
-		matp, mat = r.buildMat(prednodes...)
-	}
-
 	shapes := make([]*Relation, len(ops))
 	var preds []*fusedPred
-	for i, op := range ops {
-		switch {
-		case op.Pred != nil:
-			if err := expr.CheckPredicate(op.Pred, shape); err != nil {
-				return nil, &FusedStepError{Step: i, Err: err}
-			}
-			fp := &fusedPred{step: i, node: op.Pred, shape: shape, colMap: colMap}
-			if !compileOff.Load() {
-				if cp, err := expr.CompilePredicate(op.Pred, mappedScope{shape: shape, colMap: colMap, mat: mat}); err == nil {
-					obs.Inc(obs.RelCompile)
-					fp.compiled = cp
+	if err := func() error {
+		var csp *obs.Span
+		if obs.Recording() {
+			_, csp = obs.StartSpanCtx(ctx, obs.SpanRelCompile)
+		}
+		defer csp.End()
+		// One materialization plan for every computed attribute any
+		// predicate references, evaluated once per source row and shared by
+		// all steps (compiled predicates read the extended slots instead of
+		// re-walking the definitions per reference).
+		if !compileOff.Load() {
+			var prednodes []expr.Node
+			for _, op := range ops {
+				if op.Pred != nil {
+					prednodes = append(prednodes, op.Pred)
 				}
 			}
-			preds = append(preds, fp)
-			shape = shape.derive(shape.schema, true)
-		case op.Project != nil:
-			ns, err := shape.schema.project(op.Project)
-			if err != nil {
-				return nil, &FusedStepError{Step: i, Err: err}
-			}
-			nm := make([]int, len(op.Project))
-			for j, name := range op.Project {
-				nm[j] = colMap[shape.schema.Index(name)]
-			}
-			shape = shape.derive(ns, true)
-			colMap = nm
-		default:
-			return nil, &FusedStepError{Step: i, Err: fmt.Errorf("rel: fused scan: step %d is neither restrict nor project", i)}
+			matp, mat = r.buildMat(prednodes...)
 		}
-		shapes[i] = shape
+		for i, op := range ops {
+			switch {
+			case op.Pred != nil:
+				if err := expr.CheckPredicate(op.Pred, shape); err != nil {
+					return &FusedStepError{Step: i, Err: err}
+				}
+				fp := &fusedPred{step: i, node: op.Pred, shape: shape, colMap: colMap}
+				if !compileOff.Load() {
+					if cp, err := expr.CompilePredicate(op.Pred, mappedScope{shape: shape, colMap: colMap, mat: mat}); err == nil {
+						obs.Inc(obs.RelCompile)
+						fp.compiled = cp
+					}
+				}
+				preds = append(preds, fp)
+				shape = shape.derive(shape.schema, true)
+			case op.Project != nil:
+				ns, err := shape.schema.project(op.Project)
+				if err != nil {
+					return &FusedStepError{Step: i, Err: err}
+				}
+				nm := make([]int, len(op.Project))
+				for j, name := range op.Project {
+					nm[j] = colMap[shape.schema.Index(name)]
+				}
+				shape = shape.derive(ns, true)
+				colMap = nm
+			default:
+				return &FusedStepError{Step: i, Err: fmt.Errorf("rel: fused scan: step %d is neither restrict nor project", i)}
+			}
+			shapes[i] = shape
+		}
+		return nil
+	}(); err != nil {
+		return nil, err
 	}
 
 	// Row pass: every predicate over every surviving row, in step order

@@ -2,6 +2,7 @@ package viewer
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"strings"
 
@@ -184,14 +185,14 @@ type gridEntry struct {
 // the generation moves. Grids index raw locations (no layer offset):
 // callers translate the query window instead, so layers sharing one
 // relation share one grid.
-func (v *Viewer) spatialIndex(ext *display.Extended, gen display.Gen) *spatial.Grid {
+func (v *Viewer) spatialIndex(ctx context.Context, ext *display.Extended, gen display.Gen) *spatial.Grid {
 	if e, ok := v.grids[gen]; ok {
 		e.lastUsed = v.frame
 		return e.grid
 	}
 	var span *obs.Span
-	if obs.Tracing() {
-		span = obs.StartSpan(obs.SpanRenderSpatialBuild, "layer", ext.Label)
+	if obs.Recording() {
+		_, span = obs.StartSpanCtx(ctx, obs.SpanRenderSpatialBuild, "layer", ext.Label)
 	}
 	t := obs.StartTimer(obs.RenderSpatialBuildNS)
 	g := spatial.Build(ext.Rel.Len(), func(i int) (float64, float64) {

@@ -1,11 +1,13 @@
 package viewer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/display"
 	"repro/internal/draw"
@@ -77,18 +79,49 @@ func (st *RenderStats) publish() {
 // Render draws the viewer's displayable into a fresh framebuffer and
 // returns it with render statistics.
 func (v *Viewer) Render() (*raster.Image, RenderStats, error) {
+	return v.RenderCtx(context.Background())
+}
+
+// RenderCtx is Render under a request context (see RenderIntoCtx).
+func (v *Viewer) RenderCtx(ctx context.Context) (*raster.Image, RenderStats, error) {
 	img := raster.NewImage(v.W, v.H)
-	stats, err := v.RenderInto(img)
+	stats, err := v.RenderIntoCtx(ctx, img)
 	return img, stats, err
 }
 
 // RenderInto draws into an existing framebuffer of the viewer's size.
 func (v *Viewer) RenderInto(img *raster.Image) (RenderStats, error) {
+	return v.RenderIntoCtx(context.Background(), img)
+}
+
+// RenderIntoCtx draws into an existing framebuffer under a request
+// context. The frame mints (or inherits) a TraceContext, so every span
+// the frame causes — render passes, display evaluations, the demands a
+// BoxSource issues, the invalidations those demands trigger — records
+// parent links back to this frame's render.frame span. The slow-frame
+// watchdog runs here when FrameBudget is set.
+func (v *Viewer) RenderIntoCtx(ctx context.Context, img *raster.Image) (RenderStats, error) {
+	var tc *obs.TraceContext
+	if obs.Recording() {
+		ctx, tc = obs.EnsureTrace(ctx, "render:"+v.Name)
+	}
+	start := time.Now()
+	stats, err := v.renderFrame(ctx, img)
+	if v.FrameBudget > 0 {
+		if elapsed := time.Since(start); elapsed > v.FrameBudget {
+			v.noteSlowFrame(tc, elapsed)
+		}
+	}
+	return stats, err
+}
+
+// renderFrame is one frame: clear, cull, evaluate, paint, magnifiers.
+func (v *Viewer) renderFrame(ctx context.Context, img *raster.Image) (RenderStats, error) {
 	var stats RenderStats
 	defer stats.publish()
 	var frameSpan *obs.Span
-	if obs.Tracing() {
-		frameSpan = obs.StartSpan(obs.SpanRenderFrame, "viewer", v.Name)
+	if obs.Recording() {
+		ctx, frameSpan = obs.StartSpanCtx(ctx, obs.SpanRenderFrame, "viewer", v.Name)
 	}
 	defer frameSpan.End()
 	frameTimer := obs.StartTimer(obs.RenderFrameNS)
@@ -97,7 +130,7 @@ func (v *Viewer) RenderInto(img *raster.Image) (RenderStats, error) {
 	if v.Iconified {
 		return stats, nil
 	}
-	d, err := v.Source.Get()
+	d, err := getDisplayable(ctx, v.Source)
 	if err != nil {
 		return stats, err
 	}
@@ -122,14 +155,14 @@ func (v *Viewer) RenderInto(img *raster.Image) (RenderStats, error) {
 		if len(g.Members) > 1 {
 			pen.Rect(rect, draw.Gray, draw.Style{LineWidth: 1})
 		}
-		if err := v.renderMember(pen.WithClip(inner), inner, c, v.states[m], m, 0, true, &stats); err != nil {
+		if err := v.renderMember(ctx, pen.WithClip(inner), inner, c, v.states[m], m, 0, true, &stats); err != nil {
 			return stats, err
 		}
 	}
 
 	// Magnifying glasses draw over the base canvas (Section 7.2).
 	for _, mag := range v.magnifiers {
-		if err := v.renderMagnifier(pen, mag, &stats); err != nil {
+		if err := v.renderMagnifier(ctx, pen, mag, &stats); err != nil {
 			return stats, err
 		}
 	}
@@ -191,7 +224,7 @@ func canvasTransform(rect geom.Rect, st ViewState) (scale float64, toScreen func
 // renderMember draws one composite into rect under the given state.
 // recordHits is true only for the top-level render into the viewer's own
 // framebuffer, where screen coordinates are meaningful for clicks.
-func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Composite, st ViewState, member, depth int, recordHits bool, stats *RenderStats) error {
+func (v *Viewer) renderMember(ctx context.Context, pen *raster.Pen, rect geom.Rect, c *display.Composite, st ViewState, member, depth int, recordHits bool, stats *RenderStats) error {
 	aspect := rect.W() / rect.H()
 	visible := st.Visible(aspect)
 	scale, toScreen := canvasTransform(rect, st)
@@ -241,9 +274,10 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 		// (in ascending order either way) match the linear scan exactly.
 		// Slider-dimension filtering stays per-row: sliders move without
 		// the relation changing, so indexing them would thrash.
+		cctx := ctx
 		var cullSpan *obs.Span
-		if obs.Tracing() {
-			cullSpan = obs.StartSpan(obs.SpanRenderCull,
+		if obs.Recording() {
+			cctx, cullSpan = obs.StartSpanCtx(ctx, obs.SpanRenderCull,
 				"member", strconv.Itoa(member), "layer", strconv.Itoa(li), "depth", strconv.Itoa(depth))
 		}
 		n := ext.Rel.Len()
@@ -273,7 +307,7 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 			locs = append(locs, geom.Pt(x, y))
 		}
 		if !v.DisableSpatialIndex && n >= v.spatialThreshold() {
-			idx := v.spatialIndex(ext, gen)
+			idx := v.spatialIndex(cctx, ext, gen)
 			// The grid indexes raw locations; the layer offset moves the
 			// query window instead, so layers sharing a relation share a
 			// grid.
@@ -297,9 +331,10 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 		// and only the misses evaluate — concurrently when the viewer opts
 		// in and the miss batch is large. Painting stays serial in tuple
 		// order, so output is identical either way.
+		ectx := ctx
 		var evalSpan *obs.Span
-		if obs.Tracing() {
-			evalSpan = obs.StartSpan(obs.SpanRenderDisplayEval,
+		if obs.Recording() {
+			ectx, evalSpan = obs.StartSpanCtx(ctx, obs.SpanRenderDisplayEval,
 				"member", strconv.Itoa(member), "layer", strconv.Itoa(li), "rows", strconv.Itoa(len(rows)))
 		}
 		evalTimer := obs.StartTimer(obs.RenderDisplayEvalNS)
@@ -324,7 +359,7 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 				}
 			}
 		}
-		v.evalDisplays(ext, rows, miss, lists, errs)
+		v.evalDisplays(ectx, ext, rows, miss, lists, errs)
 		if !v.DisableDisplayMemo {
 			stats.MemoMisses += len(miss)
 			v.cacheStats.MemoMisses += int64(len(miss))
@@ -340,9 +375,10 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 		evalSpan.End()
 
 		// Pass 3: paint in drawing order.
+		pctx := ctx
 		var paintSpan *obs.Span
-		if obs.Tracing() {
-			paintSpan = obs.StartSpan(obs.SpanRenderPaint,
+		if obs.Recording() {
+			pctx, paintSpan = obs.StartSpanCtx(ctx, obs.SpanRenderPaint,
 				"member", strconv.Itoa(member), "layer", strconv.Itoa(li))
 		}
 		for vi, row := range rows {
@@ -360,7 +396,7 @@ func (v *Viewer) renderMember(pen *raster.Pen, rect geom.Rect, c *display.Compos
 					stats.DrawablesCulled++
 					continue
 				}
-				v.renderDrawable(pen, dr, geom.Pt(x, y), scale, toScreen, depth, stats)
+				v.renderDrawable(pctx, pen, dr, geom.Pt(x, y), scale, toScreen, depth, stats)
 				stats.DrawablesDrawn++
 				if recordHits {
 					sb := screenBounds(b, toScreen)
@@ -386,7 +422,7 @@ func screenBounds(b geom.Rect, toScreen func(geom.Point) geom.Point) geom.Rect {
 }
 
 // renderDrawable rasterizes one drawable at canvas position at.
-func (v *Viewer) renderDrawable(pen *raster.Pen, dr draw.Drawable, at geom.Point, scale float64, toScreen func(geom.Point) geom.Point, depth int, stats *RenderStats) {
+func (v *Viewer) renderDrawable(ctx context.Context, pen *raster.Pen, dr draw.Drawable, at geom.Point, scale float64, toScreen func(geom.Point) geom.Point, depth int, stats *RenderStats) {
 	// Stroke widths are screen-space (pixels): shapes grow and shrink
 	// with elevation but outlines stay crisp, as on the paper's canvases.
 	lineWidth := func(s draw.Style) float64 {
@@ -432,7 +468,7 @@ func (v *Viewer) renderDrawable(pen *raster.Pen, dr draw.Drawable, at geom.Point
 		pen.Text(top, d.S, px, d.Color)
 
 	case draw.Viewer:
-		v.renderWormhole(pen, d, at, toScreen, depth, stats)
+		v.renderWormhole(ctx, pen, d, at, toScreen, depth, stats)
 	}
 }
 
@@ -455,7 +491,7 @@ type wormholeKey struct {
 // map) renders the destination interior once *total* under pan/zoom, not
 // once per frame, and a mutation under the destination retires exactly
 // the interiors that saw it.
-func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, toScreen func(geom.Point) geom.Point, depth int, stats *RenderStats) {
+func (v *Viewer) renderWormhole(ctx context.Context, pen *raster.Pen, wh draw.Viewer, at geom.Point, toScreen func(geom.Point) geom.Point, depth int, stats *RenderStats) {
 	r := screenBounds(geom.R(0, 0, wh.W, wh.H).Translate(at.Add(wh.Offset)), toScreen)
 	border := wh.Border
 	if border == (draw.Color{}) {
@@ -482,7 +518,7 @@ func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, 
 	// The destination displayable is demanded before the cache lookup:
 	// its generation signature is the coherence check. The demand itself
 	// is cheap on the steady path — dataflow memoizes it.
-	dd, err := dest.Viewer.Source.Get()
+	dd, err := getDisplayable(ctx, dest.Viewer.Source)
 	if err != nil {
 		return
 	}
@@ -490,6 +526,18 @@ func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, 
 	if len(dg.Members) == 0 {
 		return
 	}
+
+	// The wormhole span opens before the cache lookup so cached and
+	// uncached frames record the same span at the same place; a cache
+	// hit annotates it instead of eliding it, and the elided interior
+	// work shows up as the absence of child spans.
+	wctx := ctx
+	var whSpan *obs.Span
+	if obs.Recording() {
+		wctx, whSpan = obs.StartSpanCtx(ctx, obs.SpanRenderWormhole,
+			"dest", wh.DestCanvas, "depth", strconv.Itoa(depth))
+	}
+	defer whSpan.End()
 
 	key := wormholeKey{dest: wh.DestCanvas, loc: wh.DestLocation, elev: wh.DestElevation, pw: pw, ph: ph}
 	var sig string
@@ -500,6 +548,7 @@ func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, 
 				e.lastUsed = v.frame
 				v.cacheStats.WormholeHits++
 				obs.Inc(obs.RenderWormholeCached)
+				whSpan.Annotate("cached", "true")
 				pen.Blit(e.img, int(inner.Min.X), int(inner.Min.Y))
 				return
 			}
@@ -521,16 +570,10 @@ func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, 
 	// paste; clicks inside still resolve to the wormhole itself (you
 	// travel, not poke).
 	obs.Inc(obs.RenderWormholes)
-	var whSpan *obs.Span
-	if obs.Tracing() {
-		whSpan = obs.StartSpan(obs.SpanRenderWormhole,
-			"dest", wh.DestCanvas, "depth", strconv.Itoa(depth))
-	}
-	defer whSpan.End()
 	off := raster.NewImage(pw, ph)
 	offPen := raster.NewPen(off)
 	offRect := geom.R(0, 0, float64(pw), float64(ph))
-	_ = dest.Viewer.renderMember(offPen, offRect, dg.Members[0], st, 0, depth+1, false, stats)
+	_ = dest.Viewer.renderMember(wctx, offPen, offRect, dg.Members[0], st, 0, depth+1, false, stats)
 	v.cacheStats.WormholeRenders++
 	if !v.DisableWormholeCache {
 		if v.whCache == nil {
@@ -544,8 +587,8 @@ func (v *Viewer) renderWormhole(pen *raster.Pen, wh draw.Viewer, at geom.Point, 
 
 // renderMagnifier renders a magnifying glass: the inner viewer drawn into
 // its screen rectangle, clipped, with a frame.
-func (v *Viewer) renderMagnifier(pen *raster.Pen, mag *Magnifier, stats *RenderStats) error {
-	d, err := mag.Inner.Source.Get()
+func (v *Viewer) renderMagnifier(ctx context.Context, pen *raster.Pen, mag *Magnifier, stats *RenderStats) error {
+	d, err := getDisplayable(ctx, mag.Inner.Source)
 	if err != nil {
 		return err
 	}
@@ -556,7 +599,7 @@ func (v *Viewer) renderMagnifier(pen *raster.Pen, mag *Magnifier, stats *RenderS
 	}
 	// Dimensional check: magnifying glasses must match their containing
 	// viewer's dimension (Section 7.2).
-	outer, err := v.Source.Get()
+	outer, err := getDisplayable(ctx, v.Source)
 	if err != nil {
 		return err
 	}
@@ -569,7 +612,7 @@ func (v *Viewer) renderMagnifier(pen *raster.Pen, mag *Magnifier, stats *RenderS
 		return nil
 	}
 	pen.Rect(mag.ScreenRect, draw.Black, draw.Style{LineWidth: 2})
-	return mag.Inner.renderMember(pen.WithClip(inner), inner, g.Members[0], mag.Inner.states[0], 0, 1, false, stats)
+	return mag.Inner.renderMember(ctx, pen.WithClip(inner), inner, g.Members[0], mag.Inner.states[0], 0, 1, false, stats)
 }
 
 // evalDisplays computes the display list for each row index listed in
@@ -583,7 +626,7 @@ func (v *Viewer) renderMagnifier(pen *raster.Pen, mag *Magnifier, stats *RenderS
 // is identical. Workers write disjoint index sets, so the slices need no
 // locking; each worker records its chunk as a trace span on its own track
 // so the fan-out is visible in the timeline.
-func (v *Viewer) evalDisplays(ext *display.Extended, rows []int, idx []int, lists []draw.List, errs []error) {
+func (v *Viewer) evalDisplays(ctx context.Context, ext *display.Extended, rows []int, idx []int, lists []draw.List, errs []error) {
 	eval := func(i int) {
 		l, err := ext.Display(rows[i])
 		if err != nil {
@@ -605,7 +648,7 @@ func (v *Viewer) evalDisplays(ext *display.Extended, rows []int, idx []int, list
 	if workers > len(idx) {
 		workers = len(idx)
 	}
-	tracing := obs.Tracing()
+	recording := obs.Recording()
 	var wg sync.WaitGroup
 	chunk := (len(idx) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -620,9 +663,11 @@ func (v *Viewer) evalDisplays(ext *display.Extended, rows []int, idx []int, list
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			if tracing {
-				// Track 1 is the render loop; workers get tracks 2+w.
-				sp := obs.StartSpanOn(int64(2+w), obs.SpanRenderDisplayEvalWorker,
+			if recording {
+				// Track 1 is the render loop; workers get tracks 2+w. The
+				// worker span inherits the display_eval span as parent
+				// through ctx.
+				_, sp := obs.StartSpanCtxOn(ctx, int64(2+w), obs.SpanRenderDisplayEvalWorker,
 					"worker", strconv.Itoa(w), "rows", strconv.Itoa(hi-lo))
 				defer sp.End()
 			}

@@ -14,11 +14,13 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/dataflow"
 	"repro/internal/display"
 	"repro/internal/draw"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Source yields the displayable a viewer renders. Viewers attached to a
@@ -26,6 +28,23 @@ import (
 // DirectSource.
 type Source interface {
 	Get() (display.Displayable, error)
+}
+
+// ContextSource is implemented by sources that can resolve under a
+// request context, so demands they issue attribute to the render
+// request that caused them (causal tracing) and honor its cancellation.
+// Render entry points use it when available and fall back to Get.
+type ContextSource interface {
+	GetCtx(ctx context.Context) (display.Displayable, error)
+}
+
+// getDisplayable resolves src under the render request's context when
+// the source supports it.
+func getDisplayable(ctx context.Context, src Source) (display.Displayable, error) {
+	if cs, ok := src.(ContextSource); ok {
+		return cs.GetCtx(ctx)
+	}
+	return src.Get()
 }
 
 // DirectSource wraps a fixed displayable.
@@ -57,7 +76,19 @@ type BoxSource struct {
 
 // Get implements Source.
 func (s BoxSource) Get() (display.Displayable, error) {
-	res, err := s.Eval.Eval(sourceCtx(s.Ctx),
+	return s.demand(sourceCtx(s.Ctx))
+}
+
+// GetCtx implements ContextSource: the demand runs under the source's
+// own context (cancellation stays with whoever configured it) but
+// adopts the render request's trace identity, so the eval.demand span
+// parents under the frame that issued it.
+func (s BoxSource) GetCtx(ctx context.Context) (display.Displayable, error) {
+	return s.demand(obs.AdoptTrace(sourceCtx(s.Ctx), ctx))
+}
+
+func (s BoxSource) demand(ctx context.Context) (display.Displayable, error) {
+	res, err := s.Eval.Eval(ctx,
 		dataflow.Request{Box: s.BoxID, Port: s.Port, Input: true}, s.Options...)
 	if err != nil {
 		return nil, err
@@ -81,7 +112,16 @@ type BoxOutputSource struct {
 
 // Get implements Source.
 func (s BoxOutputSource) Get() (display.Displayable, error) {
-	res, err := s.Eval.Eval(sourceCtx(s.Ctx),
+	return s.demand(sourceCtx(s.Ctx))
+}
+
+// GetCtx implements ContextSource (see BoxSource.GetCtx).
+func (s BoxOutputSource) GetCtx(ctx context.Context) (display.Displayable, error) {
+	return s.demand(obs.AdoptTrace(sourceCtx(s.Ctx), ctx))
+}
+
+func (s BoxOutputSource) demand(ctx context.Context) (display.Displayable, error) {
+	res, err := s.Eval.Eval(ctx,
 		dataflow.Request{Box: s.BoxID, Port: s.Port}, s.Options...)
 	if err != nil {
 		return nil, err
@@ -180,6 +220,11 @@ type Viewer struct {
 	// Iconified viewers render nothing; group window operations gang
 	// members together (Section 7.3).
 	Iconified bool
+	// FrameBudget arms the slow-frame watchdog: a render taking longer
+	// than the budget is counted under render.slow_frames and its span
+	// tree is captured from the flight recorder into SlowFrames(). Zero
+	// disables the watchdog.
+	FrameBudget time.Duration
 
 	space  *Space // canvas registry for wormhole interiors; may be nil
 	states []ViewState
@@ -206,7 +251,45 @@ type Viewer struct {
 	cacheStats    CacheStats
 	scratch       []*renderScratch
 
+	// slowFrames retains the most recent over-budget frames captured by
+	// the watchdog (see FrameBudget), newest last.
+	slowFrames []SlowFrame
+
 	hits []Hit
+}
+
+// SlowFrame is one frame the watchdog caught over FrameBudget: its
+// frame counter, trace id, wall-clock latency, and the frame's span
+// events recovered from the flight recorder (empty when recording was
+// off for the frame).
+type SlowFrame struct {
+	Frame   int64
+	TraceID uint64
+	Elapsed time.Duration
+	Spans   []obs.SpanEvent
+}
+
+// maxSlowFrames bounds the watchdog's retained frames.
+const maxSlowFrames = 4
+
+// SlowFrames returns the retained over-budget frames, oldest first.
+func (v *Viewer) SlowFrames() []SlowFrame {
+	return append([]SlowFrame(nil), v.slowFrames...)
+}
+
+// noteSlowFrame records one over-budget frame: counted process-wide and
+// captured locally with its span tree pulled from the flight recorder.
+func (v *Viewer) noteSlowFrame(tc *obs.TraceContext, elapsed time.Duration) {
+	obs.Inc(obs.RenderSlowFrames)
+	sf := SlowFrame{Frame: v.frame, Elapsed: elapsed}
+	if tc != nil {
+		sf.TraceID = tc.TraceID
+		sf.Spans = obs.FilterTrace(obs.DumpFlight(), tc.TraceID)
+	}
+	v.slowFrames = append(v.slowFrames, sf)
+	if len(v.slowFrames) > maxSlowFrames {
+		v.slowFrames = append(v.slowFrames[:0], v.slowFrames[len(v.slowFrames)-maxSlowFrames:]...)
+	}
 }
 
 // renderScratch holds the pass-1 row/location buffers for one renderMember
