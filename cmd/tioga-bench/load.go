@@ -1,0 +1,291 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/types"
+)
+
+// The load bench drives the push server end to end: N WebSocket
+// clients walk a shared viewport script against one session while a
+// writer mutates the Stations table the whole time. It reports frame
+// latency quantiles (render time and wall round-trip), per-write
+// latency quantiles for the concurrent writer (a structural block of a
+// writer behind a render would surface as render-sized write stalls),
+// and whether all clients' quiesced final frames are byte-identical.
+
+type nsQuantiles struct {
+	P50 int64 `json:"p50"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+type loadReport struct {
+	GeneratedBy      string      `json:"generated_by"`
+	Meta             runMeta     `json:"meta"`
+	Workload         string      `json:"workload"`
+	Clients          int         `json:"clients"`
+	RoundsPerClient  int         `json:"rounds_per_client"`
+	Frames           int         `json:"frames"`
+	FrameRenderNS    nsQuantiles `json:"frame_render_ns"`
+	FrameRTTNS       nsQuantiles `json:"frame_rtt_ns"`
+	AvgFrameBytes    int64       `json:"avg_frame_bytes"`
+	WriterWrites     int         `json:"writer_writes"`
+	WriteNS          nsQuantiles `json:"write_ns"`
+	WriterBlocked    bool        `json:"writer_blocked"`
+	OutputsIdentical bool        `json:"outputs_identical"`
+}
+
+func quantiles(ns []int64) nsQuantiles {
+	if len(ns) == 0 {
+		return nsQuantiles{}
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(p float64) int64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return nsQuantiles{P50: at(0.50), P95: at(0.95), P99: at(0.99), Max: sorted[len(sorted)-1]}
+}
+
+// loadClient is one bench client's connection and tallies.
+type loadClient struct {
+	ws       *server.WSConn
+	renderNS []int64
+	rttNS    []int64
+	bytes    int64
+	frames   int
+	finalPNG []byte
+	finalKey string
+}
+
+// waitToken reads server messages until the frame echoing token
+// arrives, tallying every frame (pushed or requested) along the way.
+func (c *loadClient) waitToken(token string) (server.FrameMeta, []byte, error) {
+	for {
+		op, payload, err := c.ws.ReadMessage()
+		if err != nil {
+			return server.FrameMeta{}, nil, err
+		}
+		if op != server.OpText {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(payload, &probe); err != nil || probe.Type != "frame" {
+			if probe.Type == "error" {
+				var e server.ErrorMsg
+				_ = json.Unmarshal(payload, &e)
+				return server.FrameMeta{}, nil, fmt.Errorf("load: server error: %s", e.Error)
+			}
+			continue
+		}
+		var meta server.FrameMeta
+		if err := json.Unmarshal(payload, &meta); err != nil {
+			return server.FrameMeta{}, nil, err
+		}
+		op2, png, err := c.ws.ReadMessage()
+		if err != nil {
+			return server.FrameMeta{}, nil, err
+		}
+		if op2 != server.OpBinary {
+			return server.FrameMeta{}, nil, fmt.Errorf("load: frame meta not followed by PNG")
+		}
+		c.frames++
+		c.bytes += int64(len(png))
+		c.renderNS = append(c.renderNS, meta.RenderNS)
+		if meta.Token == token {
+			return meta, png, nil
+		}
+	}
+}
+
+func (c *loadClient) sendOp(op server.ClientOp) error {
+	b, err := json.Marshal(op)
+	if err != nil {
+		return err
+	}
+	return c.ws.WriteMessage(server.OpText, b)
+}
+
+func runLoadBench(out string, quick, verbose bool) error {
+	stations, perStation := 16, 10
+	nClients, rounds := 8, 30
+	w, h := 256, 192
+	if quick {
+		stations, perStation = 8, 6
+		nClients, rounds = 4, 10
+		w, h = 192, 144
+	}
+	database, err := core.SeedDatabase(stations, perStation, 7)
+	if err != nil {
+		return fmt.Errorf("load: seed: %w", err)
+	}
+	srv := server.New(database)
+	defer srv.Close()
+	if _, err := srv.AddSession("weather", core.Figure7); err != nil {
+		return fmt.Errorf("load: session: %w", err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("load: listen: %w", err)
+	}
+
+	clients := make([]*loadClient, nClients)
+	for i := range clients {
+		ws, err := server.Dial(fmt.Sprintf("ws://%s/ws?session=weather&w=%d&h=%d", addr, w, h))
+		if err != nil {
+			return fmt.Errorf("load: dial: %w", err)
+		}
+		defer ws.Close()
+		clients[i] = &loadClient{ws: ws}
+	}
+	// Watchdog: a lost frame must fail the bench, not hang CI.
+	watchdog := time.AfterFunc(3*time.Minute, func() {
+		for _, c := range clients {
+			c.ws.Close()
+		}
+	})
+	defer watchdog.Stop()
+
+	script := []server.ClientOp{
+		{Op: "view", X: -91.5, Y: 31.0, Elev: 2.2},
+		{Op: "view", X: -91.0, Y: 30.5, Elev: 1.5},
+		{Op: "zoom", Factor: 2},
+		{Op: "view", X: -92.0, Y: 31.5, Elev: 2.0},
+	}
+
+	// Writer: mutate altitudes continuously while clients render.
+	writerStop := make(chan struct{})
+	writerDone := make(chan struct{})
+	var writeNS []int64
+	go func() {
+		defer close(writerDone)
+		for i := 0; ; i++ {
+			select {
+			case <-writerStop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			if err := database.UpdateTuple("Stations", i%stations, "altitude",
+				types.NewFloat(float64(200+i%50))); err != nil {
+				return
+			}
+			writeNS = append(writeNS, time.Since(t0).Nanoseconds())
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, nClients)
+	for ci, c := range clients {
+		wg.Add(1)
+		go func(ci int, c *loadClient) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				op := script[r%len(script)]
+				op.Token = fmt.Sprintf("c%d-r%d", ci, r)
+				t0 := time.Now()
+				if err := c.sendOp(op); err != nil {
+					errCh <- err
+					return
+				}
+				if _, _, err := c.waitToken(op.Token); err != nil {
+					errCh <- err
+					return
+				}
+				c.rttNS = append(c.rttNS, time.Since(t0).Nanoseconds())
+			}
+		}(ci, c)
+	}
+	wg.Wait()
+	close(writerStop)
+	<-writerDone
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+
+	// Quiesce, then ask every client for the same final viewport: the
+	// frames must agree byte for byte.
+	sess, _ := srv.Session("weather")
+	want := database.Snapshot().Seq()
+	for i := 0; i < 2000; i++ {
+		if _, seq := sess.Generations(); seq >= want {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for ci, c := range clients {
+		if err := c.sendOp(server.ClientOp{Op: "view", X: -91.5, Y: 31.0, Elev: 2.2,
+			Token: fmt.Sprintf("final-%d", ci)}); err != nil {
+			return err
+		}
+	}
+	identical := true
+	for ci, c := range clients {
+		meta, png, err := c.waitToken(fmt.Sprintf("final-%d", ci))
+		if err != nil {
+			return err
+		}
+		c.finalPNG = png
+		c.finalKey = fmt.Sprintf("%v/%d", meta.Gens, meta.Snap)
+	}
+	for _, c := range clients[1:] {
+		if c.finalKey != clients[0].finalKey || string(c.finalPNG) != string(clients[0].finalPNG) {
+			identical = false
+		}
+	}
+
+	var renderNS, rttNS []int64
+	var totalBytes int64
+	frames := 0
+	for _, c := range clients {
+		renderNS = append(renderNS, c.renderNS...)
+		rttNS = append(rttNS, c.rttNS...)
+		totalBytes += c.bytes
+		frames += c.frames
+	}
+	wq := quantiles(writeNS)
+	report := loadReport{
+		GeneratedBy:     "tioga-bench",
+		Meta:            collectMeta(),
+		Workload:        "multi_client_push",
+		Clients:         nClients,
+		RoundsPerClient: rounds,
+		Frames:          frames,
+		FrameRenderNS:   quantiles(renderNS),
+		FrameRTTNS:      quantiles(rttNS),
+		WriterWrites:    len(writeNS),
+		WriteNS:         wq,
+		// A writer structurally blocked behind a render would stall for a
+		// render time (tens of ms at these sizes); flag anything close.
+		WriterBlocked:    wq.Max > (10 * time.Millisecond).Nanoseconds(),
+		OutputsIdentical: identical,
+	}
+	if frames > 0 {
+		report.AvgFrameBytes = totalBytes / int64(frames)
+	}
+	if verbose {
+		fmt.Printf("load: %d clients x %d rounds, %d frames, render p50=%dns p95=%dns, write p95=%dns, identical=%v\n",
+			nClients, rounds, frames, report.FrameRenderNS.P50, report.FrameRenderNS.P95,
+			report.WriteNS.P95, identical)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}

@@ -65,6 +65,7 @@ func main() {
 	parallelOut := flag.String("parallel-out", "BENCH_parallel_eval.json", "output JSON file for the serial-vs-parallel eval comparison")
 	renderOut := flag.String("render-out", "BENCH_render.json", "output JSON file for the cached-vs-uncached render comparison")
 	queryOut := flag.String("query-out", "BENCH_query.json", "output JSON file for the compiled-vs-interpreted query pipeline comparison")
+	loadOut := flag.String("load-out", "BENCH_load.json", "output JSON file for the multi-client push server load run")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per workload")
 	quick := flag.Bool("quick", false, "CI smoke mode: small datasets and short benchtime")
 	verbose := flag.Bool("v", false, "print results as they complete")
@@ -135,6 +136,9 @@ func main() {
 		fail(err)
 	}
 	if err := runQueryBench(*queryOut, *quick, *verbose); err != nil {
+		fail(err)
+	}
+	if err := runLoadBench(*loadOut, *quick, *verbose); err != nil {
 		fail(err)
 	}
 }

@@ -15,6 +15,12 @@ import (
 // inside an if whose condition mentions the parameter (`if ctx == nil
 // { ctx = context.Background() }`) is explicitly deciding there is no
 // caller context, not discarding one.
+//
+// HTTP handlers get the same treatment: a function that receives an
+// *http.Request already has a request-scoped context (r.Context()
+// cancels on client disconnect and server shutdown — the push server's
+// websocket loops depend on exactly that), so minting a fresh
+// Background()/TODO() there severs the handler from its request.
 var CtxCheck = &Analyzer{
 	Name: "ctxcheck",
 	Doc:  "context.Context parameters must be used, not replaced with Background()",
@@ -39,6 +45,11 @@ func runCtxCheck(pass *Pass) error {
 			}
 			for _, name := range ctxParams(ftype) {
 				checkCtxFunc(pass, name, body)
+			}
+			if len(ctxParams(ftype)) == 0 {
+				for _, name := range httpReqParams(ftype) {
+					checkReqFunc(pass, name, body)
+				}
 			}
 			return true
 		})
@@ -121,6 +132,78 @@ func checkCtxFunc(pass *Pass, name string, body *ast.BlockStmt) {
 	for _, n := range report {
 		pass.Reportf(n.Pos(),
 			"context.Background/TODO inside a function that already receives %s; forward it instead", name)
+	}
+}
+
+// httpReqParams returns the non-blank parameter names of type
+// *http.Request (matched syntactically).
+func httpReqParams(ftype *ast.FuncType) []string {
+	if ftype.Params == nil {
+		return nil
+	}
+	var names []string
+	for _, field := range ftype.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Request" {
+			continue
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "http" {
+			continue
+		}
+		for _, id := range field.Names {
+			if id.Name != "_" {
+				names = append(names, id.Name)
+			}
+		}
+	}
+	return names
+}
+
+// checkReqFunc flags fresh-context calls inside an HTTP handler: the
+// request already carries a context, so Background()/TODO() severs the
+// handler from client disconnect and server shutdown. Nested literals
+// that declare their own ctx or *http.Request parameter are judged on
+// their own; an if mentioning the request parameter sanctions the call,
+// same as ctx nil-defaulting.
+func checkReqFunc(pass *Pass, name string, body *ast.BlockStmt) {
+	var report []ast.Node
+
+	var scan func(n ast.Node, guarded bool) bool
+	walk := func(n ast.Node, guarded bool) {
+		if n != nil {
+			ast.Inspect(n, func(m ast.Node) bool { return scan(m, guarded) })
+		}
+	}
+	scan = func(n ast.Node, guarded bool) bool {
+		switch t := n.(type) {
+		case *ast.FuncLit:
+			if len(ctxParams(t.Type)) > 0 || len(httpReqParams(t.Type)) > 0 {
+				return false
+			}
+			return true
+		case *ast.IfStmt:
+			walk(t.Init, guarded)
+			cond := guarded || mentionsIdent(t.Cond, name)
+			walk(t.Cond, guarded)
+			walk(t.Body, cond)
+			walk(t.Else, cond)
+			return false
+		case *ast.CallExpr:
+			if !guarded && isContextFreshCall(t) {
+				report = append(report, t)
+			}
+		}
+		return true
+	}
+	walk(body, false)
+
+	for _, n := range report {
+		pass.Reportf(n.Pos(),
+			"context.Background/TODO inside a handler that receives *http.Request %s; use %s.Context() instead", name, name)
 	}
 }
 

@@ -1,7 +1,10 @@
 // Fixture for the ctxcheck analyzer.
 package use
 
-import "context"
+import (
+	"context"
+	"net/http"
+)
 
 func work(ctx context.Context) error { return ctx.Err() }
 
@@ -55,4 +58,55 @@ func nestedDropped(outer context.Context) { // no finding here; the literal has 
 		return work(context.Background()) // want `context\.Background/TODO inside a function that already receives ctx`
 	}
 	_ = f
+}
+
+// Clean: the handler forwards the request's own context.
+func handlerForwards(w http.ResponseWriter, r *http.Request) {
+	_ = w
+	_ = work(r.Context())
+}
+
+func handlerMintsFresh(w http.ResponseWriter, r *http.Request) {
+	_ = w
+	_ = r
+	_ = work(context.Background()) // want `context\.Background/TODO inside a handler that receives \*http\.Request r`
+}
+
+func handlerTodoInLoop(w http.ResponseWriter, r *http.Request) {
+	_ = w
+	_ = r
+	for i := 0; i < 2; i++ {
+		go func() {
+			_ = work(context.TODO()) // want `context\.Background/TODO inside a handler that receives \*http\.Request r`
+		}()
+	}
+}
+
+// Clean: an if mentioning the request sanctions the fallback, mirroring
+// ctx nil-defaulting.
+func handlerGuarded(w http.ResponseWriter, r *http.Request) {
+	_ = w
+	var ctx context.Context
+	if r == nil {
+		ctx = context.Background()
+	} else {
+		ctx = r.Context()
+	}
+	_ = work(ctx)
+}
+
+// Clean: a nested literal with its own request parameter is judged on
+// its own terms; this one forwards correctly.
+func handlerFactory() func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		_ = w
+		_ = work(r.Context())
+	}
+}
+
+// Clean: a function with both ctx and *http.Request is judged by the
+// ctx rule alone (ctx is the finer-grained obligation).
+func both(ctx context.Context, r *http.Request) {
+	_ = r
+	_ = work(ctx)
 }

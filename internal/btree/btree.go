@@ -241,6 +241,32 @@ func (t *Tree) Max() (Item, bool) {
 	return out, found
 }
 
+// Clone returns a deep copy of the tree: nodes, items, and row-id
+// slices are all fresh, so inserts and deletes on either tree never
+// show through the other. Keys are types.Value scalars and are shared.
+// The db package's copy-on-write table clones use this so a snapshot's
+// indexes stay frozen while the next version's indexes evolve.
+func (t *Tree) Clone() *Tree {
+	return &Tree{root: t.root.clone(), size: t.size}
+}
+
+func (n *node) clone() *node {
+	if n == nil {
+		return nil
+	}
+	out := &node{items: make([]Item, len(n.items))}
+	for i, it := range n.items {
+		out.items[i] = Item{Key: it.Key, Rows: append([]int(nil), it.Rows...)}
+	}
+	if !n.leaf() {
+		out.children = make([]*node, len(n.children))
+		for i, c := range n.children {
+			out.children[i] = c.clone()
+		}
+	}
+	return out
+}
+
 // checkInvariants validates B-tree structural invariants, used by tests and
 // property-based checks.
 func (t *Tree) checkInvariants() error {

@@ -245,3 +245,55 @@ func TestLargeTreeInvariants(t *testing.T) {
 		t.Fatalf("Len = %d > distinct key bound", tr.Len())
 	}
 }
+
+func TestCloneIndependence(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 500; i++ {
+		tr.Insert(types.NewInt(int64(i%50)), i)
+	}
+	cl := tr.Clone()
+	if cl.Len() != tr.Len() {
+		t.Fatalf("clone Len = %d, want %d", cl.Len(), tr.Len())
+	}
+	if err := cl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate both sides; neither shows through.
+	cl.Insert(types.NewInt(1000), 1)
+	cl.Delete(types.NewInt(7), 7)
+	tr.Insert(types.NewInt(2000), 2)
+
+	if rows := tr.Get(types.NewInt(1000)); rows != nil {
+		t.Fatalf("clone insert leaked into original: %v", rows)
+	}
+	if rows := cl.Get(types.NewInt(2000)); rows != nil {
+		t.Fatalf("original insert leaked into clone: %v", rows)
+	}
+	origRows := tr.Get(types.NewInt(7))
+	cloneRows := cl.Get(types.NewInt(7))
+	if len(origRows) != 10 {
+		t.Fatalf("clone delete leaked into original: key 7 has %d rows", len(origRows))
+	}
+	if len(cloneRows) != 9 {
+		t.Fatalf("clone delete missing: key 7 has %d rows", len(cloneRows))
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneEmpty(t *testing.T) {
+	var tr Tree
+	cl := tr.Clone()
+	if cl.Len() != 0 {
+		t.Fatalf("clone of empty has %d keys", cl.Len())
+	}
+	cl.Insert(types.NewInt(1), 0)
+	if tr.Len() != 0 {
+		t.Fatal("insert on clone leaked into empty original")
+	}
+}

@@ -47,9 +47,25 @@ type undoEntry struct {
 
 // NewEnvironment creates a session over a database.
 func NewEnvironment(database *db.Database) *Environment {
+	env := NewDetachedEnvironment(database)
+	// Updates to base tables must show up on canvases immediately: touch
+	// every table box reading the changed table so the next demand
+	// re-fires the affected program suffix.
+	database.Watch(env.TouchTable)
+	return env
+}
+
+// NewDetachedEnvironment creates a session over a database without
+// registering a change watcher. Single-user environments want the
+// synchronous Watch wiring above; the multi-client server must not —
+// a watcher would touch the program from the writer's goroutine while
+// client renders are in flight, which the evaluator forbids. Server
+// sessions subscribe to db events instead and call TouchTable under
+// their own render-exclusive lock.
+func NewDetachedEnvironment(database *db.Database) *Environment {
 	reg := dataflow.NewRegistry()
 	g := dataflow.NewGraph(reg)
-	env := &Environment{
+	return &Environment{
 		DB:       database,
 		Registry: reg,
 		Program:  g,
@@ -57,17 +73,16 @@ func NewEnvironment(database *db.Database) *Environment {
 		Space:    viewer.NewSpace(),
 		canvases: make(map[string]*viewer.Viewer),
 	}
-	// Updates to base tables must show up on canvases immediately: touch
-	// every table box reading the changed table so the next demand
-	// re-fires the affected program suffix.
-	database.Watch(func(table string) {
-		for _, b := range env.Program.Boxes() {
-			if b.Kind == "table" && b.Params.Str("name", "") == table {
-				env.Program.Touch(b.ID)
-			}
+}
+
+// TouchTable marks every table box reading the named table stale, so
+// the next demand re-fires the affected program suffix.
+func (env *Environment) TouchTable(table string) {
+	for _, b := range env.Program.Boxes() {
+		if b.Kind == "table" && b.Params.Str("name", "") == table {
+			env.Program.Touch(b.ID)
 		}
-	})
-	return env
+	}
 }
 
 // pushUndo records how to reverse the operation just performed.

@@ -401,10 +401,12 @@ func TestUpdatePath(t *testing.T) {
 		t.Fatalf("render after update: %v", err)
 	}
 
-	// Undo restores the old value.
+	// Undo restores the old value. Writes are copy-on-write, so the
+	// restored version is observed through a fresh catalog fetch.
 	if err := env.Undo(); err != nil {
 		t.Fatalf("undo: %v", err)
 	}
+	stations, _ = env.DB.Table("Stations")
 	restored := stations.Row(row).Attr("altitude")
 	if !restored.Equal(before) {
 		t.Fatalf("undo did not restore: %s, want %s", restored, before)

@@ -151,6 +151,14 @@ func NewEvaluator(g *Graph, src TableSource) *Evaluator {
 // Graph returns the evaluated graph.
 func (e *Evaluator) Graph() *Graph { return e.g }
 
+// SetTableSource repoints table resolution at src — typically a
+// db.Snap, pinning every subsequent firing to one immutable catalog
+// view, or a source that itself swaps snapshots atomically. Like graph
+// mutation, it must not run concurrently with Eval; callers serialize
+// the swap against in-flight demands (the server holds its session
+// lock exclusively while repointing and touching table boxes).
+func (e *Evaluator) SetTableSource(src TableSource) { e.fc.Tables = src }
+
 // generationBumper is implemented by displayables (display.Extended,
 // Composite, Group) that carry generation stamps. Dropping a memo entry
 // bumps the stamps of its displayable values so every downstream

@@ -25,14 +25,25 @@ import (
 
 // Database holds tables, saved programs, and encapsulation definitions.
 // It is safe for concurrent readers; writes take the lock.
+//
+// The write path is copy-on-write: every committed mutation clones the
+// affected relation (rel.CowClone — O(rows) pointer copies), mutates
+// the clone, and swaps the catalog pointer under the lock. A relation
+// pointer obtained from Table or a Snap is therefore an immutable
+// snapshot of that table as of the fetch: it never changes underneath
+// a reader, and long reads (renders) never block writers. Readers that
+// want to observe subsequent writes re-fetch by name; readers that
+// want a consistent multi-table view take a Snapshot.
 type Database struct {
 	mu       sync.RWMutex
 	tables   map[string]*rel.Relation
+	seq      uint64            // commit sequence, bumped once per committed write
 	programs map[string][]byte // serialized dataflow programs
 	defs     map[string][]byte // serialized encapsulated box definitions
 	updates  *types.UpdateRegistry
 	undo     []undoRecord
 	watchers []func(table string)
+	subs     map[*subscriber]struct{}
 }
 
 // undoRecord remembers one applied tuple update so it can be reversed.
@@ -59,36 +70,48 @@ func (d *Database) Updates() *types.UpdateRegistry { return d.updates }
 // CreateTable registers a base relation under its name.
 func (d *Database) CreateTable(r *rel.Relation) error {
 	if r.Name() == "" {
-		return fmt.Errorf("db: cannot register an anonymous relation")
+		return opErr("create", "", fmt.Errorf("cannot register an anonymous relation"))
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, dup := d.tables[r.Name()]; dup {
-		return fmt.Errorf("db: table %q already exists", r.Name())
+		d.mu.Unlock()
+		return opErr("create", r.Name(), ErrTableExists)
 	}
 	d.tables[r.Name()] = r
+	d.seq++
+	watchers, subs := d.notifyLocked()
+	ev := Event{Table: r.Name(), Gen: r.Generation(), Kind: EventCreate, Seq: d.seq}
+	d.mu.Unlock()
+	deliver(watchers, subs, ev)
 	return nil
 }
 
 // DropTable removes a base relation.
 func (d *Database) DropTable(name string) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, ok := d.tables[name]; !ok {
-		return fmt.Errorf("db: no table %q", name)
+		d.mu.Unlock()
+		return opErr("drop", name, ErrNoSuchTable)
 	}
 	delete(d.tables, name)
+	d.seq++
+	watchers, subs := d.notifyLocked()
+	ev := Event{Table: name, Kind: EventDrop, Seq: d.seq}
+	d.mu.Unlock()
+	deliver(watchers, subs, ev)
 	return nil
 }
 
-// Table implements dataflow.TableSource.
+// Table implements dataflow.TableSource. The returned relation is the
+// current immutable version of the table; it will not reflect later
+// writes (re-fetch to observe them).
 func (d *Database) Table(name string) (*rel.Relation, error) {
 	obs.Inc(obs.DBTableGets)
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	t, ok := d.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("db: no table %q", name)
+		return nil, opErr("table", name, ErrNoSuchTable)
 	}
 	return t, nil
 }
@@ -105,9 +128,15 @@ func (d *Database) TableNames() []string {
 	return out
 }
 
-// Watch registers a callback fired after any update to a table, used by
-// canvases to re-demand their programs (the refresh that makes an update
-// visible immediately).
+// Watch registers a callback fired synchronously, on the writer's
+// goroutine, after any committed change to a table; single-user
+// environments rely on that synchrony (an update returns only after
+// its canvases have been touched).
+//
+// Deprecated: use Subscribe, which carries typed events (table,
+// generation, kind, commit sequence) and decouples consumers from
+// writers. Watch remains as a compatibility shim over the same
+// delivery path.
 func (d *Database) Watch(fn func(table string)) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -116,37 +145,73 @@ func (d *Database) Watch(fn func(table string)) {
 
 // UpdateTuple installs a new value for one column of one tuple of a base
 // table — the SQL update the generic update procedure performs after its
-// dialog (Section 8). The previous value is pushed on the undo log.
+// dialog (Section 8). The previous value is pushed on the undo log. The
+// write is copy-on-write: snapshot readers of the table keep their
+// frozen version; the catalog serves the new one.
 func (d *Database) UpdateTuple(table string, row int, col string, v types.Value) error {
 	d.mu.Lock()
 	t, ok := d.tables[table]
 	if !ok {
 		d.mu.Unlock()
-		return fmt.Errorf("db: no table %q", table)
+		return opErr("update", table, ErrNoSuchTable)
 	}
+	watchers, subs, evs, err := d.updateLocked(t, table, row, col, v)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	deliver(watchers, subs, evs...)
+	return nil
+}
+
+// updateLocked validates and applies one field update copy-on-write:
+// clone the relation, mutate the clone, swap the catalog pointer, push
+// the undo record. The caller holds d.mu and delivers the returned
+// events after unlocking.
+func (d *Database) updateLocked(t *rel.Relation, table string, row int, col string, v types.Value) ([]func(string), []*subscriber, []Event, error) {
 	if row < 0 || row >= t.Len() {
-		d.mu.Unlock()
-		return fmt.Errorf("db: %s: row %d out of range", table, row)
+		return nil, nil, nil, opErr("update", table, fmt.Errorf("row %d out of range", row))
 	}
 	ci := t.Schema().Index(col)
 	if ci < 0 {
-		d.mu.Unlock()
-		return fmt.Errorf("db: %s: no stored column %q", table, col)
+		return nil, nil, nil, opErr("update", table, fmt.Errorf("no stored column %q", col))
 	}
 	old := t.Tuple(row)[ci]
-	if err := t.Update(row, col, v); err != nil {
+	nt := t.CowClone()
+	if err := nt.Update(row, col, v); err != nil {
+		return nil, nil, nil, err
+	}
+	d.tables[table] = nt
+	d.undo = append(d.undo, undoRecord{table: table, row: row, col: col, old: old})
+	d.seq++
+	obs.Inc(obs.DBUpdates)
+	watchers, subs := d.notifyLocked()
+	evs := []Event{{Table: table, Gen: nt.Generation(), Kind: EventUpdate, Seq: d.seq}}
+	return watchers, subs, evs, nil
+}
+
+// AppendTuple appends one tuple to a base table through the copy-on-
+// write path. Appends are not undoable — the Section 8 undo log covers
+// field updates only.
+func (d *Database) AppendTuple(table string, tuple []types.Value) error {
+	d.mu.Lock()
+	t, ok := d.tables[table]
+	if !ok {
+		d.mu.Unlock()
+		return opErr("append", table, ErrNoSuchTable)
+	}
+	nt := t.CowClone()
+	if err := nt.Append(tuple); err != nil {
 		d.mu.Unlock()
 		return err
 	}
-	d.undo = append(d.undo, undoRecord{table: table, row: row, col: col, old: old})
-	obs.Inc(obs.DBUpdates)
-	var watchers []func(string)
-	watchers = append(watchers, d.watchers...)
+	d.tables[table] = nt
+	d.seq++
+	obs.Inc(obs.DBAppends)
+	watchers, subs := d.notifyLocked()
+	ev := Event{Table: table, Gen: nt.Generation(), Kind: EventAppend, Seq: d.seq}
 	d.mu.Unlock()
-
-	for _, w := range watchers {
-		w(table)
-	}
+	deliver(watchers, subs, ev)
 	return nil
 }
 
@@ -160,7 +225,7 @@ func (d *Database) UpdateField(table string, row int, col string, input string) 
 	}
 	ci := t.Schema().Index(col)
 	if ci < 0 {
-		return fmt.Errorf("db: %s: no stored column %q", table, col)
+		return opErr("update", table, fmt.Errorf("no stored column %q", col))
 	}
 	kind := t.Schema().Col(ci).Kind
 	current := t.Tuple(row)[ci]
@@ -169,13 +234,13 @@ func (d *Database) UpdateField(table string, row int, col string, input string) 
 	}
 	nv, err := d.updates.ForKind(kind)(current, input)
 	if err != nil {
-		return fmt.Errorf("db: update %s.%s: %w", table, col, err)
+		return opErr("update", table, fmt.Errorf("column %s: %w", col, err))
 	}
 	return d.UpdateTuple(table, row, col, nv)
 }
 
 // UndoLast reverses the most recent tuple update, reporting whether there
-// was anything to undo.
+// was anything to undo. The reversal is itself a copy-on-write commit.
 func (d *Database) UndoLast() (bool, error) {
 	d.mu.Lock()
 	if len(d.undo) == 0 {
@@ -187,19 +252,20 @@ func (d *Database) UndoLast() (bool, error) {
 	t, ok := d.tables[rec.table]
 	if !ok {
 		d.mu.Unlock()
-		return false, fmt.Errorf("db: undo references dropped table %q", rec.table)
+		return false, opErr("undo", rec.table, ErrNoSuchTable)
 	}
-	err := t.Update(rec.row, rec.col, rec.old)
-	obs.Inc(obs.DBUndos)
-	var watchers []func(string)
-	watchers = append(watchers, d.watchers...)
-	d.mu.Unlock()
-	if err != nil {
+	nt := t.CowClone()
+	if err := nt.Update(rec.row, rec.col, rec.old); err != nil {
+		d.mu.Unlock()
 		return false, err
 	}
-	for _, w := range watchers {
-		w(rec.table)
-	}
+	d.tables[rec.table] = nt
+	d.seq++
+	obs.Inc(obs.DBUndos)
+	watchers, subs := d.notifyLocked()
+	ev := Event{Table: rec.table, Gen: nt.Generation(), Kind: EventUndo, Seq: d.seq}
+	d.mu.Unlock()
+	deliver(watchers, subs, ev)
 	return true, nil
 }
 
@@ -213,7 +279,7 @@ func (d *Database) UndoDepth() int {
 // SaveProgram stores a serialized program under a name (Save Program).
 func (d *Database) SaveProgram(name string, data []byte) error {
 	if name == "" {
-		return fmt.Errorf("db: program needs a name")
+		return opErr("program", "", fmt.Errorf("program needs a name"))
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -227,7 +293,7 @@ func (d *Database) LoadProgram(name string) ([]byte, error) {
 	defer d.mu.RUnlock()
 	p, ok := d.programs[name]
 	if !ok {
-		return nil, fmt.Errorf("db: no program %q", name)
+		return nil, opErr("program", name, fmt.Errorf("no saved program"))
 	}
 	return append([]byte(nil), p...), nil
 }
@@ -247,7 +313,7 @@ func (d *Database) ProgramNames() []string {
 // SaveDef stores a serialized encapsulated box definition.
 func (d *Database) SaveDef(name string, data []byte) error {
 	if name == "" {
-		return fmt.Errorf("db: definition needs a name")
+		return opErr("def", "", fmt.Errorf("definition needs a name"))
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -261,7 +327,7 @@ func (d *Database) LoadDef(name string) ([]byte, error) {
 	defer d.mu.RUnlock()
 	p, ok := d.defs[name]
 	if !ok {
-		return nil, fmt.Errorf("db: no encapsulated box %q", name)
+		return nil, opErr("def", name, fmt.Errorf("no saved encapsulated box"))
 	}
 	return append([]byte(nil), p...), nil
 }
@@ -393,7 +459,7 @@ func (d *Database) Load(r io.Reader) error {
 	defer sp.End()
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("db: load: %w", err)
+		return opErr("load", "", err)
 	}
 	tables := make(map[string]*rel.Relation, len(snap.Tables))
 	for name, ts := range snap.Tables {
@@ -403,7 +469,7 @@ func (d *Database) Load(r io.Reader) error {
 		}
 		schema, err := rel.NewSchema(cols...)
 		if err != nil {
-			return fmt.Errorf("db: load table %q: %w", name, err)
+			return opErr("load", name, err)
 		}
 		t := rel.New(name, schema)
 		for _, row := range ts.Tuples {
@@ -412,22 +478,21 @@ func (d *Database) Load(r io.Reader) error {
 				tup[j] = fromScalar(s)
 			}
 			if err := t.Append(tup); err != nil {
-				return fmt.Errorf("db: load table %q: %w", name, err)
+				return opErr("load", name, err)
 			}
 		}
 		if err := restoreComputed(t, ts.Computed); err != nil {
-			return fmt.Errorf("db: load table %q: %w", name, err)
+			return opErr("load", name, err)
 		}
 		for _, col := range ts.Indexes {
 			if err := t.CreateIndex(col); err != nil {
-				return fmt.Errorf("db: load table %q: %w", name, err)
+				return opErr("load", name, err)
 			}
 		}
 		tables[name] = t
 	}
 
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.tables = tables
 	d.programs = snap.Programs
 	if d.programs == nil {
@@ -438,6 +503,15 @@ func (d *Database) Load(r io.Reader) error {
 		d.defs = make(map[string][]byte)
 	}
 	d.undo = nil
+	d.seq++
+	watchers, subs := d.notifyLocked()
+	evs := make([]Event, 0, len(tables))
+	for name, t := range tables {
+		evs = append(evs, Event{Table: name, Gen: t.Generation(), Kind: EventLoad, Seq: d.seq})
+	}
+	d.mu.Unlock()
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Table < evs[j].Table })
+	deliver(watchers, subs, evs...)
 	return nil
 }
 

@@ -70,7 +70,13 @@ func TestUpdateTupleAndUndo(t *testing.T) {
 	if notified != 1 {
 		t.Errorf("watchers notified %d times", notified)
 	}
-	if got := st.Tuple(3)[st.Schema().Index("altitude")]; got.Float() != 777 {
+	// Writes are copy-on-write: the pre-update handle keeps its frozen
+	// view, the catalog serves the new version.
+	if got := st.Tuple(3)[st.Schema().Index("altitude")]; !got.Equal(old) {
+		t.Fatalf("update mutated the snapshot handle: %s", got)
+	}
+	st2, _ := d.Table("Stations")
+	if got := st2.Tuple(3)[st2.Schema().Index("altitude")]; got.Float() != 777 {
 		t.Fatalf("update did not land: %s", got)
 	}
 	if d.UndoDepth() != 1 {
@@ -80,7 +86,8 @@ func TestUpdateTupleAndUndo(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("undo: %v %v", ok, err)
 	}
-	if got := st.Tuple(3)[st.Schema().Index("altitude")]; !got.Equal(old) {
+	st3, _ := d.Table("Stations")
+	if got := st3.Tuple(3)[st3.Schema().Index("altitude")]; !got.Equal(old) {
 		t.Fatalf("undo did not restore: %s want %s", got, old)
 	}
 	if notified != 2 {
@@ -112,6 +119,7 @@ func TestUpdateField(t *testing.T) {
 	if got := st.Tuple(0)[st.Schema().Index("altitude")]; got.Float() != 55.5 {
 		t.Fatalf("field update = %s", got)
 	}
+	idx := st.Schema().Index("altitude")
 	if err := d.UpdateField("Stations", 0, "altitude", "not a number"); err == nil {
 		t.Error("unparsable input accepted")
 	}
@@ -131,7 +139,8 @@ func TestUpdateField(t *testing.T) {
 	if err := d.UpdateField("Stations", 0, "altitude", "-5"); err != nil {
 		t.Fatal(err)
 	}
-	if got := st.Tuple(0)[st.Schema().Index("altitude")]; got.Float() != 0 {
+	st, _ = d.Table("Stations")
+	if got := st.Tuple(0)[idx]; got.Float() != 0 {
 		t.Fatalf("custom update function ignored: %s", got)
 	}
 }

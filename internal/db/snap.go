@@ -1,0 +1,106 @@
+package db
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/rel"
+	"repro/internal/types"
+)
+
+// Snap is an immutable view of the catalog at one commit point. The
+// write path is copy-on-write — every mutation clones the affected
+// relation and swaps the catalog pointer, never touching the old one —
+// so a Snap's relations are frozen: reads through it take no locks,
+// renders against it never block writers, and every table it serves
+// carries the generation it had when the snapshot was taken. Snap
+// implements dataflow.TableSource, so an evaluator can be pointed at a
+// snapshot instead of the live database and a whole multi-frame render
+// observes one consistent generation vector.
+type Snap struct {
+	seq    uint64
+	tables map[string]*rel.Relation
+	names  []string // sorted
+	gens   map[string]int64
+}
+
+// Snapshot returns an immutable view of the current catalog. Cost is
+// O(#tables) pointer copies under the read lock; no tuple storage is
+// copied.
+func (d *Database) Snapshot() *Snap {
+	obs.Inc(obs.DBSnapshots)
+	d.mu.RLock()
+	s := &Snap{
+		seq:    d.seq,
+		tables: make(map[string]*rel.Relation, len(d.tables)),
+		gens:   make(map[string]int64, len(d.tables)),
+		names:  make([]string, 0, len(d.tables)),
+	}
+	for n, t := range d.tables {
+		s.tables[n] = t
+		s.gens[n] = t.Generation()
+		s.names = append(s.names, n)
+	}
+	d.mu.RUnlock()
+	sort.Strings(s.names)
+	return s
+}
+
+// Table implements dataflow.TableSource over the frozen catalog.
+func (s *Snap) Table(name string) (*rel.Relation, error) {
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, opErr("snapshot", name, ErrNoSuchTable)
+	}
+	return t, nil
+}
+
+// TableNames implements dataflow.TableSource.
+func (s *Snap) TableNames() []string { return append([]string(nil), s.names...) }
+
+// Seq returns the commit sequence at which the snapshot was taken.
+func (s *Snap) Seq() uint64 { return s.seq }
+
+// Generation returns the generation the named table had at snapshot
+// time.
+func (s *Snap) Generation(name string) (int64, bool) {
+	g, ok := s.gens[name]
+	return g, ok
+}
+
+// Generations returns the snapshot's full generation vector — the
+// identity every frame rendered against this snapshot is keyed by.
+func (s *Snap) Generations() map[string]int64 {
+	out := make(map[string]int64, len(s.gens))
+	for n, g := range s.gens {
+		out[n] = g
+	}
+	return out
+}
+
+// UpdateTupleCAS is UpdateTuple guarded by snapshot validation: the
+// write applies only if the table's generation still matches what snap
+// observed, otherwise ErrSnapshotStale. This is the optimistic-
+// concurrency form of the Section 8 update for clients editing through
+// a snapshot-rendered frame — a click resolved against a stale frame
+// must not silently clobber a concurrent writer's work.
+func (d *Database) UpdateTupleCAS(snap *Snap, table string, row int, col string, v types.Value) error {
+	want, inSnap := snap.Generation(table)
+	d.mu.Lock()
+	t, ok := d.tables[table]
+	if !ok {
+		d.mu.Unlock()
+		return opErr("update", table, ErrNoSuchTable)
+	}
+	if !inSnap || t.Generation() != want {
+		d.mu.Unlock()
+		return opErr("update", table, ErrSnapshotStale)
+	}
+	watchers, subs, evs, err := d.updateLocked(t, table, row, col, v)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	deliver(watchers, subs, evs...)
+	return nil
+}

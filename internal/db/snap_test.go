@@ -1,0 +1,237 @@
+package db
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+func altIndex(t testing.TB, d *Database) int {
+	t.Helper()
+	st, err := d.Table("Stations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Schema().Index("altitude")
+}
+
+func TestSnapshotFrozenAcrossWrites(t *testing.T) {
+	d := seeded(t)
+	snap := d.Snapshot()
+	st, err := snap.Table("Stations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai := altIndex(t, d)
+	before := st.Tuple(0)[ai]
+	gen, ok := snap.Generation("Stations")
+	if !ok || gen != st.Generation() {
+		t.Fatalf("snapshot generation %d, relation says %d", gen, st.Generation())
+	}
+
+	if err := d.UpdateTuple("Stations", 0, "altitude", types.NewFloat(-1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendTuple("Stations", d.mustLiveTuple(t, "Stations", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DropTable("LouisianaMap"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot still serves the pre-write world.
+	if got := st.Tuple(0)[ai]; !got.Equal(before) {
+		t.Fatalf("snapshot observed a write: %s", got)
+	}
+	if st.Generation() != gen {
+		t.Fatalf("snapshot relation's generation moved: %d -> %d", gen, st.Generation())
+	}
+	if _, err := snap.Table("LouisianaMap"); err != nil {
+		t.Fatalf("dropped table vanished from snapshot: %v", err)
+	}
+	names := snap.TableNames()
+	if len(names) != 2 {
+		t.Fatalf("snapshot TableNames = %v", names)
+	}
+
+	// A fresh snapshot sees everything.
+	snap2 := d.Snapshot()
+	if _, err := snap2.Table("LouisianaMap"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("dropped table still in new snapshot: %v", err)
+	}
+	st2, _ := snap2.Table("Stations")
+	if st2.Len() != st.Len()+1 {
+		t.Fatalf("append not visible in new snapshot: %d vs %d", st2.Len(), st.Len())
+	}
+	if snap2.Seq() <= snap.Seq() {
+		t.Fatalf("commit sequence did not advance: %d -> %d", snap.Seq(), snap2.Seq())
+	}
+}
+
+// mustLiveTuple copies a row of the current version of a table, for
+// appending.
+func (d *Database) mustLiveTuple(t testing.TB, table string, row int) []types.Value {
+	t.Helper()
+	r, err := d.Table(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]types.Value(nil), r.Tuple(row)...)
+}
+
+// TestWriterNeverBlockedByReader is the deterministic form of the
+// renders-never-block-writers guarantee: a reader holds a snapshot and
+// parks mid-"render"; the writer commits while the reader is parked.
+// Under lock-coupled reads this would deadlock; under snapshot reads
+// the writer finishes and the reader's view is unchanged.
+func TestWriterNeverBlockedByReader(t *testing.T) {
+	d := seeded(t)
+	snap := d.Snapshot()
+	st, _ := snap.Table("Stations")
+	ai := altIndex(t, d)
+	before := st.Tuple(0)[ai]
+
+	readerParked := make(chan struct{})
+	writerDone := make(chan struct{})
+	readerOut := make(chan types.Value, 1)
+	go func() {
+		// "Render": read a value, park while the writer runs, read again.
+		_ = st.Tuple(0)[ai]
+		close(readerParked)
+		<-writerDone
+		readerOut <- st.Tuple(0)[ai]
+	}()
+
+	<-readerParked
+	for i := 0; i < 100; i++ {
+		if err := d.UpdateTuple("Stations", 0, "altitude", types.NewFloat(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(writerDone) // reached only because the writer was not blocked
+
+	if got := <-readerOut; !got.Equal(before) {
+		t.Fatalf("snapshot moved during concurrent writes: %s, want %s", got, before)
+	}
+	live, _ := d.Table("Stations")
+	if got := live.Tuple(0)[ai]; got.Float() != 99 {
+		t.Fatalf("writes did not land: %s", got)
+	}
+}
+
+func TestUpdateTupleCAS(t *testing.T) {
+	d := seeded(t)
+	snap := d.Snapshot()
+
+	// Fresh snapshot: the optimistic write applies.
+	if err := d.UpdateTupleCAS(snap, "Stations", 0, "altitude", types.NewFloat(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Same snapshot again: the generation has moved on; stale.
+	err := d.UpdateTupleCAS(snap, "Stations", 0, "altitude", types.NewFloat(2))
+	if !errors.Is(err, ErrSnapshotStale) {
+		t.Fatalf("stale write accepted: %v", err)
+	}
+	var de *Error
+	if !errors.As(err, &de) || de.Op != "update" || de.Table != "Stations" {
+		t.Fatalf("error shape: %#v", err)
+	}
+	// A re-taken snapshot writes again.
+	if err := d.UpdateTupleCAS(d.Snapshot(), "Stations", 0, "altitude", types.NewFloat(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown table.
+	if err := d.UpdateTupleCAS(snap, "Nope", 0, "x", types.NewInt(1)); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("missing table: %v", err)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	d := seeded(t)
+	if _, err := d.Table("Nope"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("Table: %v", err)
+	}
+	if err := d.DropTable("Nope"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("DropTable: %v", err)
+	}
+	if err := d.UpdateTuple("Nope", 0, "x", types.NewInt(1)); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("UpdateTuple: %v", err)
+	}
+	if err := d.AppendTuple("Nope", nil); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("AppendTuple: %v", err)
+	}
+	if err := d.CreateTable(workload.Stations(2, 1)); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("CreateTable dup: %v", err)
+	}
+	var de *Error
+	_, err := d.Table("Nope")
+	if !errors.As(err, &de) || de.Op != "table" || de.Table != "Nope" {
+		t.Fatalf("error shape: %#v", err)
+	}
+	if de.Error() != `db: table "Nope": no such table` {
+		t.Fatalf("rendering: %q", de.Error())
+	}
+}
+
+// TestConcurrentSnapshotReadersVsWriters is the -race stress: many
+// goroutines take and scan snapshots while writers append and update.
+func TestConcurrentSnapshotReadersVsWriters(t *testing.T) {
+	d := seeded(t)
+	ai := altIndex(t, d)
+	const (
+		readers = 4
+		writers = 2
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if i%3 == 0 {
+					tup := d.mustLiveTuple(t, "Stations", i%20)
+					if err := d.AppendTuple("Stations", tup); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if err := d.UpdateTuple("Stations", (w*rounds+i)%20, "altitude", types.NewFloat(float64(i))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				snap := d.Snapshot()
+				st, err := snap.Table("Stations")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				gen, _ := snap.Generation("Stations")
+				sum := 0.0
+				for j := 0; j < st.Len(); j++ {
+					if v := st.Tuple(j)[ai]; !v.IsNull() {
+						sum += v.Float()
+					}
+				}
+				// The relation's generation must not move while we hold it.
+				if st.Generation() != gen {
+					t.Errorf("generation moved mid-scan: %d -> %d", gen, st.Generation())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

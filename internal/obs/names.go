@@ -44,11 +44,15 @@ const (
 	RenderWormholeStale    = "render.wormhole_stale"    // cached interiors retired by a generation change
 
 	// Database (internal/db).
-	DBTableGets = "db.table_gets"
-	DBUpdates   = "db.updates"
-	DBUndos     = "db.undos"
-	DBSaves     = "db.saves"
-	DBLoads     = "db.loads"
+	DBTableGets       = "db.table_gets"
+	DBUpdates         = "db.updates"
+	DBAppends         = "db.appends"
+	DBUndos           = "db.undos"
+	DBSaves           = "db.saves"
+	DBLoads           = "db.loads"
+	DBSnapshots       = "db.snapshots"        // immutable catalog views taken
+	DBEvents          = "db.events"           // committed-change events published
+	DBEventsCoalesced = "db.events_coalesced" // events dropped by backlog coalescing
 
 	// Relational engine (internal/rel).
 	RelRestrictScans   = "rel.restrict.scans"      // full-heap restricts
@@ -71,6 +75,15 @@ const (
 	CoreUpdates      = "core.updates"
 	CoreSessionSaves = "core.session_saves"
 	CoreSessionLoads = "core.session_loads"
+
+	// Visualization server (internal/server).
+	ServerClients    = "server.clients"     // websocket clients attached (total)
+	ServerDetaches   = "server.detaches"    // clients disconnected
+	ServerFrames     = "server.frames"      // frames pushed to clients
+	ServerFrameBytes = "server.frame_bytes" // encoded PNG bytes shipped
+	ServerOps        = "server.ops"         // client viewer operations applied
+	ServerBroadcasts = "server.broadcasts"  // generation-bump fan-outs to sessions
+	ServerFrameNS    = "server.frame_ns"    // histogram: render+encode latency per pushed frame
 )
 
 // Canonical span names, same taxonomy as the metrics above. Call sites
@@ -110,6 +123,11 @@ const (
 	SpanCoreUpdate      = "core.update"
 	SpanCoreSessionSave = "core.session_save"
 	SpanCoreSessionLoad = "core.session_load"
+
+	// Visualization server (internal/server).
+	SpanServerFrame = "server.frame" // one frame rendered+pushed for one client
+	SpanServerOp    = "server.op"    // one client operation applied
+	SpanServerApply = "server.apply" // one batch of db events applied to a session
 )
 
 // FusedKindPrefix prefixes the "kind" arg of an eval.fire span that

@@ -372,6 +372,35 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
+// CowClone returns a copy-on-write clone for the db write path: the
+// outer tuples slice, the computed-attribute list, and the secondary
+// indexes are fresh, while the per-row tuple slices are shared with the
+// original. Because Update already replaces a row's slice instead of
+// mutating it in place, any mutation applied to the clone — Append,
+// Update, computed-attribute edits, index maintenance — is invisible to
+// holders of the original: the clone is the next version of the table,
+// the original remains an immutable snapshot. Cost is O(rows) pointer
+// copies plus an index copy, versus Clone's O(rows × cols) value
+// copies. The clone starts unstamped, so the first cache to observe it
+// receives a fresh generation.
+func (r *Relation) CowClone() *Relation {
+	out := &Relation{
+		name:     r.name,
+		schema:   r.schema,
+		tuples:   append([][]types.Value(nil), r.tuples...),
+		computed: append([]Computed(nil), r.computed...),
+		provBase: r.provBase,
+		provRows: r.provRows,
+	}
+	if r.indexes != nil {
+		out.indexes = make(map[string]*btree.Tree, len(r.indexes))
+		for col, idx := range r.indexes {
+			out.indexes[col] = idx.Clone()
+		}
+	}
+	return out
+}
+
 // derive builds an anonymous relation sharing this relation's computed
 // attributes but with new tuple storage; operators use it.
 func (r *Relation) derive(schema *Schema, keepComputed bool) *Relation {

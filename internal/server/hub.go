@@ -1,0 +1,44 @@
+package server
+
+import "repro/internal/db"
+
+// The event pump is the server's subscription half: one goroutine
+// drains the database's typed event stream and turns each batch into
+// exactly one snapshot advance per session. Writers publish events
+// without blocking (db.Subscribe buffers and coalesces per subscriber),
+// the pump batches whatever has queued up, and ApplyEvents briefly
+// excludes renders while swapping the pinned snapshot — so a burst of
+// writes costs each session one re-render, not one per write.
+
+func (s *Server) startPump() {
+	ch, cancel := s.db.Subscribe()
+	s.pumpCancel = cancel
+	s.pumpDone = make(chan struct{})
+	go s.pump(ch)
+}
+
+func (s *Server) pump(ch <-chan db.Event) {
+	defer close(s.pumpDone)
+	for {
+		ev, ok := <-ch
+		if !ok {
+			return
+		}
+		evs := []db.Event{ev}
+	drain:
+		for {
+			select {
+			case more, ok := <-ch:
+				if !ok {
+					break drain
+				}
+				evs = append(evs, more)
+			default:
+				break drain
+			}
+		}
+		for _, sess := range s.sessionList() {
+			sess.ApplyEvents(s.ctx, evs)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// frameKey identifies render inputs: generation vector, viewport, and
+// framebuffer size. Two frames with equal keys must be byte-identical,
+// regardless of which client rendered them or what the writer was
+// doing at the time.
+func frameKey(m FrameMeta) string {
+	names := make([]string, 0, len(m.Gens))
+	for n := range m.Gens {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b bytes.Buffer
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d;", n, m.Gens[n])
+	}
+	fmt.Fprintf(&b, "vp=%v/%v/%v;%dx%d", m.Viewport.CX, m.Viewport.CY, m.Viewport.Elev, m.W, m.H)
+	return b.String()
+}
+
+// TestEightClientsByteIdenticalFrames is the acceptance test of the
+// push server: eight concurrent WebSocket clients walk the same
+// viewport script on one shared session while a writer mutates the
+// Stations table mid-render. Every pair of frames rendered against the
+// same (gens, viewport, size) key must be byte-identical, the writer
+// must finish while renders are in flight, and after quiescing all
+// eight clients must hold the same final frame. Run with -race.
+func TestEightClientsByteIdenticalFrames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-client render test skipped in -short")
+	}
+	srv, database, addr := newTestServer(t, 10, 6, 7)
+
+	const nClients = 8
+	clients := make([]*testClient, nClients)
+	for i := range clients {
+		clients[i] = attachClient(t, addr, 256, 192)
+	}
+
+	// The shared viewport script every client walks.
+	script := []ClientOp{
+		{Op: "view", X: -91.5, Y: 31.0, Elev: 2.2},
+		{Op: "view", X: -91.0, Y: 30.5, Elev: 1.5},
+		{Op: "zoom", Factor: 2},
+		{Op: "view", X: -92.0, Y: 31.5, Elev: 2.0},
+	}
+
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; i < 40; i++ {
+			if err := database.UpdateTuple("Stations", i%10, "altitude",
+				types.NewFloat(float64(100+i))); err != nil {
+				t.Errorf("writer blocked or failed: %v", err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for ci, c := range clients {
+		wg.Add(1)
+		go func(ci int, c *testClient) {
+			defer wg.Done()
+			for k, op := range script {
+				op.Token = fmt.Sprintf("c%d-s%d", ci, k)
+				c.send(op)
+				c.waitFrameToken(op.Token, 30*time.Second)
+			}
+		}(ci, c)
+	}
+	wg.Wait()
+	<-writerDone
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiesce: wait until the session has applied every committed write.
+	want := database.Snapshot().Seq()
+	sess, _ := srv.Session("weather")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, seq := sess.Generations(); seq >= want {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, seq := sess.Generations()
+			t.Fatalf("session stuck at snap %d, want %d", seq, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Final frame: same viewport everywhere, database quiet — all eight
+	// must agree byte for byte on the fully-applied snapshot.
+	for ci, c := range clients {
+		c.send(ClientOp{Op: "view", X: -91.5, Y: 31.0, Elev: 2.2, Token: fmt.Sprintf("final-%d", ci)})
+	}
+	finals := make([]*recvFrame, nClients)
+	for ci, c := range clients {
+		finals[ci] = c.waitFrameToken(fmt.Sprintf("final-%d", ci), 30*time.Second)
+		if finals[ci].meta.Snap != want {
+			t.Fatalf("client %d final frame on snap %d, want %d", ci, finals[ci].meta.Snap, want)
+		}
+	}
+	for ci := 1; ci < nClients; ci++ {
+		if frameKey(finals[ci].meta) != frameKey(finals[0].meta) {
+			t.Fatalf("final frame keys diverge:\n c0: %s\n c%d: %s",
+				frameKey(finals[0].meta), ci, frameKey(finals[ci].meta))
+		}
+		if !bytes.Equal(finals[ci].png, finals[0].png) {
+			t.Fatalf("client %d final frame differs from client 0 (%d vs %d bytes)",
+				ci, len(finals[ci].png), len(finals[0].png))
+		}
+	}
+
+	// Cross-client identity over the whole run: group every received
+	// frame by render-input key; within a group all PNGs must match.
+	type sample struct {
+		client int
+		png    []byte
+	}
+	groups := make(map[string][]sample)
+	total := 0
+	for ci, c := range clients {
+		for _, f := range c.frames {
+			groups[frameKey(f.meta)] = append(groups[frameKey(f.meta)], sample{ci, f.png})
+			total++
+		}
+	}
+	crossClient := 0
+	for key, g := range groups {
+		for i := 1; i < len(g); i++ {
+			if !bytes.Equal(g[i].png, g[0].png) {
+				t.Fatalf("frames with identical key %q differ (clients %d vs %d)",
+					key, g[0].client, g[i].client)
+			}
+			if g[i].client != g[0].client {
+				crossClient++
+			}
+		}
+	}
+	if crossClient == 0 {
+		t.Fatal("no cross-client frame groups — test exercised nothing")
+	}
+	t.Logf("%d frames, %d groups, %d cross-client identical pairs", total, len(groups), crossClient)
+}
+
+// TestWriterThroughputDuringRenders pins the "writer never blocked"
+// claim at the server layer: while four clients continuously re-render,
+// 200 sequential writes must all land; the db layer guarantees each
+// write only contends on the catalog mutex, never on a render.
+func TestWriterThroughputDuringRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short")
+	}
+	_, database, addr := newTestServer(t, 10, 6, 3)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		c := attachClient(t, addr, 200, 150)
+		wg.Add(1)
+		go func(ci int, c *testClient) {
+			defer wg.Done()
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tok := fmt.Sprintf("r%d-%d", ci, k)
+				c.send(ClientOp{Op: "render", Token: tok})
+				c.waitFrameToken(tok, 30*time.Second)
+			}
+		}(i, c)
+	}
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		if err := database.UpdateTuple("Stations", i%10, "altitude",
+			types.NewFloat(float64(i))); err != nil {
+			t.Fatalf("write %d failed: %v", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	t.Logf("200 writes in %v under 4 rendering clients", elapsed)
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/obs/export"
+)
+
+// Server hosts shared sessions over one database and serves them to
+// WebSocket clients, alongside the telemetry endpoints of obs/export.
+type Server struct {
+	db *db.Database
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	pumpCancel func()
+	pumpDone   chan struct{}
+
+	hsrv *http.Server
+	ln   net.Listener
+}
+
+// New creates a server over database and starts its event pump: one
+// goroutine draining db.Subscribe and applying batches to every
+// session. Call Close to stop it.
+func New(database *db.Database) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		db:       database,
+		sessions: make(map[string]*Session),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	s.startPump()
+	return s
+}
+
+// AddSession builds and registers a session under name.
+func (s *Server) AddSession(name string, build Builder) (*Session, error) {
+	sess, err := NewSession(name, s.db, build)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[name]; ok {
+		return nil, fmt.Errorf("server: session %q already exists", name)
+	}
+	s.sessions[name] = sess
+	return sess, nil
+}
+
+// Session looks up a session by name; an empty name resolves to the
+// only session when exactly one exists.
+func (s *Server) Session(name string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" && len(s.sessions) == 1 {
+		for _, sess := range s.sessions {
+			return sess, true
+		}
+	}
+	sess, ok := s.sessions[name]
+	return sess, ok
+}
+
+// SessionNames returns the registered session names, sorted.
+func (s *Server) SessionNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.sessions))
+	for name := range s.sessions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Server) sessionList() []*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	return out
+}
+
+// Handler returns the server's HTTP mux:
+//
+//	/healthz       liveness probe
+//	/sessions      JSON session index (names, canvases, gens, clients)
+//	/ws            WebSocket attach (?session=NAME&w=W&h=H)
+//	/telemetry/    obs/export endpoints (snapshot, metrics, trace, pprof)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/sessions", s.handleSessions)
+	mux.HandleFunc("/ws", s.handleWS)
+	mux.Handle("/telemetry/", http.StripPrefix("/telemetry", export.Handler()))
+	return mux
+}
+
+// sessionInfo is one row of the /sessions index.
+type sessionInfo struct {
+	Name    string           `json:"name"`
+	Canvas  string           `json:"canvas"`
+	Clients int              `json:"clients"`
+	Gens    map[string]int64 `json:"gens"`
+	Snap    uint64           `json:"snap"`
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	infos := make([]sessionInfo, 0)
+	for _, name := range s.SessionNames() {
+		sess, ok := s.Session(name)
+		if !ok {
+			continue
+		}
+		gens, seq := sess.Generations()
+		infos = append(infos, sessionInfo{
+			Name: sess.Name, Canvas: sess.Canvas,
+			Clients: sess.Clients(), Gens: gens, Snap: seq,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(infos)
+}
+
+// handleWS upgrades the connection, attaches a client to the requested
+// session, and blocks for the client's lifetime so r.Context() remains
+// the client context — server shutdown and transport loss both cancel
+// it.
+func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sess, ok := s.Session(q.Get("session"))
+	if !ok {
+		http.Error(w, fmt.Sprintf("no such session %q", q.Get("session")), http.StatusNotFound)
+		return
+	}
+	width, _ := strconv.Atoi(q.Get("w"))
+	height, _ := strconv.Atoi(q.Get("h"))
+	ws, err := Upgrade(w, r)
+	if err != nil {
+		return // Upgrade already wrote the HTTP error
+	}
+	defer ws.Close()
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	c := sess.attach(ctx, ws, width, height)
+	defer sess.detach(c)
+
+	snap := sess.src.current()
+	hello := Hello{
+		Type: "hello", Session: sess.Name, Client: c.id,
+		W: c.viewer.W, H: c.viewer.H,
+		Tables: snap.TableNames(), Gens: snap.Generations(), Snap: snap.Seq(),
+	}
+	if err := c.sendJSON(hello); err != nil {
+		return
+	}
+	_ = c.run(ctx)
+}
+
+// Start listens on addr and serves Handler in the background, returning
+// the bound address ("127.0.0.1:0" picks a free port).
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.hsrv = &http.Server{Handler: s.Handler()}
+	go func() { _ = s.hsrv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the HTTP listener and the event pump.
+func (s *Server) Close() error {
+	s.cancel()
+	var err error
+	if s.hsrv != nil {
+		err = s.hsrv.Close()
+	}
+	s.pumpCancel()
+	<-s.pumpDone
+	return err
+}

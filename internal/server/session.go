@@ -1,0 +1,180 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/obs"
+	"repro/internal/viewer"
+)
+
+// Builder constructs a session's dataflow program inside a fresh
+// environment and returns the name of the canvas to serve.
+// core.Figure7 is the stock demo builder.
+type Builder func(env *core.Environment) (string, error)
+
+// Session is one shared visualization: a dataflow program over the
+// database, rendered independently by any number of attached clients.
+// All clients see the same program output; each holds its own viewer,
+// so pan, zoom, and elevation are per-client state.
+//
+// The session's evaluator reads tables through a snapSource pinned to
+// one immutable db.Snap. Client frames render under the read half of
+// mu; ApplyEvents advances the pinned snapshot under the write half.
+// Database writers take neither lock — a writer is never blocked by a
+// render in flight.
+type Session struct {
+	Name   string
+	Canvas string
+
+	db  *db.Database
+	env *core.Environment
+	src *snapSource
+
+	boxID    int
+	port     int
+	defW     int
+	defH     int
+	defaults []viewer.ViewState
+
+	// mu orders client frames (RLock, many at once) against snapshot
+	// advances (Lock). It is never held while touching the database's
+	// own lock, so the two locking domains cannot entangle.
+	mu sync.RWMutex
+
+	cmu     sync.Mutex
+	clients map[*client]struct{}
+
+	nextClient atomic.Int64
+}
+
+// NewSession builds a session by running build inside a detached
+// environment (no synchronous Watch wiring — invalidation arrives via
+// ApplyEvents) and pinning its evaluator to a snapshot of database.
+func NewSession(name string, database *db.Database, build Builder) (*Session, error) {
+	env := core.NewDetachedEnvironment(database)
+	canvas, err := build(env)
+	if err != nil {
+		return nil, fmt.Errorf("server: building session %q: %w", name, err)
+	}
+	tmpl, err := env.Canvas(canvas)
+	if err != nil {
+		return nil, fmt.Errorf("server: session %q: %w", name, err)
+	}
+	bs, ok := tmpl.Source.(viewer.BoxSource)
+	if !ok {
+		return nil, fmt.Errorf("server: session %q: canvas %q is not fed by a program box", name, canvas)
+	}
+	src := newSnapSource(database.Snapshot())
+	env.Eval.SetTableSource(src)
+	// The builder may have demanded against the live catalog; drop those
+	// memos so every served frame is computed from the pinned snapshot.
+	env.Eval.InvalidateAll()
+	return &Session{
+		Name:     name,
+		Canvas:   canvas,
+		db:       database,
+		env:      env,
+		src:      src,
+		boxID:    bs.BoxID,
+		port:     bs.Port,
+		defW:     tmpl.W,
+		defH:     tmpl.H,
+		defaults: tmpl.States(),
+		clients:  make(map[*client]struct{}),
+	}, nil
+}
+
+// Generations returns the generation vector and database commit
+// sequence of the currently pinned snapshot.
+func (s *Session) Generations() (map[string]int64, uint64) {
+	snap := s.src.current()
+	return snap.Generations(), snap.Seq()
+}
+
+// Clients returns the number of attached clients.
+func (s *Session) Clients() int {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return len(s.clients)
+}
+
+// ApplyEvents advances the session past a batch of database change
+// events: re-snapshot, touch every table box reading a changed table,
+// then push the new generation vector to every attached client so each
+// re-renders its own viewport. Runs under the session write lock, so
+// it never overlaps a client frame; it is called from the server's
+// event pump, never from a writer's goroutine.
+func (s *Session) ApplyEvents(ctx context.Context, evs []db.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	_, sp := obs.StartSpanCtx(ctx, obs.SpanServerApply, "session", s.Name)
+	defer sp.End()
+	tables := make(map[string]struct{}, len(evs))
+	for _, ev := range evs {
+		tables[ev.Table] = struct{}{}
+	}
+	s.mu.Lock()
+	snap := s.db.Snapshot()
+	s.src.swap(snap)
+	for t := range tables {
+		s.env.TouchTable(t)
+	}
+	s.mu.Unlock()
+	obs.Inc(obs.ServerBroadcasts)
+	msg := GensMsg{Type: "gens", Gens: snap.Generations(), Snap: snap.Seq()}
+	for _, c := range s.clientList() {
+		c.invalidate(msg)
+	}
+}
+
+// attach creates a client with its own viewer seeded from the session's
+// view defaults. ctx is the client's connection context: demands issued
+// by this client's frames abort when it disconnects.
+func (s *Session) attach(ctx context.Context, ws *WSConn, w, h int) *client {
+	if w <= 0 {
+		w = s.defW
+	}
+	if h <= 0 {
+		h = s.defH
+	}
+	id := fmt.Sprintf("c%d", s.nextClient.Add(1))
+	v := viewer.New(s.Canvas+"/"+id,
+		viewer.BoxSource{Eval: s.env.Eval, BoxID: s.boxID, Port: s.port, Ctx: ctx}, w, h)
+	v.SetStates(s.defaults)
+	c := &client{
+		id:      id,
+		session: s,
+		ws:      ws,
+		viewer:  v,
+		dirty:   make(chan GensMsg, 1),
+	}
+	s.cmu.Lock()
+	s.clients[c] = struct{}{}
+	s.cmu.Unlock()
+	obs.Inc(obs.ServerClients)
+	return c
+}
+
+// detach removes a client; its viewer state dies with it.
+func (s *Session) detach(c *client) {
+	s.cmu.Lock()
+	delete(s.clients, c)
+	s.cmu.Unlock()
+	obs.Inc(obs.ServerDetaches)
+}
+
+func (s *Session) clientList() []*client {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	out := make([]*client, 0, len(s.clients))
+	for c := range s.clients {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"repro/internal/db"
+	"repro/internal/rel"
+)
+
+// snapSource pins a session's evaluator to one immutable db.Snap,
+// swapped atomically when the session applies a batch of change
+// events. Every firing between swaps resolves tables against the same
+// catalog view, so a frame — or a whole set of concurrent client
+// frames — observes one consistent generation vector. It implements
+// dataflow.TableSource.
+type snapSource struct {
+	p atomic.Pointer[db.Snap]
+}
+
+func newSnapSource(s *db.Snap) *snapSource {
+	src := &snapSource{}
+	src.p.Store(s)
+	return src
+}
+
+// Table implements dataflow.TableSource.
+func (s *snapSource) Table(name string) (*rel.Relation, error) { return s.p.Load().Table(name) }
+
+// TableNames implements dataflow.TableSource.
+func (s *snapSource) TableNames() []string { return s.p.Load().TableNames() }
+
+// current returns the pinned snapshot.
+func (s *snapSource) current() *db.Snap { return s.p.Load() }
+
+// swap advances the pinned snapshot.
+func (s *snapSource) swap(next *db.Snap) { s.p.Store(next) }
