@@ -803,6 +803,10 @@ type queryBenchReport struct {
 	Speedup            float64          `json:"speedup"`
 	OutputsIdentical   bool             `json:"outputs_identical"`
 	CompiledCounters   map[string]int64 `json:"compiled_counters,omitempty"`
+
+	// StationsLive is the streaming-workload section (live.go): delta
+	// propagation against full refiring on a live Observations feed.
+	StationsLive *stationsLiveReport `json:"stations_live"`
 }
 
 // buildQueryPipeline gives Stations the computed attributes dist2 (a
@@ -990,6 +994,11 @@ func runQueryBench(out string, quick, verbose bool) error {
 		return fmt.Errorf("query: compiled bench: %w", err)
 	}
 
+	live, err := runStationsLive(quick, verbose)
+	if err != nil {
+		return fmt.Errorf("query: stations_live: %w", err)
+	}
+
 	report := queryBenchReport{
 		GeneratedBy:        "tioga-bench",
 		Meta:               collectMeta(),
@@ -1003,6 +1012,7 @@ func runQueryBench(out string, quick, verbose bool) error {
 		Speedup:            float64(interpNs) / float64(fastNs),
 		OutputsIdentical:   identical,
 		CompiledCounters:   compiledCounters,
+		StationsLive:       live,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -1016,9 +1026,13 @@ func runQueryBench(out string, quick, verbose bool) error {
 		fmt.Printf("%-24s %12d ns/op (interpreted)\n", "query_pipeline", interpNs)
 		fmt.Printf("%-24s %12d ns/op (compiled+fused)\n", "", fastNs)
 	}
-	fmt.Printf("wrote %s (speedup %.2fx, outputs identical: %v)\n", out, report.Speedup, identical)
+	fmt.Printf("wrote %s (speedup %.2fx, outputs identical: %v; stations_live %.1fx, outputs identical: %v)\n",
+		out, report.Speedup, identical, live.Speedup, live.OutputsIdentical)
 	if !identical {
 		return fmt.Errorf("query: interpreted and compiled outputs differ")
+	}
+	if !live.OutputsIdentical {
+		return fmt.Errorf("query: stations_live incremental and full outputs differ")
 	}
 	return nil
 }

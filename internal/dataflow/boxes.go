@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -131,6 +132,13 @@ func registerDatabaseBoxes(r *Registry) {
 			}
 			return []Value{rederive(e, out)}, nil
 		},
+		FireDelta: func(ctx context.Context, fc *FireContext, p Params, d *DeltaFire) ([]Value, *rel.TupleDelta, bool, error) {
+			attrs := p.List("attrs")
+			if len(attrs) == 0 {
+				return nil, nil, false, nil
+			}
+			return fusedBoxDelta(ctx, d, rel.FusedOp{Project: attrs})
+		},
 	})
 
 	r.MustRegister(&Kind{
@@ -156,6 +164,13 @@ func registerDatabaseBoxes(r *Registry) {
 				return nil, err
 			}
 			return []Value{rederive(e, out)}, nil
+		},
+		FireDelta: func(ctx context.Context, fc *FireContext, p Params, d *DeltaFire) ([]Value, *rel.TupleDelta, bool, error) {
+			pred, ok := parsePredParam(p)
+			if !ok {
+				return nil, nil, false, nil
+			}
+			return fusedBoxDelta(ctx, d, rel.FusedOp{Pred: pred})
 		},
 	})
 
@@ -223,6 +238,52 @@ func registerDatabaseBoxes(r *Registry) {
 			}
 			label := l.Label + "⋈" + rr.Label
 			return []Value{display.NewDefaultExtended(label, out, 80)}, nil
+		},
+		FireDelta: func(_ context.Context, fc *FireContext, p Params, d *DeltaFire) ([]Value, *rel.TupleDelta, bool, error) {
+			switch p.Str("strategy", "auto") {
+			case "auto", "hash":
+			default:
+				return nil, nil, false, nil // nested loop is delta-opaque
+			}
+			pred, ok := parsePredParam(p)
+			if !ok {
+				return nil, nil, false, nil
+			}
+			l, err := asExtended(d.In[0])
+			if err != nil {
+				return nil, nil, false, nil
+			}
+			rr, err := asExtended(d.In[1])
+			if err != nil {
+				return nil, nil, false, nil
+			}
+			old, err := asExtended(d.Old[0])
+			if err != nil {
+				return nil, nil, false, nil
+			}
+			st, _ := (*d.State).(*rel.JoinState)
+			if st == nil {
+				oldL, err := asExtended(d.OldIn[0])
+				if err != nil {
+					return nil, nil, false, nil
+				}
+				oldR, err := asExtended(d.OldIn[1])
+				if err != nil {
+					return nil, nil, false, nil
+				}
+				var ok bool
+				if st, ok = rel.BuildJoinState(oldL.Rel, oldR.Rel, old.Rel, pred); !ok {
+					return nil, nil, false, nil
+				}
+			}
+			outRel, outDelta, ok := st.Apply(l.Rel, rr.Rel, d.InDelta[0], d.InDelta[1])
+			if !ok {
+				*d.State = nil // poisoned; rebuild after the refire
+				return nil, nil, false, nil
+			}
+			*d.State = st
+			label := l.Label + "⋈" + rr.Label
+			return []Value{display.NewDefaultExtended(label, outRel, 80)}, outDelta, true, nil
 		},
 	})
 

@@ -116,6 +116,17 @@ type Evaluator struct {
 	stamps map[int]int64   // dataflow timestamp at which cache entry was computed
 	flight map[int]*flight // in-progress firings, for cross-request coalescing
 
+	// Incremental evaluation state (see delta.go). pending queues tuple
+	// deltas per table box until a demand applies them; deltaState holds
+	// operator-maintained structures (hash-join indexes) per box;
+	// deltaTouched records the deltaClock at which a box's memo was last
+	// patched or dropped by an incremental pass, so a firing that started
+	// before the patch cannot store its pre-delta result over it.
+	pending      map[int][]TableDelta
+	deltaState   map[int]any
+	deltaTouched map[int]int64
+	deltaClock   int64
+
 	// Pre-flight validation memo: checked[id] is the (possibly nil)
 	// aggregate diagnostic for target id, valid while the graph clock
 	// stays at checkClock. Renders demand the same target every frame, so
@@ -140,11 +151,14 @@ type flight struct {
 // is allowed for programs without table boxes).
 func NewEvaluator(g *Graph, src TableSource) *Evaluator {
 	return &Evaluator{
-		g:      g,
-		fc:     &FireContext{Tables: src, Registry: g.registry},
-		cache:  make(map[int][]Value),
-		stamps: make(map[int]int64),
-		flight: make(map[int]*flight),
+		g:            g,
+		fc:           &FireContext{Tables: src, Registry: g.registry},
+		cache:        make(map[int][]Value),
+		stamps:       make(map[int]int64),
+		flight:       make(map[int]*flight),
+		pending:      make(map[int][]TableDelta),
+		deltaState:   make(map[int]any),
+		deltaTouched: make(map[int]int64),
 	}
 }
 
@@ -219,6 +233,8 @@ func (e *Evaluator) InvalidateCtx(ctx context.Context, id int) {
 		}
 		delete(e.cache, id)
 		delete(e.stamps, id)
+		delete(e.pending, id)
+		delete(e.deltaState, id)
 		for _, to := range dependents[id] {
 			drop(to)
 		}
@@ -250,6 +266,8 @@ func (e *Evaluator) InvalidateAllCtx(ctx context.Context) {
 	}
 	e.cache = make(map[int][]Value)
 	e.stamps = make(map[int]int64)
+	e.pending = make(map[int][]TableDelta)
+	e.deltaState = make(map[int]any)
 	e.mu.Unlock()
 	obs.Add(obs.EvalInvalidated, int64(dropped))
 	sp.Annotate("dropped", itoa(dropped))

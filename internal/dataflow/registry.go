@@ -38,6 +38,10 @@ type Kind struct {
 	ExampleParams Params
 	Ports         func(p Params) (in, out []PortType, err error)
 	Fire          FireFunc
+	// FireDelta, when set, maintains the kind's outputs incrementally
+	// from input tuple deltas (see delta.go). Kinds without one are
+	// delta-opaque and fall back to full refiring.
+	FireDelta DeltaFireFunc
 }
 
 // Registry maps kind names to kinds. The "menu of all boxes available"

@@ -105,6 +105,7 @@ func (e *Evaluator) evalTarget(ctx context.Context, target int, o EvalOptions) (
 	if !o.NoFusion && !fusionOff.Load() {
 		e.fuseChains(p, target)
 	}
+	e.applyDeltas(ctx, p)
 	res.Waves = len(p.levels)
 	obs.Add(obs.EvalWaves, int64(len(p.levels)))
 
@@ -289,6 +290,7 @@ func (e *Evaluator) resolve(ctx context.Context, p *plan, n *planNode, o EvalOpt
 		fl := &flight{done: make(chan struct{})}
 		e.flight[n.id] = fl
 		e.Stats.CacheMiss++
+		startClock := e.deltaClock
 		e.mu.Unlock()
 		obs.Inc(obs.EvalCacheMiss)
 
@@ -296,8 +298,21 @@ func (e *Evaluator) resolve(ctx context.Context, p *plan, n *planNode, o EvalOpt
 
 		e.mu.Lock()
 		if err == nil {
-			e.cache[n.id] = vals
-			e.stamps[n.id] = stamp
+			// A delta pass that patched (or dropped) this box mid-firing
+			// has already advanced the memo past what this firing read;
+			// storing the pre-delta result would regress it forever, since
+			// stamps never move. Serve the firing's value to this request
+			// but leave the memo alone.
+			if e.deltaTouched[n.id] <= startClock {
+				e.cache[n.id] = vals
+				e.stamps[n.id] = stamp
+				delete(e.deltaState, n.id)
+				if n.box.Kind == "table" {
+					// A fresh table firing read the current source; any
+					// queued deltas lead up to (at most) that state.
+					delete(e.pending, n.id)
+				}
+			}
 			e.Stats.Fires++
 		}
 		delete(e.flight, n.id)

@@ -176,7 +176,9 @@ func (d *Database) updateLocked(t *rel.Relation, table string, row int, col stri
 	if ci < 0 {
 		return nil, nil, nil, opErr("update", table, fmt.Errorf("no stored column %q", col))
 	}
-	old := t.Tuple(row)[ci]
+	oldRow := t.Tuple(row)
+	old := oldRow[ci]
+	prevGen := t.Generation()
 	nt := t.CowClone()
 	if err := nt.Update(row, col, v); err != nil {
 		return nil, nil, nil, err
@@ -186,7 +188,13 @@ func (d *Database) updateLocked(t *rel.Relation, table string, row int, col stri
 	d.seq++
 	obs.Inc(obs.DBUpdates)
 	watchers, subs := d.notifyLocked()
-	evs := []Event{{Table: table, Gen: nt.Generation(), Kind: EventUpdate, Seq: d.seq}}
+	// oldRow aliases the pre-write version, whose row slice Update left
+	// untouched (the clone got a fresh copy), so both sides of the delta
+	// are frozen.
+	delta := &rel.TupleDelta{Ops: []rel.DeltaOp{{
+		Kind: rel.DeltaUpdate, Row: row, Tuple: nt.Tuple(row), Old: oldRow,
+	}}}
+	evs := []Event{{Table: table, Gen: nt.Generation(), Kind: EventUpdate, Seq: d.seq, PrevGen: prevGen, Delta: delta}}
 	return watchers, subs, evs, nil
 }
 
@@ -200,6 +208,7 @@ func (d *Database) AppendTuple(table string, tuple []types.Value) error {
 		d.mu.Unlock()
 		return opErr("append", table, ErrNoSuchTable)
 	}
+	prevGen := t.Generation()
 	nt := t.CowClone()
 	if err := nt.Append(tuple); err != nil {
 		d.mu.Unlock()
@@ -209,7 +218,10 @@ func (d *Database) AppendTuple(table string, tuple []types.Value) error {
 	d.seq++
 	obs.Inc(obs.DBAppends)
 	watchers, subs := d.notifyLocked()
-	ev := Event{Table: table, Gen: nt.Generation(), Kind: EventAppend, Seq: d.seq}
+	delta := &rel.TupleDelta{Ops: []rel.DeltaOp{{
+		Kind: rel.DeltaAppend, Row: nt.Len() - 1, Tuple: nt.Tuple(nt.Len() - 1),
+	}}}
+	ev := Event{Table: table, Gen: nt.Generation(), Kind: EventAppend, Seq: d.seq, PrevGen: prevGen, Delta: delta}
 	d.mu.Unlock()
 	deliver(watchers, subs, ev)
 	return nil
@@ -254,6 +266,12 @@ func (d *Database) UndoLast() (bool, error) {
 		d.mu.Unlock()
 		return false, opErr("undo", rec.table, ErrNoSuchTable)
 	}
+	if rec.row < 0 || rec.row >= t.Len() {
+		d.mu.Unlock()
+		return false, opErr("undo", rec.table, fmt.Errorf("row %d out of range", rec.row))
+	}
+	oldRow := t.Tuple(rec.row)
+	prevGen := t.Generation()
 	nt := t.CowClone()
 	if err := nt.Update(rec.row, rec.col, rec.old); err != nil {
 		d.mu.Unlock()
@@ -263,7 +281,10 @@ func (d *Database) UndoLast() (bool, error) {
 	d.seq++
 	obs.Inc(obs.DBUndos)
 	watchers, subs := d.notifyLocked()
-	ev := Event{Table: rec.table, Gen: nt.Generation(), Kind: EventUndo, Seq: d.seq}
+	delta := &rel.TupleDelta{Ops: []rel.DeltaOp{{
+		Kind: rel.DeltaUpdate, Row: rec.row, Tuple: nt.Tuple(rec.row), Old: oldRow,
+	}}}
+	ev := Event{Table: rec.table, Gen: nt.Generation(), Kind: EventUndo, Seq: d.seq, PrevGen: prevGen, Delta: delta}
 	d.mu.Unlock()
 	deliver(watchers, subs, ev)
 	return true, nil

@@ -1,0 +1,137 @@
+package db
+
+import (
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/types"
+)
+
+// Tuple writes must carry a delta chaining PrevGen → Gen with the exact
+// tuple content before and after, so subscribers can maintain derived
+// state incrementally.
+func TestWriteEventsCarryDeltas(t *testing.T) {
+	d := seeded(t)
+	st, err := d.Table("Stations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := st.Generation()
+	ai := st.Schema().Index("altitude")
+	oldVal := st.Tuple(2)[ai]
+
+	ch, cancel := d.Subscribe()
+	defer cancel()
+
+	if err := d.UpdateTuple("Stations", 2, "altitude", types.NewFloat(777)); err != nil {
+		t.Fatal(err)
+	}
+	tup := d.mustLiveTuple(t, "Stations", 0)
+	if err := d.AppendTuple("Stations", tup); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := d.UndoLast(); err != nil || !ok {
+		t.Fatalf("undo: ok=%v err=%v", ok, err)
+	}
+
+	evs := collectEvents(t, ch, 3)
+
+	up := evs[0]
+	if up.Kind != EventUpdate || up.PrevGen != gen0 || up.Gen == gen0 {
+		t.Fatalf("update event: kind=%v prevGen=%d gen=%d (base gen %d)", up.Kind, up.PrevGen, up.Gen, gen0)
+	}
+	if up.Delta == nil || len(up.Delta.Ops) != 1 {
+		t.Fatalf("update event delta: %+v", up.Delta)
+	}
+	op := up.Delta.Ops[0]
+	if op.Kind != rel.DeltaUpdate || op.Row != 2 {
+		t.Fatalf("update op: kind=%v row=%d", op.Kind, op.Row)
+	}
+	if !op.Tuple[ai].Equal(types.NewFloat(777)) {
+		t.Fatalf("update op new value: %v", op.Tuple[ai])
+	}
+	if !op.Old[ai].Equal(oldVal) {
+		t.Fatalf("update op old value: %v, want %v", op.Old[ai], oldVal)
+	}
+
+	ap := evs[1]
+	if ap.Kind != EventAppend || ap.PrevGen != up.Gen {
+		t.Fatalf("append event: kind=%v prevGen=%d, want chained from %d", ap.Kind, ap.PrevGen, up.Gen)
+	}
+	if ap.Delta == nil || len(ap.Delta.Ops) != 1 {
+		t.Fatalf("append event delta: %+v", ap.Delta)
+	}
+	aop := ap.Delta.Ops[0]
+	cur, _ := d.Table("Stations")
+	if aop.Kind != rel.DeltaAppend || aop.Row != cur.Len()-1 || aop.Old != nil {
+		t.Fatalf("append op: kind=%v row=%d (len %d) old=%v", aop.Kind, aop.Row, cur.Len(), aop.Old)
+	}
+	for j := range tup {
+		if !aop.Tuple[j].Equal(tup[j]) {
+			t.Fatalf("append op tuple col %d: %v want %v", j, aop.Tuple[j], tup[j])
+		}
+	}
+
+	un := evs[2]
+	if un.Kind != EventUndo || un.PrevGen != ap.Gen {
+		t.Fatalf("undo event: kind=%v prevGen=%d, want chained from %d", un.Kind, un.PrevGen, ap.Gen)
+	}
+	if un.Delta == nil || len(un.Delta.Ops) != 1 {
+		t.Fatalf("undo event delta: %+v", un.Delta)
+	}
+	uop := un.Delta.Ops[0]
+	if uop.Kind != rel.DeltaUpdate || uop.Row != 2 {
+		t.Fatalf("undo op: kind=%v row=%d", uop.Kind, uop.Row)
+	}
+	if !uop.Tuple[ai].Equal(oldVal) || !uop.Old[ai].Equal(types.NewFloat(777)) {
+		t.Fatalf("undo op values: new=%v old=%v", uop.Tuple[ai], uop.Old[ai])
+	}
+	if un.Gen != func() int64 { c, _ := d.Table("Stations"); return c.Generation() }() {
+		t.Fatalf("undo event gen %d is not the live generation", un.Gen)
+	}
+}
+
+// Structural events carry no delta: consumers must refetch wholesale.
+func TestStructuralEventsCarryNoDelta(t *testing.T) {
+	d := seeded(t)
+	ch, cancel := d.Subscribe()
+	defer cancel()
+	if err := d.DropTable("LouisianaMap"); err != nil {
+		t.Fatal(err)
+	}
+	r := rel.New("Fresh", rel.MustSchema(rel.Column{Name: "x", Kind: types.Int}))
+	if err := d.CreateTable(r); err != nil {
+		t.Fatal(err)
+	}
+	evs := collectEvents(t, ch, 2)
+	for _, ev := range evs {
+		if ev.Delta != nil {
+			t.Fatalf("%v event carries delta %+v", ev.Kind, ev.Delta)
+		}
+	}
+}
+
+// The delta's Old tuple must stay frozen even as later writes land on
+// the same row — it aliases the immutable pre-write relation version.
+func TestDeltaTuplesImmutableAcrossLaterWrites(t *testing.T) {
+	d := seeded(t)
+	st, _ := d.Table("Stations")
+	ai := st.Schema().Index("altitude")
+	ch, cancel := d.Subscribe()
+	defer cancel()
+	if err := d.UpdateTuple("Stations", 0, "altitude", types.NewFloat(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.UpdateTuple("Stations", 0, "altitude", types.NewFloat(2)); err != nil {
+		t.Fatal(err)
+	}
+	evs := collectEvents(t, ch, 2)
+	first := evs[0].Delta.Ops[0]
+	if !first.Tuple[ai].Equal(types.NewFloat(1)) {
+		t.Fatalf("first delta's new tuple mutated by later write: %v", first.Tuple[ai])
+	}
+	second := evs[1].Delta.Ops[0]
+	if !second.Old[ai].Equal(types.NewFloat(1)) || !second.Tuple[ai].Equal(types.NewFloat(2)) {
+		t.Fatalf("second delta: old=%v new=%v", second.Old[ai], second.Tuple[ai])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/rel"
 )
 
 // EventKind classifies one committed database change.
@@ -44,11 +45,22 @@ func (k EventKind) String() string {
 // tell whether it has already observed the change. Seq is the
 // database-wide commit sequence; it increases with every committed
 // write, and the several per-table events of one Load share it.
+//
+// Tuple-level writes (update, append, undo) additionally carry the
+// change itself: PrevGen is the table's generation before the write
+// and Delta the exact tuples touched, so a consumer holding the
+// PrevGen version can maintain derived state incrementally instead of
+// recomputing from the new table. Structural events (create, drop,
+// load) carry no delta — Delta is nil and consumers must refetch.
+// The tuple slices inside Delta alias the immutable pre- and
+// post-write relation versions; they must not be mutated.
 type Event struct {
-	Table string
-	Gen   int64
-	Kind  EventKind
-	Seq   uint64
+	Table   string
+	Gen     int64
+	Kind    EventKind
+	Seq     uint64
+	PrevGen int64
+	Delta   *rel.TupleDelta
 }
 
 // maxPending bounds a subscriber's queue. Past the bound the queue is

@@ -18,6 +18,13 @@ const (
 	EvalCancels     = "eval.cancels"     // requests abandoned via context cancellation
 	EvalInvalidated = "eval.invalidated" // memo entries dropped by invalidation sweeps
 
+	// Incremental (delta) evaluation (internal/dataflow, see DESIGN.md
+	// §14). Deltas patch memoized outputs in place of full refires.
+	EvalDeltaEnqueued  = "eval.delta_enqueued"  // table deltas queued for incremental application
+	EvalDeltaApplied   = "eval.delta_applied"   // box outputs maintained incrementally (refires avoided)
+	EvalDeltaFallbacks = "eval.delta_fallbacks" // delta applications abandoned to full refiring
+	EvalDeltaOps       = "eval.delta_ops"       // tuple-level ops propagated through maintained boxes
+
 	// Viewer rendering (internal/viewer).
 	RenderFrames          = "render.frames"
 	RenderTuplesSeen      = "render.tuples_seen"
@@ -93,11 +100,12 @@ const (
 // trace viewer and tests key on.
 const (
 	// Dataflow evaluation (internal/dataflow).
-	SpanEvalDemand     = "eval.demand"     // one top-level Eval request
-	SpanEvalWave       = "eval.wave"       // one wavefront level of a request
-	SpanEvalWorker     = "eval.worker"     // one worker goroutine of a level
-	SpanEvalFire       = "eval.fire"       // one box firing
-	SpanEvalInvalidate = "eval.invalidate" // one invalidation sweep (memo drops + fan-out)
+	SpanEvalDemand     = "eval.demand"      // one top-level Eval request
+	SpanEvalWave       = "eval.wave"        // one wavefront level of a request
+	SpanEvalWorker     = "eval.worker"      // one worker goroutine of a level
+	SpanEvalFire       = "eval.fire"        // one box firing
+	SpanEvalInvalidate = "eval.invalidate"  // one invalidation sweep (memo drops + fan-out)
+	SpanEvalDeltaApply = "eval.delta_apply" // one incremental pass patching memos before a demand
 
 	// Viewer rendering (internal/viewer).
 	SpanRenderFrame             = "render.frame"

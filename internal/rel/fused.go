@@ -94,16 +94,22 @@ func (s mappedScope) ResolveAttr(name string) (int, expr.Node, bool) {
 }
 
 // mappedCursor is the interpreted counterpart of mappedScope: an expr.Env
-// reading one source row through a step's shape.
+// reading one source row through a step's shape. When tup is set it is
+// read instead of src.tuples[row] — the delta path evaluates tuples that
+// are not (or not yet) the relation's current row content.
 type mappedCursor struct {
 	src *Relation
 	fp  *fusedPred
 	row int
+	tup []types.Value
 }
 
 // AttrValue implements expr.Env.
 func (m *mappedCursor) AttrValue(name string) (types.Value, bool) {
 	if i := m.fp.shape.schema.Index(name); i >= 0 {
+		if m.tup != nil {
+			return m.tup[m.fp.colMap[i]], true
+		}
 		return m.src.tuples[m.row][m.fp.colMap[i]], true
 	}
 	for _, c := range m.fp.shape.computed {
@@ -148,12 +154,27 @@ func FusedScanCtx(ctx context.Context, r *Relation, ops []FusedOp, workers int) 
 	return res, err
 }
 
-func fusedScan(ctx context.Context, r *Relation, ops []FusedOp, workers int) (*FusedResult, error) {
-	// Shape pass: replay the schema and computed-attribute derivations the
-	// unfused operators would perform, tracking for every surviving stored
-	// column its ordinal in r's tuples. Checking and compiling happen here,
-	// once, in step order — the same order the unfused chain would report a
-	// bad predicate or projection in.
+// fusedShape is the result of a fused pipeline's shape pass over a source
+// relation: the per-step output shapes, the final stored-column mapping
+// back to source ordinals, and the checked (and, when enabled, compiled)
+// predicates bound to their shapes. FusedScan's row pass consumes it; the
+// incremental path (FusedDelta) reuses it to evaluate single rows.
+type fusedShape struct {
+	shape       *Relation   // final output shape (schema + surviving computed attrs)
+	shapes      []*Relation // per-step shapes, last == shape
+	colMap      []int       // final stored column -> source tuple ordinal
+	preds       []*fusedPred
+	matp        *matPlan
+	anyCompiled bool
+	identity    bool // output columns are the source columns in place
+}
+
+// fusedShapePass replays the schema and computed-attribute derivations the
+// unfused operators would perform, tracking for every surviving stored
+// column its ordinal in r's tuples. Checking and compiling happen here,
+// once, in step order — the same order the unfused chain would report a
+// bad predicate or projection in.
+func fusedShapePass(ctx context.Context, r *Relation, ops []FusedOp) (*fusedShape, error) {
 	shape := &Relation{schema: r.schema, computed: r.computed}
 	colMap := make([]int, r.schema.Len())
 	for i := range colMap {
@@ -217,6 +238,73 @@ func fusedScan(ctx context.Context, r *Relation, ops []FusedOp, workers int) (*F
 	}(); err != nil {
 		return nil, err
 	}
+	sh := &fusedShape{shape: shape, shapes: shapes, colMap: colMap, preds: preds, matp: matp}
+	for _, fp := range preds {
+		if fp.compiled != nil {
+			sh.anyCompiled = true
+		}
+	}
+	sh.identity = len(colMap) == r.schema.Len()
+	for i, ci := range colMap {
+		if ci != i {
+			sh.identity = false
+			break
+		}
+	}
+	return sh, nil
+}
+
+// evalRow runs every predicate of the pipeline over one source tuple,
+// returning whether it survives. tup must have the source relation's
+// stored arity; row is its ordinal in src (used by the interpreted path
+// for error parity and by provenance). The scratch slice is reused across
+// calls.
+func (sh *fusedShape) evalRow(src *Relation, row int, tup []types.Value, scratch []types.Value) (bool, []types.Value, error) {
+	ext := tup
+	if sh.matp != nil && sh.anyCompiled {
+		scratch = sh.matp.extend(tup, scratch)
+		ext = scratch
+	}
+	for _, fp := range sh.preds {
+		var ok bool
+		var err error
+		if fp.compiled != nil {
+			ok, err = fp.compiled.Eval(ext)
+		} else {
+			cur := &mappedCursor{src: src, fp: fp, row: row, tup: tup}
+			ok, err = expr.EvalPredicate(fp.node, cur)
+		}
+		if err != nil {
+			return false, scratch, &FusedStepError{Step: fp.step, Err: fmt.Errorf("rel: restrict: %w", err)}
+		}
+		if !ok {
+			return false, scratch, nil
+		}
+	}
+	return true, scratch, nil
+}
+
+// projectRow maps one surviving source tuple into the output layout. With
+// an identity column map the source tuple is shared, exactly like the full
+// scan.
+func (sh *fusedShape) projectRow(tup []types.Value) []types.Value {
+	if sh.identity {
+		return tup
+	}
+	nt := make([]types.Value, len(sh.colMap))
+	for j, ci := range sh.colMap {
+		nt[j] = tup[ci]
+	}
+	return nt
+}
+
+func fusedScan(ctx context.Context, r *Relation, ops []FusedOp, workers int) (*FusedResult, error) {
+	sh, err := fusedShapePass(ctx, r, ops)
+	if err != nil {
+		return nil, err
+	}
+	shape, colMap, preds, matp := sh.shape, sh.colMap, sh.preds, sh.matp
+	shapes, anyCompiled := sh.shapes, sh.anyCompiled
 
 	// Row pass: every predicate over every surviving row, in step order
 	// per row, over the original tuples. Chunks are contiguous, so
@@ -225,13 +313,7 @@ func fusedScan(ctx context.Context, r *Relation, ops []FusedOp, workers int) (*F
 	n := len(r.tuples)
 	chunks := scanChunks(n, workers)
 	chunkRows := make([][]int, chunks)
-	anyCompiled := false
-	for _, fp := range preds {
-		if fp.compiled != nil {
-			anyCompiled = true
-		}
-	}
-	err := runChunks(n, chunks, func(c, lo, hi int) error {
+	err = runChunks(n, chunks, func(c, lo, hi int) error {
 		keep := make([]int, 0, (hi-lo)/4+8)
 		var cur *mappedCursor
 		var scratch []types.Value
@@ -251,7 +333,7 @@ func fusedScan(ctx context.Context, r *Relation, ops []FusedOp, workers int) (*F
 					if cur == nil {
 						cur = &mappedCursor{src: r}
 					}
-					cur.fp, cur.row = fp, i
+					cur.fp, cur.row, cur.tup = fp, i, nil
 					ok, err = expr.EvalPredicate(fp.node, cur)
 				}
 				if err != nil {

@@ -245,12 +245,12 @@ const (
 	JoinNestedLoop
 )
 
-// Join computes the theta-join of l and r under pred (Figure 3). The
-// output schema is l's stored columns followed by r's; name collisions are
-// disambiguated by suffixing r's columns with "_r" (and the predicate sees
-// the disambiguated names). Computed attributes of both inputs are carried
-// over where their references survive.
-func Join(l, r *Relation, pred expr.Node, strategy JoinStrategy) (*Relation, error) {
+// joinShape builds the output shape of a join of l and r: l's stored
+// columns followed by r's (collisions disambiguated with a "_r" suffix),
+// with computed attributes of both inputs carried where their references
+// survive. The returned map takes r's original column names to their
+// disambiguated names in the join scope.
+func joinShape(l, r *Relation) (*Relation, map[string]string, error) {
 	rRename := make(map[string]string)
 	cols := l.schema.Columns()
 	for _, c := range r.schema.Columns() {
@@ -266,7 +266,7 @@ func Join(l, r *Relation, pred expr.Node, strategy JoinStrategy) (*Relation, err
 	}
 	schema, err := NewSchema(cols...)
 	if err != nil {
-		return nil, fmt.Errorf("rel: join: %w", err)
+		return nil, nil, fmt.Errorf("rel: join: %w", err)
 	}
 
 	out := &Relation{schema: schema}
@@ -284,6 +284,19 @@ func Join(l, r *Relation, pred expr.Node, strategy JoinStrategy) (*Relation, err
 				out.computed = append(out.computed, c)
 			}
 		}
+	}
+	return out, rRename, nil
+}
+
+// Join computes the theta-join of l and r under pred (Figure 3). The
+// output schema is l's stored columns followed by r's; name collisions are
+// disambiguated by suffixing r's columns with "_r" (and the predicate sees
+// the disambiguated names). Computed attributes of both inputs are carried
+// over where their references survive.
+func Join(l, r *Relation, pred expr.Node, strategy JoinStrategy) (*Relation, error) {
+	out, rRename, err := joinShape(l, r)
+	if err != nil {
+		return nil, err
 	}
 
 	if err := expr.CheckPredicate(pred, out); err != nil {

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
+	"repro/internal/db"
 	"repro/internal/obs"
 	"repro/internal/raster"
 	"repro/internal/viewer"
@@ -103,6 +105,18 @@ func (c *client) handleOp(ctx context.Context, op ClientOp) {
 	ctx, sp := obs.StartSpanCtx(ctx, obs.SpanServerOp, "op", op.Op, "client", c.id)
 	defer sp.End()
 	s := c.session
+	if op.Op == "update" {
+		// Database write, not a viewer op: runs against the pinned
+		// snapshot without the session lock (the write path takes the
+		// database's own lock; the committed event comes back through
+		// the pump and re-renders every client, this one included).
+		if err := s.updateField(s.src.current(), op.Table, op.Row, op.Col, op.Input); err != nil {
+			c.sendError(err)
+			return
+		}
+		_ = c.sendJSON(AckMsg{Type: "ack", Op: op.Op, Token: op.Token})
+		return
+	}
 	s.mu.RLock()
 	err := c.applyOp(op)
 	var f *frame
@@ -246,5 +260,9 @@ func (c *client) sendJSON(v interface{}) error {
 }
 
 func (c *client) sendError(err error) {
-	_ = c.sendJSON(ErrorMsg{Type: "error", Error: err.Error()})
+	msg := ErrorMsg{Type: "error", Error: err.Error()}
+	if errors.Is(err, db.ErrSnapshotStale) {
+		msg.Code = ErrorCodeStale
+	}
+	_ = c.sendJSON(msg)
 }

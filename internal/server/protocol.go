@@ -16,6 +16,12 @@ package server
 //	"view"   set center (X, Y) and elevation Elev in one step
 //	"resize" resize the client's framebuffer to W×H pixels
 //	"render" request a frame without changing the view
+//	"update" edit one field of one tuple: the per-type update function
+//	         for Table.Col is run against Input and the result written
+//	         through the optimistic CAS path, validated against the
+//	         session's pinned snapshot. A lost race surfaces as an
+//	         ErrorMsg with Code "stale"; on success the commit flows
+//	         back as a gens broadcast plus re-rendered frames.
 type ClientOp struct {
 	Op     string  `json:"op"`
 	Member int     `json:"member,omitempty"`
@@ -27,6 +33,12 @@ type ClientOp struct {
 	Elev   float64 `json:"elev,omitempty"`
 	W      int     `json:"w,omitempty"`
 	H      int     `json:"h,omitempty"`
+	// Table/Row/Col/Input address one field for the "update" op; Input
+	// is the user's textual input to the per-type update function.
+	Table string `json:"table,omitempty"`
+	Row   int    `json:"row,omitempty"`
+	Col   string `json:"col,omitempty"`
+	Input string `json:"input,omitempty"`
 	// Token is echoed on the next frame this operation produces, so a
 	// client can pair requests with responses.
 	Token string `json:"token,omitempty"`
@@ -78,8 +90,25 @@ type GensMsg struct {
 }
 
 // ErrorMsg reports a failed operation or render without dropping the
-// connection.
+// connection. Code classifies machine-actionable failures: "stale"
+// means an optimistic update lost its race with a concurrent writer
+// (db.ErrSnapshotStale) and the client should re-read and retry
+// against the fresh frame that follows.
 type ErrorMsg struct {
 	Type  string `json:"type"` // "error"
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// ErrorCodeStale is ErrorMsg.Code for an optimistic update rejected
+// because the client's snapshot no longer matches the table.
+const ErrorCodeStale = "stale"
+
+// AckMsg confirms a state-changing operation that produces no frame of
+// its own (today: "update"). Token echoes the request's token; the
+// committed data arrives separately as a gens broadcast plus frame.
+type AckMsg struct {
+	Type  string `json:"type"` // "ack"
+	Op    string `json:"op"`
+	Token string `json:"token,omitempty"`
 }

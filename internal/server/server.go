@@ -48,8 +48,8 @@ func New(database *db.Database) *Server {
 }
 
 // AddSession builds and registers a session under name.
-func (s *Server) AddSession(name string, build Builder) (*Session, error) {
-	sess, err := NewSession(name, s.db, build)
+func (s *Server) AddSession(name string, build Builder, opts ...SessionOption) (*Session, error) {
+	sess, err := NewSession(name, s.db, build, opts...)
 	if err != nil {
 		return nil, err
 	}

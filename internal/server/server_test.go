@@ -44,12 +44,14 @@ type recvFrame struct {
 
 // testClient drives one WebSocket connection from the test goroutine.
 type testClient struct {
-	t      *testing.T
-	ws     *WSConn
-	hello  Hello
-	frames []recvFrame
-	gens   []GensMsg
-	errs   []string
+	t       *testing.T
+	ws      *WSConn
+	hello   Hello
+	frames  []recvFrame
+	gens    []GensMsg
+	errs    []string
+	errMsgs []ErrorMsg
+	acks    []AckMsg
 }
 
 func attachClient(t *testing.T, addr string, w, h int) *testClient {
@@ -120,6 +122,12 @@ func (c *testClient) readOne(timeout time.Duration) bool {
 		var e ErrorMsg
 		if err := json.Unmarshal(payload, &e); err == nil {
 			c.errs = append(c.errs, e.Error)
+			c.errMsgs = append(c.errMsgs, e)
+		}
+	case "ack":
+		var a AckMsg
+		if err := json.Unmarshal(payload, &a); err == nil {
+			c.acks = append(c.acks, a)
 		}
 	default:
 		c.t.Errorf("unknown server message type %q", probe.Type)

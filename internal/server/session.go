@@ -7,8 +7,10 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/dataflow"
 	"repro/internal/db"
 	"repro/internal/obs"
+	"repro/internal/types"
 	"repro/internal/viewer"
 )
 
@@ -16,6 +18,19 @@ import (
 // environment and returns the name of the canvas to serve.
 // core.Figure7 is the stock demo builder.
 type Builder func(env *core.Environment) (string, error)
+
+// SessionOption configures a session at creation time.
+type SessionOption func(*Session)
+
+// WithWorkerBudget caps the number of boxes the session's evaluator
+// fires concurrently within one client frame. Zero or negative leaves
+// the evaluator default (GOMAXPROCS) in place — see DESIGN §13: the
+// default is unbounded per frame, and a shared server hosting many
+// sessions sets a budget so one client's deep program cannot starve
+// the others' frames of CPU.
+func WithWorkerBudget(n int) SessionOption {
+	return func(s *Session) { s.workers = n }
+}
 
 // Session is one shared visualization: a dataflow program over the
 // database, rendered independently by any number of attached clients.
@@ -39,6 +54,7 @@ type Session struct {
 	port     int
 	defW     int
 	defH     int
+	workers  int // per-frame eval worker budget; <=0 means evaluator default
 	defaults []viewer.ViewState
 
 	// mu orders client frames (RLock, many at once) against snapshot
@@ -55,7 +71,7 @@ type Session struct {
 // NewSession builds a session by running build inside a detached
 // environment (no synchronous Watch wiring — invalidation arrives via
 // ApplyEvents) and pinning its evaluator to a snapshot of database.
-func NewSession(name string, database *db.Database, build Builder) (*Session, error) {
+func NewSession(name string, database *db.Database, build Builder, opts ...SessionOption) (*Session, error) {
 	env := core.NewDetachedEnvironment(database)
 	canvas, err := build(env)
 	if err != nil {
@@ -74,7 +90,7 @@ func NewSession(name string, database *db.Database, build Builder) (*Session, er
 	// The builder may have demanded against the live catalog; drop those
 	// memos so every served frame is computed from the pinned snapshot.
 	env.Eval.InvalidateAll()
-	return &Session{
+	sess := &Session{
 		Name:     name,
 		Canvas:   canvas,
 		db:       database,
@@ -86,7 +102,11 @@ func NewSession(name string, database *db.Database, build Builder) (*Session, er
 		defH:     tmpl.H,
 		defaults: tmpl.States(),
 		clients:  make(map[*client]struct{}),
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(sess)
+	}
+	return sess, nil
 }
 
 // Generations returns the generation vector and database commit
@@ -104,10 +124,13 @@ func (s *Session) Clients() int {
 }
 
 // ApplyEvents advances the session past a batch of database change
-// events: re-snapshot, touch every table box reading a changed table,
-// then push the new generation vector to every attached client so each
-// re-renders its own viewport. Runs under the session write lock, so
-// it never overlaps a client frame; it is called from the server's
+// events: re-snapshot, then for each changed table either enqueue its
+// tuple deltas (when every event for the table carries one) so the
+// evaluator patches memoized results incrementally, or touch its table
+// boxes so the next demand re-fires the affected program suffix. The
+// new generation vector is then pushed to every attached client so
+// each re-renders its own viewport. Runs under the session write lock,
+// so it never overlaps a client frame; it is called from the server's
 // event pump, never from a writer's goroutine.
 func (s *Session) ApplyEvents(ctx context.Context, evs []db.Event) {
 	if len(evs) == 0 {
@@ -115,15 +138,39 @@ func (s *Session) ApplyEvents(ctx context.Context, evs []db.Event) {
 	}
 	_, sp := obs.StartSpanCtx(ctx, obs.SpanServerApply, "session", s.Name)
 	defer sp.End()
-	tables := make(map[string]struct{}, len(evs))
+	// Group per table in commit order. One structural event (create,
+	// drop, load — no delta) poisons the table's whole batch: deltas
+	// cannot be replayed across a wholesale replacement.
+	type tableEvents struct {
+		deltas []dataflow.TableDelta
+		full   bool
+	}
+	order := make([]string, 0, len(evs))
+	byTable := make(map[string]*tableEvents, len(evs))
 	for _, ev := range evs {
-		tables[ev.Table] = struct{}{}
+		te, ok := byTable[ev.Table]
+		if !ok {
+			te = &tableEvents{}
+			byTable[ev.Table] = te
+			order = append(order, ev.Table)
+		}
+		if ev.Delta != nil && ev.Gen != 0 {
+			te.deltas = append(te.deltas, dataflow.TableDelta{
+				PrevGen: ev.PrevGen, Gen: ev.Gen, Ops: ev.Delta.Ops,
+			})
+		} else {
+			te.full = true
+		}
 	}
 	s.mu.Lock()
 	snap := s.db.Snapshot()
 	s.src.swap(snap)
-	for t := range tables {
-		s.env.TouchTable(t)
+	for _, t := range order {
+		if te := byTable[t]; te.full {
+			s.env.TouchTable(t)
+		} else {
+			s.env.Eval.EnqueueTableDelta(t, te.deltas)
+		}
 	}
 	s.mu.Unlock()
 	obs.Inc(obs.ServerBroadcasts)
@@ -131,6 +178,38 @@ func (s *Session) ApplyEvents(ctx context.Context, evs []db.Event) {
 	for _, c := range s.clientList() {
 		c.invalidate(msg)
 	}
+}
+
+// updateField runs the per-type update function for one field against
+// the client's textual input — resolved against the snapshot version
+// of the table the client was looking at — then installs the result
+// through the optimistic UpdateTupleCAS path. A concurrent writer that
+// advanced the table past the client's snapshot surfaces as
+// db.ErrSnapshotStale rather than a silent clobber. Takes no session
+// lock: the write path is the database's own, and the resulting event
+// flows back through the pump like any other write.
+func (s *Session) updateField(snap *db.Snap, table string, row int, col, input string) error {
+	t, err := snap.Table(table)
+	if err != nil {
+		return err
+	}
+	if row < 0 || row >= t.Len() {
+		return fmt.Errorf("server: update %s: row %d out of range", table, row)
+	}
+	ci := t.Schema().Index(col)
+	if ci < 0 {
+		return fmt.Errorf("server: update %s: no stored column %q", table, col)
+	}
+	kind := t.Schema().Col(ci).Kind
+	current := t.Tuple(row)[ci]
+	if current.IsNull() {
+		current = types.Zero(kind)
+	}
+	nv, err := s.db.Updates().ForKind(kind)(current, input)
+	if err != nil {
+		return fmt.Errorf("server: update %s.%s: %w", table, col, err)
+	}
+	return s.db.UpdateTupleCAS(snap, table, row, col, nv)
 }
 
 // attach creates a client with its own viewer seeded from the session's
@@ -144,8 +223,12 @@ func (s *Session) attach(ctx context.Context, ws *WSConn, w, h int) *client {
 		h = s.defH
 	}
 	id := fmt.Sprintf("c%d", s.nextClient.Add(1))
+	var evalOpts []dataflow.EvalOption
+	if s.workers > 0 {
+		evalOpts = append(evalOpts, dataflow.WithWorkers(s.workers))
+	}
 	v := viewer.New(s.Canvas+"/"+id,
-		viewer.BoxSource{Eval: s.env.Eval, BoxID: s.boxID, Port: s.port, Ctx: ctx}, w, h)
+		viewer.BoxSource{Eval: s.env.Eval, BoxID: s.boxID, Port: s.port, Ctx: ctx, Options: evalOpts}, w, h)
 	v.SetStates(s.defaults)
 	c := &client{
 		id:      id,
