@@ -817,16 +817,15 @@ type queryBenchReport struct {
 // for: the interpreter re-walks a computed definition at every
 // reference, the compiled scan materializes each once per row.
 func buildQueryPipeline(env *core.Environment) (int, error) {
-	st, err := env.DB.Table("Stations")
+	err := env.DB.AlterTable("Stations", func(st *rel.Relation) error {
+		if err := st.AddComputed("dist2", expr.MustParse(
+			"(longitude + 92.0) * (longitude + 92.0) + (latitude - 31.0) * (latitude - 31.0)")); err != nil {
+			return err
+		}
+		return st.AddComputed("score", expr.MustParse(
+			"dist2 * 0.5 + altitude / 100.0"))
+	})
 	if err != nil {
-		return 0, err
-	}
-	if err := st.AddComputed("dist2", expr.MustParse(
-		"(longitude + 92.0) * (longitude + 92.0) + (latitude - 31.0) * (latitude - 31.0)")); err != nil {
-		return 0, err
-	}
-	if err := st.AddComputed("score", expr.MustParse(
-		"dist2 * 0.5 + altitude / 100.0")); err != nil {
 		return 0, err
 	}
 	tb, err := env.AddBox("table", map[string]string{"name": "Stations"})

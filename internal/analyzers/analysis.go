@@ -1,17 +1,23 @@
 // Package analyzers is a self-contained miniature of the
 // golang.org/x/tools go/analysis framework, carrying the repo's custom
-// invariant checks (genbump, obsnames, ctxcheck) without the external
-// dependency: the build environment is offline, so the framework is
-// rebuilt here from the standard library alone. The shape mirrors
-// go/analysis on purpose — an Analyzer owns a name, a doc string, and a
-// Run func over a Pass — so the passes can migrate to the real
-// framework wholesale if x/tools ever becomes available.
+// invariant checks without the external dependency: the build
+// environment is offline, so the framework is rebuilt here from the
+// standard library alone. The shape mirrors go/analysis on purpose —
+// an Analyzer owns a name, a doc string, and a Run func over a Pass —
+// so the passes can migrate to the real framework wholesale if x/tools
+// ever becomes available.
 //
-// The passes are purely syntactic (go/ast + go/parser, no go/types):
-// each invariant they enforce is local enough — a method body, a call
-// argument, a parameter list — that name resolution buys nothing, and
-// skipping the type checker keeps tioga-lint independent of build tags,
-// cgo, and module resolution.
+// The original passes (genbump, obsnames, ctxcheck) are purely
+// syntactic (go/ast + go/parser): each invariant they enforce is local
+// enough — a method body, a call argument, a parameter list — that
+// name resolution buys nothing. The concurrency/immutability suite
+// (freezecheck, lockcheck, atomiccheck, errtype) is type-aware: those
+// invariants are about what a value IS (a frozen snapshot relation, a
+// field of a struct that elsewhere uses sync/atomic), which only
+// go/types can answer. Type information is loaded lazily per package
+// through the stdlib-only importer in typeinfo.go and degrades
+// gracefully: when type-checking fails, type-aware passes go quiet for
+// the unresolved parts and the syntactic passes run exactly as before.
 package analyzers
 
 import (
@@ -28,24 +34,40 @@ type Analyzer struct {
 	Name string
 	Doc  string
 	Run  func(*Pass) error
+	// NeedsTypes marks the analyzer as type-aware: Run may consult
+	// Pass.TypesInfo. The driver type-checks a package only when at
+	// least one scheduled analyzer sets this, so pure-syntactic runs
+	// stay as cheap as they were before the type layer existed.
+	NeedsTypes bool
+	// Codes lists every diagnostic code the analyzer can emit (stable,
+	// documented identifiers like "FZ001"). The coverage test uses this
+	// to prove each code fires at least once in the fixtures.
+	Codes []string
 }
 
 // A Diagnostic is one finding, located by file position. The Analyzer
 // field names the pass that produced it so a multichecker run stays
-// attributable.
+// attributable; Code is the stable machine-readable identifier used by
+// -json consumers and CI problem matchers.
 type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
+	Code     string         `json:"code,omitempty"`
 	Pos      token.Position `json:"pos"`
 	Message  string         `json:"message"`
 }
 
 func (d Diagnostic) String() string {
+	if d.Code != "" {
+		return fmt.Sprintf("%s: %s (%s %s)", d.Pos, d.Message, d.Analyzer, d.Code)
+	}
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
 // A Pass carries one analyzer's view of one package: the parsed files,
-// their FileSet, and the directories needed to locate repo-level
-// registries (the obs name file). Report findings with Reportf.
+// their FileSet, the directories needed to locate repo-level
+// registries (the obs name file), and — for type-aware analyzers —
+// the package's type-check result. Report findings with Report or
+// Reportf.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -56,31 +78,56 @@ type Pass struct {
 	// directory holding go.mod), used by passes that consult
 	// repo-level registries.
 	ModuleRoot string
+	// Types is the package's type-check result; nil unless the
+	// analyzer declared NeedsTypes. Even when set, it may be partial —
+	// check Types.Complete() or tolerate missing map entries.
+	Types *TypeData
 
 	diags *[]Diagnostic
 }
 
-// Reportf records a diagnostic at pos.
+// Reportf records a code-less diagnostic at pos. Prefer Report — every
+// diagnostic in the suite carries a code; Reportf remains for
+// transitional and test use.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(pos, "", format, args...)
+}
+
+// Report records a diagnostic with a stable code at pos.
+func (p *Pass) Report(pos token.Pos, code string, format string, args ...interface{}) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Code:     code,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
-// All returns the full invariant suite in a stable order.
+// All returns the full invariant suite in a stable order: the
+// syntactic trio from PR 4, then the type-aware concurrency and
+// immutability passes.
 func All() []*Analyzer {
-	return []*Analyzer{GenBump, ObsNames, CtxCheck}
+	return []*Analyzer{GenBump, ObsNames, CtxCheck, FreezeCheck, LockCheck, AtomicCheck, ErrType}
 }
 
 // Run executes each analyzer over each package and returns the merged
 // findings sorted by position. An analyzer returning an error aborts
 // the run — that is an analyzer bug or an unreadable registry, not a
-// finding.
+// finding. Packages are type-checked at most once, and only when a
+// scheduled analyzer needs types.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	needTypes := false
+	for _, a := range analyzers {
+		if a.NeedsTypes {
+			needTypes = true
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
+		var td *TypeData
+		if needTypes {
+			td = pkg.Types()
+		}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:   a,
@@ -89,6 +136,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Dir:        pkg.Dir,
 				ModuleRoot: pkg.ModuleRoot,
 				diags:      &diags,
+			}
+			if a.NeedsTypes {
+				pass.Types = td
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Dir, err)

@@ -14,9 +14,53 @@ func fixture(t *testing.T, name string) string {
 	return dir
 }
 
-func TestGenBump(t *testing.T)  { RunTest(t, fixture(t, "genbump"), GenBump) }
-func TestObsNames(t *testing.T) { RunTest(t, fixture(t, "obsnames"), ObsNames) }
-func TestCtxCheck(t *testing.T) { RunTest(t, fixture(t, "ctxcheck"), CtxCheck) }
+func TestGenBump(t *testing.T)     { RunTest(t, fixture(t, "genbump"), GenBump) }
+func TestObsNames(t *testing.T)    { RunTest(t, fixture(t, "obsnames"), ObsNames) }
+func TestCtxCheck(t *testing.T)    { RunTest(t, fixture(t, "ctxcheck"), CtxCheck) }
+func TestFreezeCheck(t *testing.T) { RunTest(t, fixture(t, "freezecheck"), FreezeCheck) }
+func TestLockCheck(t *testing.T)   { RunTest(t, fixture(t, "lockcheck"), LockCheck) }
+func TestAtomicCheck(t *testing.T) { RunTest(t, fixture(t, "atomiccheck"), AtomicCheck) }
+func TestErrType(t *testing.T)     { RunTest(t, fixture(t, "errtype"), ErrType) }
+
+// TestAllCodesFire proves every documented diagnostic code of every
+// analyzer in the suite actually fires in that analyzer's fixture — a
+// code that never fires is either dead documentation or a rule whose
+// fixture lost its teeth.
+func TestAllCodesFire(t *testing.T) {
+	for _, a := range All() {
+		if len(a.Codes) == 0 {
+			t.Errorf("%s declares no diagnostic codes", a.Name)
+			continue
+		}
+		dir := filepath.Join("testdata", "src", a.Name)
+		pkg, err := loadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if pkg == nil {
+			t.Fatalf("%s: no fixture at %s", a.Name, dir)
+		}
+		diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		seen := map[string]bool{}
+		for _, d := range diags {
+			if d.Analyzer != a.Name {
+				t.Errorf("%s: diagnostic attributed to %s", a.Name, d.Analyzer)
+			}
+			if !seen[d.Code] && d.Code == "" {
+				t.Errorf("%s: code-less diagnostic: %s", a.Name, d.Message)
+			}
+			seen[d.Code] = true
+		}
+		for _, code := range a.Codes {
+			if !seen[code] {
+				t.Errorf("%s: code %s never fires in %s", a.Name, code, dir)
+			}
+		}
+	}
+}
 
 // repoRoot walks up from the test's working directory to go.mod.
 func repoRoot(t *testing.T) string {

@@ -1,0 +1,181 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicCheck enforces all-or-nothing atomicity: a struct field that
+// is accessed through sync/atomic anywhere in the package must be
+// accessed atomically everywhere in the package. A single plain read
+// racing atomic stores is still a data race (and on 32-bit targets a
+// torn one), and it is exactly the kind -race only catches when the
+// interleaving happens to occur in a test. AT001 is a plain read of
+// such a field, AT002 a plain write.
+//
+// Scope: fields are tracked per pass (per package). That is complete
+// for unexported fields — they cannot be touched from outside their
+// package — and covers the repo's actual atomics (rel.Relation.gen,
+// display.Extended.metaGen). Composite-literal initialization is
+// exempt: building a value before publication is the documented safe
+// pattern. Fields of typed atomic wrappers (atomic.Int64,
+// atomic.Pointer) need no pass — the type system already forbids
+// plain access.
+var AtomicCheck = &Analyzer{
+	Name:       "atomiccheck",
+	Doc:        "fields accessed via sync/atomic must be accessed atomically everywhere",
+	Run:        runAtomicCheck,
+	NeedsTypes: true,
+	Codes:      []string{"AT001", "AT002"},
+}
+
+func runAtomicCheck(pass *Pass) error {
+	if pass.Types == nil || pass.Types.Info == nil {
+		return nil
+	}
+	info := pass.Types.Info
+
+	// Pass 1: every field whose address is passed to a sync/atomic
+	// function anywhere in the package. The map also remembers the
+	// &x.f argument expressions so pass 2 can whitelist them.
+	atomicFields := map[types.Object]string{} // field -> one sample op name
+	atomicArgs := map[ast.Expr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldObject(info, sel); fld != nil {
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = atomicCallName(call)
+					}
+					atomicArgs[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector touching one of those fields is a
+	// plain access.
+	for _, f := range pass.Files {
+		var visit func(n ast.Node, writeTargets map[ast.Expr]bool) bool
+		writeSet := map[ast.Expr]bool{}
+		visit = func(n ast.Node, writeTargets map[ast.Expr]bool) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					writeTargets[unparen(lhs)] = true
+				}
+			case *ast.IncDecStmt:
+				writeTargets[unparen(n.X)] = true
+			case *ast.CompositeLit:
+				// Keyed struct literals initialize before publication.
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						ast.Inspect(kv.Value, func(m ast.Node) bool { return visit(m, writeTargets) })
+					} else {
+						ast.Inspect(el, func(m ast.Node) bool { return visit(m, writeTargets) })
+					}
+				}
+				return false
+			case *ast.SelectorExpr:
+				if atomicArgs[n] {
+					return false
+				}
+				fld := fieldObject(info, n)
+				if fld == nil {
+					return true
+				}
+				op, tracked := atomicFields[fld]
+				if !tracked {
+					return true
+				}
+				if writeTargets[n] {
+					pass.Report(n.Pos(), "AT002",
+						"plain write of %s.%s, which is accessed with %s elsewhere; use sync/atomic for every access",
+						namedTypeName(info.TypeOf(n.X)), n.Sel.Name, op)
+				} else {
+					pass.Report(n.Pos(), "AT001",
+						"plain read of %s.%s, which is accessed with %s elsewhere; use sync/atomic for every access",
+						namedTypeName(info.TypeOf(n.X)), n.Sel.Name, op)
+				}
+				return true
+			}
+			return true
+		}
+		ast.Inspect(f, func(n ast.Node) bool { return visit(n, writeSet) })
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call is atomic.X(...) for the real
+// sync/atomic package (not a local package that happens to be named
+// atomic).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+func atomicCallName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return "atomic." + sel.Sel.Name
+	}
+	return "sync/atomic"
+}
+
+// fieldObject resolves a selector to a struct field object, or nil
+// when the selection is a method or package member. Embedded typed
+// atomics (whose methods are the access) come back as methods and are
+// correctly ignored.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	// Fields of typed atomic wrappers are out of scope; their owner
+	// package already guards them.
+	if owner := v.Pkg(); owner != nil && strings.HasPrefix(owner.Path(), "sync/atomic") {
+		return nil
+	}
+	return v
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

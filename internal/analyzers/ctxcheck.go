@@ -22,9 +22,10 @@ import (
 // websocket loops depend on exactly that), so minting a fresh
 // Background()/TODO() there severs the handler from its request.
 var CtxCheck = &Analyzer{
-	Name: "ctxcheck",
-	Doc:  "context.Context parameters must be used, not replaced with Background()",
-	Run:  runCtxCheck,
+	Name:  "ctxcheck",
+	Doc:   "context.Context parameters must be used, not replaced with Background()",
+	Run:   runCtxCheck,
+	Codes: []string{"CX001", "CX002", "CX003"},
 }
 
 func runCtxCheck(pass *Pass) error {
@@ -126,11 +127,11 @@ func checkCtxFunc(pass *Pass, name string, body *ast.BlockStmt) {
 	walk(body, false)
 
 	if !used {
-		pass.Reportf(body.Pos(),
+		pass.Report(body.Pos(), "CX001",
 			"context.Context parameter %s is never used; the caller's cancellation is dropped", name)
 	}
 	for _, n := range report {
-		pass.Reportf(n.Pos(),
+		pass.Report(n.Pos(), "CX002",
 			"context.Background/TODO inside a function that already receives %s; forward it instead", name)
 	}
 }
@@ -202,7 +203,7 @@ func checkReqFunc(pass *Pass, name string, body *ast.BlockStmt) {
 	walk(body, false)
 
 	for _, n := range report {
-		pass.Reportf(n.Pos(),
+		pass.Report(n.Pos(), "CX003",
 			"context.Background/TODO inside a handler that receives *http.Request %s; use %s.Context() instead", name, name)
 	}
 }

@@ -1,0 +1,184 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrType enforces typed errors across the public API surface: the
+// packages callers program against (the root tioga facade, db,
+// dataflow, server) promise structured errors — *db.Error,
+// *dataflow.Error, or a sentinel wrapped with %w — so callers can
+// errors.Is/As instead of string-matching. A bare fmt.Errorf (ET001)
+// or errors.New (ET002) returned from an exported function erases
+// that structure at the exact boundary where it matters.
+//
+// The pass flags direct `return fmt.Errorf(...)`/`return
+// errors.New(...)` in exported functions and exported methods of the
+// audited packages. fmt.Errorf carrying %w passes: wrapping a
+// sentinel or typed error is the documented pattern. Errors built
+// elsewhere and returned through a variable are out of scope — the
+// cheap dodge that leaves is naming the error before returning it,
+// which at least makes the bare construction greppable.
+var ErrType = &Analyzer{
+	Name:       "errtype",
+	Doc:        "exported API errors must be typed or sentinel-wrapped, not bare fmt.Errorf/errors.New",
+	Run:        runErrType,
+	NeedsTypes: true,
+	Codes:      []string{"ET001", "ET002"},
+}
+
+// errtypePackages names the audited API packages by package name —
+// the same name-based matching the other passes use, so fixtures can
+// declare `package db` and real code needs no import-path coupling.
+var errtypePackages = map[string]bool{
+	"tioga":    true,
+	"db":       true,
+	"dataflow": true,
+	"server":   true,
+}
+
+func runErrType(pass *Pass) error {
+	if pass.Types == nil || pass.Types.Info == nil {
+		return nil
+	}
+	info := pass.Types.Info
+	for _, f := range pass.Files {
+		if !errtypePackages[f.Name.Name] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !exportedAPI(fn) {
+				continue
+			}
+			errPositions := errorResultPositions(info, fn)
+			if len(errPositions) == 0 {
+				continue
+			}
+			checkReturns(pass, info, fn.Body, errPositions)
+		}
+	}
+	return nil
+}
+
+// exportedAPI reports whether fn is part of the package's exported
+// surface: an exported function, or an exported method on an exported
+// receiver type.
+func exportedAPI(fn *ast.FuncDecl) bool {
+	if !fn.Name.IsExported() {
+		return false
+	}
+	if fn.Recv == nil {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers ([T any]) index the type name.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+// errorResultPositions returns the result indices with static type
+// `error`.
+func errorResultPositions(info *types.Info, fn *ast.FuncDecl) map[int]bool {
+	out := map[int]bool{}
+	if fn.Type.Results == nil {
+		return out
+	}
+	i := 0
+	for _, field := range fn.Type.Results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		isErr := false
+		if t := info.TypeOf(field.Type); t != nil {
+			isErr = t.String() == "error"
+		}
+		for j := 0; j < n; j++ {
+			if isErr {
+				out[i] = true
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// checkReturns flags bare constructors in return statements of body,
+// skipping nested function literals (their own exportedness is nil).
+func checkReturns(pass *Pass, info *types.Info, body *ast.BlockStmt, errPositions map[int]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for i, res := range n.Results {
+				if !errPositions[i] && len(n.Results) > 1 {
+					continue
+				}
+				checkErrExpr(pass, info, res)
+			}
+		}
+		return true
+	})
+}
+
+// checkErrExpr reports a returned expression that is a direct bare
+// error construction.
+func checkErrExpr(pass *Pass, info *types.Info, e ast.Expr) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch {
+	case pn.Imported().Path() == "fmt" && sel.Sel.Name == "Errorf":
+		if errorfWraps(call) {
+			return
+		}
+		pass.Report(call.Pos(), "ET001",
+			"exported API returns bare fmt.Errorf; wrap a sentinel with %%w or return a typed error")
+	case pn.Imported().Path() == "errors" && sel.Sel.Name == "New":
+		pass.Report(call.Pos(), "ET002",
+			"exported API returns bare errors.New; declare a sentinel or return a typed error")
+	}
+}
+
+// errorfWraps reports whether a fmt.Errorf call's format literal
+// contains a %w verb. Non-literal formats are treated as wrapping —
+// the pass cannot see them, and staying silent beats guessing.
+func errorfWraps(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return true
+	}
+	lit, ok := unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return true
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return true
+	}
+	return strings.Contains(s, "%w")
+}

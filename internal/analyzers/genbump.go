@@ -12,9 +12,10 @@ import (
 // relation's generation in the same body, or stale display lists and
 // spatial indexes survive the mutation.
 var GenBump = &Analyzer{
-	Name: "genbump",
-	Doc:  "mutating methods on rel.Relation must call bumpGen()",
-	Run:  runGenBump,
+	Name:  "genbump",
+	Doc:   "mutating methods on rel.Relation must call bumpGen(); JoinState maintained state only mutates through declared delta mutators",
+	Run:   runGenBump,
+	Codes: []string{"GB001", "GB002"},
 }
 
 // The receiver type and the fields whose mutation must be stamped.
@@ -28,6 +29,26 @@ var genbumpFields = map[string]bool{
 	"computed": true,
 }
 
+// The PR 8 incremental-join surface: JoinState's maintained state —
+// the hash tables, pair list, and materialized output that must stay
+// consistent with (lLen, rLen) — may only be written by the declared
+// delta mutators. Scratch buffers are reusable by design and exempt.
+const genbumpJoinType = "JoinState"
+
+var genbumpJoinFields = map[string]bool{
+	"table":     true,
+	"probeIdx":  true,
+	"pairs":     true,
+	"outTuples": true,
+	"lLen":      true,
+	"rLen":      true,
+}
+
+var genbumpJoinMutators = map[string]bool{
+	"Apply":          true, // incremental maintenance step
+	"BuildJoinState": true, // initial construction
+}
+
 func runGenBump(pass *Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -35,24 +56,118 @@ func runGenBump(pass *Pass) error {
 			if !ok || fn.Body == nil || fn.Name.Name == genbumpCall {
 				continue
 			}
-			recv := receiverIdent(fn, genbumpRecvType)
-			if recv == "" {
-				continue
-			}
-			field, pos := firstDataWrite(fn.Body, recv)
-			if field == "" {
-				continue
-			}
-			if callsMethod(fn.Body, recv, genbumpCall) {
-				continue
-			}
-			_ = pos
-			pass.Reportf(fn.Name.Pos(),
-				"method %s writes %s.%s but never calls %s.%s(); generation-stamped caches will serve stale data",
-				fn.Name.Name, recv, field, recv, genbumpCall)
+			checkRelationMethod(pass, fn)
+			checkJoinStateWrites(pass, fn)
 		}
 	}
 	return nil
+}
+
+// checkRelationMethod is the original GB001 rule: data writes on a
+// Relation receiver must stamp the generation in the same body.
+func checkRelationMethod(pass *Pass, fn *ast.FuncDecl) {
+	recv := receiverIdent(fn, genbumpRecvType)
+	if recv == "" {
+		return
+	}
+	field, pos := firstDataWrite(fn.Body, recv)
+	if field == "" {
+		return
+	}
+	if callsMethod(fn.Body, recv, genbumpCall) {
+		return
+	}
+	_ = pos
+	pass.Report(fn.Name.Pos(), "GB001",
+		"method %s writes %s.%s but never calls %s.%s(); generation-stamped caches will serve stale data",
+		fn.Name.Name, recv, field, recv, genbumpCall)
+}
+
+// checkJoinStateWrites is GB002: maintained-state fields of JoinState
+// are written only inside the declared delta mutators. Both method
+// receivers and locally-constructed JoinState values count as roots,
+// so the free constructor pattern (s := &JoinState{...}) is covered.
+func checkJoinStateWrites(pass *Pass, fn *ast.FuncDecl) {
+	if genbumpJoinMutators[fn.Name.Name] {
+		return
+	}
+	roots := map[string]bool{}
+	if recv := receiverIdent(fn, genbumpJoinType); recv != "" {
+		roots[recv] = true
+	}
+	// Track idents bound to JoinState composite literals.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && isJoinStateLit(rhs) {
+				roots[id.Name] = true
+			}
+		}
+		return true
+	})
+	if len(roots) == 0 {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var targets []ast.Expr
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			targets = st.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{st.X}
+		default:
+			return true
+		}
+		for _, t := range targets {
+			root, field := joinFieldTarget(t, roots)
+			if field != "" {
+				pass.Report(t.Pos(), "GB002",
+					"%s writes JoinState maintained state %s.%s outside the declared delta mutators (Apply, BuildJoinState); incremental join outputs will diverge",
+					fn.Name.Name, root, field)
+			}
+		}
+		return true
+	})
+}
+
+// isJoinStateLit matches JoinState{...} and &JoinState{...}.
+func isJoinStateLit(e ast.Expr) bool {
+	if un, ok := e.(*ast.UnaryExpr); ok {
+		e = un.X
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	id, ok := cl.Type.(*ast.Ident)
+	return ok && id.Name == genbumpJoinType
+}
+
+// joinFieldTarget unwraps an assignment target to root.field where
+// root is a tracked JoinState variable and field is maintained state.
+func joinFieldTarget(e ast.Expr, roots map[string]bool) (string, string) {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok || !genbumpJoinFields[sel.Sel.Name] {
+				return "", ""
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && roots[id.Name] {
+				return id.Name, sel.Sel.Name
+			}
+			return "", ""
+		}
+	}
 }
 
 // receiverIdent returns the receiver variable name when fn is a method

@@ -9,12 +9,15 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // A Package is one directory's worth of parsed Go files. Grouping is by
-// directory, not import path: the passes are syntactic, so external
-// test packages and build-tagged variants can share a Pass harmlessly.
+// directory, not import path: the syntactic passes don't care, and the
+// type layer re-partitions by declared package name before checking,
+// so external test packages and build-tagged variants still resolve.
 type Package struct {
 	Dir        string
 	ModuleRoot string
@@ -23,6 +26,18 @@ type Package struct {
 	// FileNames lists the absolute paths parsed into Files, in order —
 	// the cache key material for tioga-lint.
 	FileNames []string
+
+	typesOnce sync.Once
+	types     *TypeData
+}
+
+// Types returns the package's type-check result, computing it on first
+// use and caching it for every subsequent analyzer. Never nil; on
+// failure the result carries the errors and whatever partial info the
+// checker produced.
+func (p *Package) Types() *TypeData {
+	p.typesOnce.Do(func() { p.types = typeCheck(p) })
+	return p.types
 }
 
 // Load expands go-style package patterns into parsed packages. A
@@ -120,6 +135,68 @@ func loadDir(dir string) (*Package, error) {
 	}
 	pkg.ModuleRoot = moduleRoot(dir)
 	return pkg, nil
+}
+
+// LocalDeps returns the transitive module-local dependency directories
+// of the package, discovered by following import declarations
+// (parser.ImportsOnly — no type-checking). Since the type-aware passes
+// see through imports, a package's analysis result now depends on its
+// dependencies' source too; this list is the extra cache-key material
+// tioga-lint hashes so that editing internal/rel invalidates every
+// package whose types mention rel.Relation. Results are sorted;
+// unreadable directories are skipped (a missing dep degrades the type
+// info, which the analysis already tolerates).
+func (p *Package) LocalDeps() []string {
+	modPath := modulePathOf(p.ModuleRoot)
+	if modPath == "" {
+		return nil
+	}
+	queue := importPaths(p.Files)
+	seenImp := map[string]bool{}
+	seenDir := map[string]bool{}
+	var out []string
+	for len(queue) > 0 {
+		imp := queue[0]
+		queue = queue[1:]
+		if seenImp[imp] {
+			continue
+		}
+		seenImp[imp] = true
+		if imp != modPath && !strings.HasPrefix(imp, modPath+"/") {
+			continue
+		}
+		dir := filepath.Join(p.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(imp, modPath), "/")))
+		if seenDir[dir] {
+			continue
+		}
+		seenDir[dir] = true
+		out = append(out, dir)
+		fset := token.NewFileSet()
+		depPkgs, err := parser.ParseDir(fset, dir, nil, parser.ImportsOnly)
+		if err != nil {
+			continue
+		}
+		for _, dp := range depPkgs {
+			for _, f := range dp.Files {
+				queue = append(queue, importPaths([]*ast.File{f})...)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// importPaths collects the unquoted import paths of files.
+func importPaths(files []*ast.File) []string {
+	var out []string
+	for _, f := range files {
+		for _, is := range f.Imports {
+			if path, err := strconv.Unquote(is.Path.Value); err == nil {
+				out = append(out, path)
+			}
+		}
+	}
+	return out
 }
 
 // moduleRoot walks up from dir to the nearest directory containing

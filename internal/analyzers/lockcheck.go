@@ -1,0 +1,540 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheck enforces the repo lock hierarchy — the one table below is
+// normative (mirrored in DESIGN §15). Locks must be acquired in
+// strictly increasing level order; LK001 flags an acquisition at or
+// below a level already held (including re-acquiring the same lock,
+// which self-deadlocks a sync.Mutex). Two locks are "no-block": while
+// the evaluator or catalog mutex is held, nothing on that goroutine
+// may wait on another goroutine — LK002 flags channel sends (unless
+// inside a select with a default), WebSocket writes
+// (WriteMessage/WritePair on a WSConn), and Evaluator.Eval calls, in
+// the body itself or one level down through a same-package call.
+//
+// Matching is by (receiver type name, mutex field name), so fixture
+// packages can declare mini types and the db/server/dataflow packages
+// match without import-path coupling.
+var LockCheck = &Analyzer{
+	Name:       "lockcheck",
+	Doc:        "lock-hierarchy order and no-block regions (channel send, ws write, Eval)",
+	Run:        runLockCheck,
+	NeedsTypes: true,
+	Codes:      []string{"LK001", "LK002"},
+}
+
+// lockClass is one row of the hierarchy: acquire order is strictly
+// ascending level. noBlock regions must not wait on other goroutines.
+type lockClass struct {
+	level   int
+	noBlock bool
+}
+
+// lockHierarchy is the normative order (DESIGN §15). Lower levels are
+// outer: a goroutine holding Session.mu may take Database.mu, never
+// the reverse.
+var lockHierarchy = map[[2]string]lockClass{
+	{"Server", "mu"}:    {level: 5},
+	{"Session", "mu"}:   {level: 10},
+	{"Session", "cmu"}:  {level: 20},
+	{"Evaluator", "mu"}: {level: 30, noBlock: true},
+	{"Database", "mu"}:  {level: 40, noBlock: true},
+	{"WSConn", "wmu"}:   {level: 50},
+}
+
+// lockName renders a hierarchy key for messages.
+func lockName(k [2]string) string { return k[0] + "." + k[1] }
+
+// heldLock is one acquired lock during the walk.
+type heldLock struct {
+	key [2]string
+	pos token.Pos
+}
+
+// blockKind describes one blocking operation for LK002 messages.
+type blockKind struct {
+	what string
+	pos  token.Pos
+}
+
+// fnSummary is the one-level call summary for a same-package function:
+// which hierarchy locks its body acquires and which blocking ops it
+// performs directly.
+type fnSummary struct {
+	acquires []heldLock
+	blocks   []blockKind
+}
+
+type lockChecker struct {
+	pass      *Pass
+	info      *types.Info
+	summaries map[types.Object]*fnSummary
+	// reported de-duplicates findings per position (branch walks can
+	// visit a statement under several merged states).
+	reported map[token.Pos]bool
+}
+
+func runLockCheck(pass *Pass) error {
+	if pass.Types == nil || pass.Types.Info == nil {
+		return nil
+	}
+	lc := &lockChecker{
+		pass:      pass,
+		info:      pass.Types.Info,
+		summaries: map[types.Object]*fnSummary{},
+		reported:  map[token.Pos]bool{},
+	}
+	// Pass 1: summarize every function body for the one-level lookup.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj := lc.info.Defs[fn.Name]; obj != nil {
+				lc.summaries[obj] = summarize(lc.info, fn.Body)
+			}
+		}
+	}
+	// Pass 2: walk each body tracking held locks.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			st := &lockState{held: map[[2]string]token.Pos{}}
+			lc.walkBody(fn.Body, st)
+		}
+	}
+	return nil
+}
+
+// summarize records hierarchy-lock acquisitions and direct blocking
+// ops in one body, ignoring nested function literals (they run on
+// their own schedule) and select-with-default sends (non-blocking by
+// construction).
+func summarize(info *types.Info, body *ast.BlockStmt) *fnSummary {
+	s := &fnSummary{}
+	nonBlockingSends := selectDefaultSends(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			if !nonBlockingSends[n] {
+				s.blocks = append(s.blocks, blockKind{"channel send", n.Arrow})
+			}
+		case *ast.CallExpr:
+			if key, kind, ok := lockOp(info, n); ok && kind == "Lock" {
+				s.acquires = append(s.acquires, heldLock{key, n.Pos()})
+			}
+			if what, ok := blockingCall(info, n); ok {
+				s.blocks = append(s.blocks, blockKind{what, n.Pos()})
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// selectDefaultSends collects SendStmts that are comm clauses of a
+// select containing a default clause — those never block.
+func selectDefaultSends(body *ast.BlockStmt) map[*ast.SendStmt]bool {
+	out := map[*ast.SendStmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok {
+				out[send] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockOp recognizes x.<field>.Lock/RLock/Unlock/RUnlock where
+// (typeof(x), field) is a hierarchy row. kind is "Lock" or "Unlock"
+// (reader forms normalized).
+func lockOp(info *types.Info, call *ast.CallExpr) (key [2]string, kind string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return key, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = "Lock"
+	case "Unlock", "RUnlock":
+		kind = "Unlock"
+	default:
+		return key, "", false
+	}
+	field, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		return key, "", false
+	}
+	owner := namedTypeName(info.TypeOf(field.X))
+	if owner == "" {
+		return key, "", false
+	}
+	key = [2]string{owner, field.Sel.Name}
+	if _, inTable := lockHierarchy[key]; !inTable {
+		return key, "", false
+	}
+	return key, kind, true
+}
+
+// blockingCall recognizes the non-send blocking operations: WebSocket
+// writes and evaluator entry.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	recv := namedTypeName(info.TypeOf(sel.X))
+	switch sel.Sel.Name {
+	case "WriteMessage", "WritePair":
+		if recv == "WSConn" {
+			return "WSConn." + sel.Sel.Name, true
+		}
+	case "Eval":
+		if recv == "Evaluator" {
+			return "Evaluator.Eval", true
+		}
+	}
+	return "", false
+}
+
+// lockState is the walker's per-path state.
+type lockState struct {
+	held       map[[2]string]token.Pos
+	terminated bool
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{held: make(map[[2]string]token.Pos, len(s.held))}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	return c
+}
+
+// merge unions another (non-terminated) branch's held set into s —
+// conservative: a lock held on either path is treated as held after.
+func (s *lockState) merge(o *lockState) {
+	for k, v := range o.held {
+		if _, ok := s.held[k]; !ok {
+			s.held[k] = v
+		}
+	}
+}
+
+func (s *lockState) maxLevel() (int, [2]string, bool) {
+	best, found := -1, false
+	var bestKey [2]string
+	for k := range s.held {
+		if lv := lockHierarchy[k].level; lv > best {
+			best, bestKey, found = lv, k, true
+		}
+	}
+	return best, bestKey, found
+}
+
+func (s *lockState) noBlockHeld() ([2]string, bool) {
+	for k := range s.held {
+		if lockHierarchy[k].noBlock {
+			return k, true
+		}
+	}
+	return [2]string{}, false
+}
+
+// walkBody drives the structural walk over a function body with a
+// fresh select-send exemption map.
+func (lc *lockChecker) walkBody(body *ast.BlockStmt, st *lockState) {
+	lc.walkStmts(body.List, st, selectDefaultSends(body))
+}
+
+func (lc *lockChecker) walkStmts(list []ast.Stmt, st *lockState, exempt map[*ast.SendStmt]bool) {
+	for _, s := range list {
+		if st.terminated {
+			return
+		}
+		lc.walkStmt(s, st, exempt)
+	}
+}
+
+func (lc *lockChecker) walkStmt(s ast.Stmt, st *lockState, exempt map[*ast.SendStmt]bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		lc.walkStmts(s.List, st, exempt)
+	case *ast.ReturnStmt:
+		lc.scanExprs(st, exempt, s.Results...)
+		st.terminated = true
+	case *ast.BranchStmt:
+		// break/continue/goto end the straight-line view of this path.
+		st.terminated = true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, st, exempt)
+		}
+		lc.scanExprs(st, exempt, s.Cond)
+		then := st.clone()
+		lc.walkStmt(s.Body, then, exempt)
+		var els *lockState
+		if s.Else != nil {
+			els = st.clone()
+			lc.walkStmt(s.Else, els, exempt)
+		}
+		// Continue with the union of the branches that fall through;
+		// if both terminate, so does this statement.
+		switch {
+		case els == nil:
+			if !then.terminated {
+				st.merge(then)
+			}
+		case then.terminated && els.terminated:
+			st.terminated = true
+		case then.terminated:
+			st.held = els.held
+		case els.terminated:
+			st.held = then.held
+		default:
+			st.held = then.held
+			st.merge(els)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, st, exempt)
+		}
+		lc.scanExprs(st, exempt, s.Cond)
+		body := st.clone()
+		lc.walkStmt(s.Body, body, exempt)
+		if s.Post != nil && !body.terminated {
+			lc.walkStmt(s.Post, body, exempt)
+		}
+		if !body.terminated {
+			st.merge(body)
+		}
+	case *ast.RangeStmt:
+		lc.scanExprs(st, exempt, s.X)
+		body := st.clone()
+		lc.walkStmt(s.Body, body, exempt)
+		if !body.terminated {
+			st.merge(body)
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		lc.walkCases(s, st, exempt)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to function end, which
+		// is exactly what leaving it in the held set models; a deferred
+		// anything-else runs after the body, outside this walk.
+		if _, kind, ok := lockOp(lc.info, s.Call); ok && kind == "Lock" {
+			// Pathological (deferred Lock) — treat as an acquisition.
+			lc.acquire(st, s.Call)
+		}
+		lc.scanExprs(st, exempt, s.Call.Args...)
+	case *ast.GoStmt:
+		// The goroutine runs with its own empty lock set.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lc.walkBody(lit.Body, &lockState{held: map[[2]string]token.Pos{}})
+		}
+		lc.scanExprs(st, exempt, s.Call.Args...)
+	case *ast.SendStmt:
+		if !exempt[s] {
+			lc.reportBlock(st, blockKind{"channel send", s.Arrow})
+		}
+		lc.scanExprs(st, exempt, s.Chan, s.Value)
+	case *ast.ExprStmt:
+		lc.scanExprs(st, exempt, s.X)
+	case *ast.AssignStmt:
+		lc.scanExprs(st, exempt, s.Rhs...)
+		lc.scanExprs(st, exempt, s.Lhs...)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					lc.scanExprs(st, exempt, vs.Values...)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		lc.scanExprs(st, exempt, s.X)
+	case *ast.LabeledStmt:
+		lc.walkStmt(s.Stmt, st, exempt)
+	}
+}
+
+// walkCases handles switch/type-switch/select uniformly: each clause
+// walks on a clone, fall-through states union.
+func (lc *lockChecker) walkCases(s ast.Stmt, st *lockState, exempt map[*ast.SendStmt]bool) {
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, st, exempt)
+		}
+		lc.scanExprs(st, exempt, s.Tag)
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, st, exempt)
+		}
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	var fallthroughs []*lockState
+	for _, c := range clauses {
+		cs := st.clone()
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			lc.scanExprs(cs, exempt, c.List...)
+			lc.walkStmts(c.Body, cs, exempt)
+		case *ast.CommClause:
+			if c.Comm != nil {
+				lc.walkStmt(c.Comm, cs, exempt)
+			}
+			lc.walkStmts(c.Body, cs, exempt)
+		}
+		if !cs.terminated {
+			fallthroughs = append(fallthroughs, cs)
+		}
+	}
+	if len(clauses) > 0 && len(fallthroughs) == 0 {
+		st.terminated = true
+		return
+	}
+	for _, fs := range fallthroughs {
+		st.merge(fs)
+	}
+}
+
+// scanExprs visits calls inside leaf-statement expressions in source
+// order, skipping nested function literals (walked separately where
+// they run).
+func (lc *lockChecker) scanExprs(st *lockState, exempt map[*ast.SendStmt]bool, exprs ...ast.Expr) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// An inline literal might be called immediately or
+				// stored; walking it with an empty set covers its own
+				// internal ordering without false LK002s from the
+				// enclosing state.
+				lc.walkBody(n.Body, &lockState{held: map[[2]string]token.Pos{}})
+				return false
+			case *ast.CallExpr:
+				lc.handleCall(st, n)
+			}
+			return true
+		})
+	}
+}
+
+// handleCall applies one call's effect to the state: lock/unlock
+// transitions, direct blocking ops, and one level of same-package
+// summary lookup.
+func (lc *lockChecker) handleCall(st *lockState, call *ast.CallExpr) {
+	if key, kind, ok := lockOp(lc.info, call); ok {
+		if kind == "Lock" {
+			lc.acquire(st, call)
+		} else {
+			delete(st.held, key)
+		}
+		return
+	}
+	if what, ok := blockingCall(lc.info, call); ok {
+		lc.reportBlock(st, blockKind{what, call.Pos()})
+		return
+	}
+	// One level down: same-package callee summaries.
+	if sum := lc.summaryFor(call); sum != nil && len(st.held) > 0 {
+		_, maxKey, _ := st.maxLevel()
+		for _, acq := range sum.acquires {
+			cls := lockHierarchy[acq.key]
+			if max, _, held := st.maxLevel(); held && cls.level <= max {
+				lc.report(call.Pos(), "LK001",
+					"call acquires %s (level %d) while %s (level %d) is held: out of hierarchy order",
+					lockName(acq.key), cls.level, lockName(maxKey), max)
+			}
+		}
+		if nb, held := st.noBlockHeld(); held {
+			for _, b := range sum.blocks {
+				lc.report(call.Pos(), "LK002",
+					"call performs %s while no-block lock %s is held",
+					b.what, lockName(nb))
+			}
+		}
+	}
+}
+
+// summaryFor resolves a call to a same-package function summary.
+func (lc *lockChecker) summaryFor(call *ast.CallExpr) *fnSummary {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := lc.info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return lc.summaries[obj]
+}
+
+func (lc *lockChecker) acquire(st *lockState, call *ast.CallExpr) {
+	key, _, _ := lockOp(lc.info, call)
+	cls := lockHierarchy[key]
+	if max, maxKey, held := st.maxLevel(); held && cls.level <= max {
+		lc.report(call.Pos(), "LK001",
+			"acquiring %s (level %d) while %s (level %d) is held: lock order is strictly ascending",
+			lockName(key), cls.level, lockName(maxKey), max)
+	}
+	st.held[key] = call.Pos()
+}
+
+func (lc *lockChecker) reportBlock(st *lockState, b blockKind) {
+	if nb, held := st.noBlockHeld(); held {
+		lc.report(b.pos, "LK002",
+			"%s while no-block lock %s is held; this can stall every reader of that lock",
+			b.what, lockName(nb))
+	}
+}
+
+func (lc *lockChecker) report(pos token.Pos, code, format string, args ...interface{}) {
+	if lc.reported[pos] {
+		return
+	}
+	lc.reported[pos] = true
+	lc.pass.Report(pos, code, format, args...)
+}

@@ -21,9 +21,10 @@ import (
 // Test files are exempt: tests exercise the registry machinery itself
 // with throwaway names.
 var ObsNames = &Analyzer{
-	Name: "obsnames",
-	Doc:  "obs metric/span names must be constants from internal/obs/names.go",
-	Run:  runObsNames,
+	Name:  "obsnames",
+	Doc:   "obs metric/span names must be constants from internal/obs/names.go",
+	Run:   runObsNames,
+	Codes: []string{"OB001", "OB002"},
 }
 
 // obsNameArg maps each name-taking obs entry point to the index of its
@@ -113,14 +114,14 @@ func checkObsCalls(pass *Pass, f *ast.File, local string, names map[string]bool)
 		switch arg := call.Args[idx].(type) {
 		case *ast.BasicLit:
 			if arg.Kind == token.STRING {
-				pass.Reportf(arg.Pos(),
+				pass.Report(arg.Pos(), "OB001",
 					"obs.%s called with string literal %s; use a constant from %s",
 					sel.Sel.Name, arg.Value, obsNamesRel)
 			}
 		case *ast.SelectorExpr:
 			if id, ok := arg.X.(*ast.Ident); ok && id.Name == local {
 				if !names[arg.Sel.Name] {
-					pass.Reportf(arg.Pos(),
+					pass.Report(arg.Pos(), "OB002",
 						"obs.%s is not declared in %s", arg.Sel.Name, obsNamesRel)
 				}
 			}

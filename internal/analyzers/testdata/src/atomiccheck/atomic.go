@@ -1,0 +1,47 @@
+// Package atomiccheck is the atomiccheck fixture: a counter struct
+// whose gen field is accessed through sync/atomic in some places and
+// (deliberately) plainly in others.
+package atomiccheck
+
+import "sync/atomic"
+
+type Counter struct {
+	gen   int64
+	plain int64
+}
+
+// Atomic accesses register the field.
+
+func (c *Counter) Bump() int64 { return atomic.AddInt64(&c.gen, 1) }
+
+func (c *Counter) Gen() int64 { return atomic.LoadInt64(&c.gen) }
+
+func (c *Counter) Reset() { atomic.StoreInt64(&c.gen, 0) }
+
+// --- violations ---
+
+func (c *Counter) BrokenRead() int64 {
+	return c.gen // want `plain read of Counter\.gen, which is accessed with atomic\.AddInt64 elsewhere`
+}
+
+func (c *Counter) BrokenWrite(v int64) {
+	c.gen = v // want `plain write of Counter\.gen, which is accessed with atomic\.AddInt64 elsewhere`
+}
+
+func (c *Counter) BrokenIncr() {
+	c.gen++ // want `plain write of Counter\.gen`
+}
+
+// --- legal patterns ---
+
+// plain is never touched atomically; ordinary access is fine.
+func (c *Counter) PlainField(v int64) int64 {
+	c.plain = v
+	return c.plain
+}
+
+// Composite-literal initialization builds the value before it is
+// published; no concurrent access is possible yet.
+func NewCounter(start int64) *Counter {
+	return &Counter{gen: start}
+}

@@ -1,0 +1,63 @@
+// The errtype fixture declares `package db` — one of the audited API
+// packages — so its exported functions fall under the typed-error
+// contract. Unexported helpers and non-audited shapes stay clean.
+package db
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is the sentinel exported APIs are expected to wrap.
+var ErrNotFound = errors.New("db: not found")
+
+type Store struct{}
+
+type internalStore struct{}
+
+// --- violations ---
+
+func Open(name string) error {
+	if name == "" {
+		return fmt.Errorf("db: open %q failed", name) // want `exported API returns bare fmt\.Errorf`
+	}
+	return nil
+}
+
+func (s *Store) Close() error {
+	return errors.New("db: already closed") // want `exported API returns bare errors\.New`
+}
+
+func (s *Store) Get(key string) (int, error) {
+	return 0, fmt.Errorf("db: no key %q", key) // want `exported API returns bare fmt\.Errorf`
+}
+
+// --- legal patterns ---
+
+// Wrapping a sentinel with %w preserves errors.Is.
+func Lookup(name string) error {
+	return fmt.Errorf("db: lookup %q: %w", name, ErrNotFound)
+}
+
+// Unexported functions are not API surface.
+func open(name string) error {
+	return fmt.Errorf("db: open %q failed", name)
+}
+
+// Exported method on an unexported type is not reachable API.
+func (s *internalStore) Flush() error {
+	return errors.New("db: flush failed")
+}
+
+// Function literals inside exported functions are not themselves API.
+func Walk(fn func() error) error {
+	f := func() error { return fmt.Errorf("db: walk step failed") }
+	_ = f
+	return fn()
+}
+
+// Non-error results alongside an error: only the error position is
+// audited.
+func Describe() (string, error) {
+	return fmt.Sprintf("store"), nil
+}

@@ -1,0 +1,101 @@
+// Package freezecheck is the freezecheck fixture: mini copies of the
+// CoW types (Relation, Snap, Database, Event) exercising frozen-value
+// flow. Matching is name-based, so these shapes stand in for
+// internal/rel and internal/db.
+package freezecheck
+
+type Value int
+
+type Relation struct {
+	tuples [][]Value
+	gen    int64
+}
+
+func (r *Relation) Append(t []Value) error  { r.tuples = append(r.tuples, t); r.bumpGen(); return nil }
+func (r *Relation) Update(row int, v Value) { r.tuples[row][0] = v; r.bumpGen() }
+func (r *Relation) bumpGen()                { r.gen++ }
+func (r *Relation) Tuple(i int) []Value     { return r.tuples[i] }
+func (r *Relation) CowClone() *Relation {
+	nt := &Relation{tuples: append([][]Value(nil), r.tuples...)}
+	return nt
+}
+
+type Snap struct {
+	tables map[string]*Relation
+}
+
+func (s *Snap) Table(name string) (*Relation, error) { return s.tables[name], nil }
+
+type Database struct {
+	tables map[string]*Relation
+}
+
+func (d *Database) Table(name string) (*Relation, error) { return d.tables[name], nil }
+
+type TupleDelta struct {
+	Ops []DeltaOp
+}
+
+type DeltaOp struct {
+	Row   int
+	Tuple []Value
+}
+
+type Event struct {
+	Table string
+	Delta *TupleDelta
+}
+
+// --- violations ---
+
+func mutateSnapshotRead(s *Snap) {
+	t, _ := s.Table("x")
+	_ = t.Append([]Value{1}) // want `t\.Append\(\) mutates a frozen relation`
+}
+
+func mutateCatalogRead(d *Database) {
+	t := d.tables["x"]
+	t.Update(0, 2) // want `t\.Update\(\) mutates a frozen relation`
+}
+
+func mutateDirectly(s *Snap) {
+	r, _ := s.Table("x")
+	r.tuples[0][0] = 9 // want `write through frozen value r\.tuples`
+}
+
+func mutateTupleView(r2 *Relation, s *Snap) {
+	frozen, _ := s.Table("y")
+	frozen.Tuple(0)[0] = 1 // want `write through frozen value`
+}
+
+func mutateDelta(ev Event) {
+	d := ev.Delta
+	d.Ops[0].Tuple[0] = 3 // want `write through frozen value d\.Ops`
+}
+
+func mutateDeltaPath(ev Event) {
+	ev.Delta.Ops[0].Tuple[0] = 3 // want `write through frozen value`
+}
+
+// --- legal patterns ---
+
+func cowCloneThenMutate(s *Snap) *Relation {
+	t, _ := s.Table("x")
+	nt := t.CowClone()
+	_ = nt.Append([]Value{1}) // clean: CowClone unfroze it
+	return nt
+}
+
+func catalogSwap(d *Database, nt *Relation) {
+	d.tables["x"] = nt // clean: swapping the catalog pointer IS the commit
+}
+
+func rebindFrozenVar(s *Snap) {
+	t, _ := s.Table("x")
+	t = &Relation{} // clean: rebinding the variable, not writing through it
+	_ = t.Append(nil)
+}
+
+func paramIsNotFrozen(t *Relation) {
+	_ = t.Append([]Value{1}) // clean: parameters are never frozen sources
+}

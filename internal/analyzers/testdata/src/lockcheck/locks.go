@@ -1,0 +1,132 @@
+// Package lockcheck is the lockcheck fixture: mini copies of the lock
+// owners (Server, Session, Evaluator, Database, WSConn) exercising
+// hierarchy order and no-block regions. Matching is by (type name,
+// field name), so these shapes stand in for the real packages.
+package lockcheck
+
+import "sync"
+
+type Server struct{ mu sync.Mutex }
+
+type Session struct {
+	mu  sync.RWMutex
+	cmu sync.Mutex
+}
+
+type Evaluator struct{ mu sync.Mutex }
+
+func (e *Evaluator) Eval(x int) int { return x }
+
+type Database struct{ mu sync.RWMutex }
+
+type WSConn struct{ wmu sync.Mutex }
+
+func (w *WSConn) WriteMessage(b []byte) error { return nil }
+func (w *WSConn) WritePair(a, b []byte) error { return nil }
+
+// --- violations ---
+
+func inversion(d *Database, s *Session) {
+	d.mu.Lock()
+	s.mu.Lock() // want `acquiring Session\.mu \(level 10\) while Database\.mu \(level 40\) is held`
+	s.mu.Unlock()
+	d.mu.Unlock()
+}
+
+func selfDeadlock(e *Evaluator) {
+	e.mu.Lock()
+	e.mu.Lock() // want `acquiring Evaluator\.mu \(level 30\) while Evaluator\.mu \(level 30\) is held`
+	e.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func sendUnderCatalogLock(d *Database, ch chan int) {
+	d.mu.Lock()
+	ch <- 1 // want `channel send while no-block lock Database\.mu is held`
+	d.mu.Unlock()
+}
+
+func wsWriteUnderEvalLock(e *Evaluator, ws *WSConn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_ = ws.WriteMessage(nil) // want `WSConn\.WriteMessage while no-block lock Evaluator\.mu is held`
+}
+
+func evalUnderCatalogLock(d *Database, e *Evaluator) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_ = e.Eval(1) // want `Evaluator\.Eval while no-block lock Database\.mu is held`
+}
+
+// helperLocksSession is summarized: it acquires Session.mu.
+func helperLocksSession(s *Session) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func inversionThroughCall(d *Database, s *Session) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	helperLocksSession(s) // want `call acquires Session\.mu \(level 10\) while Database\.mu \(level 40\) is held`
+}
+
+// helperSends is summarized: it performs a bare channel send.
+func helperSends(ch chan int) {
+	ch <- 2
+}
+
+func blockThroughCall(e *Evaluator, ch chan int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	helperSends(ch) // want `call performs channel send while no-block lock Evaluator\.mu is held`
+}
+
+// --- legal patterns ---
+
+func ascendingOrder(srv *Server, s *Session, e *Evaluator, d *Database) {
+	srv.mu.Lock()
+	s.mu.Lock()
+	s.cmu.Lock()
+	e.mu.Lock()
+	d.mu.RLock()
+	d.mu.RUnlock()
+	e.mu.Unlock()
+	s.cmu.Unlock()
+	s.mu.Unlock()
+	srv.mu.Unlock()
+}
+
+func earlyReturnReleases(d *Database, s *Session, ok bool) {
+	d.mu.Lock()
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Unlock()
+	s.mu.Lock() // clean: the branch above released before returning
+	s.mu.Unlock()
+}
+
+func selectDefaultSend(d *Database, ch chan int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	select {
+	case ch <- 1: // clean: a default clause makes this non-blocking
+	default:
+	}
+}
+
+func unlockThenSend(d *Database, ch chan int) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	ch <- 3 // clean: lock released before the send
+}
+
+func goroutineHasOwnLockSet(d *Database, s *Session) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	go func() {
+		s.mu.Lock() // clean: runs on its own goroutine, no locks held there
+		s.mu.Unlock()
+	}()
+}

@@ -1,0 +1,313 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Type loading: the layer that upgrades the suite from syntactic to
+// type-aware while keeping the zero-dependency rule. The stdlib ships
+// everything needed — go/types for checking, go/build for file
+// selection, go/parser for sources — except an importer that works in
+// module mode offline; typeLoader is that importer. It resolves the
+// repo's own import paths ("repro/...") to directories under the
+// module root and everything else to GOROOT source (including the
+// GOROOT vendor tree), type-checks each dependency once with
+// IgnoreFuncBodies (API shape is all an importer needs), and caches
+// the result per loader. cgo is disabled in the file-selection
+// context so packages like net fall back to their pure-Go variants —
+// the analyzers never need the cgo half, and type-checking generated
+// cgo sources would drag in the whole preprocessor.
+//
+// Degradation is deliberate and graceful: any failure — unresolvable
+// import, build-tag collisions, an import cycle wired through
+// testdata — is recorded on TypeData.Errs and leaves Info partially
+// filled. Type-aware passes skip what they cannot resolve; syntactic
+// passes never notice. TestRepoTypesLoad pins the real repo to zero
+// type errors so silent degradation cannot hollow out the suite.
+
+// TypeData is one package's view of the type checker: the merged
+// types.Info over every package-name group in the directory (a
+// directory may hold package foo, its foo _test files, and an
+// external foo_test package — each group is checked separately into
+// the same Info), and every error the load produced.
+type TypeData struct {
+	Info *types.Info
+	// Pkgs maps package name -> checked package for each group that
+	// produced one (possibly incomplete when Errs is non-empty).
+	Pkgs map[string]*types.Package
+	// Errs collects load and type-check errors. Non-empty Errs means
+	// Info may be partial; type-aware passes treat missing entries as
+	// "unknown" and stay silent about them.
+	Errs []error
+}
+
+// Complete reports whether the package type-checked without a single
+// error — the state TestRepoTypesLoad requires for the repo itself.
+func (td *TypeData) Complete() bool { return td != nil && len(td.Errs) == 0 }
+
+// typeLoader implements types.Importer for one module root.
+type typeLoader struct {
+	moduleRoot string
+	modulePath string
+	ctxt       build.Context
+	fset       *token.FileSet // private fset for imported sources
+
+	mu       sync.Mutex
+	cache    map[string]*loadResult
+	loading  map[string]bool // cycle detection
+	fallback types.Importer  // go/importer source fallback, lazily built
+}
+
+type loadResult struct {
+	pkg *types.Package
+	err error
+}
+
+var (
+	loadersMu sync.Mutex
+	loaders   = map[string]*typeLoader{}
+)
+
+// loaderFor returns the shared loader for a module root. Sharing is
+// what makes whole-repo runs affordable: the stdlib closure of
+// net/http is type-checked once, not once per package.
+func loaderFor(moduleRoot string) *typeLoader {
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	if l, ok := loaders[moduleRoot]; ok {
+		return l
+	}
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	l := &typeLoader{
+		moduleRoot: moduleRoot,
+		modulePath: modulePathOf(moduleRoot),
+		ctxt:       ctxt,
+		fset:       token.NewFileSet(),
+		cache:      map[string]*loadResult{},
+		loading:    map[string]bool{},
+	}
+	loaders[moduleRoot] = l
+	return l
+}
+
+var moduleLineRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// modulePathOf reads the module path from go.mod, or "" when there is
+// no module (fixture trees in temp dirs) — then only stdlib imports
+// resolve, which is exactly what self-contained fixtures need.
+func modulePathOf(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	m := moduleLineRe.FindSubmatch(data)
+	if m == nil {
+		return ""
+	}
+	return string(m[1])
+}
+
+// Import implements types.Importer.
+func (l *typeLoader) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.importLocked(path)
+}
+
+func (l *typeLoader) importLocked(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == "C" {
+		return nil, fmt.Errorf("analyzers: cgo pseudo-package %q not supported", path)
+	}
+	if r, ok := l.cache[path]; ok {
+		return r.pkg, r.err
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analyzers: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	pkg, err := l.load(path)
+	delete(l.loading, path)
+	l.cache[path] = &loadResult{pkg: pkg, err: err}
+	return pkg, err
+}
+
+// resolveDir maps an import path to a source directory: module-local
+// paths under the module root, everything else under GOROOT/src with
+// the GOROOT vendor tree as fallback.
+func (l *typeLoader) resolveDir(path string) (string, error) {
+	if l.modulePath != "" {
+		if path == l.modulePath {
+			return l.moduleRoot, nil
+		}
+		if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+			return filepath.Join(l.moduleRoot, filepath.FromSlash(rest)), nil
+		}
+	}
+	goroot := runtime.GOROOT()
+	for _, dir := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("analyzers: cannot resolve import %q", path)
+}
+
+// load parses and type-checks one imported package. Bodies are
+// skipped: an importer only needs declared API, and this keeps a
+// whole-repo run (which pulls in the net/http closure) in the low
+// seconds.
+func (l *typeLoader) load(path string) (*types.Package, error) {
+	dir, err := l.resolveDir(path)
+	if err != nil {
+		return l.sourceFallback(path, err)
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return l.sourceFallback(path, fmt.Errorf("analyzers: %q: %w", path, err))
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %q: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:         importerFunc(func(p string) (*types.Package, error) { return l.importLocked(p) }),
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+		Sizes:            types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil {
+		return pkg, fmt.Errorf("analyzers: checking %q: %w", path, err)
+	}
+	return pkg, nil
+}
+
+// sourceFallback delegates to the stdlib source importer
+// (go/importer, compiler "source") for import paths the module/GOROOT
+// resolution cannot place — GOPATH-style layouts, mainly. It exists
+// for completeness; in this repo resolveDir handles everything.
+func (l *typeLoader) sourceFallback(path string, cause error) (*types.Package, error) {
+	if l.fallback == nil {
+		l.fallback = importer.ForCompiler(l.fset, "source", nil)
+	}
+	pkg, err := l.fallback.Import(path)
+	if err != nil {
+		return nil, cause
+	}
+	return pkg, nil
+}
+
+// importerFunc adapts a closure to types.Importer, so the recursive
+// import path reuses the already-held loader lock.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// typeCheck runs the checker over one analysis package. Files are
+// grouped by declared package name — the primary package, its
+// in-package tests, and an external _test package are distinct units
+// — and every group is checked into ONE shared types.Info (AST nodes
+// are unique across groups, so the maps merge losslessly). Errors do
+// not abort: the checker's error handler collects them and keeps
+// going, leaving Info filled for everything that did resolve.
+func typeCheck(pkg *Package) *TypeData {
+	td := &TypeData{
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+		Pkgs: map[string]*types.Package{},
+	}
+	loader := loaderFor(pkg.ModuleRoot)
+
+	groups := map[string][]*ast.File{}
+	var names []string
+	for _, f := range pkg.Files {
+		name := f.Name.Name
+		if _, ok := groups[name]; !ok {
+			names = append(names, name)
+		}
+		groups[name] = append(groups[name], f)
+	}
+	// Primary packages before external test packages, so "pkg" is
+	// importable from disk by the time "pkg_test" resolves it.
+	sort.Slice(names, func(i, j int) bool {
+		ti, tj := strings.HasSuffix(names[i], "_test"), strings.HasSuffix(names[j], "_test")
+		if ti != tj {
+			return tj
+		}
+		return names[i] < names[j]
+	})
+
+	importPath := pkg.Dir
+	if loader.modulePath != "" {
+		if rel, err := filepath.Rel(pkg.ModuleRoot, absDir(pkg.Dir)); err == nil && !strings.HasPrefix(rel, "..") {
+			importPath = loader.modulePath
+			if rel != "." {
+				importPath += "/" + filepath.ToSlash(rel)
+			}
+		}
+	}
+
+	for _, name := range names {
+		path := importPath
+		if strings.HasSuffix(name, "_test") {
+			path += "_test"
+		}
+		conf := types.Config{
+			Importer:    loader,
+			FakeImportC: true,
+			Sizes:       types.SizesFor("gc", build.Default.GOARCH),
+			Error: func(err error) {
+				td.Errs = append(td.Errs, err)
+			},
+		}
+		tpkg, err := conf.Check(path, pkg.Fset, groups[name], td.Info)
+		if tpkg != nil {
+			td.Pkgs[name] = tpkg
+		}
+		// Check's returned error is the first collected one; the
+		// handler already recorded every individual failure, but a
+		// catastrophic importer error can surface only here.
+		if err != nil && len(td.Errs) == 0 {
+			td.Errs = append(td.Errs, err)
+		}
+	}
+	return td
+}
+
+func absDir(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	return abs
+}

@@ -1,0 +1,166 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoTypesLoad pins the repo itself to a clean type-check: every
+// package under the module root must load with zero type errors.
+// Graceful degradation exists for hostile inputs (fixtures, cycles,
+// tag collisions), but if the real repo ever degrades, the type-aware
+// passes silently lose coverage — this test turns that into a failure.
+func TestRepoTypesLoad(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := Load([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages: %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		td := pkg.Types()
+		if td == nil || td.Info == nil {
+			t.Fatalf("%s: no type data", pkg.Dir)
+		}
+		if !td.Complete() {
+			for i, e := range td.Errs {
+				if i >= 5 {
+					t.Errorf("%s: ... and %d more", pkg.Dir, len(td.Errs)-5)
+					break
+				}
+				t.Errorf("%s: type error: %v", pkg.Dir, e)
+			}
+		}
+		if len(td.Pkgs) == 0 {
+			t.Errorf("%s: no checked packages", pkg.Dir)
+		}
+	}
+}
+
+// TestTypesExternalTestPackage checks that a directory holding both a
+// primary package and an external _test package type-checks into one
+// shared Info with both groups resolved.
+func TestTypesExternalTestPackage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package a\n\nfunc Answer() int { return 42 }\n")
+	write("a_test.go", "package a\n\nimport \"testing\"\n\nfunc TestInternal(t *testing.T) { _ = Answer() }\n")
+	pkg, err := loadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := pkg.Types()
+	if !td.Complete() {
+		t.Fatalf("expected clean check, got %v", td.Errs)
+	}
+	if _, ok := td.Pkgs["a"]; !ok {
+		t.Fatalf("primary package missing: %v", td.Pkgs)
+	}
+}
+
+// TestTypesDegradesOnBadImport checks the core degradation contract:
+// an unresolvable import yields recorded errors and partial info, not
+// a crash, and the syntactic passes still run over the same package.
+func TestTypesDegradesOnBadImport(t *testing.T) {
+	dir := t.TempDir()
+	src := `package b
+
+import "no/such/package/anywhere"
+
+func F() { anywhere.G() }
+`
+	if err := os.WriteFile(filepath.Join(dir, "b.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := pkg.Types()
+	if td.Complete() {
+		t.Fatal("expected type errors for unresolvable import")
+	}
+	found := false
+	for _, e := range td.Errs {
+		if strings.Contains(e.Error(), "no/such/package") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errors do not mention the bad import: %v", td.Errs)
+	}
+	// Syntactic passes must keep working on the same package.
+	diags, err := Run([]*Package{pkg}, []*Analyzer{CtxCheck})
+	if err != nil {
+		t.Fatalf("syntactic pass failed after degraded type-check: %v", err)
+	}
+	_ = diags
+}
+
+// TestTypesDegradesOnTagCollision: two files declaring the same symbol
+// (the usual build-tag-variant layout, minus the tags) must degrade —
+// duplicate declaration errors — while still producing partial info.
+func TestTypesDegradesOnTagCollision(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("x_linux.go", "package x\n\nfunc Impl() int { return 1 }\n")
+	write("x_other.go", "package x\n\nfunc Impl() int { return 2 }\n")
+	pkg, err := loadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := pkg.Types()
+	if td.Complete() {
+		t.Fatal("expected duplicate-declaration errors")
+	}
+	if len(td.Pkgs) == 0 {
+		t.Fatal("expected partial package despite errors")
+	}
+}
+
+// TestTypesImportCycle: a module whose packages import each other in a
+// cycle must degrade with a cycle error rather than hang or crash.
+func TestTypesImportCycle(t *testing.T) {
+	root := t.TempDir()
+	mk := func(rel, src string) {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("go.mod", "module cyc\n\ngo 1.22\n")
+	mk("p/p.go", "package p\n\nimport \"cyc/q\"\n\nfunc P() { q.Q() }\n")
+	mk("q/q.go", "package q\n\nimport \"cyc/p\"\n\nfunc Q() { p.P() }\n")
+	pkgs, err := Load([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(pkgs))
+	}
+	sawCycleErr := false
+	for _, pkg := range pkgs {
+		td := pkg.Types()
+		if !td.Complete() {
+			sawCycleErr = true
+		}
+	}
+	if !sawCycleErr {
+		t.Fatal("import cycle type-checked cleanly; expected degradation")
+	}
+}

@@ -50,7 +50,7 @@ type EncapDef struct {
 // the hole's port signature; edges wholly inside a hole are discarded.
 func Encapsulate(g *Graph, name string, region []int, holes [][]int) (*EncapDef, error) {
 	if name == "" {
-		return nil, fmt.Errorf("dataflow: encapsulate: empty name")
+		return nil, fmt.Errorf("dataflow: encapsulate: empty name: %w", ErrBadRegion)
 	}
 	inRegion := make(map[int]bool)
 	for _, id := range region {
@@ -60,19 +60,19 @@ func Encapsulate(g *Graph, name string, region []int, holes [][]int) (*EncapDef,
 		inRegion[id] = true
 	}
 	if len(inRegion) == 0 {
-		return nil, fmt.Errorf("dataflow: encapsulate: empty region")
+		return nil, fmt.Errorf("dataflow: encapsulate: empty region: %w", ErrBadRegion)
 	}
 	holeOf := make(map[int]int) // boxID -> hole index
 	for hi, hboxes := range holes {
 		if len(hboxes) == 0 {
-			return nil, fmt.Errorf("dataflow: encapsulate: hole %d is empty", hi)
+			return nil, fmt.Errorf("dataflow: encapsulate: hole %d is empty: %w", hi, ErrBadRegion)
 		}
 		for _, id := range hboxes {
 			if !inRegion[id] {
-				return nil, fmt.Errorf("dataflow: encapsulate: hole box %d is outside the region", id)
+				return nil, fmt.Errorf("dataflow: encapsulate: hole box %d is outside the region: %w", id, ErrBadRegion)
 			}
 			if prev, dup := holeOf[id]; dup {
-				return nil, fmt.Errorf("dataflow: encapsulate: box %d is in holes %d and %d", id, prev, hi)
+				return nil, fmt.Errorf("dataflow: encapsulate: box %d is in holes %d and %d: %w", id, prev, hi, ErrBadRegion)
 			}
 			holeOf[id] = hi
 		}
@@ -206,7 +206,7 @@ type Instance struct {
 // where the region expects them).
 func Instantiate(g *Graph, def *EncapDef, fillers []Filler) (*Instance, error) {
 	if got, want := len(fillers), len(def.Holes); got != want {
-		return nil, fmt.Errorf("dataflow: %s has %d hole(s), got %d filler(s)", def.Name, want, got)
+		return nil, fmt.Errorf("dataflow: %s has %d hole(s), got %d filler(s): %w", def.Name, want, got, ErrBadRegion)
 	}
 
 	inst := &Instance{BoxIDs: make([]int, len(def.Boxes))}
@@ -247,20 +247,20 @@ func Instantiate(g *Graph, def *EncapDef, fillers []Filler) (*Instance, error) {
 			h := def.Holes[spec.Hole]
 			if len(b.In) < len(h.In) || len(b.Out) < len(h.Out) {
 				rollback()
-				return nil, fmt.Errorf("dataflow: filler %q for hole %d of %s has %d/%d ports, need at least %d/%d",
-					kind, spec.Hole, def.Name, len(b.In), len(b.Out), len(h.In), len(h.Out))
+				return nil, fmt.Errorf("dataflow: filler %q for hole %d of %s has %d/%d ports, need at least %d/%d: %w",
+					kind, spec.Hole, def.Name, len(b.In), len(b.Out), len(h.In), len(h.Out), ErrPortType)
 			}
 			for pi, want := range h.In {
 				if !Compatible(want, b.In[pi]) {
 					rollback()
-					return nil, fmt.Errorf("dataflow: filler %q input %d cannot accept %s", kind, pi, want)
+					return nil, fmt.Errorf("dataflow: filler %q input %d cannot accept %s: %w", kind, pi, want, ErrPortType)
 				}
 			}
 			for pi, want := range h.Out {
 				if !Compatible(b.Out[pi], want) {
 					rollback()
-					return nil, fmt.Errorf("dataflow: filler %q output %d (%s) incompatible with hole expectation %s",
-						kind, pi, b.Out[pi], want)
+					return nil, fmt.Errorf("dataflow: filler %q output %d (%s) incompatible with hole expectation %s: %w",
+						kind, pi, b.Out[pi], want, ErrPortType)
 				}
 			}
 			b.Label = spec.Label + ":" + kind

@@ -40,6 +40,19 @@ var (
 	// ErrBadParam is returned when a box's parameters fail its kind's
 	// port derivation.
 	ErrBadParam = errors.New("bad box parameters")
+	// ErrNoSuchBox is returned when an operation names a box id the
+	// graph does not contain.
+	ErrNoSuchBox = errors.New("no such box")
+	// ErrBoxConnected is returned when a structural edit (reshape,
+	// delete, splice) is refused because the box's existing connections
+	// are incompatible with it.
+	ErrBoxConnected = errors.New("box connections forbid this edit")
+	// ErrBadRegion is returned when an encapsulation region or hole
+	// specification is malformed.
+	ErrBadRegion = errors.New("bad encapsulation region")
+	// ErrBadRegistration is returned for invalid or duplicate box-kind
+	// registrations.
+	ErrBadRegistration = errors.New("bad kind registration")
 )
 
 // Error is the typed evaluation error: which box failed, on which port,

@@ -77,7 +77,7 @@ func (g *Graph) Boxes() []*Box {
 func (g *Graph) Box(id int) (*Box, error) {
 	b, ok := g.boxes[id]
 	if !ok {
-		return nil, fmt.Errorf("dataflow: no box %d", id)
+		return nil, fmt.Errorf("dataflow: no box %d: %w", id, ErrNoSuchBox)
 	}
 	return b, nil
 }
@@ -164,16 +164,16 @@ func (g *Graph) SetParams(id int, params Params) error {
 	}
 	if g.anyConnected(id) {
 		if len(in) != len(b.In) || len(out) != len(b.Out) {
-			return fmt.Errorf("dataflow: cannot reshape connected box %d (%s)", id, b.Kind)
+			return fmt.Errorf("dataflow: cannot reshape connected box %d (%s): %w", id, b.Kind, ErrBoxConnected)
 		}
 		for i := range in {
 			if !in[i].Equal(b.In[i]) {
-				return fmt.Errorf("dataflow: new params change input %d type of connected box %d", i, id)
+				return fmt.Errorf("dataflow: new params change input %d type of connected box %d: %w", i, id, ErrBoxConnected)
 			}
 		}
 		for i := range out {
 			if !out[i].Equal(b.Out[i]) {
-				return fmt.Errorf("dataflow: new params change output %d type of connected box %d", i, id)
+				return fmt.Errorf("dataflow: new params change output %d type of connected box %d: %w", i, id, ErrBoxConnected)
 			}
 		}
 	}
@@ -220,20 +220,20 @@ func (g *Graph) Connect(from, fromPort, to, toPort int) error {
 		return err
 	}
 	if fromPort < 0 || fromPort >= len(fb.Out) {
-		return fmt.Errorf("dataflow: box %d (%s) has no output %d", from, fb.Kind, fromPort)
+		return fmt.Errorf("dataflow: box %d (%s) has no output %d: %w", from, fb.Kind, fromPort, ErrNoSuchPort)
 	}
 	if toPort < 0 || toPort >= len(tb.In) {
-		return fmt.Errorf("dataflow: box %d (%s) has no input %d", to, tb.Kind, toPort)
+		return fmt.Errorf("dataflow: box %d (%s) has no input %d: %w", to, tb.Kind, toPort, ErrNoSuchPort)
 	}
 	if !Compatible(fb.Out[fromPort], tb.In[toPort]) {
-		return fmt.Errorf("dataflow: type error: cannot connect %s output of %s to %s input of %s",
-			fb.Out[fromPort], fb.Kind, tb.In[toPort], tb.Kind)
+		return fmt.Errorf("dataflow: type error: cannot connect %s output of %s to %s input of %s: %w",
+			fb.Out[fromPort], fb.Kind, tb.In[toPort], tb.Kind, ErrPortType)
 	}
 	if _, taken := g.edges[to][toPort]; taken {
-		return fmt.Errorf("dataflow: input %d of box %d (%s) is already connected", toPort, to, tb.Kind)
+		return fmt.Errorf("dataflow: input %d of box %d (%s) is already connected: %w", toPort, to, tb.Kind, ErrDuplicateInput)
 	}
 	if from == to || g.reaches(to, from) {
-		return fmt.Errorf("dataflow: connecting %d->%d would create a cycle", from, to)
+		return fmt.Errorf("dataflow: connecting %d->%d would create a cycle: %w", from, to, ErrCycle)
 	}
 	if g.edges[to] == nil {
 		g.edges[to] = make(map[int]Edge)
@@ -246,7 +246,7 @@ func (g *Graph) Connect(from, fromPort, to, toPort int) error {
 // Disconnect removes the edge feeding input (to, toPort).
 func (g *Graph) Disconnect(to, toPort int) error {
 	if _, ok := g.edges[to][toPort]; !ok {
-		return fmt.Errorf("dataflow: input %d of box %d is not connected", toPort, to)
+		return fmt.Errorf("dataflow: input %d of box %d is not connected: %w", toPort, to, ErrUnconnected)
 	}
 	delete(g.edges[to], toPort)
 	g.bump(to)
@@ -330,11 +330,11 @@ func (g *Graph) DeleteBox(id int) error {
 
 	// Rule 2: splice.
 	if len(b.In) != 1 || len(b.Out) != 1 || !b.In[0].Equal(b.Out[0]) {
-		return fmt.Errorf("dataflow: cannot delete box %d (%s): it has connected outputs and is not a single in/out pass-through of one type", id, b.Kind)
+		return fmt.Errorf("dataflow: cannot delete box %d (%s): it has connected outputs and is not a single in/out pass-through of one type: %w", id, b.Kind, ErrBoxConnected)
 	}
 	pred, ok := g.InputEdge(id, 0)
 	if !ok {
-		return fmt.Errorf("dataflow: cannot delete box %d (%s): connected outputs but no predecessor to splice", id, b.Kind)
+		return fmt.Errorf("dataflow: cannot delete box %d (%s): connected outputs but no predecessor to splice: %w", id, b.Kind, ErrBoxConnected)
 	}
 	for _, e := range outs {
 		delete(g.edges[e.To], e.ToPort)
@@ -366,17 +366,17 @@ func (g *Graph) ReplaceBox(id int, kind string, params Params) (*Box, error) {
 		return nil, fmt.Errorf("dataflow: %s: %w", kind, err)
 	}
 	if len(in) != len(old.In) || len(out) != len(old.Out) {
-		return nil, fmt.Errorf("dataflow: replace: %s has %d/%d ports, %s has %d/%d",
-			old.Kind, len(old.In), len(old.Out), kind, len(in), len(out))
+		return nil, fmt.Errorf("dataflow: replace: %s has %d/%d ports, %s has %d/%d: %w",
+			old.Kind, len(old.In), len(old.Out), kind, len(in), len(out), ErrPortType)
 	}
 	for i := range in {
 		if !in[i].Equal(old.In[i]) {
-			return nil, fmt.Errorf("dataflow: replace: input %d type mismatch (%s vs %s)", i, old.In[i], in[i])
+			return nil, fmt.Errorf("dataflow: replace: input %d type mismatch (%s vs %s): %w", i, old.In[i], in[i], ErrPortType)
 		}
 	}
 	for i := range out {
 		if !out[i].Equal(old.Out[i]) {
-			return nil, fmt.Errorf("dataflow: replace: output %d type mismatch (%s vs %s)", i, old.Out[i], out[i])
+			return nil, fmt.Errorf("dataflow: replace: output %d type mismatch (%s vs %s): %w", i, old.Out[i], out[i], ErrPortType)
 		}
 	}
 	old.Kind = kind
@@ -394,7 +394,7 @@ func (g *Graph) ReplaceBox(id int, kind string, params Params) (*Box, error) {
 func (g *Graph) InsertT(to, toPort int) (*Box, error) {
 	e, ok := g.InputEdge(to, toPort)
 	if !ok {
-		return nil, fmt.Errorf("dataflow: no edge into input %d of box %d", toPort, to)
+		return nil, fmt.Errorf("dataflow: no edge into input %d of box %d: %w", toPort, to, ErrUnconnected)
 	}
 	fb, err := g.Box(e.From)
 	if err != nil {

@@ -34,7 +34,7 @@ func (p Params) Str(key, def string) string {
 func (p Params) Need(key string) (string, error) {
 	v, ok := p[key]
 	if !ok || v == "" {
-		return "", fmt.Errorf("missing required parameter %q", key)
+		return "", fmt.Errorf("%w: missing required parameter %q", ErrBadParam, key)
 	}
 	return v, nil
 }
@@ -47,7 +47,7 @@ func (p Params) Float(key string, def float64) (float64, error) {
 	}
 	f, err := strconv.ParseFloat(v, 64)
 	if err != nil {
-		return 0, fmt.Errorf("parameter %q = %q is not a number", key, v)
+		return 0, fmt.Errorf("%w: parameter %q = %q is not a number", ErrBadParam, key, v)
 	}
 	return f, nil
 }
@@ -60,7 +60,7 @@ func (p Params) Int(key string, def int) (int, error) {
 	}
 	i, err := strconv.Atoi(v)
 	if err != nil {
-		return 0, fmt.Errorf("parameter %q = %q is not an integer", key, v)
+		return 0, fmt.Errorf("%w: parameter %q = %q is not an integer", ErrBadParam, key, v)
 	}
 	return i, nil
 }
@@ -73,7 +73,7 @@ func (p Params) Bool(key string, def bool) (bool, error) {
 	}
 	b, err := strconv.ParseBool(v)
 	if err != nil {
-		return false, fmt.Errorf("parameter %q = %q is not a bool", key, v)
+		return false, fmt.Errorf("%w: parameter %q = %q is not a bool", ErrBadParam, key, v)
 	}
 	return b, nil
 }
@@ -101,7 +101,7 @@ func (p Params) Floats(key string) ([]float64, error) {
 	for _, s := range p.List(key) {
 		f, err := strconv.ParseFloat(s, 64)
 		if err != nil {
-			return nil, fmt.Errorf("parameter %q: %q is not a number", key, s)
+			return nil, fmt.Errorf("%w: parameter %q: %q is not a number", ErrBadParam, key, s)
 		}
 		out = append(out, f)
 	}

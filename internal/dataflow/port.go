@@ -71,9 +71,9 @@ func ValueType(v Value) (PortType, error) {
 	case types.Value:
 		return ScalarType(v.Kind()), nil
 	case nil:
-		return PortType{}, fmt.Errorf("dataflow: nil value on edge")
+		return PortType{}, fmt.Errorf("dataflow: nil value on edge: %w", ErrNoData)
 	}
-	return PortType{}, fmt.Errorf("dataflow: unknown value type %T", v)
+	return PortType{}, fmt.Errorf("dataflow: unknown value type %T: %w", v, ErrPortType)
 }
 
 // PromoteValue coerces a displayable value upward to satisfy a port of
@@ -84,7 +84,7 @@ func PromoteValue(v Value, want PortType) (Value, error) {
 		return nil, err
 	}
 	if !Compatible(got, want) {
-		return nil, fmt.Errorf("dataflow: cannot promote %s value to %s port", got, want)
+		return nil, fmt.Errorf("dataflow: cannot promote %s value to %s port: %w", got, want, ErrPortType)
 	}
 	if want.Display == display.ScalarKind {
 		return v, nil

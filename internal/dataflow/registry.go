@@ -62,10 +62,10 @@ func NewRegistry() *Registry {
 // Register adds a kind, rejecting duplicates.
 func (r *Registry) Register(k *Kind) error {
 	if k.Name == "" || k.Ports == nil || k.Fire == nil {
-		return fmt.Errorf("dataflow: incomplete kind registration %q", k.Name)
+		return fmt.Errorf("dataflow: incomplete kind registration %q: %w", k.Name, ErrBadRegistration)
 	}
 	if _, dup := r.kinds[k.Name]; dup {
-		return fmt.Errorf("dataflow: kind %q already registered", k.Name)
+		return fmt.Errorf("dataflow: kind %q already registered: %w", k.Name, ErrBadRegistration)
 	}
 	r.kinds[k.Name] = k
 	return nil
@@ -82,7 +82,7 @@ func (r *Registry) MustRegister(k *Kind) {
 func (r *Registry) Kind(name string) (*Kind, error) {
 	k, ok := r.kinds[name]
 	if !ok {
-		return nil, fmt.Errorf("dataflow: unknown box kind %q", name)
+		return nil, fmt.Errorf("dataflow: unknown box kind %q: %w", name, ErrUnknownKind)
 	}
 	return k, nil
 }

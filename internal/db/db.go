@@ -227,6 +227,34 @@ func (d *Database) AppendTuple(table string, tuple []types.Value) error {
 	return nil
 }
 
+// AlterTable applies an arbitrary mutation to a base table through the
+// copy-on-write path: alter receives a private clone, and only on
+// success does the catalog swap to it. This is the sanctioned route
+// for schema-level changes — computed columns, indexes — that have no
+// dedicated op; callers must never mutate a Table() result in place
+// (the freezecheck pass enforces exactly that). The event carries no
+// delta: consumers treat an alteration as a wholesale replacement.
+func (d *Database) AlterTable(table string, alter func(*rel.Relation) error) error {
+	d.mu.Lock()
+	t, ok := d.tables[table]
+	if !ok {
+		d.mu.Unlock()
+		return opErr("alter", table, ErrNoSuchTable)
+	}
+	nt := t.CowClone()
+	if err := alter(nt); err != nil {
+		d.mu.Unlock()
+		return opErr("alter", table, err)
+	}
+	d.tables[table] = nt
+	d.seq++
+	watchers, subs := d.notifyLocked()
+	ev := Event{Table: table, Gen: nt.Generation(), Kind: EventLoad, Seq: d.seq, PrevGen: t.Generation()}
+	d.mu.Unlock()
+	deliver(watchers, subs, ev)
+	return nil
+}
+
 // UpdateField runs the per-type update function for the addressed field
 // against the user's textual input, then installs the result: the whole
 // Section 8 update path for one field.

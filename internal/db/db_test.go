@@ -192,11 +192,17 @@ func TestDefStore(t *testing.T) {
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	d := seeded(t)
-	st, _ := d.Table("Stations")
-	if err := st.AddComputed("alt2", expr.MustParse("altitude * 2")); err != nil {
+	err := d.AlterTable("Stations", func(st *rel.Relation) error {
+		if err := st.AddComputed("alt2", expr.MustParse("altitude * 2")); err != nil {
+			return err
+		}
+		return st.CreateIndex("state")
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.CreateIndex("state"); err != nil {
+	st, err := d.Table("Stations")
+	if err != nil {
 		t.Fatal(err)
 	}
 	if err := d.SaveProgram("prog", []byte(`{"boxes":null,"edges":null}`)); err != nil {

@@ -1,0 +1,25 @@
+package server
+
+import "errors"
+
+// Sentinel causes for the server API. Every error returned across the
+// package boundary wraps one of these (or a typed error from db /
+// dataflow), so callers route with errors.Is instead of parsing
+// messages — the same contract db and dataflow already keep, enforced
+// by the errtype pass.
+var (
+	// ErrSessionExists is returned when AddSession is given a name that
+	// is already registered.
+	ErrSessionExists = errors.New("session already exists")
+	// ErrBadCanvas is returned when a session's canvas is not fed by a
+	// program box — there is nothing to render incrementally.
+	ErrBadCanvas = errors.New("canvas is not fed by a program box")
+	// ErrBadHandshake is returned when the WebSocket opening handshake
+	// fails on either side: a non-upgrade request, an unsupported
+	// version or scheme, a missing key, or a refused/forged accept.
+	ErrBadHandshake = errors.New("websocket handshake failed")
+	// ErrProtocol is returned when a WebSocket peer violates the
+	// framing protocol mid-connection: stray continuations, interleaved
+	// messages, unknown opcodes, or oversized payloads.
+	ErrProtocol = errors.New("websocket protocol violation")
+)

@@ -56,7 +56,7 @@ func (s *Server) AddSession(name string, build Builder, opts ...SessionOption) (
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.sessions[name]; ok {
-		return nil, fmt.Errorf("server: session %q already exists", name)
+		return nil, fmt.Errorf("server: session %q: %w", name, ErrSessionExists)
 	}
 	s.sessions[name] = sess
 	return sess, nil

@@ -83,7 +83,7 @@ func NewSession(name string, database *db.Database, build Builder, opts ...Sessi
 	}
 	bs, ok := tmpl.Source.(viewer.BoxSource)
 	if !ok {
-		return nil, fmt.Errorf("server: session %q: canvas %q is not fed by a program box", name, canvas)
+		return nil, fmt.Errorf("server: session %q: canvas %q: %w", name, canvas, ErrBadCanvas)
 	}
 	src := newSnapSource(database.Snapshot())
 	env.Eval.SetTableSource(src)
@@ -162,8 +162,12 @@ func (s *Session) ApplyEvents(ctx context.Context, evs []db.Event) {
 			te.full = true
 		}
 	}
-	s.mu.Lock()
+	// Snapshot before taking s.mu: the session lock is documented as
+	// never held while touching the database's own lock, and
+	// ApplyEvents runs on the single pump goroutine, so the snapshot
+	// taken here is still the newest one when the swap commits below.
 	snap := s.db.Snapshot()
+	s.mu.Lock()
 	s.src.swap(snap)
 	for _, t := range order {
 		if te := byTable[t]; te.full {

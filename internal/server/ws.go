@@ -55,21 +55,21 @@ type WSConn struct {
 func Upgrade(w http.ResponseWriter, r *http.Request) (*WSConn, error) {
 	if !headerHasToken(r.Header, "Connection", "upgrade") || !headerHasToken(r.Header, "Upgrade", "websocket") {
 		http.Error(w, "websocket upgrade required", http.StatusBadRequest)
-		return nil, fmt.Errorf("server: not a websocket upgrade request")
+		return nil, fmt.Errorf("server: not a websocket upgrade request: %w", ErrBadHandshake)
 	}
 	if r.Header.Get("Sec-WebSocket-Version") != "13" {
 		http.Error(w, "unsupported websocket version", http.StatusBadRequest)
-		return nil, fmt.Errorf("server: unsupported websocket version %q", r.Header.Get("Sec-WebSocket-Version"))
+		return nil, fmt.Errorf("server: unsupported websocket version %q: %w", r.Header.Get("Sec-WebSocket-Version"), ErrBadHandshake)
 	}
 	key := r.Header.Get("Sec-WebSocket-Key")
 	if key == "" {
 		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
-		return nil, fmt.Errorf("server: missing Sec-WebSocket-Key")
+		return nil, fmt.Errorf("server: missing Sec-WebSocket-Key: %w", ErrBadHandshake)
 	}
 	hj, ok := w.(http.Hijacker)
 	if !ok {
 		http.Error(w, "hijacking unsupported", http.StatusInternalServerError)
-		return nil, fmt.Errorf("server: response writer cannot hijack")
+		return nil, fmt.Errorf("server: response writer cannot hijack: %w", ErrBadHandshake)
 	}
 	conn, rw, err := hj.Hijack()
 	if err != nil {
@@ -99,7 +99,7 @@ func Dial(rawURL string) (*WSConn, error) {
 		return nil, fmt.Errorf("server: dial: %w", err)
 	}
 	if u.Scheme != "ws" {
-		return nil, fmt.Errorf("server: dial: unsupported scheme %q", u.Scheme)
+		return nil, fmt.Errorf("server: dial: unsupported scheme %q: %w", u.Scheme, ErrBadHandshake)
 	}
 	host := u.Host
 	if u.Port() == "" {
@@ -134,7 +134,7 @@ func Dial(rawURL string) (*WSConn, error) {
 	}
 	if !strings.Contains(status, "101") {
 		conn.Close()
-		return nil, fmt.Errorf("server: dial: handshake refused: %s", strings.TrimSpace(status))
+		return nil, fmt.Errorf("server: dial: handshake refused (%s): %w", strings.TrimSpace(status), ErrBadHandshake)
 	}
 	var accept string
 	for {
@@ -153,7 +153,7 @@ func Dial(rawURL string) (*WSConn, error) {
 	}
 	if accept != acceptKey(key) {
 		conn.Close()
-		return nil, fmt.Errorf("server: dial: bad Sec-WebSocket-Accept")
+		return nil, fmt.Errorf("server: dial: bad Sec-WebSocket-Accept: %w", ErrBadHandshake)
 	}
 	return &WSConn{c: conn, br: br, client: true}, nil
 }
@@ -203,19 +203,19 @@ func (ws *WSConn) ReadMessage() (op byte, payload []byte, err error) {
 			return 0, nil, io.EOF
 		case opContinuation:
 			if msgOp == 0 {
-				return 0, nil, fmt.Errorf("server: continuation frame without a message")
+				return 0, nil, fmt.Errorf("server: continuation frame without a message: %w", ErrProtocol)
 			}
 		case OpText, OpBinary:
 			if msgOp != 0 {
-				return 0, nil, fmt.Errorf("server: interleaved message frames")
+				return 0, nil, fmt.Errorf("server: interleaved message frames: %w", ErrProtocol)
 			}
 			msgOp = frameOp
 		default:
-			return 0, nil, fmt.Errorf("server: unsupported opcode %#x", frameOp)
+			return 0, nil, fmt.Errorf("server: unsupported opcode %#x: %w", frameOp, ErrProtocol)
 		}
 		buffer = append(buffer, data...)
 		if len(buffer) > maxWSPayload {
-			return 0, nil, fmt.Errorf("server: message exceeds %d bytes", maxWSPayload)
+			return 0, nil, fmt.Errorf("server: message exceeds %d bytes: %w", maxWSPayload, ErrProtocol)
 		}
 		if fin {
 			return msgOp, buffer, nil
