@@ -22,12 +22,19 @@ import (
 // another function is not tracked (one body at a time); parameters
 // are never frozen, which keeps rel's own mutators and db's
 // CowClone-then-swap write path clean.
+// The columnar storage layer adds a second shared surface: Chunk values
+// handed out by ChunkSource.ReadChunk (and cached by the global chunk
+// cache) are published immutably — every relation version opened over
+// the same segment, and every concurrent scan, may hold the same *Chunk.
+// FZ003 flags writes through a ReadChunk result; replacement chunks are
+// built fresh (chunkBuilder) and swapped in via the colStore CoW
+// mutators instead.
 var FreezeCheck = &Analyzer{
 	Name:       "freezecheck",
-	Doc:        "no rel mutator may run on a frozen (snapshot-read) relation without CowClone",
+	Doc:        "no rel mutator may run on a frozen (snapshot-read) relation without CowClone; chunks read from a ChunkSource are immutable",
 	Run:        runFreezeCheck,
 	NeedsTypes: true,
-	Codes:      []string{"FZ001", "FZ002"},
+	Codes:      []string{"FZ001", "FZ002", "FZ003"},
 }
 
 // relationMutators is the genbump mutator family: every method that
@@ -66,6 +73,9 @@ type freezeChecker struct {
 	info *types.Info
 	// frozen marks local variables currently bound to a frozen value.
 	frozen map[types.Object]bool
+	// sharedChunk marks local variables bound to a ReadChunk result:
+	// a cache-published chunk shared across readers.
+	sharedChunk map[types.Object]bool
 }
 
 func runFreezeCheck(pass *Pass) error {
@@ -79,9 +89,10 @@ func runFreezeCheck(pass *Pass) error {
 				continue
 			}
 			fc := &freezeChecker{
-				pass:   pass,
-				info:   pass.Types.Info,
-				frozen: map[types.Object]bool{},
+				pass:        pass,
+				info:        pass.Types.Info,
+				frozen:      map[types.Object]bool{},
+				sharedChunk: map[types.Object]bool{},
 			}
 			fc.checkBody(fn.Body)
 		}
@@ -122,14 +133,18 @@ func (fc *freezeChecker) assign(st *ast.AssignStmt) {
 	case len(st.Lhs) == len(st.Rhs):
 		for i, lhs := range st.Lhs {
 			fc.bind(lhs, fc.isFrozen(st.Rhs[i]))
+			fc.bindChunk(lhs, fc.isSharedChunk(st.Rhs[i]))
 		}
 	case len(st.Rhs) == 1:
 		// t, err := snap.Table(x): the frozen mark lands on the first
 		// result — every frozen source with multiple results returns
-		// the relation first.
+		// the relation first. ReadChunk follows the same convention:
+		// the chunk is the first result.
 		fr := fc.isFrozen(st.Rhs[0])
+		ck := fc.isSharedChunk(st.Rhs[0])
 		for i, lhs := range st.Lhs {
 			fc.bind(lhs, fr && i == 0)
+			fc.bindChunk(lhs, ck && i == 0)
 		}
 	}
 }
@@ -153,6 +168,26 @@ func (fc *freezeChecker) bind(lhs ast.Expr, frozen bool) {
 	}
 }
 
+// bindChunk mirrors bind for the shared-chunk taint.
+func (fc *freezeChecker) bindChunk(lhs ast.Expr, shared bool) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := fc.info.Defs[id]
+	if obj == nil {
+		obj = fc.info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if shared {
+		fc.sharedChunk[obj] = true
+	} else {
+		delete(fc.sharedChunk, obj)
+	}
+}
+
 // checkWrite reports FZ002 when the assignment target is an element,
 // field, or dereference reached through a frozen value. Rebinding a
 // frozen variable itself (plain ident LHS) is always legal.
@@ -171,6 +206,12 @@ func (fc *freezeChecker) checkWrite(lhs ast.Expr) {
 		default:
 			return
 		}
+		if fc.isSharedChunk(lhs) {
+			fc.pass.Report(lhs.Pos(), "FZ003",
+				"write through chunk %s published by ReadChunk; cached chunks are shared across readers — build a replacement chunk instead",
+				exprString(lhs))
+			return
+		}
 		if fc.isFrozen(lhs) {
 			fc.pass.Report(lhs.Pos(), "FZ002",
 				"write through frozen value %s; snapshot readers share this data — CowClone before mutating",
@@ -178,6 +219,31 @@ func (fc *freezeChecker) checkWrite(lhs ast.Expr) {
 			return
 		}
 	}
+}
+
+// isSharedChunk reports whether e evaluates to a cache-published chunk:
+// a ReadChunk call, a tainted variable, or a path through either.
+func (fc *freezeChecker) isSharedChunk(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return fc.isSharedChunk(e.X)
+	case *ast.Ident:
+		obj := fc.info.Uses[e]
+		if obj == nil {
+			obj = fc.info.Defs[e]
+		}
+		return obj != nil && fc.sharedChunk[obj]
+	case *ast.SelectorExpr:
+		return fc.isSharedChunk(e.X)
+	case *ast.IndexExpr:
+		return fc.isSharedChunk(e.X)
+	case *ast.StarExpr:
+		return fc.isSharedChunk(e.X)
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == "ReadChunk" && fc.info.Selections[sel] != nil
+	}
+	return false
 }
 
 // checkCall reports FZ001 when a relation mutator runs on a frozen

@@ -8,14 +8,15 @@ import (
 // GenBump enforces the generation-stamp invariant behind every
 // cross-frame render cache (DESIGN.md "Render caching &
 // invalidation"): any method on rel.Relation that writes the backing
-// data — the tuple heap or the computed-field table — must bump the
-// relation's generation in the same body, or stale display lists and
-// spatial indexes survive the mutation.
+// data — the tuple heap, the columnar store pointer, or the
+// computed-field table — must bump the relation's generation in the
+// same body, or stale display lists and spatial indexes survive the
+// mutation.
 var GenBump = &Analyzer{
 	Name:  "genbump",
-	Doc:   "mutating methods on rel.Relation must call bumpGen(); JoinState maintained state only mutates through declared delta mutators",
+	Doc:   "mutating methods on rel.Relation must call bumpGen(); JoinState maintained state and colStore chunk directories only mutate through declared mutators",
 	Run:   runGenBump,
-	Codes: []string{"GB001", "GB002"},
+	Codes: []string{"GB001", "GB002", "GB003"},
 }
 
 // The receiver type and the fields whose mutation must be stamped.
@@ -27,6 +28,11 @@ const (
 var genbumpFields = map[string]bool{
 	"tuples":   true,
 	"computed": true,
+	// cols is the columnar storage pointer: swapping it in or out is a
+	// data mutation exactly like rewriting the tuple heap. (colview is
+	// deliberately absent — it is a cache keyed on the generation, so
+	// writing it without a bump is the intended fast path.)
+	"cols": true,
 }
 
 // The PR 8 incremental-join surface: JoinState's maintained state —
@@ -49,6 +55,28 @@ var genbumpJoinMutators = map[string]bool{
 	"BuildJoinState": true, // initial construction
 }
 
+// The columnar-storage surface: colStore values are immutable versions
+// shared across relations, snapshots, and the chunk cache. The chunk
+// directory — slot list, row count, chunk size — may only be written by
+// the declared constructors and copy-on-write mutators; an in-place
+// write anywhere else silently diverges every sharer. (chunkSlot.res is
+// exempt: residency is the chunk cache's own mutable state.)
+const genbumpColStoreType = "colStore"
+
+var genbumpColStoreFields = map[string]bool{
+	"slots":     true,
+	"rows":      true,
+	"chunkRows": true,
+	"schema":    true,
+}
+
+var genbumpColStoreMutators = map[string]bool{
+	"newColStore":   true, // construction from a ChunkSource
+	"buildColStore": true, // construction from row-major tuples
+	"withAppend":    true, // copy-on-write append
+	"withUpdate":    true, // copy-on-write cell update
+}
+
 func runGenBump(pass *Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -58,6 +86,7 @@ func runGenBump(pass *Pass) error {
 			}
 			checkRelationMethod(pass, fn)
 			checkJoinStateWrites(pass, fn)
+			checkColStoreWrites(pass, fn)
 		}
 	}
 	return nil
@@ -95,23 +124,62 @@ func checkJoinStateWrites(pass *Pass, fn *ast.FuncDecl) {
 	if recv := receiverIdent(fn, genbumpJoinType); recv != "" {
 		roots[recv] = true
 	}
-	// Track idents bound to JoinState composite literals.
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	addLitRoots(fn.Body, genbumpJoinType, roots)
+	if len(roots) == 0 {
+		return
+	}
+	reportGuardedWrites(fn.Body, roots, genbumpJoinFields, func(t ast.Expr, root, field string) {
+		pass.Report(t.Pos(), "GB002",
+			"%s writes JoinState maintained state %s.%s outside the declared delta mutators (Apply, BuildJoinState); incremental join outputs will diverge",
+			fn.Name.Name, root, field)
+	})
+}
+
+// checkColStoreWrites is GB003: the chunk directory of a colStore —
+// shared immutably across relation versions and the chunk cache — is
+// written only inside the declared constructors and copy-on-write
+// mutators. Same root tracking as GB002: method receivers plus idents
+// bound to colStore composite literals.
+func checkColStoreWrites(pass *Pass, fn *ast.FuncDecl) {
+	if genbumpColStoreMutators[fn.Name.Name] {
+		return
+	}
+	roots := map[string]bool{}
+	if recv := receiverIdent(fn, genbumpColStoreType); recv != "" {
+		roots[recv] = true
+	}
+	addLitRoots(fn.Body, genbumpColStoreType, roots)
+	if len(roots) == 0 {
+		return
+	}
+	reportGuardedWrites(fn.Body, roots, genbumpColStoreFields, func(t ast.Expr, root, field string) {
+		pass.Report(t.Pos(), "GB003",
+			"%s writes colStore chunk directory %s.%s outside the declared chunk mutators (newColStore, buildColStore, withAppend, withUpdate); shared chunk-backed versions will diverge",
+			fn.Name.Name, root, field)
+	})
+}
+
+// addLitRoots tracks idents bound to `typ{...}` or `&typ{...}`
+// composite literals as guarded roots.
+func addLitRoots(body *ast.BlockStmt, typ string, roots map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok || len(as.Lhs) != len(as.Rhs) {
 			return true
 		}
 		for i, rhs := range as.Rhs {
-			if id, ok := as.Lhs[i].(*ast.Ident); ok && isJoinStateLit(rhs) {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && isTypeLit(rhs, typ) {
 				roots[id.Name] = true
 			}
 		}
 		return true
 	})
-	if len(roots) == 0 {
-		return
-	}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+}
+
+// reportGuardedWrites invokes report for every assignment or inc/dec
+// whose target is root.field with root tracked and field guarded.
+func reportGuardedWrites(body *ast.BlockStmt, roots, fields map[string]bool, report func(t ast.Expr, root, field string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		var targets []ast.Expr
 		switch st := n.(type) {
 		case *ast.AssignStmt:
@@ -122,19 +190,17 @@ func checkJoinStateWrites(pass *Pass, fn *ast.FuncDecl) {
 			return true
 		}
 		for _, t := range targets {
-			root, field := joinFieldTarget(t, roots)
+			root, field := guardedFieldTarget(t, roots, fields)
 			if field != "" {
-				pass.Report(t.Pos(), "GB002",
-					"%s writes JoinState maintained state %s.%s outside the declared delta mutators (Apply, BuildJoinState); incremental join outputs will diverge",
-					fn.Name.Name, root, field)
+				report(t, root, field)
 			}
 		}
 		return true
 	})
 }
 
-// isJoinStateLit matches JoinState{...} and &JoinState{...}.
-func isJoinStateLit(e ast.Expr) bool {
+// isTypeLit matches typ{...} and &typ{...}.
+func isTypeLit(e ast.Expr, typ string) bool {
 	if un, ok := e.(*ast.UnaryExpr); ok {
 		e = un.X
 	}
@@ -143,12 +209,12 @@ func isJoinStateLit(e ast.Expr) bool {
 		return false
 	}
 	id, ok := cl.Type.(*ast.Ident)
-	return ok && id.Name == genbumpJoinType
+	return ok && id.Name == typ
 }
 
-// joinFieldTarget unwraps an assignment target to root.field where
-// root is a tracked JoinState variable and field is maintained state.
-func joinFieldTarget(e ast.Expr, roots map[string]bool) (string, string) {
+// guardedFieldTarget unwraps an assignment target to root.field where
+// root is a tracked variable and field is guarded state.
+func guardedFieldTarget(e ast.Expr, roots, fields map[string]bool) (string, string) {
 	for {
 		switch t := e.(type) {
 		case *ast.ParenExpr:
@@ -159,7 +225,7 @@ func joinFieldTarget(e ast.Expr, roots map[string]bool) (string, string) {
 			e = t.X
 		default:
 			sel, ok := e.(*ast.SelectorExpr)
-			if !ok || !genbumpJoinFields[sel.Sel.Name] {
+			if !ok || !fields[sel.Sel.Name] {
 				return "", ""
 			}
 			if id, ok := sel.X.(*ast.Ident); ok && roots[id.Name] {

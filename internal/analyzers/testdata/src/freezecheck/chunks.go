@@ -1,0 +1,67 @@
+// FZ003 fixture: Chunk values published by ChunkSource.ReadChunk are
+// shared across every reader (and cached globally), so writing through
+// one corrupts concurrent scans. Replacement chunks are built fresh.
+package freezecheck
+
+type colVec struct {
+	ints []int64
+}
+
+type Chunk struct {
+	rows int
+	cols []colVec
+}
+
+type segSource struct {
+	chunks []*Chunk
+}
+
+func (s *segSource) ReadChunk(i int) (*Chunk, error) { return s.chunks[i], nil }
+
+// --- violations ---
+
+func patchChunkInPlace(src *segSource) {
+	c, _ := src.ReadChunk(0)
+	c.rows = 0 // want `write through chunk c published by ReadChunk`
+}
+
+func patchChunkColumn(src *segSource) {
+	c, _ := src.ReadChunk(1)
+	c.cols[0].ints[3] = 7 // want `write through chunk c\.cols\[\.\.\.\]\.ints published by ReadChunk`
+}
+
+func patchAliasedChunk(src *segSource) {
+	c, _ := src.ReadChunk(0)
+	d := c
+	d.cols = nil // want `write through chunk d published by ReadChunk`
+}
+
+// --- legal patterns ---
+
+// Reading a published chunk is the entire point.
+func sumChunk(src *segSource) int64 {
+	c, _ := src.ReadChunk(0)
+	var n int64
+	for _, v := range c.cols[0].ints {
+		n += v
+	}
+	return n
+}
+
+// A locally built chunk is privately owned until published; writes are
+// how construction works.
+func buildChunk(rows int) *Chunk {
+	c := &Chunk{rows: rows}
+	c.cols = append(c.cols, colVec{ints: make([]int64, rows)})
+	c.cols[0].ints[0] = 1
+	return c
+}
+
+// Rebinding the variable itself retires the taint.
+func rebindChunk(src *segSource) *Chunk {
+	c, _ := src.ReadChunk(0)
+	_ = c
+	c = &Chunk{}
+	c.rows = 5
+	return c
+}

@@ -6,6 +6,8 @@ package rel
 type Relation struct {
 	tuples   []int
 	computed map[string]int
+	cols     *colStore
+	colview  int
 	gen      int64
 }
 
@@ -45,6 +47,19 @@ func (rel Relation) BrokenValueWrite(v int) { // want `BrokenValueWrite writes r
 	rel.tuples = append(rel.tuples, v)
 }
 
+// The columnar store pointer is stamped data too: swapping in a new
+// chunked version without a bump leaves every generation-keyed cache
+// serving the old rows.
+
+func (r *Relation) SwapCols(cs *colStore) {
+	r.cols = cs
+	r.bumpGen()
+}
+
+func (r *Relation) BrokenSwapCols(cs *colStore) { // want `BrokenSwapCols writes r\.cols but never calls r\.bumpGen`
+	r.cols = cs
+}
+
 // Shapes that must stay clean.
 
 // Len only reads.
@@ -57,8 +72,12 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
-// Gen writes a non-stamped field; only tuples/computed need bumps.
+// Gen writes a non-stamped field; only tuples/computed/cols need bumps.
 func (r *Relation) Touch() { r.gen = r.gen }
+
+// colview is a generation-keyed cache, not data: writing it without a
+// bump is the intended fast path.
+func (r *Relation) WarmView() { r.colview = 1 }
 
 // merge is a plain function, not a method; receiver rules don't apply.
 func merge(dst *Relation, src *Relation) {

@@ -1,0 +1,164 @@
+package db
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/rel"
+	"repro/internal/types"
+)
+
+// This file is the segment-backed persistence path: instead of one gob
+// stream holding every tuple (Save/Load), the database writes each
+// table as a chunk-encoded segment through a rel.Backend plus one small
+// manifest blob describing schemas, computed attributes, indexes,
+// programs, and definitions. Tables reopened from a backend are
+// chunk-backed — their chunks fault in on demand and stay subject to
+// the global memory quota — so a database larger than memory loads in
+// O(manifest) time and scans within the bound.
+
+// manifest is the gob wire format of the backend metadata blob.
+type manifest struct {
+	Version  int
+	Tables   []manifestTable
+	Programs map[string][]byte
+	Defs     map[string][]byte
+}
+
+// manifestTable describes one table and names the segment holding its
+// tuples.
+type manifestTable struct {
+	Name     string
+	Segment  string
+	Columns  []columnSnapshot
+	Computed []computedSnapshot
+	Indexes  []string
+}
+
+// manifestBlob is the backend blob name the manifest lives under.
+const manifestBlob = "manifest"
+
+// SaveBackend persists the whole database through b: one segment per
+// table (streamed chunk by chunk, so peak memory stays near one chunk
+// per table) and one manifest blob. Segment names are positional
+// ("t000", "t001", ...) in sorted table-name order, keeping table names
+// out of the backend's namespace rules.
+func (d *Database) SaveBackend(b rel.Backend) error {
+	obs.Inc(obs.DBSaves)
+	_, sp := obs.StartSpanCtx(context.Background(), obs.SpanDBSave)
+	defer sp.End()
+
+	d.mu.RLock()
+	tables := make(map[string]*rel.Relation, len(d.tables))
+	for n, t := range d.tables {
+		tables[n] = t
+	}
+	m := manifest{
+		Version:  snapVersion,
+		Programs: make(map[string][]byte, len(d.programs)),
+		Defs:     make(map[string][]byte, len(d.defs)),
+	}
+	for n, p := range d.programs {
+		m.Programs[n] = append([]byte(nil), p...)
+	}
+	for n, p := range d.defs {
+		m.Defs[n] = append([]byte(nil), p...)
+	}
+	d.mu.RUnlock()
+
+	names := make([]string, 0, len(tables))
+	for n := range tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		t := tables[name]
+		mt := manifestTable{Name: name, Segment: fmt.Sprintf("t%03d", i)}
+		for _, c := range t.Schema().Columns() {
+			mt.Columns = append(mt.Columns, columnSnapshot{Name: c.Name, Kind: int(c.Kind)})
+		}
+		for _, c := range t.Computed() {
+			mt.Computed = append(mt.Computed, computedSnapshot{Name: c.Name, Expr: c.Expr.String()})
+		}
+		for _, col := range t.Schema().Columns() {
+			if _, ok := t.Index(col.Name); ok {
+				mt.Indexes = append(mt.Indexes, col.Name)
+			}
+		}
+		if err := b.WriteSegment(mt.Segment, t); err != nil {
+			return opErr("save", name, err)
+		}
+		m.Tables = append(m.Tables, mt)
+	}
+
+	var buf bytes.Buffer
+	buf.Write(append(snapMagic[:], snapVersion))
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return opErr("save", "", err)
+	}
+	if err := b.PutBlob(manifestBlob, buf.Bytes()); err != nil {
+		return opErr("save", "", err)
+	}
+	return nil
+}
+
+// LoadBackend replaces the database's contents with the catalog stored
+// in b. Tables come back chunk-backed: only tables with indexes touch
+// their tuples at load time (index construction scans once, through the
+// quota-bounded cache); everything else loads lazily on first read.
+func (d *Database) LoadBackend(b rel.Backend) error {
+	obs.Inc(obs.DBLoads)
+	_, sp := obs.StartSpanCtx(context.Background(), obs.SpanDBLoad)
+	defer sp.End()
+
+	raw, err := b.GetBlob(manifestBlob)
+	if err != nil {
+		return opErr("load", "", err)
+	}
+	rd := bytes.NewReader(raw)
+	if err := readSnapHeader(rd); err != nil {
+		return opErr("load", "", err)
+	}
+	var m manifest
+	if err := gob.NewDecoder(rd).Decode(&m); err != nil {
+		return opErr("load", "", fmt.Errorf("%w: manifest: %v", ErrBadSnapshotFormat, err))
+	}
+	if m.Version < 1 || m.Version > snapVersion {
+		return opErr("load", "", fmt.Errorf("%w: unsupported manifest version %d", ErrBadSnapshotFormat, m.Version))
+	}
+
+	tables := make(map[string]*rel.Relation, len(m.Tables))
+	for _, mt := range m.Tables {
+		cols := make([]rel.Column, len(mt.Columns))
+		for i, c := range mt.Columns {
+			cols[i] = rel.Column{Name: c.Name, Kind: types.Kind(c.Kind)}
+		}
+		schema, err := rel.NewSchema(cols...)
+		if err != nil {
+			return opErr("load", mt.Name, err)
+		}
+		src, err := b.OpenSegment(mt.Segment, schema)
+		if err != nil {
+			return opErr("load", mt.Name, err)
+		}
+		t, err := rel.FromChunkSource(mt.Name, schema, src)
+		if err != nil {
+			return opErr("load", mt.Name, err)
+		}
+		if err := restoreComputed(t, mt.Computed); err != nil {
+			return opErr("load", mt.Name, err)
+		}
+		for _, col := range mt.Indexes {
+			if err := t.CreateIndex(col); err != nil {
+				return opErr("load", mt.Name, err)
+			}
+		}
+		tables[mt.Name] = t
+	}
+	d.installLoaded(tables, m.Programs, m.Defs)
+	return nil
+}

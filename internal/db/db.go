@@ -463,11 +463,40 @@ func fromScalar(s scalarSnapshot) types.Value {
 	return types.Null
 }
 
-// Save writes the whole database (tables, programs, definitions) to w.
+// snapMagic opens every snapshot stream; the byte after it carries the
+// format version, so a future layout change fails loudly (typed
+// ErrBadSnapshotFormat) instead of as a gob decode of foreign bytes.
+var snapMagic = [7]byte{'T', 'G', 'S', 'N', 'A', 'P', ':'}
+
+// snapVersion is the snapshot format this build writes and the highest
+// it can read.
+const snapVersion = 1
+
+// readSnapHeader validates the magic and version of a snapshot stream.
+func readSnapHeader(r io.Reader) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: truncated header", ErrBadSnapshotFormat)
+	}
+	if string(hdr[:7]) != string(snapMagic[:]) {
+		return fmt.Errorf("%w: missing magic", ErrBadSnapshotFormat)
+	}
+	if v := int(hdr[7]); v < 1 || v > snapVersion {
+		return fmt.Errorf("%w: unsupported version %d (this build reads up to %d)",
+			ErrBadSnapshotFormat, v, snapVersion)
+	}
+	return nil
+}
+
+// Save writes the whole database (tables, programs, definitions) to w:
+// a magic+version header followed by the gob-encoded snapshot.
 func (d *Database) Save(w io.Writer) error {
 	obs.Inc(obs.DBSaves)
 	_, sp := obs.StartSpanCtx(context.Background(), obs.SpanDBSave)
 	defer sp.End()
+	if _, err := w.Write(append(snapMagic[:], snapVersion)); err != nil {
+		return opErr("save", "", err)
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	snap := snapshot{
@@ -502,10 +531,16 @@ func (d *Database) Save(w io.Writer) error {
 }
 
 // Load reads a database snapshot from r, replacing current contents.
+// A stream without the snapshot magic, or with a version this build
+// does not understand, fails with ErrBadSnapshotFormat (wrapped in the
+// package's typed *Error).
 func (d *Database) Load(r io.Reader) error {
 	obs.Inc(obs.DBLoads)
 	_, sp := obs.StartSpanCtx(context.Background(), obs.SpanDBLoad)
 	defer sp.End()
+	if err := readSnapHeader(r); err != nil {
+		return opErr("load", "", err)
+	}
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return opErr("load", "", err)
@@ -541,13 +576,21 @@ func (d *Database) Load(r io.Reader) error {
 		tables[name] = t
 	}
 
+	d.installLoaded(tables, snap.Programs, snap.Defs)
+	return nil
+}
+
+// installLoaded swaps in a freshly loaded catalog (tables, programs,
+// definitions), resets the undo log, and delivers one EventLoad per
+// table in name order. Shared by Load and LoadBackend.
+func (d *Database) installLoaded(tables map[string]*rel.Relation, programs, defs map[string][]byte) {
 	d.mu.Lock()
 	d.tables = tables
-	d.programs = snap.Programs
+	d.programs = programs
 	if d.programs == nil {
 		d.programs = make(map[string][]byte)
 	}
-	d.defs = snap.Defs
+	d.defs = defs
 	if d.defs == nil {
 		d.defs = make(map[string][]byte)
 	}
@@ -561,7 +604,6 @@ func (d *Database) Load(r io.Reader) error {
 	d.mu.Unlock()
 	sort.Slice(evs, func(i, j int) bool { return evs[i].Table < evs[j].Table })
 	deliver(watchers, subs, evs...)
-	return nil
 }
 
 // SaveFile / LoadFile are Save/Load against a path.

@@ -276,6 +276,56 @@ func (e *Extended) DisplayNamed(name string, row int) (draw.List, error) {
 	return nil, fmt.Errorf("display: %s: no display attribute %q", e.Label, name)
 }
 
+// Sweep is a cursor-bound view of an Extended for frame loops (cull,
+// spatial-index build, display evaluation): the embedded rel.Cursor
+// decodes one chunk at a time on chunk-backed relations instead of
+// faulting per attribute per row, and display functions evaluate
+// against it unchanged (it is an expr.Env with Row's exact semantics).
+// A Sweep is not safe for concurrent use — parallel render workers take
+// one each.
+type Sweep struct {
+	e   *Extended
+	cur *rel.Cursor
+}
+
+// NewSweep returns a sweep over e's relation.
+func (e *Extended) NewSweep() *Sweep { return &Sweep{e: e, cur: e.Rel.NewCursor()} }
+
+// Location is Extended.Location at row, read through the sweep's cursor.
+func (s *Sweep) Location(row int) []float64 {
+	if s.e.SeqLayout {
+		return []float64{0, -float64(row) * SeqRowHeight}
+	}
+	out := make([]float64, len(s.e.LocAttrs))
+	s.cur.Seek(row)
+	for i, a := range s.e.LocAttrs {
+		if f, ok := s.cur.Attr(a).AsFloat(); ok {
+			out[i] = f
+		}
+	}
+	return out
+}
+
+// Display evaluates the active display attribute for row.
+func (s *Sweep) Display(row int) (draw.List, error) {
+	s.cur.Seek(row)
+	return s.e.Displays[0].Fn(s.cur)
+}
+
+// DisplayNamed evaluates a specific display attribute by name for row.
+func (s *Sweep) DisplayNamed(name string, row int) (draw.List, error) {
+	for _, d := range s.e.Displays {
+		if d.Name == name {
+			s.cur.Seek(row)
+			return d.Fn(s.cur)
+		}
+	}
+	return nil, fmt.Errorf("display: %s: no display attribute %q", s.e.Label, name)
+}
+
+// Err reports the first storage read error the sweep encountered.
+func (s *Sweep) Err() error { return s.cur.Err() }
+
 // DisplayIndex returns the position of the named display attribute, or -1.
 func (e *Extended) DisplayIndex(name string) int {
 	for i, d := range e.Displays {

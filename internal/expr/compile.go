@@ -378,16 +378,19 @@ func fastBinary(op string) func(l, r types.Value) (types.Value, bool) {
 			}
 			a, _ := l.AsFloat()
 			b, _ := r.AsFloat()
+			// Phrased as negations of the opposite strict compare so NaN
+			// behaves exactly like types.Compare's three-way result (NaN
+			// falls to the "equal" branch, never "unordered").
 			var out bool
 			switch op {
 			case "<":
 				out = a < b
 			case "<=":
-				out = a <= b
+				out = !(a > b)
 			case ">":
 				out = a > b
 			default:
-				out = a >= b
+				out = !(a < b)
 			}
 			return types.NewBool(out), true
 		}
@@ -399,7 +402,7 @@ func fastBinary(op string) func(l, r types.Value) (types.Value, bool) {
 			case isNum(lk) && isNum(rk):
 				a, _ := l.AsFloat()
 				b, _ := r.AsFloat()
-				eq = a == b
+				eq = !(a < b) && !(a > b) // Compare semantics: NaN = anything
 			case lk == types.Text && rk == types.Text:
 				eq = l.Text() == r.Text()
 			case lk == types.Bool && rk == types.Bool:

@@ -78,6 +78,14 @@ const (
 	RelFusedScans = "rel.fused_scans" // fused restrict/project pipelines executed
 	RelScanChunks = "rel.scan_chunks" // parallel scan chunks dispatched
 
+	// Columnar chunk storage (internal/rel; see DESIGN.md §16).
+	RelChunkLoads     = "rel.chunk_loads"          // chunks faulted in through the bounded cache
+	RelChunkEvictions = "rel.chunk_evictions"      // chunks evicted under memory pressure
+	RelResidentBytes  = "rel.resident_bytes"       // net cache-managed chunk bytes resident (Add +/-)
+	RelQuotaWarnings  = "rel.quota_warnings"       // quota-pressure crossings (fired once per crossing)
+	RelKernelScans    = "rel.kernel_scans"         // predicate scans executed as columnar kernels
+	RelKernelFallback = "rel.kernel_fallback_rows" // rows diverted to the row-wise oracle mid-kernel
+
 	// Session / environment (internal/core).
 	CoreUpdates      = "core.updates"
 	CoreSessionSaves = "core.session_saves"

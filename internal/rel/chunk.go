@@ -1,0 +1,299 @@
+package rel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+)
+
+// DefaultChunkRows is the number of tuples per columnar chunk. 4096 rows
+// keeps a chunk's int64/float64 lanes at 32 KiB each — small enough that
+// a handful of chunks fit in L2, large enough that per-chunk dispatch
+// overhead vanishes against the scan loop.
+const DefaultChunkRows = 4096
+
+// colVec is one column of a chunk: a contiguous typed array plus a
+// validity bitmap. Exactly one of ints/floats/strs is populated,
+// according to kind: Int, Bool (0/1) and Date (epoch days) share the
+// int64 lane, Float uses the float64 lane, Text the string lane. A
+// cleared validity bit means the value is null and the lane slot is the
+// zero value.
+type colVec struct {
+	kind   types.Kind
+	ints   []int64
+	floats []float64
+	strs   []string
+	valid  []uint64
+}
+
+// isValid reports whether row holds a non-null value.
+func (c *colVec) isValid(row int) bool {
+	return c.valid[row>>6]&(1<<(uint(row)&63)) != 0
+}
+
+// value reassembles the types.Value stored at row.
+func (c *colVec) value(row int) types.Value {
+	if !c.isValid(row) {
+		return types.Null
+	}
+	switch c.kind {
+	case types.Int:
+		return types.NewInt(c.ints[row])
+	case types.Float:
+		return types.NewFloat(c.floats[row])
+	case types.Text:
+		return types.NewText(c.strs[row])
+	case types.Bool:
+		return types.NewBool(c.ints[row] != 0)
+	case types.Date:
+		return types.NewDate(c.ints[row])
+	}
+	return types.Null
+}
+
+// Chunk is a fixed-size run of tuples stored column-major: per-attribute
+// contiguous arrays with validity bitmaps. Chunks are immutable once
+// sealed — mutation in the CoW discipline replaces the chunk pointer,
+// never the arrays — so any number of relation versions, scans, and
+// cursors may share one safely.
+type Chunk struct {
+	rows  int
+	cols  []colVec
+	bytes int64 // memoized resident-size estimate, set by seal
+}
+
+// Rows returns the number of tuples in the chunk.
+func (c *Chunk) Rows() int { return c.rows }
+
+// Bytes returns the chunk's approximate resident size, used for quota
+// accounting by the chunk cache.
+func (c *Chunk) Bytes() int64 { return c.bytes }
+
+// Value returns the value at (col, row).
+func (c *Chunk) Value(col, row int) types.Value { return c.cols[col].value(row) }
+
+// DecodeRow materializes one tuple, appending to buf (pass buf[:0] to
+// reuse a scratch slice, or nil for a fresh one).
+func (c *Chunk) DecodeRow(row int, buf []types.Value) []types.Value {
+	for i := range c.cols {
+		buf = append(buf, c.cols[i].value(row))
+	}
+	return buf
+}
+
+// seal computes the memoized byte size. Called once when building.
+func (c *Chunk) seal() {
+	var n int64
+	for i := range c.cols {
+		v := &c.cols[i]
+		n += int64(len(v.ints))*8 + int64(len(v.floats))*8 + int64(len(v.valid))*8
+		for _, s := range v.strs {
+			n += int64(len(s)) + 16
+		}
+	}
+	c.bytes = n + 64
+}
+
+// chunkBuilder accumulates rows into a chunk.
+type chunkBuilder struct {
+	schema *Schema
+	c      *Chunk
+	cap    int
+}
+
+func newChunkBuilder(schema *Schema, capRows int) *chunkBuilder {
+	b := &chunkBuilder{schema: schema, cap: capRows, c: &Chunk{}}
+	b.c.cols = make([]colVec, schema.Len())
+	words := (capRows + 63) / 64
+	for i := range b.c.cols {
+		v := &b.c.cols[i]
+		v.kind = schema.Col(i).Kind
+		v.valid = make([]uint64, words)
+		switch v.kind {
+		case types.Int, types.Bool, types.Date:
+			v.ints = make([]int64, 0, capRows)
+		case types.Float:
+			v.floats = make([]float64, 0, capRows)
+		case types.Text:
+			v.strs = make([]string, 0, capRows)
+		}
+	}
+	return b
+}
+
+// appendRow adds one tuple. The tuple values must already match the
+// schema kinds (null anywhere is fine) — the relation's Append/Update
+// paths enforce that; appendRow rejects drift so a kind mismatch cannot
+// be silently re-typed by the columnar encoding.
+func (b *chunkBuilder) appendRow(tuple []types.Value) error {
+	row := b.c.rows
+	for i := range b.c.cols {
+		v := &b.c.cols[i]
+		val := tuple[i]
+		if val.IsNull() {
+			switch v.kind {
+			case types.Int, types.Bool, types.Date:
+				v.ints = append(v.ints, 0)
+			case types.Float:
+				v.floats = append(v.floats, 0)
+			case types.Text:
+				v.strs = append(v.strs, "")
+			}
+			continue
+		}
+		if val.Kind() != v.kind {
+			return fmt.Errorf("rel: chunk column %q wants %s, got %s", b.schema.Col(i).Name, v.kind, val.Kind())
+		}
+		v.valid[row>>6] |= 1 << (uint(row) & 63)
+		switch v.kind {
+		case types.Int:
+			v.ints = append(v.ints, val.Int())
+		case types.Bool:
+			var x int64
+			if val.Bool() {
+				x = 1
+			}
+			v.ints = append(v.ints, x)
+		case types.Date:
+			v.ints = append(v.ints, val.DateDays())
+		case types.Float:
+			v.floats = append(v.floats, val.Float())
+		case types.Text:
+			v.strs = append(v.strs, val.Text())
+		}
+	}
+	b.c.rows++
+	return nil
+}
+
+// finish seals and returns the chunk.
+func (b *chunkBuilder) finish() *Chunk {
+	words := (b.c.rows + 63) / 64
+	for i := range b.c.cols {
+		b.c.cols[i].valid = b.c.cols[i].valid[:words]
+	}
+	b.c.seal()
+	return b.c
+}
+
+// encodeRows builds a chunk directly from a run of row-major tuples.
+func encodeRows(schema *Schema, tuples [][]types.Value) (*Chunk, error) {
+	b := newChunkBuilder(schema, len(tuples))
+	for _, t := range tuples {
+		if err := b.appendRow(t); err != nil {
+			return nil, err
+		}
+	}
+	return b.finish(), nil
+}
+
+// Chunk wire format (inside segment files):
+//
+//	u32 rows, u32 cols
+//	per column: u8 kind, validity words (u64 LE), then the lane:
+//	  Int/Bool/Date: rows × i64 LE
+//	  Float:         rows × u64 LE (IEEE bits)
+//	  Text:          rows × (u32 len, bytes)
+//
+// The encoding is canonical — no padding, map iteration, or pointer
+// identity leaks into it — so an evicted chunk reloads byte-identically.
+
+// appendChunk serializes c onto buf.
+func appendChunk(buf []byte, c *Chunk) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.rows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.cols)))
+	for i := range c.cols {
+		v := &c.cols[i]
+		buf = append(buf, byte(v.kind))
+		for _, w := range v.valid {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+		switch v.kind {
+		case types.Int, types.Bool, types.Date:
+			for _, x := range v.ints {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+			}
+		case types.Float:
+			for _, f := range v.floats {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+			}
+		case types.Text:
+			for _, s := range v.strs {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+				buf = append(buf, s...)
+			}
+		}
+	}
+	return buf
+}
+
+// decodeChunk parses one serialized chunk.
+func decodeChunk(buf []byte) (*Chunk, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("rel: chunk truncated (%d bytes)", len(buf))
+	}
+	rows := int(binary.LittleEndian.Uint32(buf))
+	ncols := int(binary.LittleEndian.Uint32(buf[4:]))
+	if rows < 0 || ncols < 0 || rows > 1<<26 || ncols > 1<<16 {
+		return nil, fmt.Errorf("rel: chunk header implausible (rows=%d cols=%d)", rows, ncols)
+	}
+	buf = buf[8:]
+	words := (rows + 63) / 64
+	c := &Chunk{rows: rows, cols: make([]colVec, ncols)}
+	for i := 0; i < ncols; i++ {
+		if len(buf) < 1+words*8 {
+			return nil, fmt.Errorf("rel: chunk column %d truncated", i)
+		}
+		v := &c.cols[i]
+		v.kind = types.Kind(buf[0])
+		buf = buf[1:]
+		v.valid = make([]uint64, words)
+		for w := 0; w < words; w++ {
+			v.valid[w] = binary.LittleEndian.Uint64(buf)
+			buf = buf[8:]
+		}
+		switch v.kind {
+		case types.Int, types.Bool, types.Date:
+			if len(buf) < rows*8 {
+				return nil, fmt.Errorf("rel: chunk column %d lane truncated", i)
+			}
+			v.ints = make([]int64, rows)
+			for r := 0; r < rows; r++ {
+				v.ints[r] = int64(binary.LittleEndian.Uint64(buf))
+				buf = buf[8:]
+			}
+		case types.Float:
+			if len(buf) < rows*8 {
+				return nil, fmt.Errorf("rel: chunk column %d lane truncated", i)
+			}
+			v.floats = make([]float64, rows)
+			for r := 0; r < rows; r++ {
+				v.floats[r] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+				buf = buf[8:]
+			}
+		case types.Text:
+			v.strs = make([]string, rows)
+			for r := 0; r < rows; r++ {
+				if len(buf) < 4 {
+					return nil, fmt.Errorf("rel: chunk column %d string %d truncated", i, r)
+				}
+				n := int(binary.LittleEndian.Uint32(buf))
+				buf = buf[4:]
+				if n < 0 || len(buf) < n {
+					return nil, fmt.Errorf("rel: chunk column %d string %d truncated", i, r)
+				}
+				v.strs[r] = string(buf[:n])
+				buf = buf[n:]
+			}
+		default:
+			return nil, fmt.Errorf("rel: chunk column %d has unknown kind %d", i, int(v.kind))
+		}
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("rel: chunk has %d trailing bytes", len(buf))
+	}
+	c.seal()
+	return c, nil
+}

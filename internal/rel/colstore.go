@@ -1,0 +1,239 @@
+package rel
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// ChunkSource supplies the chunks of one relation's columnar storage.
+// Implementations must be safe for concurrent ReadChunk calls and must
+// return byte-identical chunk contents on every read of the same index —
+// the chunk cache relies on that to evict and refault freely.
+type ChunkSource interface {
+	// NumChunks returns how many chunks the source holds.
+	NumChunks() int
+	// ChunkRows returns the nominal rows-per-chunk (the last chunk may
+	// be shorter).
+	ChunkRows() int
+	// Rows returns the total row count.
+	Rows() int
+	// ReadChunk loads chunk i.
+	ReadChunk(i int) (*Chunk, error)
+}
+
+// chunkSlot is one chunk position of a colStore. res holds the resident
+// chunk, or nil when evicted. Slots with a source are cache-managed:
+// the bounded chunk cache may clear res and refault it from src later.
+// Slots without a source (freshly written or mutated chunks) are pinned
+// resident for the lifetime of the store versions that reference them.
+//
+// Slots are shared freely between relation versions — CowClone copies
+// the slot-pointer slice — which is safe because the only mutable field
+// is the resident pointer, and loading/evicting never changes the
+// chunk's logical contents.
+type chunkSlot struct {
+	res atomic.Pointer[Chunk]
+	src ChunkSource // nil = pinned resident
+	idx int         // chunk index within src
+
+	// LRU bookkeeping, owned by the chunk cache mutex.
+	lruPrev, lruNext *chunkSlot
+	inCache          bool
+	resBytes         int64
+}
+
+// pinnedSlot wraps a resident-only chunk in a slot.
+func pinnedSlot(c *Chunk) *chunkSlot {
+	s := &chunkSlot{}
+	s.res.Store(c)
+	return s
+}
+
+// colStore is the columnar storage of one relation version: an ordered
+// slice of chunk slots over a fixed schema. Stores are immutable —
+// mutation helpers return a new store sharing all untouched slots, which
+// is exactly the CoW discipline Relation already applies to its row
+// storage.
+type colStore struct {
+	schema    *Schema
+	slots     []*chunkSlot
+	rows      int
+	chunkRows int
+}
+
+// newColStore wires a store directly onto a chunk source with all slots
+// evicted; chunks fault in lazily through the chunk cache.
+func newColStore(schema *Schema, src ChunkSource) *colStore {
+	cs := &colStore{schema: schema, rows: src.Rows(), chunkRows: src.ChunkRows()}
+	n := src.NumChunks()
+	cs.slots = make([]*chunkSlot, n)
+	for i := 0; i < n; i++ {
+		cs.slots[i] = &chunkSlot{src: src, idx: i}
+	}
+	return cs
+}
+
+// buildColStore encodes row-major tuples into a store whose slots fault
+// lazily from the tuple slice itself: nothing is encoded until a kernel
+// first touches a chunk, and encoded chunks are evictable because the
+// rows remain the ground truth.
+func buildColStore(schema *Schema, tuples [][]types.Value, chunkRows int) *colStore {
+	src := &rowChunkSource{schema: schema, tuples: tuples, chunkRows: chunkRows}
+	return newColStore(schema, src)
+}
+
+// numChunks returns the slot count.
+func (cs *colStore) numChunks() int { return len(cs.slots) }
+
+// chunkSpan returns the [lo, hi) row range of chunk i.
+func (cs *colStore) chunkSpan(i int) (lo, hi int) {
+	lo = i * cs.chunkRows
+	hi = lo + cs.chunkRows
+	if hi > cs.rows {
+		hi = cs.rows
+	}
+	return lo, hi
+}
+
+// rowChunk maps a row id to (chunk index, offset).
+func (cs *colStore) rowChunk(row int) (ci, off int) {
+	return row / cs.chunkRows, row % cs.chunkRows
+}
+
+// chunk returns chunk i, faulting it in through the bounded chunk cache
+// if evicted. The returned chunk stays valid for as long as the caller
+// holds the pointer, even if the cache evicts the slot meanwhile.
+func (cs *colStore) chunk(i int) (*Chunk, error) {
+	s := cs.slots[i]
+	if c := s.res.Load(); c != nil {
+		return c, nil
+	}
+	return globalChunkCache.fault(s)
+}
+
+// value reads a single value without materializing the row.
+func (cs *colStore) value(row, col int) (types.Value, error) {
+	ci, off := cs.rowChunk(row)
+	c, err := cs.chunk(ci)
+	if err != nil {
+		return types.Null, err
+	}
+	return c.Value(col, off), nil
+}
+
+// withAppend returns a new store with tuple appended. The tail chunk is
+// rebuilt copy-on-write (or a fresh chunk started when the tail is
+// full); all other slots are shared. The new tail has no source — it
+// diverged from any segment backing — so it stays pinned resident.
+func (cs *colStore) withAppend(tuple []types.Value) (*colStore, error) {
+	out := &colStore{schema: cs.schema, chunkRows: cs.chunkRows, rows: cs.rows + 1}
+	n := len(cs.slots)
+	tailRows := cs.rows - (n-1)*cs.chunkRows
+	if n == 0 || tailRows >= cs.chunkRows {
+		// Start a fresh tail chunk.
+		c, err := encodeRows(cs.schema, [][]types.Value{tuple})
+		if err != nil {
+			return nil, err
+		}
+		out.slots = make([]*chunkSlot, n+1)
+		copy(out.slots, cs.slots)
+		out.slots[n] = pinnedSlot(c)
+		return out, nil
+	}
+	old, err := cs.chunk(n - 1)
+	if err != nil {
+		return nil, err
+	}
+	b := newChunkBuilder(cs.schema, old.rows+1)
+	buf := make([]types.Value, 0, cs.schema.Len())
+	for r := 0; r < old.rows; r++ {
+		buf = old.DecodeRow(r, buf[:0])
+		if err := b.appendRow(buf); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.appendRow(tuple); err != nil {
+		return nil, err
+	}
+	out.slots = make([]*chunkSlot, n)
+	copy(out.slots, cs.slots)
+	out.slots[n-1] = pinnedSlot(b.finish())
+	return out, nil
+}
+
+// withUpdate returns a new store with (row, col) replaced by v. Only the
+// affected chunk is rebuilt; the new chunk is pinned resident.
+func (cs *colStore) withUpdate(row, col int, v types.Value) (*colStore, error) {
+	ci, off := cs.rowChunk(row)
+	old, err := cs.chunk(ci)
+	if err != nil {
+		return nil, err
+	}
+	b := newChunkBuilder(cs.schema, old.rows)
+	buf := make([]types.Value, 0, cs.schema.Len())
+	for r := 0; r < old.rows; r++ {
+		buf = old.DecodeRow(r, buf[:0])
+		if r == off {
+			buf[col] = v
+		}
+		if err := b.appendRow(buf); err != nil {
+			return nil, err
+		}
+	}
+	out := &colStore{schema: cs.schema, chunkRows: cs.chunkRows, rows: cs.rows}
+	out.slots = make([]*chunkSlot, len(cs.slots))
+	copy(out.slots, cs.slots)
+	out.slots[ci] = pinnedSlot(b.finish())
+	return out, nil
+}
+
+// materialize decodes the whole store into row-major tuples.
+func (cs *colStore) materialize() ([][]types.Value, error) {
+	out := make([][]types.Value, 0, cs.rows)
+	for i := 0; i < len(cs.slots); i++ {
+		c, err := cs.chunk(i)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < c.rows; r++ {
+			out = append(out, c.DecodeRow(r, make([]types.Value, 0, len(c.cols))))
+		}
+	}
+	return out, nil
+}
+
+// rowChunkSource lazily encodes chunks from an immutable row-major tuple
+// slice. It backs the derived columnar view of resident relations: the
+// rows are the ground truth, so encoded chunks are freely evictable and
+// re-encoding is deterministic.
+type rowChunkSource struct {
+	schema    *Schema
+	tuples    [][]types.Value
+	chunkRows int
+}
+
+// NumChunks implements ChunkSource.
+func (s *rowChunkSource) NumChunks() int {
+	return (len(s.tuples) + s.chunkRows - 1) / s.chunkRows
+}
+
+// ChunkRows implements ChunkSource.
+func (s *rowChunkSource) ChunkRows() int { return s.chunkRows }
+
+// Rows implements ChunkSource.
+func (s *rowChunkSource) Rows() int { return len(s.tuples) }
+
+// ReadChunk implements ChunkSource.
+func (s *rowChunkSource) ReadChunk(i int) (*Chunk, error) {
+	lo := i * s.chunkRows
+	hi := lo + s.chunkRows
+	if hi > len(s.tuples) {
+		hi = len(s.tuples)
+	}
+	if lo < 0 || lo >= hi {
+		return nil, fmt.Errorf("rel: chunk %d out of range", i)
+	}
+	return encodeRows(s.schema, s.tuples[lo:hi])
+}

@@ -310,8 +310,9 @@ func BuildJoinState(oldL, oldR, oldOut *Relation, pred expr.Node) (*JoinState, b
 		s.buildIsRight = false
 	}
 	s.table = make(map[valueKey][]int, build.Len())
-	for row, tup := range build.tuples {
-		v := tup[s.bi]
+	brd := build.reader()
+	for row, n := 0, build.Len(); row < n; row++ {
+		v := brd.value(row, s.bi)
 		if v.IsNull() {
 			continue
 		}
@@ -319,8 +320,9 @@ func BuildJoinState(oldL, oldR, oldOut *Relation, pred expr.Node) (*JoinState, b
 		s.table[k] = append(s.table[k], row)
 	}
 	s.probeIdx = make(map[valueKey][]int)
-	for row, tup := range probe.tuples {
-		v := tup[s.pi]
+	prd := probe.reader()
+	for row, n := 0, probe.Len(); row < n; row++ {
+		v := prd.value(row, s.pi)
 		if v.IsNull() {
 			continue
 		}
@@ -329,13 +331,15 @@ func BuildJoinState(oldL, oldR, oldOut *Relation, pred expr.Node) (*JoinState, b
 	}
 	// Replay the probe loop to recover pair provenance. The memoized
 	// output must have exactly one row per kept pair, in the same order.
-	for prow, ptup := range probe.tuples {
+	bget := build.reader()
+	for prow, n := 0, probe.Len(); prow < n; prow++ {
+		ptup := prd.take(prow)
 		v := ptup[s.pi]
 		if v.IsNull() {
 			continue
 		}
 		for _, brow := range s.table[keyOf(v)] {
-			lt, rt := s.sides(ptup, build.tuples[brow])
+			lt, rt := s.sides(ptup, bget.take(brow))
 			keep, err := s.residual(lt, rt)
 			if err != nil {
 				return nil, false
@@ -344,6 +348,9 @@ func BuildJoinState(oldL, oldR, oldOut *Relation, pred expr.Node) (*JoinState, b
 				s.pairs = append(s.pairs, [2]int{prow, brow})
 			}
 		}
+	}
+	if brd.Err() != nil || prd.Err() != nil || bget.Err() != nil {
+		return nil, false
 	}
 	if len(s.pairs) != oldOut.Len() {
 		return nil, false
@@ -391,6 +398,8 @@ func (s *JoinState) Apply(newL, newR *Relation, dl, dr *TupleDelta) (*Relation, 
 		copied = true
 	}
 	var outOps []DeltaOp
+	prd := probeRel.reader()
+	brd := buildRel.reader()
 
 	// Phase 1 — build-side changes. New build rows may only extend their
 	// bucket tails; if any existing probe row would pair with a new build
@@ -413,7 +422,10 @@ func (s *JoinState) Apply(newL, newR *Relation, dl, dr *TupleDelta) (*Relation, 
 		}
 		k := keyOf(v)
 		for _, prow := range s.probeIdx[k] {
-			lt, rt := s.sides(probeRel.tuples[prow], op.Tuple)
+			lt, rt := s.sides(prd.at(prow), op.Tuple)
+			if prd.Err() != nil {
+				return nil, nil, false
+			}
 			keep, err := s.residual(lt, rt)
 			if err != nil || keep {
 				return nil, nil, false
@@ -441,7 +453,10 @@ func (s *JoinState) Apply(newL, newR *Relation, dl, dr *TupleDelta) (*Relation, 
 			}
 			k := keyOf(v)
 			for _, brow := range s.table[k] {
-				lt, rt := s.sides(op.Tuple, buildRel.tuples[brow])
+				lt, rt := s.sides(op.Tuple, brd.at(brow))
+				if brd.Err() != nil {
+					return nil, nil, false
+				}
 				keep, err := s.residual(lt, rt)
 				if err != nil {
 					return nil, nil, false
@@ -477,7 +492,10 @@ func (s *JoinState) Apply(newL, newR *Relation, dl, dr *TupleDelta) (*Relation, 
 			j := lo
 			var newTuples [][]types.Value
 			for _, brow := range s.table[k] {
-				lt, rt := s.sides(op.Tuple, buildRel.tuples[brow])
+				lt, rt := s.sides(op.Tuple, brd.at(brow))
+				if brd.Err() != nil {
+					return nil, nil, false
+				}
 				keep, err := s.residual(lt, rt)
 				if err != nil {
 					return nil, nil, false

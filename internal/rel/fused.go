@@ -110,7 +110,7 @@ func (m *mappedCursor) AttrValue(name string) (types.Value, bool) {
 		if m.tup != nil {
 			return m.tup[m.fp.colMap[i]], true
 		}
-		return m.src.tuples[m.row][m.fp.colMap[i]], true
+		return m.src.storedValue(m.row, m.fp.colMap[i]), true
 	}
 	for _, c := range m.fp.shape.computed {
 		if c.Name == name {
@@ -144,7 +144,7 @@ func FusedScanCtx(ctx context.Context, r *Relation, ops []FusedOp, workers int) 
 	var sp *obs.Span
 	if obs.Recording() {
 		ctx, sp = obs.StartSpanCtx(ctx, obs.SpanRelFusedScan,
-			"steps", strconv.Itoa(len(ops)), "rows_in", strconv.Itoa(len(r.tuples)))
+			"steps", strconv.Itoa(len(ops)), "rows_in", strconv.Itoa(r.Len()))
 	}
 	res, err := fusedScan(ctx, r, ops, workers)
 	if err == nil {
@@ -310,58 +310,68 @@ func fusedScan(ctx context.Context, r *Relation, ops []FusedOp, workers int) (*F
 	// per row, over the original tuples. Chunks are contiguous, so
 	// concatenating their keep-lists reproduces the serial row order.
 	obs.Inc(obs.RelFusedScans)
-	n := len(r.tuples)
-	chunks := scanChunks(n, workers)
-	chunkRows := make([][]int, chunks)
-	err = runChunks(n, chunks, func(c, lo, hi int) error {
-		keep := make([]int, 0, (hi-lo)/4+8)
-		var cur *mappedCursor
-		var scratch []types.Value
-		for i := lo; i < hi; i++ {
-			ext := r.tuples[i]
-			if matp != nil && anyCompiled {
-				scratch = matp.extend(ext, scratch)
-				ext = scratch
-			}
-			pass := true
-			for _, fp := range preds {
-				var ok bool
-				var err error
-				if fp.compiled != nil {
-					ok, err = fp.compiled.Eval(ext)
-				} else {
-					if cur == nil {
-						cur = &mappedCursor{src: r}
-					}
-					cur.fp, cur.row, cur.tup = fp, i, nil
-					ok, err = expr.EvalPredicate(fp.node, cur)
-				}
-				if err != nil {
-					return &FusedStepError{Step: fp.step, Err: fmt.Errorf("rel: restrict: %w", err)}
-				}
-				if !ok {
-					pass = false
-					break
-				}
-			}
-			if pass {
-				keep = append(keep, i)
-			}
-		}
-		chunkRows[c] = keep
-		return nil
-	})
+	n := r.Len()
+	rows, kernOK, err := kernelFusedRows(r, sh, workers)
 	if err != nil {
 		return nil, err
 	}
+	if !kernOK {
+		chunks := scanChunks(n, workers)
+		chunkRows := make([][]int, chunks)
+		err = runChunks(n, chunks, func(c, lo, hi int) error {
+			keep := make([]int, 0, (hi-lo)/4+8)
+			var cur *mappedCursor
+			var scratch []types.Value
+			rd := r.reader()
+			for i := lo; i < hi; i++ {
+				ext := rd.at(i)
+				if matp != nil && anyCompiled {
+					scratch = matp.extend(ext, scratch)
+					ext = scratch
+				}
+				pass := true
+				for _, fp := range preds {
+					var ok bool
+					var err error
+					if fp.compiled != nil {
+						ok, err = fp.compiled.Eval(ext)
+					} else {
+						if cur == nil {
+							cur = &mappedCursor{src: r}
+						}
+						cur.fp, cur.row, cur.tup = fp, i, nil
+						ok, err = expr.EvalPredicate(fp.node, cur)
+					}
+					if err != nil {
+						return &FusedStepError{Step: fp.step, Err: fmt.Errorf("rel: restrict: %w", err)}
+					}
+					if !ok {
+						pass = false
+						break
+					}
+				}
+				if pass {
+					keep = append(keep, i)
+				}
+			}
+			if err := rd.Err(); err != nil {
+				return fmt.Errorf("rel: fused scan: %w", err)
+			}
+			chunkRows[c] = keep
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 
-	total := 0
-	for _, rs := range chunkRows {
-		total += len(rs)
-	}
-	rows := make([]int, 0, total)
-	for _, rs := range chunkRows {
-		rows = append(rows, rs...)
+		total := 0
+		for _, rs := range chunkRows {
+			total += len(rs)
+		}
+		rows = make([]int, 0, total)
+		for _, rs := range chunkRows {
+			rows = append(rows, rs...)
+		}
 	}
 
 	// Materialize the final relation into the last shape. When every
@@ -376,19 +386,23 @@ func fusedScan(ctx context.Context, r *Relation, ops []FusedOp, workers int) (*F
 		}
 	}
 	out.tuples = make([][]types.Value, len(rows))
+	rd := r.reader()
 	if identity {
 		for i, row := range rows {
-			out.tuples[i] = r.tuples[row]
+			out.tuples[i] = rd.take(row)
 		}
 	} else {
 		for i, row := range rows {
-			src := r.tuples[row]
+			src := rd.at(row)
 			nt := make([]types.Value, len(colMap))
 			for j, ci := range colMap {
 				nt[j] = src[ci]
 			}
 			out.tuples[i] = nt
 		}
+	}
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("rel: fused scan: %w", err)
 	}
 	out.setProv(r, rows)
 	return &FusedResult{Out: out, Shapes: shapes}, nil

@@ -1,0 +1,970 @@
+package rel
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// This file is the columnar predicate kernel: a second expression
+// compiler that lowers a restriction predicate to monomorphic loops over
+// a chunk's contiguous typed lanes (internal/rel/chunk.go), producing
+// selection bitmaps instead of per-row values. It exists for the hot
+// scan paths only — Restrict and the fused Restrict/Project pipeline —
+// and is strictly best-effort: any node it cannot reproduce EXACTLY
+// rejects compilation and the caller keeps the row-at-a-time path
+// (compiled closures or the interpreter), which remains the semantics
+// of record and the differential oracle.
+//
+// Exactness argument. Append and Update enforce schema kinds, so at run
+// time every stored value has its declared kind or is null; the static
+// kinds the kernel computes are therefore the only kinds its lanes ever
+// hold. Within the node set the kernel accepts, the sole reachable
+// runtime error is integer or float division/modulo by zero. Those rows
+// are flagged in a per-chunk error bitmap and re-evaluated row-wise in
+// ascending order through the ordinary path, which both reproduces the
+// exact error value and preserves the "lowest failing row reports
+// first" determinism of a serial scan. Everything else is pure bitmap
+// algebra chosen to mirror the interpreter bit for bit:
+//
+//   - null propagation: null_out = null_l | null_r for every non-and/or
+//     operator, nulls collapsed to false at the predicate boundary;
+//   - and/or: the interpreter's short-circuit Kleene forms, expressed
+//     as  and: t' = tl&tr, n' = nl | (tl&nr);  or: t' = tl | (fl&tr),
+//     n' = nl | (fl&nr)  with f = ^(t|n|e) — including the asymmetric
+//     error rule that a short-circuited right side cannot raise;
+//   - arithmetic: Int×Int stays int64 with Go's wrapping overflow and
+//     truncating division, exactly evalArith's operations; any Int/Float
+//     mix promotes through float64 just as AsFloat does;
+//   - comparisons: types.Compare orders numeric kinds by three-way
+//     float64 comparison (under which NaN is "equal" to everything), so
+//     the kernel compares float64 lanes with the matching predicates:
+//     <: a<b, <=: !(a>b), =: !(a<b)&&!(a>b), and so on — never native
+//     int comparisons, which would diverge past 2^53.
+//
+// Rejected outright (row path handles them): Date arithmetic, Bool
+// comparisons, Text ordering and concatenation (Text = / != is kept),
+// float modulo, builtin calls, and null literals. Computed attributes
+// inline their definitions recursively with a per-chunk memo, and an
+// error inside a definition forces that row's attribute to null — the
+// same swallowing Row.AttrValue and the closure compiler perform.
+
+// columnarOff is the kernel's ablation knob, independent of compileOff:
+// the benchmark baseline runs with compilation on and the columnar
+// kernel off to measure exactly the chunk-kernel contribution.
+var columnarOff atomic.Bool
+
+// SetColumnarDisabled turns the columnar chunk kernels off (true) or on
+// (false) process-wide and returns the previous setting. With kernels
+// off every scan takes the row-at-a-time path — the ablation baseline
+// for the columnar_scan benchmark.
+func SetColumnarDisabled(off bool) bool { return columnarOff.Swap(off) }
+
+// ColumnarDisabled reports whether the columnar kernels are disabled.
+func ColumnarDisabled() bool { return columnarOff.Load() }
+
+// kernelMinRows is the row count below which a row-major relation is
+// not worth encoding into a columnar view for one scan.
+const kernelMinRows = DefaultChunkRows
+
+// ---------------------------------------------------------------------
+// Bitmaps.
+
+// kbits is a row bitmap. Word counts follow the producing context's row
+// count; binary combinators run over the shorter operand (a constant
+// vector is sized for a full chunk, the last chunk of a relation is
+// shorter). Bits at or above the consumer's row count are meaningless
+// and every consuming loop is bounded, so trailing garbage is harmless.
+// A nil kbits means "no bits set" and may be returned shared by the
+// combinators; treat every kbits as immutable once produced.
+type kbits []uint64
+
+func newKbits(n int) kbits { return make(kbits, (n+63)/64) }
+
+func onesKbits(n int) kbits {
+	b := newKbits(n)
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	return b
+}
+
+func (b kbits) set(i int)       { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b kbits) test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// kAny reports whether any bit is set (trailing garbage included — use
+// only as a fast-path gate, never for correctness).
+func kAny(b kbits) bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func minWords(a, b kbits) int {
+	if len(a) < len(b) {
+		return len(a)
+	}
+	return len(b)
+}
+
+// kOr returns a|b; nil operands pass the other through unchanged.
+func kOr(a, b kbits) kbits {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(kbits, minWords(a, b))
+	for i := range out {
+		out[i] = a[i] | b[i]
+	}
+	return out
+}
+
+// kAnd returns a&b; nil if either operand is nil.
+func kAnd(a, b kbits) kbits {
+	if a == nil || b == nil {
+		return nil
+	}
+	out := make(kbits, minWords(a, b))
+	for i := range out {
+		out[i] = a[i] & b[i]
+	}
+	return out
+}
+
+// kAndNot returns a&^b.
+func kAndNot(a, b kbits) kbits {
+	if a == nil || b == nil {
+		return a
+	}
+	out := make(kbits, minWords(a, b))
+	for i := range out {
+		out[i] = a[i] &^ b[i]
+	}
+	return out
+}
+
+// kNot3 returns ^(a|b|c) over a's word count (a must be non-nil; b and
+// c may be nil).
+func kNot3(a, b, c kbits) kbits {
+	out := make(kbits, len(a))
+	for i := range out {
+		w := a[i]
+		if b != nil && i < len(b) {
+			w |= b[i]
+		}
+		if c != nil && i < len(c) {
+			w |= c[i]
+		}
+		out[i] = ^w
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Vectors.
+
+// kvec is one expression node's value over a chunk: a typed lane plus
+// null and error bitmaps. Int, Date share the int64 lane; Bool is held
+// as bitmaps (t = true rows) rather than a lane. The three bitmaps are
+// pairwise disjoint: an error row is neither null nor true, a null row
+// is not true. Lane slots under a null or error bit are garbage.
+type kvec struct {
+	kind   types.Kind
+	ints   []int64
+	floats []float64
+	strs   []string
+	t      kbits // Bool only; always non-nil for Bool vectors
+	null   kbits // nil = no nulls
+	errs   kbits // nil = no errors (division/modulo by zero)
+}
+
+// kctx is the per-chunk evaluation context. memo caches computed-
+// attribute vectors by definition node for the current chunk.
+type kctx struct {
+	c    *Chunk
+	n    int
+	memo map[expr.Node]*kvec
+}
+
+func (kc *kctx) reset(c *Chunk) {
+	kc.c, kc.n, kc.memo = c, c.Rows(), nil
+}
+
+// kfn evaluates one compiled node over the context's chunk.
+type kfn func(kc *kctx) *kvec
+
+// kernProg is a kernel-compiled predicate.
+type kernProg struct {
+	root kfn
+}
+
+// kernScope resolves attribute names for the kernel compiler: stored
+// columns map (through colMap when the caller's name space is a fused
+// shape) to chunk column ordinals and their schema kinds; computed
+// attributes yield their definitions for inlining.
+type kernScope struct {
+	schema   *Schema
+	colMap   []int // nil = identity
+	computed []Computed
+}
+
+func (s kernScope) resolve(name string) (ord int, kind types.Kind, def expr.Node, ok bool) {
+	if i := s.schema.Index(name); i >= 0 {
+		ord = i
+		if s.colMap != nil {
+			ord = s.colMap[i]
+		}
+		return ord, s.schema.Col(i).Kind, nil, true
+	}
+	for _, c := range s.computed {
+		if c.Name == name {
+			return -1, c.Kind, c.Expr, true
+		}
+	}
+	return -1, types.Invalid, nil, false
+}
+
+// kernelCompilePred compiles pred to a chunk kernel, or reports false
+// when any node falls outside the exactly-reproducible set.
+func kernelCompilePred(pred expr.Node, scope kernScope, maxRows int) (*kernProg, bool) {
+	c := &kernCompiler{scope: scope, maxRows: maxRows}
+	fn, kind, _, ok := c.compile(pred)
+	if !ok || kind != types.Bool {
+		return nil, false
+	}
+	return &kernProg{root: fn}, true
+}
+
+// ---------------------------------------------------------------------
+// Compiler.
+
+type kernCompiler struct {
+	scope   kernScope
+	maxRows int
+	depth   int
+}
+
+// compile lowers one node, folding constant subtrees to a broadcast
+// vector built once at compile time (errors included — a constant 1/0
+// becomes an all-error vector whose rows all fall back, reproducing the
+// interpreter's first-row error).
+func (c *kernCompiler) compile(n expr.Node) (kfn, types.Kind, bool, bool) {
+	fn, kind, konst, ok := c.compileNode(n)
+	if !ok {
+		return nil, types.Invalid, false, false
+	}
+	if konst {
+		v := fn(&kctx{n: 1})
+		bc := c.broadcast(v, kind)
+		return func(*kctx) *kvec { return bc }, kind, true, true
+	}
+	return fn, kind, false, true
+}
+
+// broadcast expands a single-row vector to maxRows rows.
+func (c *kernCompiler) broadcast(v *kvec, kind types.Kind) *kvec {
+	out := &kvec{kind: kind}
+	if (v.errs != nil && v.errs.test(0)) || (v.null != nil && v.null.test(0)) {
+		if v.errs != nil && v.errs.test(0) {
+			out.errs = onesKbits(c.maxRows)
+		} else {
+			out.null = onesKbits(c.maxRows)
+		}
+		// Zero-filled lanes keep the kvec invariant (error/null slots
+		// hold zero values) so arithmetic consumers can slice blindly.
+		switch kind {
+		case types.Int, types.Date:
+			out.ints = make([]int64, c.maxRows)
+		case types.Float:
+			out.floats = make([]float64, c.maxRows)
+		case types.Text:
+			out.strs = make([]string, c.maxRows)
+		case types.Bool:
+			out.t = newKbits(c.maxRows)
+		}
+		return out
+	}
+	switch kind {
+	case types.Int, types.Date:
+		out.ints = make([]int64, c.maxRows)
+		for i := range out.ints {
+			out.ints[i] = v.ints[0]
+		}
+	case types.Float:
+		out.floats = make([]float64, c.maxRows)
+		for i := range out.floats {
+			out.floats[i] = v.floats[0]
+		}
+	case types.Text:
+		out.strs = make([]string, c.maxRows)
+		for i := range out.strs {
+			out.strs[i] = v.strs[0]
+		}
+	case types.Bool:
+		if v.t.test(0) {
+			out.t = onesKbits(c.maxRows)
+		} else {
+			out.t = newKbits(c.maxRows)
+		}
+	}
+	return out
+}
+
+func isIF(k types.Kind) bool { return k == types.Int || k == types.Float }
+
+func isNumericK(k types.Kind) bool {
+	return k == types.Int || k == types.Float || k == types.Date
+}
+
+func (c *kernCompiler) compileNode(n expr.Node) (kfn, types.Kind, bool, bool) {
+	switch n := n.(type) {
+	case *expr.Lit:
+		v := n.Val
+		if v.IsNull() {
+			return nil, types.Invalid, false, false
+		}
+		kind := v.Kind()
+		single := &kvec{kind: kind}
+		switch kind {
+		case types.Int:
+			single.ints = []int64{v.Int()}
+		case types.Date:
+			single.ints = []int64{v.DateDays()}
+		case types.Float:
+			single.floats = []float64{v.Float()}
+		case types.Text:
+			single.strs = []string{v.Text()}
+		case types.Bool:
+			single.t = newKbits(1)
+			if v.Bool() {
+				single.t.set(0)
+			}
+		default:
+			return nil, types.Invalid, false, false
+		}
+		return func(*kctx) *kvec { return single }, kind, true, true
+
+	case *expr.Ref:
+		ord, kind, def, ok := c.scope.resolve(n.Name)
+		if !ok {
+			return nil, types.Invalid, false, false
+		}
+		if def != nil {
+			return c.compileComputed(def)
+		}
+		switch kind {
+		case types.Int, types.Float, types.Date, types.Text, types.Bool:
+		default:
+			return nil, types.Invalid, false, false
+		}
+		return func(kc *kctx) *kvec {
+			cv := &kc.c.cols[ord]
+			words := (kc.n + 63) / 64
+			null := make(kbits, words)
+			for w := 0; w < words; w++ {
+				null[w] = ^cv.valid[w]
+			}
+			out := &kvec{kind: kind, null: null}
+			switch kind {
+			case types.Int, types.Date:
+				out.ints = cv.ints
+			case types.Float:
+				out.floats = cv.floats
+			case types.Text:
+				out.strs = cv.strs
+			case types.Bool:
+				t := make(kbits, words)
+				lane := cv.ints
+				for i := 0; i < kc.n; i++ {
+					if lane[i] != 0 {
+						t.set(i)
+					}
+				}
+				out.t = kAndNot(t, null)
+			}
+			return out
+		}, kind, false, true
+
+	case *expr.Unary:
+		xf, kind, konst, ok := c.compile(n.X)
+		if !ok {
+			return nil, types.Invalid, false, false
+		}
+		switch n.Op {
+		case "-":
+			switch kind {
+			case types.Int:
+				return func(kc *kctx) *kvec {
+					x := xf(kc)
+					res := make([]int64, kc.n)
+					lane := x.ints[:kc.n]
+					for i := range res {
+						res[i] = -lane[i]
+					}
+					return &kvec{kind: types.Int, ints: res, null: x.null, errs: x.errs}
+				}, types.Int, konst, true
+			case types.Float:
+				return func(kc *kctx) *kvec {
+					x := xf(kc)
+					res := make([]float64, kc.n)
+					lane := x.floats[:kc.n]
+					for i := range res {
+						res[i] = -lane[i]
+					}
+					return &kvec{kind: types.Float, floats: res, null: x.null, errs: x.errs}
+				}, types.Float, konst, true
+			}
+			return nil, types.Invalid, false, false
+		case "not":
+			if kind != types.Bool {
+				return nil, types.Invalid, false, false
+			}
+			return func(kc *kctx) *kvec {
+				x := xf(kc)
+				return &kvec{kind: types.Bool, t: kNot3(x.t, x.null, x.errs), null: x.null, errs: x.errs}
+			}, types.Bool, konst, true
+		}
+		return nil, types.Invalid, false, false
+
+	case *expr.Binary:
+		lf, lk, lko, ok := c.compile(n.L)
+		if !ok {
+			return nil, types.Invalid, false, false
+		}
+		rf, rk, rko, ok := c.compile(n.R)
+		if !ok {
+			return nil, types.Invalid, false, false
+		}
+		konst := lko && rko
+		switch n.Op {
+		case "and", "or":
+			if lk != types.Bool || rk != types.Bool {
+				return nil, types.Invalid, false, false
+			}
+			isAnd := n.Op == "and"
+			return func(kc *kctx) *kvec {
+				l, r := lf(kc), rf(kc)
+				out := &kvec{kind: types.Bool}
+				if isAnd {
+					// false-l short-circuits: r's errors and nulls only
+					// matter where l is true or null.
+					out.errs = kOr(l.errs, kAnd(kOr(l.t, l.null), r.errs))
+					out.null = kAndNot(kOr(l.null, kAnd(l.t, r.null)), out.errs)
+					out.t = kAnd(l.t, r.t)
+				} else {
+					// true-l short-circuits: r matters where l is false
+					// or null (null-l still propagates r's errors).
+					fl := kNot3(l.t, l.null, l.errs)
+					out.errs = kOr(l.errs, kAndNot(r.errs, l.t))
+					out.null = kAndNot(kOr(l.null, kAnd(fl, r.null)), out.errs)
+					out.t = kOr(l.t, kAnd(fl, r.t))
+				}
+				return out
+			}, types.Bool, konst, true
+
+		case "+", "-", "*", "/", "%":
+			if !isIF(lk) || !isIF(rk) {
+				return nil, types.Invalid, false, false
+			}
+			if lk == types.Int && rk == types.Int {
+				return c.intArith(n.Op, lf, rf), types.Int, konst, true
+			}
+			if n.Op == "%" {
+				// Float modulo goes through math.Mod in the interpreter;
+				// keep it on the row path.
+				return nil, types.Invalid, false, false
+			}
+			lf = c.coerceFloat(lf, lk, lko)
+			rf = c.coerceFloat(rf, rk, rko)
+			return c.floatArith(n.Op, lf, rf), types.Float, konst, true
+
+		case "<", "<=", ">", ">=", "=", "!=":
+			if lk == types.Text && rk == types.Text {
+				if n.Op != "=" && n.Op != "!=" {
+					return nil, types.Invalid, false, false
+				}
+				return c.textEq(n.Op == "!=", lf, rf), types.Bool, konst, true
+			}
+			if !isNumericK(lk) || !isNumericK(rk) {
+				return nil, types.Invalid, false, false
+			}
+			if (n.Op == "=" || n.Op == "!=") && lk != rk && !(isIF(lk) && isIF(rk)) {
+				// comparable() rejects e.g. Date = Int at run time.
+				return nil, types.Invalid, false, false
+			}
+			lf = c.coerceFloat(lf, lk, lko)
+			rf = c.coerceFloat(rf, rk, rko)
+			return c.floatCompare(n.Op, lf, rf), types.Bool, konst, true
+		}
+		return nil, types.Invalid, false, false
+	}
+	// Calls (builtins) and anything unknown: row path.
+	return nil, types.Invalid, false, false
+}
+
+// compileComputed inlines a computed-attribute definition: evaluated
+// once per chunk (memoized by definition node), with any per-row error
+// inside the definition converted to null at this boundary — exactly
+// Row.AttrValue's swallowing.
+func (c *kernCompiler) compileComputed(def expr.Node) (kfn, types.Kind, bool, bool) {
+	c.depth++
+	if c.depth > 64 {
+		c.depth--
+		return nil, types.Invalid, false, false
+	}
+	sub, kind, konst, ok := c.compile(def)
+	c.depth--
+	if !ok {
+		return nil, types.Invalid, false, false
+	}
+	fn := func(kc *kctx) *kvec {
+		if kc.memo != nil {
+			if v, ok := kc.memo[def]; ok {
+				return v
+			}
+		}
+		v := sub(kc)
+		if v.errs != nil {
+			nv := *v
+			nv.null = kOr(v.null, v.errs)
+			nv.errs = nil
+			v = &nv
+		}
+		if kc.memo == nil {
+			kc.memo = make(map[expr.Node]*kvec)
+		}
+		kc.memo[def] = v
+		return v
+	}
+	return fn, kind, konst, true
+}
+
+// coerceFloat adapts an Int or Date lane producer to a float64 lane,
+// matching AsFloat's conversion. Constant operands convert once.
+func (c *kernCompiler) coerceFloat(fn kfn, kind types.Kind, konst bool) kfn {
+	if kind == types.Float {
+		return fn
+	}
+	conv := func(kc *kctx) *kvec {
+		x := fn(kc)
+		res := make([]float64, kc.n)
+		lane := x.ints[:kc.n]
+		for i := range res {
+			res[i] = float64(lane[i])
+		}
+		return &kvec{kind: types.Float, floats: res, null: x.null, errs: x.errs}
+	}
+	if konst {
+		bc := conv(&kctx{n: c.maxRows})
+		return func(*kctx) *kvec { return bc }
+	}
+	return conv
+}
+
+// intArith lowers Int×Int arithmetic: Go's wrapping int64 ops, with
+// division/modulo by zero flagged as per-row errors for fallback.
+func (c *kernCompiler) intArith(op string, lf, rf kfn) kfn {
+	return func(kc *kctx) *kvec {
+		l, r := lf(kc), rf(kc)
+		n := kc.n
+		errs := kOr(l.errs, r.errs)
+		null := kAndNot(kOr(l.null, r.null), errs)
+		res := make([]int64, n)
+		a, b := l.ints[:n], r.ints[:n]
+		var zero kbits
+		switch op {
+		case "+":
+			for i := range res {
+				res[i] = a[i] + b[i]
+			}
+		case "-":
+			for i := range res {
+				res[i] = a[i] - b[i]
+			}
+		case "*":
+			for i := range res {
+				res[i] = a[i] * b[i]
+			}
+		case "/":
+			for i := 0; i < n; i++ {
+				if b[i] == 0 {
+					if zero == nil {
+						zero = newKbits(n)
+					}
+					zero.set(i)
+					continue
+				}
+				res[i] = a[i] / b[i]
+			}
+		case "%":
+			for i := 0; i < n; i++ {
+				if b[i] == 0 {
+					if zero == nil {
+						zero = newKbits(n)
+					}
+					zero.set(i)
+					continue
+				}
+				res[i] = a[i] % b[i]
+			}
+		}
+		if zero != nil {
+			// A zero divisor only errors on rows that were live: a null
+			// operand already made the row null (its lane slot is 0).
+			ne := kAndNot(kAndNot(zero, null), errs)
+			if kAny(ne) {
+				errs = kOr(errs, ne)
+			}
+		}
+		return &kvec{kind: types.Int, ints: res, null: null, errs: errs}
+	}
+}
+
+// floatArith lowers float64 arithmetic (operands already coerced).
+// Division by zero — Compare's ±0 included — errors like evalArith.
+func (c *kernCompiler) floatArith(op string, lf, rf kfn) kfn {
+	return func(kc *kctx) *kvec {
+		l, r := lf(kc), rf(kc)
+		n := kc.n
+		errs := kOr(l.errs, r.errs)
+		null := kAndNot(kOr(l.null, r.null), errs)
+		res := make([]float64, n)
+		a, b := l.floats[:n], r.floats[:n]
+		var zero kbits
+		switch op {
+		case "+":
+			for i := range res {
+				res[i] = a[i] + b[i]
+			}
+		case "-":
+			for i := range res {
+				res[i] = a[i] - b[i]
+			}
+		case "*":
+			for i := range res {
+				res[i] = a[i] * b[i]
+			}
+		case "/":
+			for i := 0; i < n; i++ {
+				if b[i] == 0 {
+					if zero == nil {
+						zero = newKbits(n)
+					}
+					zero.set(i)
+					continue
+				}
+				res[i] = a[i] / b[i]
+			}
+		}
+		if zero != nil {
+			ne := kAndNot(kAndNot(zero, null), errs)
+			if kAny(ne) {
+				errs = kOr(errs, ne)
+			}
+		}
+		return &kvec{kind: types.Float, floats: res, null: null, errs: errs}
+	}
+}
+
+// floatCompare lowers numeric comparisons as three-way float64
+// comparison predicates, reproducing types.Compare exactly — including
+// NaN ordering as "equal to everything" (both a<b and a>b false).
+func (c *kernCompiler) floatCompare(op string, lf, rf kfn) kfn {
+	return func(kc *kctx) *kvec {
+		l, r := lf(kc), rf(kc)
+		n := kc.n
+		errs := kOr(l.errs, r.errs)
+		null := kAndNot(kOr(l.null, r.null), errs)
+		t := newKbits(n)
+		a, b := l.floats[:n], r.floats[:n]
+		switch op {
+		case "<":
+			for i := 0; i < n; i++ {
+				if a[i] < b[i] {
+					t.set(i)
+				}
+			}
+		case "<=":
+			for i := 0; i < n; i++ {
+				if !(a[i] > b[i]) {
+					t.set(i)
+				}
+			}
+		case ">":
+			for i := 0; i < n; i++ {
+				if a[i] > b[i] {
+					t.set(i)
+				}
+			}
+		case ">=":
+			for i := 0; i < n; i++ {
+				if !(a[i] < b[i]) {
+					t.set(i)
+				}
+			}
+		case "=":
+			for i := 0; i < n; i++ {
+				if !(a[i] < b[i]) && !(a[i] > b[i]) {
+					t.set(i)
+				}
+			}
+		case "!=":
+			for i := 0; i < n; i++ {
+				if a[i] < b[i] || a[i] > b[i] {
+					t.set(i)
+				}
+			}
+		}
+		t = kAndNot(kAndNot(t, null), errs)
+		return &kvec{kind: types.Bool, t: t, null: null, errs: errs}
+	}
+}
+
+// textEq lowers Text equality (the one Text comparison the kernel
+// keeps; ordering goes through strings.Compare on the row path).
+func (c *kernCompiler) textEq(neq bool, lf, rf kfn) kfn {
+	return func(kc *kctx) *kvec {
+		l, r := lf(kc), rf(kc)
+		n := kc.n
+		errs := kOr(l.errs, r.errs)
+		null := kAndNot(kOr(l.null, r.null), errs)
+		t := newKbits(n)
+		a, b := l.strs[:n], r.strs[:n]
+		if neq {
+			for i := 0; i < n; i++ {
+				if a[i] != b[i] {
+					t.set(i)
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if a[i] == b[i] {
+					t.set(i)
+				}
+			}
+		}
+		t = kAndNot(kAndNot(t, null), errs)
+		return &kvec{kind: types.Bool, t: t, null: null, errs: errs}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Drivers.
+
+// kernelEligible gates kernel use: kernels are a compiled fast path
+// (compileOff ablates them with the rest), columnarOff ablates them
+// alone, and small row-major relations are not worth encoding.
+func kernelEligible(r *Relation) bool {
+	if columnarOff.Load() || compileOff.Load() {
+		return false
+	}
+	n := r.Len()
+	if n == 0 {
+		return false
+	}
+	if r.cols == nil && n < kernelMinRows {
+		return false
+	}
+	return true
+}
+
+// kernelRestrictRows evaluates pred over r with the columnar kernel,
+// returning the surviving rows in ascending order. ok=false means the
+// kernel declined (ablation, small input, or unsupported node) and the
+// caller must use the row path. Rows flagged by the kernel's error
+// bitmap re-evaluate row-wise in ascending order through cp (or the
+// interpreter), reproducing the exact error and its serial-scan
+// position; errors return unwrapped for the caller to prefix.
+func kernelRestrictRows(r *Relation, pred expr.Node, cp *compiledPred) ([]int, bool, error) {
+	if !kernelEligible(r) {
+		return nil, false, nil
+	}
+	cs := r.columnar()
+	prog, ok := kernelCompilePred(pred, kernScope{schema: r.schema, computed: r.computed}, cs.chunkRows)
+	if !ok {
+		return nil, false, nil
+	}
+	obs.Inc(obs.RelKernelScans)
+	nchunks := len(cs.slots)
+	workers := scanChunks(r.Len(), 0)
+	if workers > nchunks {
+		workers = nchunks
+	}
+	chunkKeep := make([][]int, nchunks)
+	err := runChunks(nchunks, workers, func(_, lo, hi int) error {
+		var kc kctx
+		var scratch []types.Value
+		var cur *rowCursor
+		rd := r.reader()
+		for ci := lo; ci < hi; ci++ {
+			ck, err := cs.chunk(ci)
+			if err != nil {
+				return err
+			}
+			base, _ := cs.chunkSpan(ci)
+			kc.reset(ck)
+			v := prog.root(&kc)
+			keep := make([]int, 0, kc.n/4+8)
+			if v.errs == nil {
+				for i := 0; i < kc.n; i++ {
+					if v.t.test(i) {
+						keep = append(keep, base+i)
+					}
+				}
+			} else {
+				for i := 0; i < kc.n; i++ {
+					row := base + i
+					if v.errs.test(i) {
+						// Counted at detection so aborting on the error
+						// still reports the diverted row.
+						obs.Inc(obs.RelKernelFallback)
+						var ok bool
+						var err error
+						if cp != nil {
+							ok, scratch, err = cp.eval(rd.at(row), scratch)
+							if err == nil {
+								err = rd.Err()
+							}
+						} else {
+							if cur == nil {
+								cur = newRowCursor(r)
+							}
+							cur.idx = row
+							ok, err = expr.EvalPredicate(pred, cur)
+							if err == nil {
+								err = cur.rd.Err()
+							}
+						}
+						if err != nil {
+							return err
+						}
+						if ok {
+							keep = append(keep, row)
+						}
+					} else if v.t.test(i) {
+						keep = append(keep, row)
+					}
+				}
+			}
+			chunkKeep[ci] = keep
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	total := 0
+	for _, ks := range chunkKeep {
+		total += len(ks)
+	}
+	rows := make([]int, 0, total)
+	for _, ks := range chunkKeep {
+		rows = append(rows, ks...)
+	}
+	return rows, true, nil
+}
+
+// kernelFusedRows evaluates every restriction of a fused pipeline over
+// r's chunks with selection-vector composition: step k runs only
+// against rows still selected when entering it (its errors on already-
+// dropped rows are ignored, mirroring the row path's short-circuit),
+// and error rows re-evaluate row-wise through sh.evalRow in ascending
+// order, preserving exact step attribution. ok=false declines to the
+// row path. Every pipeline step must kernel-compile, or none runs.
+func kernelFusedRows(r *Relation, sh *fusedShape, workers int) ([]int, bool, error) {
+	if !kernelEligible(r) || len(sh.preds) == 0 {
+		return nil, false, nil
+	}
+	cs := r.columnar()
+	progs := make([]*kernProg, len(sh.preds))
+	for i, fp := range sh.preds {
+		sc := kernScope{schema: fp.shape.schema, colMap: fp.colMap, computed: fp.shape.computed}
+		p, ok := kernelCompilePred(fp.node, sc, cs.chunkRows)
+		if !ok {
+			return nil, false, nil
+		}
+		progs[i] = p
+	}
+	obs.Inc(obs.RelKernelScans)
+	nchunks := len(cs.slots)
+	w := scanChunks(r.Len(), workers)
+	if w > nchunks {
+		w = nchunks
+	}
+	chunkKeep := make([][]int, nchunks)
+	err := runChunks(nchunks, w, func(_, lo, hi int) error {
+		var kc kctx
+		var scratch, tup []types.Value
+		for ci := lo; ci < hi; ci++ {
+			ck, err := cs.chunk(ci)
+			if err != nil {
+				return fmt.Errorf("rel: fused scan: %w", err)
+			}
+			base, _ := cs.chunkSpan(ci)
+			kc.reset(ck)
+			cn := kc.n
+			sel := onesKbits(cn)
+			var fallback kbits
+			for _, prog := range progs {
+				v := prog.root(&kc)
+				if v.errs != nil {
+					if nf := kAnd(v.errs, sel); kAny(nf) {
+						fallback = kOr(fallback, nf)
+					}
+				}
+				sel = kAnd(sel, v.t)
+				if fallback != nil {
+					sel = kAndNot(sel, fallback)
+				}
+			}
+			keep := make([]int, 0, cn/4+8)
+			if fallback == nil {
+				for i := 0; i < cn; i++ {
+					if sel.test(i) {
+						keep = append(keep, base+i)
+					}
+				}
+			} else {
+				for i := 0; i < cn; i++ {
+					if fallback.test(i) {
+						obs.Inc(obs.RelKernelFallback)
+						tup = ck.DecodeRow(i, tup[:0])
+						ok, s2, err := sh.evalRow(r, base+i, tup, scratch)
+						scratch = s2
+						if err != nil {
+							return err
+						}
+						if ok {
+							keep = append(keep, base+i)
+						}
+					} else if sel.test(i) {
+						keep = append(keep, base+i)
+					}
+				}
+			}
+			chunkKeep[ci] = keep
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, true, err
+	}
+	total := 0
+	for _, ks := range chunkKeep {
+		total += len(ks)
+	}
+	rows := make([]int, 0, total)
+	for _, ks := range chunkKeep {
+		rows = append(rows, ks...)
+	}
+	return rows, true, nil
+}

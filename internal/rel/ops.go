@@ -28,15 +28,21 @@ func Project(r *Relation, names []string) (*Relation, error) {
 		idxs[i] = r.schema.Index(n)
 	}
 	out := r.derive(schema, true)
-	out.tuples = make([][]types.Value, len(r.tuples))
-	rows := make([]int, len(r.tuples))
-	for ti, tup := range r.tuples {
+	n := r.Len()
+	out.tuples = make([][]types.Value, n)
+	rows := make([]int, n)
+	rd := r.reader()
+	for ti := 0; ti < n; ti++ {
+		tup := rd.at(ti)
 		nt := make([]types.Value, len(idxs))
 		for i, ci := range idxs {
 			nt[i] = tup[ci]
 		}
 		out.tuples[ti] = nt
 		rows[ti] = ti
+	}
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("rel: project: %w", err)
 	}
 	out.setProv(r, rows)
 	return out, nil
@@ -51,23 +57,35 @@ func Restrict(r *Relation, pred expr.Node) (*Relation, error) {
 		return nil, err
 	}
 	out := r.derive(r.schema, true)
-	obs.Add(obs.RelRestrictRowsIn, int64(len(r.tuples)))
+	obs.Add(obs.RelRestrictRowsIn, int64(r.Len()))
 
 	if rows, ok := indexedRows(r, pred); ok {
 		obs.Inc(obs.RelRestrictIndexed)
 		obs.Add(obs.RelRestrictRowsOut, int64(len(rows)))
 		out.tuples = make([][]types.Value, 0, len(rows))
+		rd := r.reader()
 		for _, row := range rows {
-			out.tuples = append(out.tuples, r.tuples[row])
+			out.tuples = append(out.tuples, rd.take(row))
+		}
+		if err := rd.Err(); err != nil {
+			return nil, fmt.Errorf("rel: restrict: %w", err)
 		}
 		out.setProv(r, rows)
 		return out, nil
 	}
 
 	obs.Inc(obs.RelRestrictScans)
-	n := len(r.tuples)
+	n := r.Len()
 	var rows []int
-	if cp := r.compilePredicate(pred); cp != nil {
+	cp := r.compilePredicate(pred)
+	if kr, ok, err := kernelRestrictRows(r, pred, cp); err != nil {
+		return nil, fmt.Errorf("rel: restrict: %w", err)
+	} else if ok {
+		// Columnar kernel scan: monomorphic loops over contiguous
+		// chunk arrays produced selection vectors; kr is already in
+		// ascending row order.
+		rows = kr
+	} else if cp != nil {
 		// Compiled scan, chunk-parallel above the row threshold. Chunks
 		// are contiguous and concatenated in order, so the output is
 		// deterministic regardless of worker count.
@@ -76,16 +94,20 @@ func Restrict(r *Relation, pred expr.Node) (*Relation, error) {
 		err := runChunks(n, chunks, func(c, lo, hi int) error {
 			keep := make([]int, 0, (hi-lo)/4+8)
 			var scratch []types.Value
+			rd := r.reader()
 			for i := lo; i < hi; i++ {
 				var ok bool
 				var err error
-				ok, scratch, err = cp.eval(r.tuples[i], scratch)
+				ok, scratch, err = cp.eval(rd.at(i), scratch)
 				if err != nil {
 					return fmt.Errorf("rel: restrict: %w", err)
 				}
 				if ok {
 					keep = append(keep, i)
 				}
+			}
+			if err := rd.Err(); err != nil {
+				return fmt.Errorf("rel: restrict: %w", err)
 			}
 			chunkRows[c] = keep
 			return nil
@@ -103,8 +125,8 @@ func Restrict(r *Relation, pred expr.Node) (*Relation, error) {
 		}
 	} else {
 		rows = make([]int, 0, n/4+8)
-		cur := &rowCursor{rel: r}
-		for i := range r.tuples {
+		cur := newRowCursor(r)
+		for i := 0; i < n; i++ {
 			cur.idx = i
 			keep, err := expr.EvalPredicate(pred, cur)
 			if err != nil {
@@ -114,10 +136,17 @@ func Restrict(r *Relation, pred expr.Node) (*Relation, error) {
 				rows = append(rows, i)
 			}
 		}
+		if err := cur.rd.Err(); err != nil {
+			return nil, fmt.Errorf("rel: restrict: %w", err)
+		}
 	}
 	out.tuples = make([][]types.Value, len(rows))
+	rd := r.reader()
 	for i, row := range rows {
-		out.tuples[i] = r.tuples[row]
+		out.tuples[i] = rd.take(row)
+	}
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("rel: restrict: %w", err)
 	}
 	obs.Add(obs.RelRestrictRowsOut, int64(len(rows)))
 	out.setProv(r, rows)
@@ -217,17 +246,22 @@ func Sample(r *Relation, p float64, seed int64) (*Relation, error) {
 	out := r.derive(r.schema, true)
 	// Expected output size is p·n; pad a little so typical draws append
 	// without growing.
-	est := int(float64(len(r.tuples))*p) + 16
-	if est > len(r.tuples) {
-		est = len(r.tuples)
+	n := r.Len()
+	est := int(float64(n)*p) + 16
+	if est > n {
+		est = n
 	}
 	out.tuples = make([][]types.Value, 0, est)
 	rows := make([]int, 0, est)
-	for i := range r.tuples {
+	rd := r.reader()
+	for i := 0; i < n; i++ {
 		if rng.Float64() < p {
-			out.tuples = append(out.tuples, r.tuples[i])
+			out.tuples = append(out.tuples, rd.take(i))
 			rows = append(rows, i)
 		}
+	}
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("rel: sample: %w", err)
 	}
 	out.setProv(r, rows)
 	return out, nil
@@ -347,9 +381,11 @@ func Join(l, r *Relation, pred expr.Node, strategy JoinStrategy) (*Relation, err
 	}
 
 	obs.Inc(obs.RelJoinNestedLoop)
-	for i := range l.tuples {
-		for j := range r.tuples {
-			nt, err := emit(l.tuples[i], r.tuples[j])
+	lrd, rrd := l.reader(), r.reader()
+	for i, ln := 0, l.Len(); i < ln; i++ {
+		lt := lrd.take(i)
+		for j, rn := 0, r.Len(); j < rn; j++ {
+			nt, err := emit(lt, rrd.at(j))
 			if err != nil {
 				return nil, fmt.Errorf("rel: join: %w", err)
 			}
@@ -357,6 +393,12 @@ func Join(l, r *Relation, pred expr.Node, strategy JoinStrategy) (*Relation, err
 				out.tuples = append(out.tuples, nt)
 			}
 		}
+	}
+	if err := lrd.Err(); err != nil {
+		return nil, fmt.Errorf("rel: join: %w", err)
+	}
+	if err := rrd.Err(); err != nil {
+		return nil, fmt.Errorf("rel: join: %w", err)
 	}
 	obs.Add(obs.RelJoinRowsOut, int64(len(out.tuples)))
 	return out, nil
@@ -461,21 +503,25 @@ func hashJoin(out, l, r *Relation, la, ra string, emit func(lt, rt []types.Value
 		buildIsRight = false
 	}
 	table := make(map[valueKey][]int, build.Len())
-	for row, tup := range build.tuples {
-		v := tup[bi]
+	brd := build.reader()
+	for row, n := 0, build.Len(); row < n; row++ {
+		v := brd.value(row, bi)
 		if v.IsNull() {
 			continue
 		}
 		k := keyOf(v)
 		table[k] = append(table[k], row)
 	}
-	for _, ptup := range probe.tuples {
+	prd := probe.reader()
+	bget := build.reader() // random access into build during probe
+	for prow, n := 0, probe.Len(); prow < n; prow++ {
+		ptup := prd.at(prow)
 		v := ptup[pi]
 		if v.IsNull() {
 			continue
 		}
 		for _, brow := range table[keyOf(v)] {
-			btup := build.tuples[brow]
+			btup := bget.take(brow)
 			var lt, rt []types.Value
 			if buildIsRight {
 				lt, rt = ptup, btup
@@ -489,6 +535,11 @@ func hashJoin(out, l, r *Relation, la, ra string, emit func(lt, rt []types.Value
 			if nt != nil {
 				out.tuples = append(out.tuples, nt)
 			}
+		}
+	}
+	for _, rd := range []*rowReader{&brd, &prd, &bget} {
+		if err := rd.Err(); err != nil {
+			return fmt.Errorf("rel: join: %w", err)
 		}
 	}
 	return nil
@@ -581,8 +632,12 @@ func Sort(r *Relation, attr string, descending bool) (*Relation, error) {
 	}
 	out := r.derive(r.schema, true)
 	out.tuples = make([][]types.Value, len(rows))
+	rd := r.reader()
 	for i, row := range rows {
-		out.tuples[i] = r.tuples[row]
+		out.tuples[i] = rd.take(row)
+	}
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("rel: sort on %q: %w", attr, err)
 	}
 	out.setProv(r, rows)
 	return out, nil
@@ -600,7 +655,17 @@ func Union(rels ...*Relation) (*Relation, error) {
 	}
 	out := rels[0].derive(rels[0].schema, true)
 	for _, r := range rels {
-		out.tuples = append(out.tuples, r.tuples...)
+		if r.cols == nil {
+			out.tuples = append(out.tuples, r.tuples...)
+			continue
+		}
+		rd := r.reader()
+		for i, n := 0, r.Len(); i < n; i++ {
+			out.tuples = append(out.tuples, rd.take(i))
+		}
+		if err := rd.Err(); err != nil {
+			return nil, fmt.Errorf("rel: union: %w", err)
+		}
 	}
 	return out, nil
 }
@@ -622,14 +687,15 @@ func Partition(r *Relation, preds []expr.Node) ([]*Relation, error) {
 		cps[i] = r.compilePredicate(p) // nil falls back to the interpreter
 	}
 	rows := make([][]int, len(preds))
-	cur := &rowCursor{rel: r}
+	cur := newRowCursor(r)
+	rd := r.reader()
 	var scratch []types.Value
-	for ti := range r.tuples {
+	for ti, n := 0, r.Len(); ti < n; ti++ {
 		for pi, p := range preds {
 			var keep bool
 			var err error
 			if cp := cps[pi]; cp != nil {
-				keep, scratch, err = cp.eval(r.tuples[ti], scratch)
+				keep, scratch, err = cp.eval(rd.at(ti), scratch)
 			} else {
 				cur.idx = ti
 				keep, err = expr.EvalPredicate(p, cur)
@@ -638,11 +704,14 @@ func Partition(r *Relation, preds []expr.Node) ([]*Relation, error) {
 				return nil, fmt.Errorf("rel: partition: %w", err)
 			}
 			if keep {
-				outs[pi].tuples = append(outs[pi].tuples, r.tuples[ti])
+				outs[pi].tuples = append(outs[pi].tuples, rd.take(ti))
 				rows[pi] = append(rows[pi], ti)
 				break
 			}
 		}
+	}
+	if err := rd.Err(); err != nil {
+		return nil, fmt.Errorf("rel: partition: %w", err)
 	}
 	for pi := range outs {
 		outs[pi].setProv(r, rows[pi])
@@ -669,7 +738,7 @@ func MapColumn(r *Relation, col string, def expr.Node) (*Relation, error) {
 		return nil, err
 	}
 	out := r.derive(schema, true)
-	n := len(r.tuples)
+	n := r.Len()
 	out.tuples = make([][]types.Value, n)
 	rows := make([]int, n)
 	if ce := r.compileExpr(def); ce != nil {
@@ -679,35 +748,41 @@ func MapColumn(r *Relation, col string, def expr.Node) (*Relation, error) {
 		chunks := scanChunks(n, 0)
 		err := runChunks(n, chunks, func(c, lo, hi int) error {
 			var scratch []types.Value
+			rd := r.reader()
 			for i := lo; i < hi; i++ {
+				t := rd.at(i)
 				var v types.Value
 				var err error
-				v, scratch, err = ce.eval(r.tuples[i], scratch)
+				v, scratch, err = ce.eval(t, scratch)
 				if err != nil {
 					return fmt.Errorf("rel: map column %q row %d: %w", col, i, err)
 				}
-				nt := append([]types.Value(nil), r.tuples[i]...)
+				nt := append([]types.Value(nil), t...)
 				nt[ci] = v
 				out.tuples[i] = nt
 				rows[i] = i
 			}
-			return nil
+			return rd.Err()
 		})
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		cur := &rowCursor{rel: r}
-		for i := range r.tuples {
+		cur := newRowCursor(r)
+		rd := r.reader()
+		for i := 0; i < n; i++ {
 			cur.idx = i
 			v, err := expr.Eval(def, cur)
 			if err != nil {
 				return nil, fmt.Errorf("rel: map column %q row %d: %w", col, i, err)
 			}
-			nt := append([]types.Value(nil), r.tuples[i]...)
+			nt := append([]types.Value(nil), rd.at(i)...)
 			nt[ci] = v
 			out.tuples[i] = nt
 			rows[i] = i
+		}
+		if err := rd.Err(); err != nil {
+			return nil, fmt.Errorf("rel: map column %q: %w", col, err)
 		}
 	}
 	out.setProv(r, rows)
@@ -735,7 +810,13 @@ func SwapColumns(r *Relation, a, b string) (*Relation, error) {
 	}
 	out := r.derive(schema, true)
 	out.tuples = r.tuples
-	rows := make([]int, len(r.tuples))
+	if r.cols != nil {
+		// Share chunk storage under the renamed schema: the swap only
+		// touches names, and chunks store no names, so the slots carry
+		// over untouched.
+		out.cols = &colStore{schema: schema, slots: r.cols.slots, rows: r.cols.rows, chunkRows: r.cols.chunkRows}
+	}
+	rows := make([]int, r.Len())
 	for i := range rows {
 		rows[i] = i
 	}
@@ -770,8 +851,10 @@ func DistinctValues(r *Relation, attr string) ([]types.Value, error) {
 	}
 	seen := make(map[valueKey]bool)
 	var out []types.Value
+	cu := r.NewCursor()
 	for i := 0; i < r.Len(); i++ {
-		v := r.Row(i).Attr(attr)
+		cu.Seek(i)
+		v := cu.Attr(attr)
 		k := keyOf(v)
 		if !seen[k] {
 			seen[k] = true
@@ -789,9 +872,10 @@ func Distinct(r *Relation) *Relation {
 	seen := make(map[string]bool, r.Len())
 	var rows []int
 	var buf []byte
+	rd := r.reader()
 	for i := 0; i < r.Len(); i++ {
 		buf = buf[:0]
-		for _, v := range r.tuples[i] {
+		for _, v := range rd.at(i) {
 			buf = appendKeyBytes(buf, v)
 		}
 		key := string(buf)
@@ -799,7 +883,7 @@ func Distinct(r *Relation) *Relation {
 			continue
 		}
 		seen[key] = true
-		out.tuples = append(out.tuples, r.tuples[i])
+		out.tuples = append(out.tuples, rd.take(i))
 		rows = append(rows, i)
 	}
 	out.setProv(r, rows)
@@ -816,7 +900,18 @@ func Limit(r *Relation, n int) (*Relation, error) {
 		n = r.Len()
 	}
 	out := r.derive(r.schema, true)
-	out.tuples = r.tuples[:n]
+	if r.cols == nil {
+		out.tuples = r.tuples[:n]
+	} else {
+		out.tuples = make([][]types.Value, n)
+		rd := r.reader()
+		for i := 0; i < n; i++ {
+			out.tuples[i] = rd.take(i)
+		}
+		if err := rd.Err(); err != nil {
+			return nil, fmt.Errorf("rel: limit: %w", err)
+		}
+	}
 	rows := make([]int, n)
 	for i := range rows {
 		rows[i] = i

@@ -43,6 +43,19 @@ type Relation struct {
 	tuples   [][]types.Value
 	computed []Computed
 	indexes  map[string]*btree.Tree
+	// cols, when non-nil, is the authoritative tuple storage: typed
+	// columnar chunks (tuples stays nil). Chunk-backed relations come
+	// from persistent backends via FromChunkSource; their chunks fault
+	// in lazily through the bounded chunk cache. colStore values are
+	// immutable, so CoW here is plain pointer replacement: mutators
+	// install a new store sharing every untouched chunk slot.
+	cols *colStore
+	// colview caches a lazily-encoded columnar view of a row-major
+	// relation, keyed by generation, so compiled predicate kernels can
+	// run over contiguous arrays without the relation itself migrating.
+	// The view's chunks are encoded on demand from the (immutable at
+	// this generation) tuple slices and are freely evictable.
+	colview atomic.Pointer[colView]
 	// provenance: when set, tuple i of this relation derives from tuple
 	// provRows[i] of provBase. Operators that keep tuples intact
 	// (Restrict, Sample, Sort, Project, column maps) maintain it so a
@@ -102,9 +115,174 @@ func (r *Relation) BaseRow(i int) (*Relation, int) {
 	return r.provBase, r.provRows[i]
 }
 
+// colView pairs a derived columnar encoding with the generation it was
+// built from.
+type colView struct {
+	gen int64
+	cs  *colStore
+}
+
 // New creates an empty relation with the given schema.
 func New(name string, schema *Schema) *Relation {
 	return &Relation{name: name, schema: schema}
+}
+
+// FromChunkSource creates a chunk-backed relation over src: tuple
+// storage lives in columnar chunks that fault in lazily through the
+// bounded chunk cache, so the relation can be far larger than the
+// memory quota. The relation participates in the normal CoW/versioning
+// discipline — Append and Update replace only the affected chunk.
+func FromChunkSource(name string, schema *Schema, src ChunkSource) (*Relation, error) {
+	if src.ChunkRows() <= 0 {
+		return nil, fmt.Errorf("rel: %s: chunk source reports %d rows per chunk", name, src.ChunkRows())
+	}
+	want := (src.Rows() + src.ChunkRows() - 1) / src.ChunkRows()
+	if src.NumChunks() != want {
+		return nil, fmt.Errorf("rel: %s: chunk source shape mismatch (%d chunks for %d rows at %d/chunk)",
+			name, src.NumChunks(), src.Rows(), src.ChunkRows())
+	}
+	return &Relation{name: name, schema: schema, cols: newColStore(schema, src)}, nil
+}
+
+// ChunkBacked reports whether tuple storage is columnar chunks (true
+// for relations loaded through a persistent backend) rather than
+// resident row-major slices.
+func (r *Relation) ChunkBacked() bool { return r.cols != nil }
+
+// columnar returns a columnar view of the relation: the authoritative
+// store for chunk-backed relations, or a generation-keyed lazily-encoded
+// view for row-major ones. The view encodes chunks on demand, so taking
+// it is cheap; kernels that never touch a chunk never pay for it.
+func (r *Relation) columnar() *colStore {
+	if r.cols != nil {
+		return r.cols
+	}
+	g := r.Generation()
+	if v := r.colview.Load(); v != nil && v.gen == g {
+		return v.cs
+	}
+	cs := buildColStore(r.schema, r.tuples, DefaultChunkRows)
+	r.colview.Store(&colView{gen: g, cs: cs})
+	return cs
+}
+
+// storedValue reads stored column col of row i through whichever
+// storage the relation uses. Chunk read errors (possible only on
+// file-backed sources) degrade to null here; scan paths use rowReader,
+// which carries a sticky error instead.
+func (r *Relation) storedValue(i, col int) types.Value {
+	if r.cols == nil {
+		return r.tuples[i][col]
+	}
+	v, err := r.cols.value(i, col)
+	if err != nil {
+		return types.Null
+	}
+	return v
+}
+
+// tupleAt materializes row i from whichever storage the relation uses.
+func (r *Relation) tupleAt(i int) ([]types.Value, error) {
+	if r.cols == nil {
+		return r.tuples[i], nil
+	}
+	ci, off := r.cols.rowChunk(i)
+	c, err := r.cols.chunk(ci)
+	if err != nil {
+		return nil, err
+	}
+	return c.DecodeRow(off, make([]types.Value, 0, r.schema.Len())), nil
+}
+
+// rowReader is sequential row access for scan loops. For row-major
+// relations it is a bounds-checked slice read; for chunk-backed ones it
+// decodes a chunk at a time, pinning the current chunk so eviction
+// cannot pull the arrays out from under the scan. Readers are cheap;
+// parallel scans make one per worker.
+type rowReader struct {
+	r          *Relation
+	ck         *Chunk
+	ckLo, ckHi int
+	buf        []types.Value
+	err        error
+}
+
+// reader returns a fresh rowReader over r.
+func (r *Relation) reader() rowReader { return rowReader{r: r, ckLo: -1, ckHi: -1} }
+
+// seek positions the reader's chunk window over row i.
+func (rd *rowReader) seek(i int) bool {
+	cs := rd.r.cols
+	ci, _ := cs.rowChunk(i)
+	c, err := cs.chunk(ci)
+	if err != nil {
+		if rd.err == nil {
+			rd.err = err
+		}
+		return false
+	}
+	rd.ck = c
+	rd.ckLo, rd.ckHi = cs.chunkSpan(ci)
+	return true
+}
+
+// at returns row i. For chunk-backed relations the slice is a scratch
+// buffer valid only until the next at call; use take when the tuple is
+// retained. On a chunk read error it returns a null-filled row and
+// records the error for Err.
+func (rd *rowReader) at(i int) []types.Value {
+	if rd.r.cols == nil {
+		return rd.r.tuples[i]
+	}
+	if i < rd.ckLo || i >= rd.ckHi {
+		if !rd.seek(i) {
+			return rd.nullRow()
+		}
+	}
+	rd.buf = rd.ck.DecodeRow(i-rd.ckLo, rd.buf[:0])
+	return rd.buf
+}
+
+// take returns row i as a slice safe to retain and share: the stored
+// slice itself for row-major relations (frozen by convention), a fresh
+// decode for chunk-backed ones.
+func (rd *rowReader) take(i int) []types.Value {
+	if rd.r.cols == nil {
+		return rd.r.tuples[i]
+	}
+	if i < rd.ckLo || i >= rd.ckHi {
+		if !rd.seek(i) {
+			return rd.nullRow()
+		}
+	}
+	return rd.ck.DecodeRow(i-rd.ckLo, make([]types.Value, 0, rd.r.schema.Len()))
+}
+
+// value reads one stored column of row i without decoding the row.
+func (rd *rowReader) value(i, col int) types.Value {
+	if rd.r.cols == nil {
+		return rd.r.tuples[i][col]
+	}
+	if i < rd.ckLo || i >= rd.ckHi {
+		if !rd.seek(i) {
+			return types.Null
+		}
+	}
+	return rd.ck.Value(col, i-rd.ckLo)
+}
+
+// Err reports the first chunk read error the reader hit, if any.
+func (rd *rowReader) Err() error { return rd.err }
+
+func (rd *rowReader) nullRow() []types.Value {
+	if cap(rd.buf) < rd.r.schema.Len() {
+		rd.buf = make([]types.Value, rd.r.schema.Len())
+	}
+	rd.buf = rd.buf[:rd.r.schema.Len()]
+	for i := range rd.buf {
+		rd.buf[i] = types.Null
+	}
+	return rd.buf
 }
 
 // Name returns the relation's name ("" for anonymous derived relations).
@@ -114,7 +292,12 @@ func (r *Relation) Name() string { return r.name }
 func (r *Relation) Schema() *Schema { return r.schema }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int {
+	if r.cols != nil {
+		return r.cols.rows
+	}
+	return len(r.tuples)
+}
 
 // Computed returns the computed attribute definitions in order.
 func (r *Relation) Computed() []Computed { return append([]Computed(nil), r.computed...) }
@@ -164,8 +347,16 @@ func (r *Relation) Append(tuple []types.Value) error {
 				r.name, r.schema.Col(i).Name, r.schema.Col(i).Kind, v.Kind())
 		}
 	}
-	row := len(r.tuples)
-	r.tuples = append(r.tuples, tuple)
+	row := r.Len()
+	if r.cols != nil {
+		cs, err := r.cols.withAppend(tuple)
+		if err != nil {
+			return fmt.Errorf("rel: %s: %w", r.name, err)
+		}
+		r.cols = cs
+	} else {
+		r.tuples = append(r.tuples, tuple)
+	}
 	for col, idx := range r.indexes {
 		v := tuple[r.schema.Index(col)]
 		if !v.IsNull() {
@@ -184,8 +375,17 @@ func (r *Relation) MustAppend(tuple []types.Value) {
 }
 
 // Tuple returns the i'th stored tuple. The returned slice must not be
-// mutated; use Update.
-func (r *Relation) Tuple(i int) []types.Value { return r.tuples[i] }
+// mutated; use Update. For chunk-backed relations it decodes a fresh
+// slice; a chunk read error (file-backed sources only) panics, matching
+// the out-of-range behavior of the slice read — bulk paths that want an
+// error use a reader or Cursor instead.
+func (r *Relation) Tuple(i int) []types.Value {
+	t, err := r.tupleAt(i)
+	if err != nil {
+		panic(fmt.Sprintf("rel: %s: reading tuple %d: %v", r.name, i, err))
+	}
+	return t
+}
 
 // Row binds tuple i to the relation for attribute access; it implements
 // expr.Env including computed attributes.
@@ -198,13 +398,13 @@ func (r *Relation) Update(row int, col string, v types.Value) error {
 	if ci < 0 {
 		return fmt.Errorf("rel: %s: no stored column %q (computed attributes cannot be updated)", r.name, col)
 	}
-	if row < 0 || row >= len(r.tuples) {
+	if row < 0 || row >= r.Len() {
 		return fmt.Errorf("rel: %s: row %d out of range", r.name, row)
 	}
 	if !v.IsNull() && v.Kind() != r.schema.Col(ci).Kind {
 		return fmt.Errorf("rel: %s: column %q wants %s, got %s", r.name, col, r.schema.Col(ci).Kind, v.Kind())
 	}
-	old := r.tuples[row][ci]
+	old := r.storedValue(row, ci)
 	if idx, ok := r.indexes[col]; ok {
 		if !old.IsNull() {
 			idx.Delete(old, row)
@@ -212,6 +412,17 @@ func (r *Relation) Update(row int, col string, v types.Value) error {
 		if !v.IsNull() {
 			idx.Insert(v, row)
 		}
+	}
+	if r.cols != nil {
+		// Copy-on-write the affected chunk; every other chunk slot is
+		// shared with the previous version.
+		cs, err := r.cols.withUpdate(row, ci, v)
+		if err != nil {
+			return fmt.Errorf("rel: %s: %w", r.name, err)
+		}
+		r.cols = cs
+		r.bumpGen()
+		return nil
 	}
 	// Copy-on-write the tuple so derived relations sharing storage keep a
 	// consistent view until re-evaluated.
@@ -235,10 +446,14 @@ func (r *Relation) CreateIndex(col string) error {
 		return fmt.Errorf("rel: %s: index on %q already exists", r.name, col)
 	}
 	t := &btree.Tree{}
-	for row, tup := range r.tuples {
-		if v := tup[ci]; !v.IsNull() {
+	rd := r.reader()
+	for row, n := 0, r.Len(); row < n; row++ {
+		if v := rd.value(row, ci); !v.IsNull() {
 			t.Insert(v, row)
 		}
+	}
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("rel: %s: indexing %q: %w", r.name, col, err)
 	}
 	r.indexes[col] = t
 	return nil
@@ -351,6 +566,7 @@ func (r *Relation) ShallowClone() *Relation {
 		name:     r.name,
 		schema:   r.schema,
 		tuples:   r.tuples,
+		cols:     r.cols,
 		computed: append([]Computed(nil), r.computed...),
 		provBase: r.provBase,
 		provRows: r.provRows,
@@ -363,9 +579,15 @@ func (r *Relation) Clone() *Relation {
 	out := &Relation{
 		name:     r.name,
 		schema:   r.schema,
-		tuples:   make([][]types.Value, len(r.tuples)),
 		computed: append([]Computed(nil), r.computed...),
 	}
+	if r.cols != nil {
+		// Chunks are immutable, so sharing the store IS a deep copy:
+		// no future mutation of either relation can reach the other.
+		out.cols = r.cols
+		return out
+	}
+	out.tuples = make([][]types.Value, len(r.tuples))
 	for i, t := range r.tuples {
 		out.tuples[i] = append([]types.Value(nil), t...)
 	}
@@ -382,12 +604,15 @@ func (r *Relation) Clone() *Relation {
 // the original remains an immutable snapshot. Cost is O(rows) pointer
 // copies plus an index copy, versus Clone's O(rows × cols) value
 // copies. The clone starts unstamped, so the first cache to observe it
-// receives a fresh generation.
+// receives a fresh generation. Chunk-backed storage needs no copy at
+// all: colStore values are immutable, so sharing the pointer is CoW —
+// mutators install a new store that shares every untouched chunk slot.
 func (r *Relation) CowClone() *Relation {
 	out := &Relation{
 		name:     r.name,
 		schema:   r.schema,
 		tuples:   append([][]types.Value(nil), r.tuples...),
+		cols:     r.cols,
 		computed: append([]Computed(nil), r.computed...),
 		provBase: r.provBase,
 		provRows: r.provRows,
@@ -440,7 +665,7 @@ func (r *Relation) String() string {
 		}
 		extra = " +" + strings.Join(names, ",")
 	}
-	return fmt.Sprintf("%s%s%s [%d tuples]", name, r.schema, extra, len(r.tuples))
+	return fmt.Sprintf("%s%s%s [%d tuples]", name, r.schema, extra, r.Len())
 }
 
 // Row is one tuple bound to its relation; it implements expr.Env over
@@ -462,7 +687,7 @@ func (w Row) Relation() *Relation { return w.rel }
 // AttrValue implements expr.Env.
 func (w Row) AttrValue(name string) (types.Value, bool) {
 	if i := w.rel.schema.Index(name); i >= 0 {
-		return w.rel.tuples[w.idx][i], true
+		return w.rel.storedValue(w.idx, i), true
 	}
 	for _, c := range w.rel.computed {
 		if c.Name == name {
@@ -486,16 +711,26 @@ func (w Row) Attr(name string) types.Value {
 // per row instead of boxing a fresh Row into the interface every
 // iteration, so the interpreted fallback paths allocate once per scan.
 // Semantics match Row.AttrValue exactly, including the evaluate-to-null
-// swallowing of computed-attribute errors.
+// swallowing of computed-attribute errors. Stored-column access goes
+// through an embedded rowReader so one chunk decode serves a whole run
+// of rows on chunk-backed relations.
 type rowCursor struct {
 	rel *Relation
 	idx int
+	rd  rowReader
+}
+
+func newRowCursor(r *Relation) *rowCursor {
+	return &rowCursor{rel: r, rd: r.reader()}
 }
 
 // AttrValue implements expr.Env.
 func (c *rowCursor) AttrValue(name string) (types.Value, bool) {
 	if i := c.rel.schema.Index(name); i >= 0 {
-		return c.rel.tuples[c.idx][i], true
+		if c.rd.r == nil {
+			c.rd = c.rel.reader()
+		}
+		return c.rd.value(c.idx, i), true
 	}
 	for _, cc := range c.rel.computed {
 		if cc.Name == name {
@@ -508,3 +743,38 @@ func (c *rowCursor) AttrValue(name string) (types.Value, bool) {
 	}
 	return types.Null, false
 }
+
+// Cursor is the public sequential-access companion of Row: it walks a
+// relation row by row, decoding one chunk at a time on chunk-backed
+// relations and pinning the current chunk against eviction while it is
+// in use. It implements expr.Env with Row's exact semantics, so display
+// functions evaluate against it unchanged. Viewers use a Cursor for
+// their per-frame sweeps (cull, spatial-index build, display eval)
+// instead of per-row Row bindings.
+type Cursor struct {
+	c rowCursor
+}
+
+// NewCursor returns a cursor positioned before the first row; call Seek
+// before reading.
+func (r *Relation) NewCursor() *Cursor {
+	return &Cursor{c: rowCursor{rel: r, idx: -1, rd: r.reader()}}
+}
+
+// Seek positions the cursor on row i.
+func (cu *Cursor) Seek(i int) { cu.c.idx = i }
+
+// Index returns the current row position.
+func (cu *Cursor) Index() int { return cu.c.idx }
+
+// AttrValue implements expr.Env at the current row.
+func (cu *Cursor) AttrValue(name string) (types.Value, bool) { return cu.c.AttrValue(name) }
+
+// Attr returns the named attribute at the current row, or null.
+func (cu *Cursor) Attr(name string) types.Value {
+	v, _ := cu.c.AttrValue(name)
+	return v
+}
+
+// Err reports the first chunk read error the cursor hit, if any.
+func (cu *Cursor) Err() error { return cu.c.rd.Err() }

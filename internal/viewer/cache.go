@@ -195,8 +195,9 @@ func (v *Viewer) spatialIndex(ctx context.Context, ext *display.Extended, gen di
 		_, span = obs.StartSpanCtx(ctx, obs.SpanRenderSpatialBuild, "layer", ext.Label)
 	}
 	t := obs.StartTimer(obs.RenderSpatialBuildNS)
+	sw := ext.NewSweep()
 	g := spatial.Build(ext.Rel.Len(), func(i int) (float64, float64) {
-		loc := ext.Location(i)
+		loc := sw.Location(i)
 		return loc[0], loc[1]
 	})
 	t.Stop()

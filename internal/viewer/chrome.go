@@ -113,8 +113,9 @@ func sliderSpan(c *display.Composite, d int) (lo, hi float64) {
 			continue
 		}
 		n := l.Ext.Rel.Len()
+		sw := l.Ext.NewSweep()
 		for row := 0; row < n; row++ {
-			v := l.Ext.Location(row)[d]
+			v := sw.Location(row)[d]
 			if v < lo {
 				lo = v
 			}

@@ -282,9 +282,10 @@ func (v *Viewer) renderMember(ctx context.Context, pen *raster.Pen, rect geom.Re
 		}
 		n := ext.Rel.Len()
 		rows, locs := sc.rows[:0], sc.locs[:0]
+		sw := ext.NewSweep()
 		accept := func(row int) {
 			stats.TuplesSeen++
-			loc := ext.Location(row)
+			loc := sw.Location(row)
 			x := loc[0] + offAt(0)
 			y := loc[1] + offAt(1)
 
@@ -627,8 +628,8 @@ func (v *Viewer) renderMagnifier(ctx context.Context, pen *raster.Pen, mag *Magn
 // locking; each worker records its chunk as a trace span on its own track
 // so the fan-out is visible in the timeline.
 func (v *Viewer) evalDisplays(ctx context.Context, ext *display.Extended, rows []int, idx []int, lists []draw.List, errs []error) {
-	eval := func(i int) {
-		l, err := ext.Display(rows[i])
+	eval := func(sw *display.Sweep, i int) {
+		l, err := sw.Display(rows[i])
 		if err != nil {
 			lists[i], errs[i] = nil, err
 			return
@@ -639,8 +640,9 @@ func (v *Viewer) evalDisplays(ctx context.Context, ext *display.Extended, rows [
 		lists[i] = l
 	}
 	if !v.Parallel || len(idx) < parallelThreshold {
+		sw := ext.NewSweep()
 		for _, i := range idx {
-			eval(i)
+			eval(sw, i)
 		}
 		return
 	}
@@ -671,8 +673,9 @@ func (v *Viewer) evalDisplays(ctx context.Context, ext *display.Extended, rows [
 					"worker", strconv.Itoa(w), "rows", strconv.Itoa(hi-lo))
 				defer sp.End()
 			}
+			sw := ext.NewSweep()
 			for _, i := range idx[lo:hi] {
-				eval(i)
+				eval(sw, i)
 			}
 		}(w, lo, hi)
 	}
